@@ -1,0 +1,22 @@
+// Figure 2: execution time of computation and disk I/O for the QCRD
+// application and its two programs (paper §2.3).  The model is executed for
+// real through the managed I/O stack at a scaled timebase; the closed-form
+// prediction at the paper's scale is printed alongside.
+#include <iostream>
+
+#include "core/behavioral_benchmark.hpp"
+#include "core/report.hpp"
+#include "util/temp_dir.hpp"
+
+int main() {
+  clio::util::TempDir dir("clio-fig2");
+  clio::core::QcrdRunConfig config;
+  config.workdir = dir.path() / "qcrd";
+  config.timebase_sec = 2.0;
+  const auto figures = clio::core::run_qcrd_figures(config);
+  clio::core::render_figure2(std::cout, figures);
+  std::cout << "(measured run scaled to T = " << config.timebase_sec
+            << " s; shapes, not absolute seconds, are the comparison "
+               "target)\n";
+  return 0;
+}

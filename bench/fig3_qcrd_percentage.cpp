@@ -1,0 +1,18 @@
+// Figure 3: percentage of execution time for computation and disk I/O of
+// QCRD (paper §2.3).  Percentages are scale-invariant, so the scaled
+// measured run is directly comparable with the paper's bars.
+#include <iostream>
+
+#include "core/behavioral_benchmark.hpp"
+#include "core/report.hpp"
+#include "util/temp_dir.hpp"
+
+int main() {
+  clio::util::TempDir dir("clio-fig3");
+  clio::core::QcrdRunConfig config;
+  config.workdir = dir.path() / "qcrd";
+  config.timebase_sec = 2.0;
+  const auto figures = clio::core::run_qcrd_figures(config);
+  clio::core::render_figure3(std::cout, figures);
+  return 0;
+}

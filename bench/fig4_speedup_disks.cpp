@@ -1,0 +1,18 @@
+// Figure 4: speedup of the QCRD application as a function of the number of
+// disks {2, 4, 8, 16, 32} (paper §2.3).  Discrete-event simulation; the
+// baseline is the same machine with one disk.  Expected shape: nearly flat
+// ("increasing the number of disks does not necessarily improve the
+// performance"), because QCRD's synchronous requests fit in one stripe and
+// program 1 is CPU-bound.
+#include <iostream>
+
+#include "core/behavioral_benchmark.hpp"
+#include "core/report.hpp"
+
+int main() {
+  std::cout << "Figure 4 — speedup vs number of disks (DES, baseline = 1 "
+               "disk)\n";
+  const auto points = clio::core::run_qcrd_disk_sweep();
+  clio::core::render_speedup_series(std::cout, "Number of Disks", points);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 5: speedup of the QCRD application as a function of the number of
+// CPUs {2, 4, 8, 16, 32} (paper §2.3).  Computation bursts are
+// data-parallel across the pool; I/O stays serial per program, so the curve
+// rises and saturates at the Amdahl ceiling set by program 2's I/O.
+#include <iostream>
+
+#include "core/behavioral_benchmark.hpp"
+#include "core/report.hpp"
+
+int main() {
+  std::cout << "Figure 5 — speedup vs number of CPUs (DES, baseline = 1 "
+               "CPU)\n";
+  const auto points = clio::core::run_qcrd_cpu_sweep();
+  clio::core::render_speedup_series(std::cout, "Number of Processors",
+                                    points);
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Microbenchmarks / ablations of the mini-CLI execution engine
+// (DESIGN.md §5, decision 1): interpreter throughput, JIT compile cost,
+// and the code cache on/off ablation behind Table 6's first-request delay.
+#include <benchmark/benchmark.h>
+
+#include "vm/assembler.hpp"
+#include "vm/runtime.hpp"
+
+namespace {
+
+using namespace clio;
+
+const char* kLoopSource = R"(
+.method spin 1 2
+  ldc 0
+  stloc 0
+  ldc 0
+  stloc 1
+top:
+  ldloc 1
+  ldarg 0
+  cmpge
+  brtrue done
+  ldloc 0
+  ldloc 1
+  add
+  stloc 0
+  ldloc 1
+  ldc 1
+  add
+  stloc 1
+  br top
+done:
+  ldloc 0
+  ret
+.end
+)";
+
+void BM_InterpreterLoop(benchmark::State& state) {
+  vm::EngineOptions options;
+  options.jit.compile_ns_per_byte = 0;
+  vm::ExecutionEngine engine(vm::assemble(kLoopSource), options);
+  const auto idx = engine.method_index("spin");
+  const std::vector<vm::Value> args{vm::Value::from_int(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.call_index(idx, args));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InterpreterLoop)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_JitCompile(benchmark::State& state) {
+  // Cache disabled: every call measures a full verify+decode+codegen pass.
+  vm::Module module = vm::assemble(kLoopSource);
+  vm::JitOptions options;
+  options.cache_enabled = false;
+  options.compile_ns_per_byte = state.range(0);
+  vm::Jit jit(module, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jit.get(0));
+  }
+}
+BENCHMARK(BM_JitCompile)->Arg(0)->Arg(1500)->Arg(25000);
+
+void BM_WarmCallWithCache(benchmark::State& state) {
+  vm::EngineOptions options;
+  options.jit.compile_ns_per_byte = 25000;
+  options.jit.cache_enabled = true;
+  vm::ExecutionEngine engine(vm::assemble(kLoopSource), options);
+  const auto idx = engine.method_index("spin");
+  const std::vector<vm::Value> args{vm::Value::from_int(10)};
+  engine.call_index(idx, args);  // pay the compile once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.call_index(idx, args));
+  }
+}
+BENCHMARK(BM_WarmCallWithCache);
+
+void BM_ColdCallNoCache(benchmark::State& state) {
+  // The ablation: without a code cache every request looks like a first
+  // request.
+  vm::EngineOptions options;
+  options.jit.compile_ns_per_byte = 25000;
+  options.jit.cache_enabled = false;
+  vm::ExecutionEngine engine(vm::assemble(kLoopSource), options);
+  const auto idx = engine.method_index("spin");
+  const std::vector<vm::Value> args{vm::Value::from_int(10)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.call_index(idx, args));
+  }
+}
+BENCHMARK(BM_ColdCallNoCache);
+
+}  // namespace
+
+BENCHMARK_MAIN();

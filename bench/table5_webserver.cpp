@@ -1,0 +1,24 @@
+// Table 5: response time of read and write operations in the multi-
+// threaded web server (paper §4.2) for the three image files (7501, 50607,
+// 14063 bytes).  GET = read through the managed handler, POST = write to a
+// fresh random-named file.  Expected shape: a few ms per operation with the
+// first file's operations slowest (cold JIT + cold buffers).
+#include <iostream>
+
+#include "core/report.hpp"
+#include "core/webserver_benchmark.hpp"
+#include "util/temp_dir.hpp"
+
+int main() {
+  clio::util::TempDir dir("clio-table5");
+  clio::core::WebBenchConfig config;
+  config.workdir = dir.path() / "docroot";
+  clio::core::WebServerBench bench(config);
+  const auto rows = bench.run_table5();
+  std::cout << "Table 5 — response time of read and write operations\n";
+  clio::core::render_table5(std::cout, rows);
+  std::cout << "(paper: reads 1.68-2.23 ms, writes 2.40-2.85 ms; shape "
+               "target: first request slowest, all in the same few-ms "
+               "band)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Out-of-core linear algebra demo: factor a dense matrix with the blocked
+// out-of-core LU (panels on disk) and a sparse SPD matrix with the
+// out-of-core Cholesky (columns on disk), then solve systems with both and
+// report the I/O each factorization performed.
+//
+// Build & run:  ./build/examples/outofcore_solver
+#include <cmath>
+#include <iostream>
+
+#include "apps/cholesky/numeric.hpp"
+#include "apps/lu/ooc_lu.hpp"
+#include "io/file_store.hpp"
+#include "util/rng.hpp"
+#include "util/temp_dir.hpp"
+
+int main() {
+  using namespace clio;
+  util::TempDir dir("clio-ooc");
+  io::ManagedFileSystem fs(
+      std::make_unique<io::RealFileStore>(dir.path() / "work"),
+      io::ManagedFsOptions{});
+  apps::TraceCapturingFs capture(fs, "sample.bin");
+
+  // --- dense LU, panels on disk ---
+  const std::size_t n = 96;
+  util::Rng rng(42);
+  std::vector<double> a(n * n);
+  for (auto& v : a) v = rng.normal(0.0, 1.0);
+  apps::lu::PanelStore panels(capture, "matrix.bin", n, 16, /*create=*/true);
+  panels.store_matrix(a);
+  apps::lu::OutOfCoreLu lu;
+  apps::lu::LuStats lu_stats;
+  const auto ipiv = lu.factor(panels, &lu_stats);
+  const auto factors =
+      apps::lu::OutOfCoreLu::load_factors_final_order(panels, ipiv);
+  std::cout << "LU: " << n << "x" << n << " in 16-column panels -> "
+            << lu_stats.panel_reads << " panel reads, "
+            << lu_stats.panel_writes << " panel writes, residual "
+            << apps::lu::lu_residual(a, factors, ipiv, n) << "\n";
+  std::vector<double> b(n, 1.0);
+  const auto x = apps::lu::lu_solve(factors, ipiv, b, n);
+  double check = 0.0;
+  for (std::size_t j = 0; j < n; ++j) check += a[j * n] * x[j];  // row 0
+  std::cout << "LU solve check (A x)[0] = " << check << " (expect 1)\n";
+
+  // --- sparse Cholesky, columns on disk ---
+  const auto spd = apps::cholesky::make_spd(300, 3, 7);
+  const auto symbolic = apps::cholesky::symbolic_factor(spd);
+  apps::cholesky::OocCholesky chol(spd, symbolic);
+  const auto chol_stats = chol.factor(capture, "factor.bin");
+  const auto l = chol.load_factor(capture, "factor.bin");
+  std::cout << "Cholesky: n = " << spd.n << ", nnz(A) = " << spd.nnz()
+            << ", nnz(L) = " << symbolic.nnz << ", "
+            << chol_stats.column_reads << " column fetches ("
+            << chol_stats.bytes_read << " B read), residual "
+            << apps::cholesky::cholesky_residual(spd, l) << "\n";
+  std::vector<double> ones(spd.n, 1.0);
+  const auto rhs = apps::cholesky::symmetric_matvec(spd, ones);
+  const auto solution = apps::cholesky::cholesky_solve(l, rhs);
+  double worst = 0.0;
+  for (double v : solution) worst = std::max(worst, std::fabs(v - 1.0));
+  std::cout << "Cholesky solve max |x - 1| = " << worst << "\n";
+
+  // The I/O both kernels performed, as captured in the trace.
+  const auto trace = capture.finish();
+  std::cout << "captured " << trace.records.size()
+            << " trace records from the two factorizations\n";
+  return 0;
+}

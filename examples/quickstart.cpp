@@ -1,0 +1,69 @@
+// Quickstart: describe a parallel application with the behavioral model
+// (working sets Γ = (φ, γ, ρ, τ)), ask the closed-form equations for its
+// resource requirements, then run it through the discrete-event simulator
+// and for real through the managed I/O stack.
+//
+// Build & run:  ./build/examples/quickstart
+#include <iostream>
+
+#include "model/qcrd.hpp"
+#include "sim/des.hpp"
+#include "sim/real_driver.hpp"
+#include "util/table.hpp"
+#include "util/temp_dir.hpp"
+
+int main() {
+  using namespace clio;
+
+  // 1. An application = programs = working sets.  Here: one program that
+  //    reads a lot up front, computes, then writes results — plus the
+  //    paper's QCRD application built from eqs. 9-10.
+  model::ProgramBehavior pipeline(
+      "Pipeline", {
+                      model::WorkingSet{.io_fraction = 0.70,
+                                        .comm_fraction = 0.0,
+                                        .rel_time = 0.2,
+                                        .phases = 1},  // ingest
+                      model::WorkingSet{.io_fraction = 0.05,
+                                        .comm_fraction = 0.10,
+                                        .rel_time = 0.15,
+                                        .phases = 4},  // iterate
+                      model::WorkingSet{.io_fraction = 0.85,
+                                        .comm_fraction = 0.0,
+                                        .rel_time = 0.2,
+                                        .phases = 1},  // write out
+                  });
+  model::ApplicationBehavior app("Demo", {pipeline});
+
+  // 2. Closed-form requirements (eqs. 3-5) for a 60-second run.
+  const auto reqs = app.requirements(60.0);
+  std::cout << "Model requirements over 60 s: CPU " << reqs.cpu << " s, disk "
+            << reqs.disk << " s, comm " << reqs.comm << " s\n";
+
+  // 3. Simulate on machines with 1 vs 4 disks.
+  sim::MachineConfig machine;
+  machine.cpus = 1;
+  machine.disks = 1;
+  const auto one_disk = sim::simulate(app, machine, 1.0);
+  machine.disks = 4;
+  const auto four_disks = sim::simulate(app, machine, 1.0);
+  std::cout << "DES makespan: 1 disk " << one_disk.makespan_ms
+            << " ms, 4 disks " << four_disks.makespan_ms << " ms\n";
+
+  // 4. Execute the QCRD application for real (scaled to 0.5 s).
+  util::TempDir dir("clio-quickstart");
+  sim::RealDriverOptions options;
+  options.workdir = dir.path() / "run";
+  sim::RealExecutionDriver driver(options);
+  const auto run = driver.run(model::make_qcrd(), 0.5);
+  util::TextTable table({"program", "CPU (ms)", "IO (ms)", "IO bytes"});
+  for (const auto& p : run.programs) {
+    table.add_row({p.name, util::format_fixed(p.cpu_ms, 1),
+                   util::format_fixed(p.io_ms, 1),
+                   std::to_string(p.io_bytes)});
+  }
+  std::cout << "Real execution of QCRD (calibrated at "
+            << util::format_fixed(run.disk_mb_s, 0) << " MB/s):\n";
+  table.render(std::cout);
+  return 0;
+}

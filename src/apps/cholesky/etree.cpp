@@ -1,0 +1,98 @@
+#include "apps/cholesky/etree.hpp"
+
+#include "util/error.hpp"
+
+namespace clio::apps::cholesky {
+
+std::vector<std::size_t> elimination_tree(const SparseMatrix& a) {
+  validate(a);
+  const std::size_t n = a.n;
+  std::vector<std::size_t> parent(n, kNoParent);
+  std::vector<std::size_t> ancestor(n, kNoParent);
+  // Row adjacency of the lower triangle: row_adj[k] = { j < k : A(k,j)!=0 }.
+  std::vector<std::vector<std::size_t>> row_adj(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      if (a.row_idx[p] > j) row_adj[a.row_idx[p]].push_back(j);
+    }
+  }
+  // Liu's algorithm, processing nodes k in ascending order: climb from each
+  // neighbour toward the root, compressing paths through `ancestor` and
+  // linking fresh roots to k.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j : row_adj[k]) {
+      std::size_t i = j;
+      while (i != kNoParent && i < k) {
+        const std::size_t next = ancestor[i];
+        ancestor[i] = k;
+        if (next == kNoParent) parent[i] = k;
+        i = next;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<std::size_t> postorder(const std::vector<std::size_t>& parent) {
+  const std::size_t n = parent.size();
+  // Build child lists (reversed so traversal yields ascending-ish order).
+  std::vector<std::vector<std::size_t>> children(n);
+  std::vector<std::size_t> roots;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (parent[j] == kNoParent) {
+      roots.push_back(j);
+    } else {
+      util::check<util::ConfigError>(parent[j] > j && parent[j] < n,
+                                     "postorder: malformed etree");
+      children[parent[j]].push_back(j);
+    }
+  }
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<std::pair<std::size_t, std::size_t>> stack;  // node, child idx
+  for (std::size_t root : roots) {
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [node, next_child] = stack.back();
+      if (next_child < children[node].size()) {
+        const std::size_t child = children[node][next_child++];
+        stack.emplace_back(child, 0);
+      } else {
+        order.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+  util::check<util::ConfigError>(order.size() == n,
+                                 "postorder: cycle or orphan detected");
+  return order;
+}
+
+std::vector<std::size_t> column_counts(const SparseMatrix& a,
+                                       const std::vector<std::size_t>& parent) {
+  // Count via row patterns: row i contributes to column j iff j is on the
+  // etree path from some k (A(i,k) != 0, k < i) up to i.  O(|L|).
+  const std::size_t n = a.n;
+  std::vector<std::size_t> counts(n, 1);  // diagonals
+  std::vector<std::size_t> mark(n, SIZE_MAX);
+  // Row adjacency from the lower-triangle columns.
+  std::vector<std::vector<std::size_t>> row_adj(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t p = a.col_ptr[k]; p < a.col_ptr[k + 1]; ++p) {
+      if (a.row_idx[p] > k) row_adj[a.row_idx[p]].push_back(k);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    mark[i] = i;
+    for (std::size_t k : row_adj[i]) {
+      for (std::size_t j = k; mark[j] != i; j = parent[j]) {
+        counts[j]++;  // L(i, j) != 0
+        mark[j] = i;
+        if (parent[j] == kNoParent) break;
+      }
+    }
+  }
+  return counts;
+}
+
+}  // namespace clio::apps::cholesky

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "apps/cholesky/sparse_matrix.hpp"
+
+namespace clio::apps::cholesky {
+
+/// Sentinel parent for etree roots.
+inline constexpr std::size_t kNoParent = SIZE_MAX;
+
+/// Elimination tree of a symmetric sparse matrix (Liu's algorithm with
+/// path-compressed virtual ancestors): parent[j] is the smallest row index
+/// i > j such that L(i, j) != 0 in the Cholesky factor, kNoParent at roots.
+/// The etree drives both the symbolic factorization and the dependency
+/// order of the out-of-core numeric phase.
+[[nodiscard]] std::vector<std::size_t> elimination_tree(const SparseMatrix& a);
+
+/// A postorder of the forest (children before parents).  Any topological
+/// bottom-up order works for left-looking factorization; tests use this to
+/// verify tree consistency.
+[[nodiscard]] std::vector<std::size_t> postorder(
+    const std::vector<std::size_t>& parent);
+
+/// Per-column nonzero counts of L (including the diagonal), computed from
+/// the row patterns; used to size the out-of-core column file.
+[[nodiscard]] std::vector<std::size_t> column_counts(
+    const SparseMatrix& a, const std::vector<std::size_t>& parent);
+
+}  // namespace clio::apps::cholesky

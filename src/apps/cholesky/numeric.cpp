@@ -1,0 +1,159 @@
+#include "apps/cholesky/numeric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace clio::apps::cholesky {
+
+OocCholesky::OocCholesky(const SparseMatrix& a, const SymbolicFactor& symbolic)
+    : a_(a), symbolic_(symbolic) {
+  util::check<util::ConfigError>(a.n == symbolic.n,
+                                 "OocCholesky: matrix/symbolic mismatch");
+}
+
+CholeskyStats OocCholesky::factor(TraceCapturingFs& capture,
+                                  const std::string& file_name) const {
+  CholeskyStats stats;
+  const std::size_t n = a_.n;
+  RecordingFile file = capture.open(file_name, io::OpenMode::kTruncate);
+
+  std::vector<double> accumulator(n, 0.0);  // dense scatter workspace
+  std::vector<double> column;               // values of the column in work
+  std::vector<double> dep;                  // fetched dependency column
+
+  for (std::size_t j = 0; j < n; ++j) {
+    // Scatter A(j:n, j).
+    for (std::size_t p = a_.col_ptr[j]; p < a_.col_ptr[j + 1]; ++p) {
+      accumulator[a_.row_idx[p]] = a_.values[p];
+    }
+
+    // Left-looking updates: fetch each column k with L(j,k) != 0.
+    for (std::size_t k : symbolic_.row_cols[j]) {
+      const auto& rows_k = symbolic_.col_rows[k];
+      dep.resize(rows_k.size());
+      file.seek(symbolic_.col_offset[k]);
+      file.read_exact(std::as_writable_bytes(std::span<double>(dep)));
+      stats.column_reads++;
+      stats.bytes_read += symbolic_.column_bytes(k);
+
+      // Find L(j,k) within the fetched column.
+      const auto it = std::lower_bound(rows_k.begin(), rows_k.end(), j);
+      util::check<util::ExecutionError>(it != rows_k.end() && *it == j,
+                                        "OocCholesky: symbolic/row mismatch");
+      const double ljk = dep[static_cast<std::size_t>(it - rows_k.begin())];
+      // accumulator(i) -= L(i,k) * L(j,k) for i >= j in column k's pattern.
+      for (std::size_t q = static_cast<std::size_t>(it - rows_k.begin());
+           q < rows_k.size(); ++q) {
+        accumulator[rows_k[q]] -= dep[q] * ljk;
+        stats.flops += 2;
+      }
+    }
+
+    // Pivot and scale.
+    const double pivot = accumulator[j];
+    util::check<util::ExecutionError>(pivot > 0.0,
+                                      "OocCholesky: matrix not positive "
+                                      "definite");
+    const double diag = std::sqrt(pivot);
+    const auto& rows_j = symbolic_.col_rows[j];
+    column.resize(rows_j.size());
+    column[0] = diag;
+    for (std::size_t q = 1; q < rows_j.size(); ++q) {
+      column[q] = accumulator[rows_j[q]] / diag;
+    }
+    // Clear the workspace entries we touched.
+    for (std::size_t row : rows_j) accumulator[row] = 0.0;
+
+    file.seek(symbolic_.col_offset[j]);
+    file.write(std::as_bytes(std::span<const double>(column)));
+    stats.columns_written++;
+    stats.bytes_written += symbolic_.column_bytes(j);
+  }
+  file.close();
+  return stats;
+}
+
+SparseMatrix OocCholesky::load_factor(TraceCapturingFs& capture,
+                                      const std::string& file_name) const {
+  RecordingFile file = capture.open(file_name, io::OpenMode::kRead);
+  SparseMatrix l;
+  l.n = symbolic_.n;
+  l.col_ptr.resize(l.n + 1, 0);
+  for (std::size_t j = 0; j < l.n; ++j) {
+    l.col_ptr[j + 1] = l.col_ptr[j] + symbolic_.col_rows[j].size();
+  }
+  l.row_idx.reserve(l.col_ptr[l.n]);
+  l.values.resize(l.col_ptr[l.n]);
+  std::vector<double> column;
+  for (std::size_t j = 0; j < l.n; ++j) {
+    l.row_idx.insert(l.row_idx.end(), symbolic_.col_rows[j].begin(),
+                     symbolic_.col_rows[j].end());
+    column.resize(symbolic_.col_rows[j].size());
+    file.seek(symbolic_.col_offset[j]);
+    file.read_exact(std::as_writable_bytes(std::span<double>(column)));
+    std::copy(column.begin(), column.end(),
+              l.values.begin() + static_cast<std::ptrdiff_t>(l.col_ptr[j]));
+  }
+  file.close();
+  validate(l);
+  return l;
+}
+
+double cholesky_residual(const SparseMatrix& a, const SparseMatrix& l) {
+  util::check<util::ConfigError>(a.n == l.n,
+                                 "cholesky_residual: size mismatch");
+  const std::size_t n = a.n;
+  const auto dense_a = to_dense_symmetric(a);
+  // Dense L.
+  std::vector<double> dense_l(n * n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t p = l.col_ptr[j]; p < l.col_ptr[j + 1]; ++p) {
+      dense_l[j * n + l.row_idx[p]] = l.values[p];
+    }
+  }
+  double max_a = 0.0;
+  for (double v : dense_a) max_a = std::max(max_a, std::fabs(v));
+  if (max_a == 0.0) max_a = 1.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      const std::size_t kmax = std::min(i, j);
+      for (std::size_t k = 0; k <= kmax; ++k) {
+        sum += dense_l[k * n + i] * dense_l[k * n + j];
+      }
+      worst = std::max(worst, std::fabs(sum - dense_a[j * n + i]));
+    }
+  }
+  return worst / max_a;
+}
+
+std::vector<double> cholesky_solve(const SparseMatrix& l,
+                                   const std::vector<double>& b) {
+  util::check<util::ConfigError>(b.size() == l.n,
+                                 "cholesky_solve: size mismatch");
+  const std::size_t n = l.n;
+  std::vector<double> x(b);
+  // Forward: L y = b (column-oriented).
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t head = l.col_ptr[j];
+    x[j] /= l.values[head];
+    for (std::size_t p = head + 1; p < l.col_ptr[j + 1]; ++p) {
+      x[l.row_idx[p]] -= l.values[p] * x[j];
+    }
+  }
+  // Backward: Lᵀ x = y (dot-product form per column, descending).
+  for (std::size_t j = n; j-- > 0;) {
+    const std::size_t head = l.col_ptr[j];
+    double sum = x[j];
+    for (std::size_t p = head + 1; p < l.col_ptr[j + 1]; ++p) {
+      sum -= l.values[p] * x[l.row_idx[p]];
+    }
+    x[j] = sum / l.values[head];
+  }
+  return x;
+}
+
+}  // namespace clio::apps::cholesky

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+
+#include "apps/cholesky/symbolic.hpp"
+#include "apps/trace_capture.hpp"
+
+namespace clio::apps::cholesky {
+
+/// Counters of one out-of-core numeric factorization.
+struct CholeskyStats {
+  std::size_t columns_written = 0;
+  std::size_t column_reads = 0;      ///< dependency columns fetched
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t flops = 0;
+};
+
+/// Out-of-core left-looking sparse Cholesky, the UMD "Cholesky" workload
+/// ("computing Cholesky decomposition for sparse, symmetric
+/// positive-definite matrices").  Columns of L live in a disk file laid
+/// out by the symbolic factorization; computing column j fetches every
+/// column k < j with L(j,k) != 0 (seek + read of an irregular number of
+/// bytes — the shape of Table 4), applies their updates, scales by the
+/// pivot square root, and writes column j back (seek + write).
+class OocCholesky {
+ public:
+  OocCholesky(const SparseMatrix& a, const SymbolicFactor& symbolic);
+
+  /// Runs the numeric factorization, producing `file_name` in the captured
+  /// file system.  Returns counters.
+  CholeskyStats factor(TraceCapturingFs& capture,
+                       const std::string& file_name) const;
+
+  /// Loads the factor back as a lower-triangular SparseMatrix (pattern from
+  /// the symbolic factor, values from the file).
+  [[nodiscard]] SparseMatrix load_factor(TraceCapturingFs& capture,
+                                         const std::string& file_name) const;
+
+ private:
+  const SparseMatrix& a_;
+  const SymbolicFactor& symbolic_;
+};
+
+/// max |(L·Lᵀ - A)(i,j)| / max|A| over the full symmetric matrix, dense
+/// reconstruction — O(n² + n·nnz), for test-sized problems.
+[[nodiscard]] double cholesky_residual(const SparseMatrix& a,
+                                       const SparseMatrix& l);
+
+/// Solves A x = b given the factor L (forward then backward substitution).
+[[nodiscard]] std::vector<double> cholesky_solve(const SparseMatrix& l,
+                                                 const std::vector<double>& b);
+
+}  // namespace clio::apps::cholesky

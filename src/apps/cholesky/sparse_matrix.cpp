@@ -1,0 +1,125 @@
+#include "apps/cholesky/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace clio::apps::cholesky {
+
+double SparseMatrix::at(std::size_t row, std::size_t col) const {
+  for (std::size_t k = col_ptr[col]; k < col_ptr[col + 1]; ++k) {
+    if (row_idx[k] == row) return values[k];
+    if (row_idx[k] > row) break;
+  }
+  return 0.0;
+}
+
+void validate(const SparseMatrix& a) {
+  using util::ConfigError;
+  util::check<ConfigError>(a.col_ptr.size() == a.n + 1,
+                           "SparseMatrix: bad col_ptr size");
+  util::check<ConfigError>(a.row_idx.size() == a.values.size(),
+                           "SparseMatrix: rows/values size mismatch");
+  util::check<ConfigError>(a.col_ptr.front() == 0 &&
+                               a.col_ptr.back() == a.nnz(),
+                           "SparseMatrix: col_ptr endpoints wrong");
+  for (std::size_t j = 0; j < a.n; ++j) {
+    util::check<ConfigError>(a.col_ptr[j] <= a.col_ptr[j + 1],
+                             "SparseMatrix: col_ptr not monotone");
+    util::check<ConfigError>(
+        a.col_ptr[j] < a.col_ptr[j + 1] && a.row_idx[a.col_ptr[j]] == j,
+        "SparseMatrix: diagonal missing or not first");
+    for (std::size_t k = a.col_ptr[j]; k < a.col_ptr[j + 1]; ++k) {
+      util::check<ConfigError>(a.row_idx[k] >= j,
+                               "SparseMatrix: upper-triangle entry");
+      util::check<ConfigError>(a.row_idx[k] < a.n,
+                               "SparseMatrix: row out of range");
+      if (k > a.col_ptr[j]) {
+        util::check<ConfigError>(a.row_idx[k] > a.row_idx[k - 1],
+                                 "SparseMatrix: rows not strictly sorted");
+      }
+    }
+  }
+}
+
+SparseMatrix make_spd(std::size_t n, std::size_t extra_per_col,
+                      std::uint64_t seed) {
+  util::check<util::ConfigError>(n >= 1, "make_spd: n must be >= 1");
+  util::Rng rng(seed);
+
+  // Pattern: diagonal + first subdiagonal (keeps the etree connected) +
+  // random extras below the diagonal.
+  std::vector<std::set<std::size_t>> pattern(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    pattern[j].insert(j);
+    if (j + 1 < n) pattern[j].insert(j + 1);
+    for (std::size_t e = 0; e < extra_per_col && j + 2 < n; ++e) {
+      pattern[j].insert(j + 2 + rng.uniform_u64(n - j - 2));
+    }
+  }
+
+  SparseMatrix a;
+  a.n = n;
+  a.col_ptr.resize(n + 1, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    a.col_ptr[j + 1] = a.col_ptr[j] + pattern[j].size();
+  }
+  a.row_idx.reserve(a.col_ptr[n]);
+  a.values.reserve(a.col_ptr[n]);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t row : pattern[j]) {
+      a.row_idx.push_back(row);
+      a.values.push_back(row == j ? 0.0
+                                  : -(0.1 + 0.9 * rng.uniform_double()));
+    }
+  }
+
+  // Diagonal dominance: diag(j) = 1 + sum of |off-diagonal| in row j and
+  // column j (symmetric halves).
+  std::vector<double> dominance(n, 1.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = a.col_ptr[j]; k < a.col_ptr[j + 1]; ++k) {
+      if (a.row_idx[k] == j) continue;
+      const double mag = std::fabs(a.values[k]);
+      dominance[j] += mag;             // column contribution
+      dominance[a.row_idx[k]] += mag;  // mirrored row contribution
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    a.values[a.col_ptr[j]] = dominance[j];  // diagonal is first in column
+  }
+  validate(a);
+  return a;
+}
+
+std::vector<double> to_dense_symmetric(const SparseMatrix& a) {
+  std::vector<double> dense(a.n * a.n, 0.0);
+  for (std::size_t j = 0; j < a.n; ++j) {
+    for (std::size_t k = a.col_ptr[j]; k < a.col_ptr[j + 1]; ++k) {
+      const std::size_t i = a.row_idx[k];
+      dense[j * a.n + i] = a.values[k];
+      dense[i * a.n + j] = a.values[k];
+    }
+  }
+  return dense;
+}
+
+std::vector<double> symmetric_matvec(const SparseMatrix& a,
+                                     const std::vector<double>& x) {
+  util::check<util::ConfigError>(x.size() == a.n,
+                                 "symmetric_matvec: size mismatch");
+  std::vector<double> y(a.n, 0.0);
+  for (std::size_t j = 0; j < a.n; ++j) {
+    for (std::size_t k = a.col_ptr[j]; k < a.col_ptr[j + 1]; ++k) {
+      const std::size_t i = a.row_idx[k];
+      y[i] += a.values[k] * x[j];
+      if (i != j) y[j] += a.values[k] * x[i];
+    }
+  }
+  return y;
+}
+
+}  // namespace clio::apps::cholesky

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clio::apps::cholesky {
+
+/// Symmetric positive-definite sparse matrix in compressed sparse column
+/// form, storing the LOWER triangle only (row indices >= column, sorted
+/// ascending, diagonal always present).
+struct SparseMatrix {
+  std::size_t n = 0;
+  std::vector<std::size_t> col_ptr;  ///< size n+1
+  std::vector<std::size_t> row_idx;  ///< size nnz
+  std::vector<double> values;        ///< size nnz
+
+  [[nodiscard]] std::size_t nnz() const { return row_idx.size(); }
+
+  /// Value at (row, col) of the lower triangle, 0.0 if absent (row >= col).
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+};
+
+/// Throws ConfigError on structural violations (unsorted rows, missing
+/// diagonal, upper-triangle entries, bad col_ptr).
+void validate(const SparseMatrix& a);
+
+/// Random sparse SPD matrix: banded base pattern plus `extra_per_col`
+/// random subdiagonal entries per column, values made strictly diagonally
+/// dominant (hence positive-definite).  Deterministic per seed.
+[[nodiscard]] SparseMatrix make_spd(std::size_t n, std::size_t extra_per_col,
+                                    std::uint64_t seed);
+
+/// Expands to a full dense symmetric matrix (column-major n x n).
+[[nodiscard]] std::vector<double> to_dense_symmetric(const SparseMatrix& a);
+
+/// y = A x using the symmetric structure.
+[[nodiscard]] std::vector<double> symmetric_matvec(
+    const SparseMatrix& a, const std::vector<double>& x);
+
+}  // namespace clio::apps::cholesky

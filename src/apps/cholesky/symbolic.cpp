@@ -1,0 +1,56 @@
+#include "apps/cholesky/symbolic.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace clio::apps::cholesky {
+
+SymbolicFactor symbolic_factor(const SparseMatrix& a) {
+  validate(a);
+  const std::size_t n = a.n;
+  const auto parent = elimination_tree(a);
+
+  SymbolicFactor s;
+  s.n = n;
+  s.col_rows.assign(n, {});
+  s.row_cols.assign(n, {});
+  for (std::size_t j = 0; j < n; ++j) s.col_rows[j].push_back(j);
+
+  // Row adjacency (k < i with A(i,k) != 0) from the lower-triangle columns.
+  std::vector<std::vector<std::size_t>> row_adj(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t p = a.col_ptr[k]; p < a.col_ptr[k + 1]; ++p) {
+      if (a.row_idx[p] > k) row_adj[a.row_idx[p]].push_back(k);
+    }
+  }
+
+  std::vector<std::size_t> mark(n, SIZE_MAX);
+  for (std::size_t i = 0; i < n; ++i) {
+    mark[i] = i;
+    for (std::size_t k : row_adj[i]) {
+      for (std::size_t j = k; mark[j] != i;) {
+        s.col_rows[j].push_back(i);  // L(i, j) != 0
+        s.row_cols[i].push_back(j);
+        mark[j] = i;
+        util::check<util::ExecutionError>(parent[j] != kNoParent,
+                                          "symbolic_factor: broken etree");
+        j = parent[j];
+      }
+    }
+    std::sort(s.row_cols[i].begin(), s.row_cols[i].end());
+  }
+  // Columns were appended in ascending i (outer loop), so they are sorted.
+
+  s.col_offset.resize(n);
+  std::uint64_t offset = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    s.col_offset[j] = offset;
+    offset += s.column_bytes(j);
+    s.nnz += s.col_rows[j].size();
+  }
+  s.file_bytes = offset;
+  return s;
+}
+
+}  // namespace clio::apps::cholesky

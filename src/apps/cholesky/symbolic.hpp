@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/cholesky/etree.hpp"
+
+namespace clio::apps::cholesky {
+
+/// Symbolic Cholesky factor: the exact nonzero structure of L plus the
+/// byte layout of the out-of-core column file.
+struct SymbolicFactor {
+  std::size_t n = 0;
+  /// Row pattern of each column of L, ascending, first entry = diagonal.
+  std::vector<std::vector<std::size_t>> col_rows;
+  /// For each column j, the columns k < j with L(j, k) != 0 — i.e. the
+  /// row-j pattern, which is exactly the set of columns a left-looking
+  /// numeric step must fetch from disk to compute column j.
+  std::vector<std::vector<std::size_t>> row_cols;
+  /// Byte offset of column j's value segment in the factor file.
+  std::vector<std::uint64_t> col_offset;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t nnz = 0;
+
+  [[nodiscard]] std::uint64_t column_bytes(std::size_t j) const {
+    return col_rows[j].size() * sizeof(double);
+  }
+};
+
+/// Computes the structure of L by row-subtree traversal of the elimination
+/// tree (Davis, "Direct Methods for Sparse Linear Systems", §4): the
+/// pattern of row i is the union of etree paths from each k adjacent to i
+/// in A up to i.  O(|L|) time.
+[[nodiscard]] SymbolicFactor symbolic_factor(const SparseMatrix& a);
+
+}  // namespace clio::apps::cholesky

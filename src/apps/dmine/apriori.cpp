@@ -1,0 +1,155 @@
+#include "apps/dmine/apriori.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace clio::apps::dmine {
+namespace {
+
+/// True if every item of `subset` occurs in the sorted `basket`.
+bool contains_all(const std::vector<std::uint32_t>& basket,
+                  const std::vector<std::uint32_t>& subset) {
+  auto it = basket.begin();
+  for (auto item : subset) {
+    it = std::lower_bound(it, basket.end(), item);
+    if (it == basket.end() || *it != item) return false;
+    ++it;
+  }
+  return true;
+}
+
+}  // namespace
+
+const ItemSet* MiningResult::find(
+    const std::vector<std::uint32_t>& items) const {
+  if (items.empty() || items.size() > frequent.size()) return nullptr;
+  const auto& level = frequent[items.size() - 1];
+  for (const auto& set : level) {
+    if (set.items == items) return &set;
+  }
+  return nullptr;
+}
+
+Apriori::Apriori(MiningConfig config) : config_(config) {
+  util::check<util::ConfigError>(
+      config.min_support > 0.0 && config.min_support <= 1.0,
+      "Apriori: min_support must be in (0,1]");
+  util::check<util::ConfigError>(
+      config.min_confidence >= 0.0 && config.min_confidence <= 1.0,
+      "Apriori: min_confidence must be in [0,1]");
+  util::check<util::ConfigError>(config.max_itemset_size >= 1,
+                                 "Apriori: max_itemset_size must be >= 1");
+}
+
+std::vector<std::vector<std::uint32_t>> Apriori::generate_candidates(
+    const std::vector<ItemSet>& frequent_prev) const {
+  // Join step: combine pairs sharing the first k-1 items; prune step: all
+  // (k-1)-subsets must be frequent.
+  std::set<std::vector<std::uint32_t>> prev_set;
+  for (const auto& s : frequent_prev) prev_set.insert(s.items);
+
+  std::vector<std::vector<std::uint32_t>> candidates;
+  for (std::size_t a = 0; a < frequent_prev.size(); ++a) {
+    for (std::size_t b = a + 1; b < frequent_prev.size(); ++b) {
+      const auto& x = frequent_prev[a].items;
+      const auto& y = frequent_prev[b].items;
+      if (!std::equal(x.begin(), x.end() - 1, y.begin(), y.end() - 1)) {
+        continue;
+      }
+      std::vector<std::uint32_t> joined = x;
+      joined.push_back(y.back());
+      if (joined[joined.size() - 2] > joined.back()) {
+        std::swap(joined[joined.size() - 2], joined[joined.size() - 1]);
+      }
+      // Prune: every (k-1)-subset must be frequent.
+      bool ok = true;
+      std::vector<std::uint32_t> subset(joined.size() - 1);
+      for (std::size_t skip = 0; ok && skip < joined.size(); ++skip) {
+        subset.clear();
+        for (std::size_t i = 0; i < joined.size(); ++i) {
+          if (i != skip) subset.push_back(joined[i]);
+        }
+        ok = prev_set.contains(subset);
+      }
+      if (ok) candidates.push_back(std::move(joined));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+MiningResult Apriori::run(const TransactionStore& store) const {
+  MiningResult result;
+  const auto min_count = static_cast<std::uint32_t>(
+      config_.min_support * store.num_transactions() + 0.999999);
+
+  // Pass 1: count singletons.
+  std::vector<std::uint32_t> single_counts(store.num_items(), 0);
+  store.scan([&](const std::vector<std::uint32_t>& basket) {
+    for (auto item : basket) single_counts.at(item)++;
+  });
+  result.passes = 1;
+
+  std::vector<ItemSet> level;
+  for (std::uint32_t item = 0; item < store.num_items(); ++item) {
+    if (single_counts[item] >= min_count) {
+      level.push_back(ItemSet{{item}, single_counts[item]});
+    }
+  }
+  result.frequent.push_back(level);
+
+  // Passes k = 2..max: candidate generation + one counting scan each.
+  while (!result.frequent.back().empty() &&
+         result.frequent.size() < config_.max_itemset_size) {
+    auto candidates = generate_candidates(result.frequent.back());
+    if (candidates.empty()) break;
+    std::vector<std::uint32_t> counts(candidates.size(), 0);
+    store.scan([&](const std::vector<std::uint32_t>& basket) {
+      if (basket.size() < result.frequent.size() + 1) return;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (contains_all(basket, candidates[c])) counts[c]++;
+      }
+    });
+    result.passes++;
+
+    std::vector<ItemSet> next;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (counts[c] >= min_count) {
+        next.push_back(ItemSet{std::move(candidates[c]), counts[c]});
+      }
+    }
+    if (next.empty()) break;
+    result.frequent.push_back(std::move(next));
+  }
+
+  // Rule generation: for every frequent k-set (k >= 2), emit single-
+  // consequent rules meeting the confidence bar.
+  const double n = static_cast<double>(store.num_transactions());
+  for (std::size_t k = 1; k < result.frequent.size(); ++k) {
+    for (const auto& set : result.frequent[k]) {
+      for (std::size_t out = 0; out < set.items.size(); ++out) {
+        std::vector<std::uint32_t> lhs;
+        for (std::size_t i = 0; i < set.items.size(); ++i) {
+          if (i != out) lhs.push_back(set.items[i]);
+        }
+        const ItemSet* lhs_set = result.find(lhs);
+        if (lhs_set == nullptr || lhs_set->support == 0) continue;
+        const double confidence = static_cast<double>(set.support) /
+                                  static_cast<double>(lhs_set->support);
+        if (confidence >= config_.min_confidence) {
+          result.rules.push_back(AssociationRule{
+              lhs, set.items[out], confidence,
+              static_cast<double>(set.support) / n});
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace clio::apps::dmine

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/dmine/transaction_store.hpp"
+
+namespace clio::apps::dmine {
+
+/// A frequent itemset with its absolute support count.
+struct ItemSet {
+  std::vector<std::uint32_t> items;  ///< sorted ascending
+  std::uint32_t support = 0;
+};
+
+/// An association rule lhs -> rhs with confidence
+/// support(lhs ∪ {rhs}) / support(lhs).
+struct AssociationRule {
+  std::vector<std::uint32_t> lhs;
+  std::uint32_t rhs = 0;
+  double confidence = 0.0;
+  double support_fraction = 0.0;  ///< support(lhs ∪ rhs) / num transactions
+};
+
+struct MiningConfig {
+  double min_support = 0.05;     ///< fraction of transactions
+  double min_confidence = 0.6;
+  std::size_t max_itemset_size = 4;
+};
+
+struct MiningResult {
+  std::vector<std::vector<ItemSet>> frequent;  ///< frequent[k] = (k+1)-sets
+  std::vector<AssociationRule> rules;
+  std::size_t passes = 0;  ///< database scans performed
+
+  [[nodiscard]] const ItemSet* find(
+      const std::vector<std::uint32_t>& items) const;
+};
+
+/// Classic Apriori (Agrawal & Srikant) over an on-disk TransactionStore —
+/// the algorithm behind the UMD "Dmine" workload ("extracts association
+/// rules from retail data", Mueller's implementation study).  Level-wise:
+/// pass k scans the database once to count candidate k-itemsets generated
+/// by joining frequent (k-1)-itemsets; each pass is a full sequential scan,
+/// which is precisely the I/O behaviour Table 1 measures.
+class Apriori {
+ public:
+  explicit Apriori(MiningConfig config);
+
+  [[nodiscard]] MiningResult run(const TransactionStore& store) const;
+
+ private:
+  [[nodiscard]] std::vector<std::vector<std::uint32_t>> generate_candidates(
+      const std::vector<ItemSet>& frequent_prev) const;
+
+  MiningConfig config_;
+};
+
+}  // namespace clio::apps::dmine

@@ -1,0 +1,130 @@
+#include "apps/dmine/transaction_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace clio::apps::dmine {
+namespace {
+
+constexpr std::size_t kReadBlock = 64 * 1024;
+
+void append_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + 4);
+}
+
+}  // namespace
+
+void TransactionStore::generate(TraceCapturingFs& capture,
+                                const std::string& name,
+                                const StoreConfig& config) {
+  util::check<util::ConfigError>(config.num_transactions > 0,
+                                 "TransactionStore: need > 0 transactions");
+  util::check<util::ConfigError>(config.num_items > 1,
+                                 "TransactionStore: need > 1 items");
+  util::check<util::ConfigError>(config.mean_basket >= 1.0,
+                                 "TransactionStore: mean basket must be >= 1");
+  for (const auto& pattern : config.planted) {
+    for (auto item : pattern) {
+      util::check<util::ConfigError>(item < config.num_items,
+                                     "TransactionStore: planted item out of "
+                                     "universe");
+    }
+  }
+
+  util::Rng rng(config.seed);
+  util::ZipfDistribution zipf(config.num_items, config.zipf_exponent);
+
+  RecordingFile file = capture.open(name, io::OpenMode::kTruncate);
+  std::vector<std::byte> block;
+  block.reserve(256 * 1024);
+  append_u32(block, kMagic);
+  append_u32(block, config.num_transactions);
+  append_u32(block, config.num_items);
+
+  std::set<std::uint32_t> basket;
+  for (std::uint32_t t = 0; t < config.num_transactions; ++t) {
+    basket.clear();
+    // Basket size: 1 + Poisson-ish via exponential rounding.
+    const auto target = static_cast<std::size_t>(
+        1.0 + rng.exponential(config.mean_basket - 1.0 + 1e-9));
+    while (basket.size() < target && basket.size() < config.num_items) {
+      basket.insert(static_cast<std::uint32_t>(zipf(rng)));
+    }
+    if (!config.planted.empty() && rng.bernoulli(config.plant_probability)) {
+      const auto& pattern =
+          config.planted[rng.uniform_u64(config.planted.size())];
+      basket.insert(pattern.begin(), pattern.end());
+    }
+    append_u32(block, static_cast<std::uint32_t>(basket.size()));
+    for (auto item : basket) append_u32(block, item);
+    if (block.size() >= 256 * 1024) {
+      file.write(block);
+      block.clear();
+    }
+  }
+  if (!block.empty()) file.write(block);
+  file.close();
+}
+
+TransactionStore::TransactionStore(TraceCapturingFs& capture, std::string name)
+    : capture_(capture), name_(std::move(name)) {
+  RecordingFile file = capture_.open(name_, io::OpenMode::kRead);
+  std::uint32_t header[3];
+  file.read_exact(std::as_writable_bytes(std::span<std::uint32_t>(header)));
+  util::check<util::ParseError>(header[0] == kMagic,
+                                "TransactionStore: bad magic");
+  num_transactions_ = header[1];
+  num_items_ = header[2];
+  file.close();
+}
+
+TransactionStore::Scanner::Scanner(RecordingFile file,
+                                   std::uint64_t payload_offset)
+    : file_(std::move(file)) {
+  file_.seek(payload_offset);
+  buffer_.resize(kReadBlock);
+}
+
+bool TransactionStore::Scanner::fill(std::size_t need) {
+  // Compact the unconsumed tail, then top up from the file.
+  if (buf_pos_ > 0) {
+    std::memmove(buffer_.data(), buffer_.data() + buf_pos_,
+                 buf_len_ - buf_pos_);
+    buf_len_ -= buf_pos_;
+    buf_pos_ = 0;
+  }
+  while (buf_len_ < need && !eof_) {
+    if (buffer_.size() < need) buffer_.resize(need);
+    const std::size_t got = file_.read(
+        std::span<std::byte>(buffer_.data() + buf_len_,
+                             buffer_.size() - buf_len_));
+    if (got == 0) {
+      eof_ = true;
+      break;
+    }
+    buf_len_ += got;
+  }
+  return buf_len_ >= need;
+}
+
+bool TransactionStore::Scanner::next(std::vector<std::uint32_t>& items) {
+  if (buf_len_ - buf_pos_ < 4 && !fill(4)) return false;
+  std::uint32_t count;
+  std::memcpy(&count, buffer_.data() + buf_pos_, 4);
+  const std::size_t need = 4 + static_cast<std::size_t>(count) * 4;
+  if (buf_len_ - buf_pos_ < need && !fill(need)) {
+    throw util::ParseError("TransactionStore: truncated transaction");
+  }
+  items.resize(count);
+  std::memcpy(items.data(), buffer_.data() + buf_pos_ + 4,
+              static_cast<std::size_t>(count) * 4);
+  buf_pos_ += need;
+  return true;
+}
+
+}  // namespace clio::apps::dmine

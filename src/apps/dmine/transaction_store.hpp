@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/trace_capture.hpp"
+
+namespace clio::apps::dmine {
+
+/// Parameters of the synthetic retail database, in the spirit of the
+/// IBM/Agrawal quest generator the UMD Dmine workload mined: baskets of
+/// Poisson-ish size over a Zipf-popular item universe, salted with planted
+/// frequent patterns so association rules exist to find.
+struct StoreConfig {
+  std::uint32_t num_transactions = 2000;
+  std::uint32_t num_items = 200;          ///< item universe size
+  double mean_basket = 8.0;               ///< average items per basket
+  double zipf_exponent = 0.8;             ///< item popularity skew
+  /// Patterns planted into a fraction of baskets (so their subsets become
+  /// frequent).  Each inner vector is an itemset inserted together.
+  std::vector<std::vector<std::uint32_t>> planted;
+  double plant_probability = 0.25;        ///< chance a basket gets a pattern
+  std::uint64_t seed = 1234;
+};
+
+/// On-disk layout:
+///   u32 magic 'DMN1', u32 num_transactions, u32 num_items
+///   per transaction: u32 count, count * u32 item ids (sorted, unique)
+///
+/// Scans stream through a RecordingFile so every pass of the mining
+/// algorithm contributes synchronous sequential reads to the captured
+/// trace — the access shape of the paper's Table 1 workload.
+class TransactionStore {
+ public:
+  static constexpr std::uint32_t kMagic = 0x444d4e31;  // "DMN1"
+
+  /// Generates and writes a synthetic database file.
+  static void generate(TraceCapturingFs& capture, const std::string& name,
+                       const StoreConfig& config);
+
+  /// Opens an existing database for scanning.
+  TransactionStore(TraceCapturingFs& capture, std::string name);
+
+  [[nodiscard]] std::uint32_t num_transactions() const {
+    return num_transactions_;
+  }
+  [[nodiscard]] std::uint32_t num_items() const { return num_items_; }
+
+  /// Streams every transaction through `visit(items)`.  Each call to scan
+  /// re-opens the file (one mining pass = one full scan), reading in
+  /// `read_block` byte chunks.
+  template <typename Visitor>
+  void scan(Visitor&& visit) const;
+
+ private:
+  class Scanner;
+
+  TraceCapturingFs& capture_;
+  std::string name_;
+  std::uint32_t num_transactions_ = 0;
+  std::uint32_t num_items_ = 0;
+};
+
+/// Buffered reader used by scan(); exposed for tests.
+class TransactionStore::Scanner {
+ public:
+  Scanner(RecordingFile file, std::uint64_t payload_offset);
+
+  /// Reads the next transaction into `items`; false at end of data.
+  bool next(std::vector<std::uint32_t>& items);
+
+ private:
+  bool fill(std::size_t need);
+
+  RecordingFile file_;
+  std::vector<std::byte> buffer_;
+  std::size_t buf_pos_ = 0;
+  std::size_t buf_len_ = 0;
+  bool eof_ = false;
+};
+
+template <typename Visitor>
+void TransactionStore::scan(Visitor&& visit) const {
+  RecordingFile file = capture_.open(name_, io::OpenMode::kRead);
+  Scanner scanner(std::move(file), 12);
+  std::vector<std::uint32_t> items;
+  while (scanner.next(items)) {
+    visit(static_cast<const std::vector<std::uint32_t>&>(items));
+  }
+}
+
+}  // namespace clio::apps::dmine

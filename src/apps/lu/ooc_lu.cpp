@@ -1,0 +1,258 @@
+#include "apps/lu/ooc_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace clio::apps::lu {
+namespace {
+
+/// Swaps rows r1 and r2 across all `cols` columns of a column-major panel.
+void swap_rows(std::span<double> panel, std::size_t n, std::size_t cols,
+               std::size_t r1, std::size_t r2) {
+  if (r1 == r2) return;
+  for (std::size_t c = 0; c < cols; ++c) {
+    std::swap(panel[c * n + r1], panel[c * n + r2]);
+  }
+}
+
+/// Applies recorded pivots for steps [from, to) to a panel.
+void apply_pivots(std::span<double> panel, std::size_t n, std::size_t cols,
+                  std::span<const std::size_t> ipiv, std::size_t from,
+                  std::size_t to) {
+  for (std::size_t c = from; c < to; ++c) {
+    swap_rows(panel, n, cols, c, ipiv[c]);
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> OutOfCoreLu::factor(PanelStore& store,
+                                             LuStats* stats) const {
+  const std::size_t n = store.n();
+  std::vector<std::size_t> ipiv(n);
+  std::vector<double> w;   // panel being factored
+  std::vector<double> lj;  // earlier panel supplying updates
+
+  for (std::size_t k = 0; k < store.num_panels(); ++k) {
+    const std::size_t ck = store.panel_start(k);
+    const std::size_t wk = store.panel_cols(k);
+    store.read_panel(k, w);
+    if (stats != nullptr) stats->panel_reads++;
+
+    // Bring W into the current global row order.
+    apply_pivots(w, n, wk, ipiv, 0, ck);
+
+    // Updates from every earlier panel (left-looking).
+    for (std::size_t j = 0; j < k; ++j) {
+      const std::size_t cj = store.panel_start(j);
+      const std::size_t ej = cj + store.panel_cols(j);
+      store.read_panel(j, lj);
+      if (stats != nullptr) stats->panel_reads++;
+      // The stored panel has pivots applied only through step ej; catch it
+      // up to the current order.
+      apply_pivots(lj, n, store.panel_cols(j), ipiv, ej, ck);
+
+      // Triangular solve: rows [cj, ej) of W against the unit-lower block
+      // of panel j.
+      for (std::size_t c = cj; c < ej; ++c) {
+        const std::size_t pc = c - cj;  // column within panel j
+        for (std::size_t x = 0; x < wk; ++x) {
+          const double u = w[x * n + c];
+          if (u == 0.0) continue;
+          // Subtract u * L(c+1.., c) from W rows below c (within block).
+          for (std::size_t r = c + 1; r < ej; ++r) {
+            w[x * n + r] -= u * lj[pc * n + r];
+          }
+        }
+      }
+      // Schur update: W(ej.., :) -= L(ej.., cj:ej) * U-block.
+      for (std::size_t x = 0; x < wk; ++x) {
+        for (std::size_t c = cj; c < ej; ++c) {
+          const double u = w[x * n + c];
+          if (u == 0.0) continue;
+          const std::size_t pc = c - cj;
+          for (std::size_t r = ej; r < n; ++r) {
+            w[x * n + r] -= u * lj[pc * n + r];
+          }
+          if (stats != nullptr) stats->flops += 2 * (n - ej);
+        }
+      }
+    }
+
+    // Factor the panel's own columns with partial pivoting.
+    for (std::size_t c = ck; c < ck + wk; ++c) {
+      const std::size_t x = c - ck;
+      // Pivot search in column x over rows >= c.
+      std::size_t best = c;
+      double best_mag = std::fabs(w[x * n + c]);
+      for (std::size_t r = c + 1; r < n; ++r) {
+        const double mag = std::fabs(w[x * n + r]);
+        if (mag > best_mag) {
+          best = r;
+          best_mag = mag;
+        }
+      }
+      util::check<util::ExecutionError>(best_mag > 0.0,
+                                        "OutOfCoreLu: singular matrix");
+      ipiv[c] = best;
+      swap_rows(w, n, wk, c, best);
+      const double diag = w[x * n + c];
+      for (std::size_t r = c + 1; r < n; ++r) {
+        w[x * n + r] /= diag;
+      }
+      // Rank-1 update of the remaining columns of this panel.
+      for (std::size_t x2 = x + 1; x2 < wk; ++x2) {
+        const double u = w[x2 * n + c];
+        if (u == 0.0) continue;
+        for (std::size_t r = c + 1; r < n; ++r) {
+          w[x2 * n + r] -= u * w[x * n + r];
+        }
+        if (stats != nullptr) stats->flops += 2 * (n - c - 1);
+      }
+    }
+
+    store.write_panel(k, w);
+    if (stats != nullptr) stats->panel_writes++;
+  }
+  return ipiv;
+}
+
+std::vector<double> OutOfCoreLu::load_factors_final_order(
+    PanelStore& store, std::span<const std::size_t> ipiv) {
+  const std::size_t n = store.n();
+  std::vector<double> full(n * n);
+  std::vector<double> panel;
+  for (std::size_t p = 0; p < store.num_panels(); ++p) {
+    const std::size_t start = store.panel_start(p);
+    const std::size_t cols = store.panel_cols(p);
+    store.read_panel(p, panel);
+    apply_pivots(panel, n, cols, ipiv, start + cols, n);
+    std::copy(panel.begin(), panel.end(),
+              full.begin() + static_cast<std::ptrdiff_t>(start * n));
+  }
+  return full;
+}
+
+std::vector<std::size_t> dense_lu_inplace(std::vector<double>& a,
+                                          std::size_t n) {
+  util::check<util::ConfigError>(a.size() == n * n,
+                                 "dense_lu_inplace: size mismatch");
+  std::vector<std::size_t> ipiv(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    std::size_t best = c;
+    double best_mag = std::fabs(a[c * n + c]);
+    for (std::size_t r = c + 1; r < n; ++r) {
+      const double mag = std::fabs(a[c * n + r]);
+      if (mag > best_mag) {
+        best = r;
+        best_mag = mag;
+      }
+    }
+    util::check<util::ExecutionError>(best_mag > 0.0,
+                                      "dense_lu_inplace: singular matrix");
+    ipiv[c] = best;
+    if (best != c) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a[j * n + c], a[j * n + best]);
+      }
+    }
+    const double diag = a[c * n + c];
+    for (std::size_t r = c + 1; r < n; ++r) a[c * n + r] /= diag;
+    for (std::size_t j = c + 1; j < n; ++j) {
+      const double u = a[j * n + c];
+      if (u == 0.0) continue;
+      for (std::size_t r = c + 1; r < n; ++r) {
+        a[j * n + r] -= u * a[c * n + r];
+      }
+    }
+  }
+  return ipiv;
+}
+
+double lu_residual(std::span<const double> original,
+                   std::span<const double> factored,
+                   std::span<const std::size_t> ipiv, std::size_t n) {
+  // P·A: apply the pivots in step order to the original rows.
+  std::vector<double> pa(original.begin(), original.end());
+  for (std::size_t c = 0; c < n; ++c) {
+    if (ipiv[c] == c) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      std::swap(pa[j * n + c], pa[j * n + ipiv[c]]);
+    }
+  }
+  double max_a = 0.0;
+  for (double v : original) max_a = std::max(max_a, std::fabs(v));
+  if (max_a == 0.0) max_a = 1.0;
+
+  // max |(L·U)(r, j) - PA(r, j)|.
+  double worst = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t r = 0; r < n; ++r) {
+      double sum = 0.0;
+      const std::size_t kmax = std::min(r, j);
+      for (std::size_t k = 0; k <= kmax; ++k) {
+        const double l = (k == r) ? 1.0 : factored[k * n + r];
+        sum += l * factored[j * n + k];
+      }
+      worst = std::max(worst, std::fabs(sum - pa[j * n + r]));
+    }
+  }
+  return worst / max_a;
+}
+
+std::vector<double> lu_solve(std::span<const double> factored,
+                             std::span<const std::size_t> ipiv,
+                             std::span<const double> b, std::size_t n) {
+  util::check<util::ConfigError>(b.size() == n, "lu_solve: bad rhs size");
+  std::vector<double> x(b.begin(), b.end());
+  // Apply P to b.
+  for (std::size_t c = 0; c < n; ++c) {
+    if (ipiv[c] != c) std::swap(x[c], x[ipiv[c]]);
+  }
+  // Forward: L y = Pb (unit lower).
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t k = 0; k < r; ++k) {
+      x[r] -= factored[k * n + r] * x[k];
+    }
+  }
+  // Backward: U x = y.
+  for (std::size_t r = n; r-- > 0;) {
+    for (std::size_t k = r + 1; k < n; ++k) {
+      x[r] -= factored[k * n + r] * x[k];
+    }
+    x[r] /= factored[r * n + r];
+  }
+  return x;
+}
+
+trace::TraceFile lu_trace_schedule(std::size_t n, std::size_t panel_width,
+                                   const std::string& sample) {
+  util::check<util::ConfigError>(n >= 1 && panel_width >= 1 && panel_width <= n,
+                                 "lu_trace_schedule: bad dimensions");
+  trace::TraceRecorder recorder(sample);
+  const std::size_t panels = (n + panel_width - 1) / panel_width;
+  auto panel_bytes = [&](std::size_t p) {
+    const std::size_t start = p * panel_width;
+    return static_cast<std::uint64_t>(std::min(panel_width, n - start)) * n *
+           sizeof(double);
+  };
+  recorder.record(trace::TraceOp::kOpen, 0, 0);
+  for (std::size_t k = 0; k < panels; ++k) {
+    const auto off_k = PanelStore::panel_offset(n, panel_width, k);
+    recorder.record(trace::TraceOp::kSeek, off_k, 0);
+    recorder.record(trace::TraceOp::kRead, off_k, panel_bytes(k));
+    for (std::size_t j = 0; j < k; ++j) {
+      const auto off_j = PanelStore::panel_offset(n, panel_width, j);
+      recorder.record(trace::TraceOp::kSeek, off_j, 0);
+      recorder.record(trace::TraceOp::kRead, off_j, panel_bytes(j));
+    }
+    recorder.record(trace::TraceOp::kSeek, off_k, 0);
+    recorder.record(trace::TraceOp::kWrite, off_k, panel_bytes(k));
+  }
+  recorder.record(trace::TraceOp::kClose, 0, 0);
+  return recorder.finish();
+}
+
+}  // namespace clio::apps::lu

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "apps/lu/panel_store.hpp"
+#include "trace/format.hpp"
+
+namespace clio::apps::lu {
+
+/// Counters of one out-of-core factorization.
+struct LuStats {
+  std::size_t panel_reads = 0;
+  std::size_t panel_writes = 0;
+  std::uint64_t flops = 0;
+};
+
+/// Out-of-core blocked dense LU with partial pivoting, left-looking over
+/// column panels — the decomposition the UMD "LU" workload performs on an
+/// out-of-core matrix (cf. Hendrickson & Womble's torus-wrap work the paper
+/// cites).  Factoring panel k re-reads every earlier panel, producing the
+/// long backward-seek sequences of Table 3.
+///
+/// Pivot bookkeeping is lazy, LAPACK-style: a stored panel has row swaps
+/// applied only up to its own factorization step; the swaps recorded by
+/// later panels are applied when the panel is re-read.  factor() returns
+/// the global pivot vector ipiv (ipiv[c] = row swapped with row c at
+/// elimination step c).
+class OutOfCoreLu {
+ public:
+  /// Factors the matrix held by `store` in place.
+  [[nodiscard]] std::vector<std::size_t> factor(PanelStore& store,
+                                                LuStats* stats = nullptr) const;
+
+  /// Loads the factored matrix in *final* row order: every panel gets the
+  /// pivots recorded after its own step applied, yielding coherent L and U
+  /// (P·A = L·U).  Column-major n x n.
+  [[nodiscard]] static std::vector<double> load_factors_final_order(
+      PanelStore& store, std::span<const std::size_t> ipiv);
+};
+
+/// In-core reference: right-looking LU with partial pivoting on a
+/// column-major matrix (in place).  Returns ipiv in the same convention.
+[[nodiscard]] std::vector<std::size_t> dense_lu_inplace(
+    std::vector<double>& a, std::size_t n);
+
+/// Residual max|L·U - P·A| / max|A| given the original matrix and factored
+/// output in final row order.
+[[nodiscard]] double lu_residual(std::span<const double> original,
+                                 std::span<const double> factored,
+                                 std::span<const std::size_t> ipiv,
+                                 std::size_t n);
+
+/// Solves A x = b using factors in final order + ipiv (forward/back
+/// substitution).  Used by tests to validate factorizations end to end.
+[[nodiscard]] std::vector<double> lu_solve(std::span<const double> factored,
+                                           std::span<const std::size_t> ipiv,
+                                           std::span<const double> b,
+                                           std::size_t n);
+
+/// Emits the I/O schedule of the out-of-core factorization as a UMD-style
+/// trace WITHOUT doing the floating-point work: for each panel, a seek+read
+/// of that panel, seek+reads of all earlier panels, and a seek+write back.
+/// Used to produce paper-scale (hundreds of MB) traces for the Table 3
+/// bench in milliseconds; the schedule is byte-identical to what factor()
+/// performs, both delegate to PanelStore::panel_offset.
+[[nodiscard]] trace::TraceFile lu_trace_schedule(std::size_t n,
+                                                 std::size_t panel_width,
+                                                 const std::string& sample);
+
+}  // namespace clio::apps::lu

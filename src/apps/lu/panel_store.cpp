@@ -1,0 +1,74 @@
+#include "apps/lu/panel_store.hpp"
+
+#include "util/error.hpp"
+
+namespace clio::apps::lu {
+
+PanelStore::PanelStore(TraceCapturingFs& capture, std::string name,
+                       std::size_t n, std::size_t panel_width, bool create)
+    : capture_(capture),
+      name_(std::move(name)),
+      n_(n),
+      panel_width_(panel_width) {
+  util::check<util::ConfigError>(n >= 1, "PanelStore: n must be >= 1");
+  util::check<util::ConfigError>(panel_width >= 1 && panel_width <= n,
+                                 "PanelStore: bad panel width");
+  file_ = capture_.open(name_, create ? io::OpenMode::kTruncate
+                                      : io::OpenMode::kReadWrite);
+}
+
+std::uint64_t PanelStore::panel_offset(std::size_t n, std::size_t panel_width,
+                                       std::size_t panel) {
+  return static_cast<std::uint64_t>(panel) * panel_width * n * sizeof(double);
+}
+
+std::size_t PanelStore::num_panels() const {
+  return (n_ + panel_width_ - 1) / panel_width_;
+}
+
+std::size_t PanelStore::panel_cols(std::size_t p) const {
+  util::check<util::ConfigError>(p < num_panels(),
+                                 "PanelStore: panel index out of range");
+  const std::size_t start = p * panel_width_;
+  return std::min(panel_width_, n_ - start);
+}
+
+void PanelStore::write_panel(std::size_t p, std::span<const double> data) {
+  util::check<util::ConfigError>(data.size() == n_ * panel_cols(p),
+                                 "PanelStore: panel size mismatch");
+  file_.seek(panel_offset(n_, panel_width_, p));
+  file_.write(std::as_bytes(data));
+}
+
+void PanelStore::read_panel(std::size_t p, std::vector<double>& out) {
+  out.resize(n_ * panel_cols(p));
+  file_.seek(panel_offset(n_, panel_width_, p));
+  file_.read_exact(std::as_writable_bytes(std::span<double>(out)));
+}
+
+void PanelStore::store_matrix(std::span<const double> a) {
+  util::check<util::ConfigError>(a.size() == n_ * n_,
+                                 "PanelStore: matrix size mismatch");
+  for (std::size_t p = 0; p < num_panels(); ++p) {
+    const std::size_t start = panel_start(p);
+    const std::size_t cols = panel_cols(p);
+    write_panel(p, a.subspan(start * n_, cols * n_));
+  }
+}
+
+std::vector<double> PanelStore::load_matrix() {
+  std::vector<double> full(n_ * n_);
+  std::vector<double> panel;
+  for (std::size_t p = 0; p < num_panels(); ++p) {
+    read_panel(p, panel);
+    std::copy(panel.begin(), panel.end(),
+              full.begin() + static_cast<std::ptrdiff_t>(panel_start(p) * n_));
+  }
+  return full;
+}
+
+void PanelStore::close() {
+  if (file_.is_open()) file_.close();
+}
+
+}  // namespace clio::apps::lu

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "apps/trace_capture.hpp"
+
+namespace clio::apps::lu {
+
+/// Out-of-core dense matrix stored as column panels in one file.
+///
+/// An n x n double matrix is split into panels of `panel_width` columns;
+/// panel p occupies a fixed-stride region starting at
+/// panel_offset(n, panel_width, p), each panel column-major (element (r, c)
+/// of the panel at index c*n + r).  Every panel load is a seek to a large
+/// offset followed by one big read — the access shape of the paper's
+/// Table 3 ("LU Factorization trace file consists of synchronous I/O reads
+/// with the seek and write time recorded").
+class PanelStore {
+ public:
+  PanelStore(TraceCapturingFs& capture, std::string name, std::size_t n,
+             std::size_t panel_width, bool create);
+
+  /// Byte offset of a panel within the file (fixed stride, so offsets are
+  /// computable without metadata).
+  [[nodiscard]] static std::uint64_t panel_offset(std::size_t n,
+                                                  std::size_t panel_width,
+                                                  std::size_t panel);
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t panel_width() const { return panel_width_; }
+  [[nodiscard]] std::size_t num_panels() const;
+  /// Columns held by panel p (last panel may be narrower).
+  [[nodiscard]] std::size_t panel_cols(std::size_t p) const;
+  /// First column index of panel p.
+  [[nodiscard]] std::size_t panel_start(std::size_t p) const {
+    return p * panel_width_;
+  }
+
+  /// Writes a panel (data.size() must equal n * panel_cols(p)).
+  void write_panel(std::size_t p, std::span<const double> data);
+
+  /// Reads a panel into `out` (resized to n * panel_cols(p)).
+  void read_panel(std::size_t p, std::vector<double>& out);
+
+  /// Stores a full column-major n x n matrix, panel by panel.
+  void store_matrix(std::span<const double> a);
+
+  /// Loads the full matrix back (column-major n x n).
+  [[nodiscard]] std::vector<double> load_matrix();
+
+  void close();
+
+ private:
+  TraceCapturingFs& capture_;
+  std::string name_;
+  std::size_t n_;
+  std::size_t panel_width_;
+  RecordingFile file_;
+};
+
+}  // namespace clio::apps::lu

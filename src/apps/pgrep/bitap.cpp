@@ -1,0 +1,67 @@
+#include "apps/pgrep/bitap.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace clio::apps::pgrep {
+
+Bitap::Bitap(std::string pattern, unsigned max_errors)
+    : pattern_(std::move(pattern)), max_errors_(max_errors) {
+  util::check<util::ConfigError>(!pattern_.empty(), "Bitap: empty pattern");
+  util::check<util::ConfigError>(pattern_.size() <= kMaxPattern,
+                                 "Bitap: pattern longer than 63 bytes");
+  util::check<util::ConfigError>(max_errors_ < pattern_.size(),
+                                 "Bitap: k must be < pattern length");
+  std::memset(char_masks_, 0, sizeof(char_masks_));
+  for (std::size_t i = 0; i < pattern_.size(); ++i) {
+    char_masks_[static_cast<unsigned char>(pattern_[i])] |= 1ULL << i;
+  }
+  accept_bit_ = 1ULL << (pattern_.size() - 1);
+}
+
+template <bool kEarlyOut>
+std::vector<std::size_t> Bitap::scan(std::string_view text) const {
+  std::vector<std::size_t> matches;
+  // R[d] tracks prefixes matching with <= d errors (bit i set = prefix of
+  // length i+1 active).  Wu-Manber recurrence per character c:
+  //   R0' = ((R0 << 1) | 1) & mask[c]
+  //   Rd' = ((Rd << 1 | 1) & mask[c])        match
+  //       | (R(d-1))                          insertion  (text char extra)
+  //       | (R(d-1) << 1)                     substitution
+  //       | (R(d-1)' << 1)                    deletion   (pattern char skipped)
+  const unsigned k = max_errors_;
+  std::vector<std::uint64_t> r(k + 1, 0);
+  for (std::size_t pos = 0; pos < text.size(); ++pos) {
+    const std::uint64_t mask =
+        char_masks_[static_cast<unsigned char>(text[pos])];
+    std::uint64_t prev_old = r[0];  // R(d-1) before update
+    r[0] = ((r[0] << 1) | 1ULL) & mask;
+    std::uint64_t prev_new = r[0];  // R(d-1) after update
+    for (unsigned d = 1; d <= k; ++d) {
+      const std::uint64_t old_rd = r[d];
+      r[d] = (((r[d] << 1) | 1ULL) & mask)  // match/mismatch advance
+             | prev_old                      // insertion
+             | (prev_old << 1)               // substitution
+             | (prev_new << 1)               // deletion
+             | ((1ULL << d) - 1);            // d leading deletions
+      prev_old = old_rd;
+      prev_new = r[d];
+    }
+    if (r[k] & accept_bit_) {
+      matches.push_back(pos + 1);
+      if constexpr (kEarlyOut) return matches;
+    }
+  }
+  return matches;
+}
+
+std::vector<std::size_t> Bitap::find(std::string_view text) const {
+  return scan<false>(text);
+}
+
+bool Bitap::contains(std::string_view text) const {
+  return !scan<true>(text).empty();
+}
+
+}  // namespace clio::apps::pgrep

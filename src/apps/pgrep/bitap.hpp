@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace clio::apps::pgrep {
+
+/// Bit-parallel approximate string matching after Wu & Manber's agrep
+/// (USENIX '92) — the algorithm behind the UMD "Pgrep" workload ("a
+/// modified parallel version of the agrep program from the University of
+/// Arizona", used for partial match and approximate searches).
+///
+/// Patterns up to 63 bytes; k is the maximum Levenshtein distance
+/// (substitutions, insertions, deletions).  k = 0 degenerates to the exact
+/// shift-and automaton.
+class Bitap {
+ public:
+  static constexpr std::size_t kMaxPattern = 63;
+
+  Bitap(std::string pattern, unsigned max_errors);
+
+  /// Scans `text` and returns the END offsets (exclusive) of every match,
+  /// i.e. positions p such that a substring ending at p matches the pattern
+  /// within max_errors edits.
+  [[nodiscard]] std::vector<std::size_t> find(std::string_view text) const;
+
+  /// True if the text contains at least one match (early-out scan).
+  [[nodiscard]] bool contains(std::string_view text) const;
+
+  [[nodiscard]] const std::string& pattern() const { return pattern_; }
+  [[nodiscard]] unsigned max_errors() const { return max_errors_; }
+
+ private:
+  template <bool kEarlyOut>
+  std::vector<std::size_t> scan(std::string_view text) const;
+
+  std::string pattern_;
+  unsigned max_errors_;
+  std::uint64_t char_masks_[256];
+  std::uint64_t accept_bit_;
+};
+
+}  // namespace clio::apps::pgrep

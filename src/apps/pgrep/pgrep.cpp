@@ -1,0 +1,201 @@
+#include "apps/pgrep/pgrep.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace clio::apps::pgrep {
+namespace {
+
+/// Pseudo-English filler: lowercase words of 2-9 letters with spaces and
+/// occasional newlines.  Deliberately avoids generating the pattern by
+/// accident only probabilistically; tests use distinctive patterns.
+void fill_noise(std::string& text, std::size_t n, util::Rng& rng) {
+  text.clear();
+  text.reserve(n);
+  while (text.size() < n) {
+    const std::size_t word = 2 + rng.uniform_u64(8);
+    for (std::size_t i = 0; i < word && text.size() < n; ++i) {
+      text.push_back(static_cast<char>('a' + rng.uniform_u64(26)));
+    }
+    if (text.size() < n) {
+      text.push_back(rng.bernoulli(0.12) ? '\n' : ' ');
+    }
+  }
+}
+
+std::string mutate_one_edit(const std::string& pattern, util::Rng& rng) {
+  std::string m = pattern;
+  const std::size_t pos = rng.uniform_u64(m.size());
+  switch (rng.uniform_u64(3)) {
+    case 0:  // substitution with a different letter
+      m[pos] = static_cast<char>(
+          'a' + (static_cast<unsigned>(m[pos] - 'a') + 1 +
+                 rng.uniform_u64(24)) % 26);
+      break;
+    case 1:  // deletion
+      m.erase(pos, 1);
+      break;
+    default:  // insertion
+      m.insert(pos, 1, static_cast<char>('a' + rng.uniform_u64(26)));
+      break;
+  }
+  return m;
+}
+
+}  // namespace
+
+PlantedCorpus generate_corpus(TraceCapturingFs& capture,
+                              const std::string& name,
+                              const CorpusConfig& config) {
+  util::check<util::ConfigError>(!config.pattern.empty(),
+                                 "generate_corpus: empty pattern");
+  util::check<util::ConfigError>(
+      config.size_bytes > 16 * (config.pattern.size() + 2) *
+                              (config.exact_occurrences +
+                               config.fuzzy_occurrences + 1),
+      "generate_corpus: corpus too small for requested plants");
+
+  util::Rng rng(config.seed);
+  std::string text;
+  fill_noise(text, static_cast<std::size_t>(config.size_bytes), rng);
+
+  PlantedCorpus planted;
+  // Choose disjoint plant slots.
+  const std::size_t slot = config.pattern.size() + 2;
+  const std::size_t total_plants =
+      config.exact_occurrences + config.fuzzy_occurrences;
+  std::vector<std::uint64_t> positions;
+  std::size_t attempts = 0;
+  while (positions.size() < total_plants && attempts < total_plants * 1000) {
+    ++attempts;
+    const std::uint64_t pos =
+        rng.uniform_u64(config.size_bytes - 2 * slot) + 1;
+    bool clash = false;
+    for (auto p : positions) {
+      if (pos + slot > p && p + slot > pos) {
+        clash = true;
+        break;
+      }
+    }
+    if (!clash) positions.push_back(pos);
+  }
+  util::check<util::ConfigError>(positions.size() == total_plants,
+                                 "generate_corpus: could not place plants");
+
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const std::uint64_t pos = positions[i];
+    std::string payload;
+    if (i < config.exact_occurrences) {
+      payload = config.pattern;
+      planted.exact_positions.push_back(pos);
+    } else {
+      payload = mutate_one_edit(config.pattern, rng);
+      planted.fuzzy_positions.push_back(pos);
+    }
+    // Space-fence the plant so noise does not extend it.
+    text[pos - 1] = ' ';
+    std::memcpy(text.data() + pos, payload.data(), payload.size());
+    text[pos + payload.size()] = ' ';
+  }
+
+  RecordingFile file = capture.open(name, io::OpenMode::kTruncate);
+  file.write(std::as_bytes(std::span<const char>(text.data(), text.size())));
+  file.close();
+  std::sort(planted.exact_positions.begin(), planted.exact_positions.end());
+  std::sort(planted.fuzzy_positions.begin(), planted.fuzzy_positions.end());
+  return planted;
+}
+
+ParallelGrep::ParallelGrep(std::string pattern, PgrepConfig config)
+    : pattern_(std::move(pattern)), config_(config) {
+  util::check<util::ConfigError>(config_.num_workers >= 1,
+                                 "ParallelGrep: need >= 1 worker");
+  util::check<util::ConfigError>(config_.read_block >= pattern_.size() * 2,
+                                 "ParallelGrep: read_block too small");
+  // Constructing the matcher validates pattern/k compatibility early.
+  Bitap probe(pattern_, config_.max_errors);
+}
+
+PgrepResult ParallelGrep::search(TraceCapturingFs& capture,
+                                 const std::string& file_name) const {
+  // Chunk the file; overlap guarantees matches crossing a boundary are
+  // seen by exactly the earlier worker (dedup handles double counting).
+  std::uint64_t file_size;
+  {
+    RecordingFile probe = capture.open(file_name, io::OpenMode::kRead);
+    file_size = probe.size();
+    probe.close();
+  }
+  const std::size_t workers = static_cast<std::size_t>(
+      std::min<std::uint64_t>(config_.num_workers,
+                              std::max<std::uint64_t>(1, file_size /
+                                                             config_.read_block)));
+  const std::uint64_t chunk = (file_size + workers - 1) / workers;
+  const std::uint64_t overlap = pattern_.size() + config_.max_errors;
+
+  std::vector<std::vector<std::uint64_t>> per_worker(workers);
+  std::vector<std::uint64_t> scanned(workers, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      const std::uint64_t begin = w * chunk;
+      const std::uint64_t end =
+          std::min<std::uint64_t>(file_size, (w + 1) * chunk + overlap);
+      if (begin >= file_size) return;
+      RecordingFile file = capture.open(file_name, io::OpenMode::kRead,
+                                        static_cast<std::uint32_t>(w));
+      file.seek(begin);
+      Bitap matcher(pattern_, config_.max_errors);
+
+      // Stream with a carry of (overlap) bytes between blocks so matches
+      // spanning block boundaries are found.
+      std::string window;
+      std::vector<std::byte> block(config_.read_block);
+      std::uint64_t window_start = begin;
+      std::uint64_t pos = begin;
+      while (pos < end) {
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(config_.read_block, end - pos));
+        const std::size_t got =
+            file.read(std::span<std::byte>(block.data(), want));
+        if (got == 0) break;
+        scanned[w] += got;
+        window.append(reinterpret_cast<const char*>(block.data()), got);
+        pos += got;
+        for (auto m : matcher.find(window)) {
+          const std::uint64_t absolute = window_start + m;
+          // Claim only matches ending within (begin, next chunk's begin +
+          // overlap]; dedup below sorts it out.
+          per_worker[w].push_back(absolute);
+        }
+        if (window.size() > overlap) {
+          const std::size_t drop = window.size() - overlap;
+          window.erase(0, drop);
+          window_start += drop;
+        }
+      }
+      file.close();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  PgrepResult result;
+  for (std::size_t w = 0; w < workers; ++w) {
+    result.bytes_scanned += scanned[w];
+    result.match_ends.insert(result.match_ends.end(), per_worker[w].begin(),
+                             per_worker[w].end());
+  }
+  std::sort(result.match_ends.begin(), result.match_ends.end());
+  result.match_ends.erase(
+      std::unique(result.match_ends.begin(), result.match_ends.end()),
+      result.match_ends.end());
+  return result;
+}
+
+}  // namespace clio::apps::pgrep

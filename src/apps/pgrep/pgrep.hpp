@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/pgrep/bitap.hpp"
+#include "apps/trace_capture.hpp"
+
+namespace clio::apps::pgrep {
+
+/// Synthetic corpus parameters: pseudo-English noise with occurrences of
+/// the pattern planted, some mutated within the error budget.
+struct CorpusConfig {
+  std::uint64_t size_bytes = 1 << 20;
+  std::string pattern = "scattering";
+  std::size_t exact_occurrences = 20;
+  std::size_t fuzzy_occurrences = 10;  ///< 1-edit variants of the pattern
+  std::uint64_t seed = 99;
+};
+
+/// Where the pattern (or a variant) was planted, for test verification.
+struct PlantedCorpus {
+  std::vector<std::uint64_t> exact_positions;
+  std::vector<std::uint64_t> fuzzy_positions;
+};
+
+/// Writes a corpus file and returns the planted ground truth.
+PlantedCorpus generate_corpus(TraceCapturingFs& capture,
+                              const std::string& name,
+                              const CorpusConfig& config);
+
+struct PgrepConfig {
+  unsigned max_errors = 1;
+  std::size_t num_workers = 4;         ///< parallel chunk scanners
+  std::size_t read_block = 64 * 1024;  ///< bytes per synchronous read
+};
+
+struct PgrepResult {
+  std::vector<std::uint64_t> match_ends;  ///< absolute end offsets, sorted
+  std::uint64_t bytes_scanned = 0;
+};
+
+/// Parallel approximate search over a file: the file splits into one chunk
+/// per worker with (pattern + k - 1) bytes of overlap so boundary matches
+/// are not lost; each worker opens the file independently (its own pid in
+/// the captured trace) and streams its chunk in read_block chunks — the
+/// multi-process sequential-read shape of the UMD Pgrep traces.
+class ParallelGrep {
+ public:
+  ParallelGrep(std::string pattern, PgrepConfig config);
+
+  [[nodiscard]] PgrepResult search(TraceCapturingFs& capture,
+                                   const std::string& file_name) const;
+
+ private:
+  std::string pattern_;
+  PgrepConfig config_;
+};
+
+}  // namespace clio::apps::pgrep

@@ -1,0 +1,50 @@
+#include "apps/titan/quadtree.hpp"
+
+#include "util/error.hpp"
+
+namespace clio::apps::titan {
+
+TileQuadtree::TileQuadtree(std::uint32_t width_tiles,
+                           std::uint32_t height_tiles)
+    : width_(width_tiles), height_(height_tiles) {
+  util::check<util::ConfigError>(width_tiles > 0 && height_tiles > 0,
+                                 "TileQuadtree: empty grid");
+}
+
+std::vector<TileId> TileQuadtree::query(const TileRect& rect) const {
+  last_visited_ = 0;
+  std::vector<TileId> out;
+  if (rect.empty()) return out;
+  collect(TileRect{0, 0, width_, height_}, rect, out);
+  return out;
+}
+
+void TileQuadtree::collect(const TileRect& node, const TileRect& query,
+                           std::vector<TileId>& out) const {
+  ++last_visited_;
+  if (!node.intersects(query)) return;
+  if (node.area() == 1) {
+    out.push_back(TileId{node.x0, node.y0});
+    return;
+  }
+  // Split the longer axis first so degenerate (non-square, non-power-of-2)
+  // grids still terminate; quadrant split when both axes divisible.
+  const std::uint32_t mx = node.x0 + std::max(1u, (node.x1 - node.x0) / 2);
+  const std::uint32_t my = node.y0 + std::max(1u, (node.y1 - node.y0) / 2);
+  const bool split_x = node.x1 - node.x0 > 1;
+  const bool split_y = node.y1 - node.y0 > 1;
+  if (split_x && split_y) {
+    collect(TileRect{node.x0, node.y0, mx, my}, query, out);
+    collect(TileRect{mx, node.y0, node.x1, my}, query, out);
+    collect(TileRect{node.x0, my, mx, node.y1}, query, out);
+    collect(TileRect{mx, my, node.x1, node.y1}, query, out);
+  } else if (split_x) {
+    collect(TileRect{node.x0, node.y0, mx, node.y1}, query, out);
+    collect(TileRect{mx, node.y0, node.x1, node.y1}, query, out);
+  } else {
+    collect(TileRect{node.x0, node.y0, node.x1, my}, query, out);
+    collect(TileRect{node.x0, my, node.x1, node.y1}, query, out);
+  }
+}
+
+}  // namespace clio::apps::titan

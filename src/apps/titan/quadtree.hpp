@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace clio::apps::titan {
+
+/// Axis-aligned rectangle in tile coordinates, [x0, x1) x [y0, y1).
+struct TileRect {
+  std::uint32_t x0 = 0;
+  std::uint32_t y0 = 0;
+  std::uint32_t x1 = 0;
+  std::uint32_t y1 = 0;
+
+  [[nodiscard]] bool empty() const { return x0 >= x1 || y0 >= y1; }
+  [[nodiscard]] std::uint64_t area() const {
+    return empty() ? 0
+                   : static_cast<std::uint64_t>(x1 - x0) * (y1 - y0);
+  }
+  [[nodiscard]] bool intersects(const TileRect& other) const {
+    return x0 < other.x1 && other.x0 < x1 && y0 < other.y1 && other.y0 < y1;
+  }
+  [[nodiscard]] bool contains(std::uint32_t x, std::uint32_t y) const {
+    return x >= x0 && x < x1 && y >= y0 && y < y1;
+  }
+  bool operator==(const TileRect&) const = default;
+};
+
+/// A tile id (tx, ty).
+struct TileId {
+  std::uint32_t tx = 0;
+  std::uint32_t ty = 0;
+  bool operator==(const TileId&) const = default;
+};
+
+/// Region quadtree over the tile grid — Titan's spatial index.  The tree
+/// recursively splits the grid into four quadrants down to single tiles;
+/// range queries descend only into quadrants intersecting the query
+/// rectangle, visiting O(answer + perimeter) nodes.
+class TileQuadtree {
+ public:
+  TileQuadtree(std::uint32_t width_tiles, std::uint32_t height_tiles);
+
+  /// Tiles intersecting `query`, in deterministic (node traversal) order.
+  [[nodiscard]] std::vector<TileId> query(const TileRect& query) const;
+
+  /// Number of internal+leaf nodes the last query() visited (diagnostics;
+  /// tests assert pruning happens).
+  [[nodiscard]] std::size_t last_visited() const { return last_visited_; }
+
+  [[nodiscard]] std::uint32_t width() const { return width_; }
+  [[nodiscard]] std::uint32_t height() const { return height_; }
+
+ private:
+  void collect(const TileRect& node, const TileRect& query,
+               std::vector<TileId>& out) const;
+
+  std::uint32_t width_;
+  std::uint32_t height_;
+  mutable std::size_t last_visited_ = 0;
+};
+
+}  // namespace clio::apps::titan

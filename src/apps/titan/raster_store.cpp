@@ -1,0 +1,121 @@
+#include "apps/titan/raster_store.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace clio::apps::titan {
+namespace {
+
+/// Deterministic smooth-ish field: a sum of three integer-lattice hash
+/// gradients at different scales.  Cheap, seedable, and reproducible at any
+/// single pixel — no need to materialize the world to verify a window.
+std::uint16_t field_sample(std::uint64_t seed, std::uint32_t band,
+                           std::uint32_t x, std::uint32_t y) {
+  auto lattice = [&](std::uint32_t gx, std::uint32_t gy, std::uint64_t salt) {
+    util::SplitMix64 h(seed ^ salt ^ (static_cast<std::uint64_t>(band) << 56) ^
+                       (static_cast<std::uint64_t>(gx) << 28) ^ gy);
+    return static_cast<double>(h.next() & 0xffff);
+  };
+  auto smooth = [&](std::uint32_t scale, std::uint64_t salt) {
+    const std::uint32_t gx = x / scale;
+    const std::uint32_t gy = y / scale;
+    const double fx = static_cast<double>(x % scale) / scale;
+    const double fy = static_cast<double>(y % scale) / scale;
+    const double v00 = lattice(gx, gy, salt);
+    const double v10 = lattice(gx + 1, gy, salt);
+    const double v01 = lattice(gx, gy + 1, salt);
+    const double v11 = lattice(gx + 1, gy + 1, salt);
+    return (v00 * (1 - fx) + v10 * fx) * (1 - fy) +
+           (v01 * (1 - fx) + v11 * fx) * fy;
+  };
+  const double v =
+      0.6 * smooth(64, 0x5eed1) + 0.3 * smooth(16, 0x5eed2) +
+      0.1 * smooth(4, 0x5eed3);
+  return static_cast<std::uint16_t>(v);
+}
+
+}  // namespace
+
+void RasterStore::generate(TraceCapturingFs& capture, const std::string& name,
+                           const RasterConfig& config) {
+  util::check<util::ConfigError>(
+      config.width_tiles > 0 && config.height_tiles > 0 &&
+          config.tile_size > 0 && config.bands > 0,
+      "RasterStore: all dimensions must be positive");
+
+  RecordingFile file = capture.open(name, io::OpenMode::kTruncate);
+  std::uint32_t header[5] = {kMagic, config.width_tiles, config.height_tiles,
+                             config.tile_size, config.bands};
+  file.write(std::as_bytes(std::span<const std::uint32_t>(header)));
+
+  const std::uint32_t ts = config.tile_size;
+  TileData tile(static_cast<std::size_t>(ts) * ts);
+  for (std::uint32_t band = 0; band < config.bands; ++band) {
+    for (std::uint32_t ty = 0; ty < config.height_tiles; ++ty) {
+      for (std::uint32_t tx = 0; tx < config.width_tiles; ++tx) {
+        for (std::uint32_t py = 0; py < ts; ++py) {
+          for (std::uint32_t px = 0; px < ts; ++px) {
+            tile[static_cast<std::size_t>(py) * ts + px] = field_sample(
+                config.seed, band, tx * ts + px, ty * ts + py);
+          }
+        }
+        file.write(std::as_bytes(std::span<const std::uint16_t>(tile)));
+      }
+    }
+  }
+  file.close();
+}
+
+std::uint16_t RasterStore::expected_sample(const RasterConfig& config,
+                                           std::uint32_t band,
+                                           std::uint32_t x, std::uint32_t y) {
+  return field_sample(config.seed, band, x, y);
+}
+
+RasterStore::RasterStore(TraceCapturingFs& capture, std::string name)
+    : capture_(capture), name_(std::move(name)) {
+  file_ = capture_.open(name_, io::OpenMode::kRead);
+  std::uint32_t header[5];
+  file_.read_exact(std::as_writable_bytes(std::span<std::uint32_t>(header)));
+  util::check<util::ParseError>(header[0] == kMagic,
+                                "RasterStore: bad magic");
+  config_.width_tiles = header[1];
+  config_.height_tiles = header[2];
+  config_.tile_size = header[3];
+  config_.bands = header[4];
+  // seed is not stored; expected_sample callers supply the original config.
+}
+
+std::uint64_t RasterStore::tile_bytes() const {
+  return static_cast<std::uint64_t>(config_.tile_size) * config_.tile_size *
+         sizeof(std::uint16_t);
+}
+
+std::uint64_t RasterStore::tile_offset(std::uint32_t band, std::uint32_t tx,
+                                       std::uint32_t ty) const {
+  util::check<util::ConfigError>(band < config_.bands &&
+                                     tx < config_.width_tiles &&
+                                     ty < config_.height_tiles,
+                                 "RasterStore: tile index out of range");
+  const std::uint64_t index =
+      (static_cast<std::uint64_t>(band) * config_.height_tiles + ty) *
+          config_.width_tiles +
+      tx;
+  return kHeaderBytes + index * tile_bytes();
+}
+
+void RasterStore::read_tile(std::uint32_t band, std::uint32_t tx,
+                            std::uint32_t ty, TileData& out) {
+  out.resize(static_cast<std::size_t>(config_.tile_size) * config_.tile_size);
+  file_.seek(tile_offset(band, tx, ty));
+  file_.read_exact(std::as_writable_bytes(std::span<std::uint16_t>(out)));
+  ++tiles_read_;
+}
+
+void RasterStore::close() {
+  if (file_.is_open()) file_.close();
+}
+
+}  // namespace clio::apps::titan

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/trace_capture.hpp"
+
+namespace clio::apps::titan {
+
+/// Geometry of a tiled multi-band raster, AVHRR-style (the Titan system the
+/// paper cites is "a high-performance remote-sensing database" over
+/// satellite imagery).
+struct RasterConfig {
+  std::uint32_t width_tiles = 16;   ///< world width in tiles
+  std::uint32_t height_tiles = 16;  ///< world height in tiles
+  std::uint32_t tile_size = 64;     ///< pixels per tile edge
+  std::uint32_t bands = 2;          ///< spectral bands (e.g. VIS + NIR)
+  std::uint64_t seed = 2024;
+};
+
+/// One decoded tile of one band: tile_size^2 uint16 samples, row-major.
+using TileData = std::vector<std::uint16_t>;
+
+/// Tiled raster file:
+///   header: u32 magic 'TTN1', width_tiles, height_tiles, tile_size, bands
+///   tiles in band-major, row-major tile order, each tile contiguous:
+///     offset = header + ((band * H + ty) * W + tx) * tile_bytes
+///
+/// Every tile fetch is a seek to the tile's offset plus one contiguous read
+/// — the Table 2 access shape (Titan's traces are synchronous reads of
+/// whole data blocks).
+class RasterStore {
+ public:
+  static constexpr std::uint32_t kMagic = 0x54544e31;  // "TTN1"
+  static constexpr std::uint64_t kHeaderBytes = 20;
+
+  /// Generates a synthetic raster: each band is a smooth deterministic
+  /// value-noise field (so spatial aggregates are stable across runs).
+  static void generate(TraceCapturingFs& capture, const std::string& name,
+                       const RasterConfig& config);
+
+  /// The deterministic sample value generate() places at absolute pixel
+  /// (x, y) of `band` — lets tests verify tile reads without golden files.
+  [[nodiscard]] static std::uint16_t expected_sample(
+      const RasterConfig& config, std::uint32_t band, std::uint32_t x,
+      std::uint32_t y);
+
+  /// Opens an existing raster for querying.
+  RasterStore(TraceCapturingFs& capture, std::string name);
+
+  [[nodiscard]] const RasterConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t tile_bytes() const;
+  [[nodiscard]] std::uint64_t tile_offset(std::uint32_t band,
+                                          std::uint32_t tx,
+                                          std::uint32_t ty) const;
+
+  /// Reads one tile of one band (seek + read through the managed stack).
+  void read_tile(std::uint32_t band, std::uint32_t tx, std::uint32_t ty,
+                 TileData& out);
+
+  [[nodiscard]] std::size_t tiles_read() const { return tiles_read_; }
+
+  void close();
+
+ private:
+  TraceCapturingFs& capture_;
+  std::string name_;
+  RasterConfig config_;
+  RecordingFile file_;
+  std::size_t tiles_read_ = 0;
+};
+
+}  // namespace clio::apps::titan

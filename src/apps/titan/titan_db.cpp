@@ -1,0 +1,112 @@
+#include "apps/titan/titan_db.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace clio::apps::titan {
+
+TitanDb::TitanDb(RasterStore& store)
+    : store_(store),
+      index_(store.config().width_tiles, store.config().height_tiles) {
+  util::check<util::ConfigError>(store.config().bands >= 2,
+                                 "TitanDb: need >= 2 bands for the index");
+}
+
+QueryResult TitanDb::range_query(const PixelRect& window) {
+  const auto& config = store_.config();
+  const std::uint32_t ts = config.tile_size;
+  const std::uint32_t world_w = config.width_tiles * ts;
+  const std::uint32_t world_h = config.height_tiles * ts;
+  util::check<util::ConfigError>(
+      window.x0 < window.x1 && window.y0 < window.y1 &&
+          window.x1 <= world_w && window.y1 <= world_h,
+      "TitanDb: query window out of bounds");
+
+  // Tile footprint of the window.
+  const TileRect tiles{window.x0 / ts, window.y0 / ts,
+                       (window.x1 + ts - 1) / ts, (window.y1 + ts - 1) / ts};
+  const auto hit_tiles = index_.query(tiles);
+
+  QueryResult result;
+  result.min_index = 2.0;
+  result.max_index = -2.0;
+  double sum = 0.0;
+  TileData band0;
+  TileData band1;
+  for (const auto& tile : hit_tiles) {
+    store_.read_tile(0, tile.tx, tile.ty, band0);
+    store_.read_tile(1, tile.tx, tile.ty, band1);
+    result.tiles_fetched += 2;
+    // Pixel window within this tile.
+    const std::uint32_t px0 = std::max(window.x0, tile.tx * ts) - tile.tx * ts;
+    const std::uint32_t py0 = std::max(window.y0, tile.ty * ts) - tile.ty * ts;
+    const std::uint32_t px1 =
+        std::min(window.x1, (tile.tx + 1) * ts) - tile.tx * ts;
+    const std::uint32_t py1 =
+        std::min(window.y1, (tile.ty + 1) * ts) - tile.ty * ts;
+    for (std::uint32_t y = py0; y < py1; ++y) {
+      for (std::uint32_t x = px0; x < px1; ++x) {
+        const double v0 = band0[static_cast<std::size_t>(y) * ts + x];
+        const double v1 = band1[static_cast<std::size_t>(y) * ts + x];
+        const double denom = v0 + v1;
+        const double index = denom > 0.0 ? (v1 - v0) / denom : 0.0;
+        sum += index;
+        result.min_index = std::min(result.min_index, index);
+        result.max_index = std::max(result.max_index, index);
+        ++result.pixels;
+      }
+    }
+  }
+  if (result.pixels > 0) {
+    result.mean_index = sum / static_cast<double>(result.pixels);
+  } else {
+    result.min_index = 0.0;
+    result.max_index = 0.0;
+  }
+  return result;
+}
+
+std::vector<PixelRect> TitanDb::make_workload(std::size_t count,
+                                              std::uint64_t seed) const {
+  const auto& config = store_.config();
+  const std::uint32_t ts = config.tile_size;
+  const std::uint32_t world_w = config.width_tiles * ts;
+  const std::uint32_t world_h = config.height_tiles * ts;
+  util::Rng rng(seed);
+  // Hotspot centre and size: a quarter of the world.
+  const std::uint32_t hx = world_w / 4;
+  const std::uint32_t hy = world_h / 4;
+
+  std::vector<PixelRect> queries;
+  queries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool hot = rng.bernoulli(0.6);
+    const std::uint32_t max_w = std::max<std::uint32_t>(ts, world_w / 4);
+    const std::uint32_t max_h = std::max<std::uint32_t>(ts, world_h / 4);
+    const auto w = static_cast<std::uint32_t>(
+        ts / 2 + rng.uniform_u64(max_w - ts / 2));
+    const auto h = static_cast<std::uint32_t>(
+        ts / 2 + rng.uniform_u64(max_h - ts / 2));
+    std::uint32_t x0;
+    std::uint32_t y0;
+    if (hot) {
+      x0 = hx + static_cast<std::uint32_t>(rng.uniform_u64(world_w / 4));
+      y0 = hy + static_cast<std::uint32_t>(rng.uniform_u64(world_h / 4));
+    } else {
+      x0 = static_cast<std::uint32_t>(rng.uniform_u64(world_w - w));
+      y0 = static_cast<std::uint32_t>(rng.uniform_u64(world_h - h));
+    }
+    const std::uint32_t x1 = std::min(world_w, x0 + w);
+    const std::uint32_t y1 = std::min(world_h, y0 + h);
+    if (x0 >= x1 || y0 >= y1) {
+      queries.push_back(PixelRect{0, 0, ts, ts});
+    } else {
+      queries.push_back(PixelRect{x0, y0, x1, y1});
+    }
+  }
+  return queries;
+}
+
+}  // namespace clio::apps::titan

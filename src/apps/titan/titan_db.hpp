@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/titan/quadtree.hpp"
+#include "apps/titan/raster_store.hpp"
+
+namespace clio::apps::titan {
+
+/// Result of one spatial aggregate query.
+struct QueryResult {
+  std::uint64_t pixels = 0;     ///< pixels inside the query window
+  std::size_t tiles_fetched = 0;
+  double mean_index = 0.0;      ///< mean normalized difference index
+  double min_index = 0.0;
+  double max_index = 0.0;
+};
+
+/// Pixel-space query window, [x0, x1) x [y0, y1).
+struct PixelRect {
+  std::uint32_t x0 = 0;
+  std::uint32_t y0 = 0;
+  std::uint32_t x1 = 0;
+  std::uint32_t y1 = 0;
+};
+
+/// Mini remote-sensing query engine over a RasterStore, after Titan
+/// (Chang et al., ICDE'97): a spatial range query locates intersecting
+/// tiles via the quadtree, fetches each tile of each required band from
+/// disk, and computes a normalized-difference index
+/// (band1 - band0) / (band1 + band0) over the window — the NDVI-style
+/// post-processing Titan serves.
+class TitanDb {
+ public:
+  explicit TitanDb(RasterStore& store);
+
+  /// Runs one aggregate query over the window.
+  [[nodiscard]] QueryResult range_query(const PixelRect& window);
+
+  /// Generates a batch of random query windows with a popularity hotspot
+  /// (queries cluster around a region, as scientists revisit areas of
+  /// interest).  Deterministic per seed.
+  [[nodiscard]] std::vector<PixelRect> make_workload(std::size_t count,
+                                                     std::uint64_t seed) const;
+
+  [[nodiscard]] const TileQuadtree& index() const { return index_; }
+
+ private:
+  RasterStore& store_;
+  TileQuadtree index_;
+};
+
+}  // namespace clio::apps::titan

@@ -1,0 +1,120 @@
+#include "apps/trace_capture.hpp"
+
+#include <algorithm>
+
+namespace clio::apps {
+
+TraceCapturingFs::TraceCapturingFs(io::ManagedFileSystem& fs,
+                                   std::string sample_name)
+    : fs_(fs), recorder_(std::move(sample_name)) {}
+
+RecordingFile TraceCapturingFs::open(const std::string& name,
+                                     io::OpenMode mode, std::uint32_t pid) {
+  io::ManagedFile file = fs_.open(name, mode);
+  std::uint32_t fid;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fid = fid_of(name);
+    max_pid_ = std::max(max_pid_, pid);
+  }
+  record(trace::TraceOp::kOpen, 0, 0, pid, fid);
+  return RecordingFile(this, std::move(file), pid, fid);
+}
+
+std::uint32_t TraceCapturingFs::fid_of(const std::string& name) {
+  auto [it, inserted] =
+      fids_.emplace(name, static_cast<std::uint32_t>(fids_.size()));
+  return it->second;
+}
+
+std::uint32_t TraceCapturingFs::num_files() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::uint32_t>(fids_.size());
+}
+
+void TraceCapturingFs::record(trace::TraceOp op, std::uint64_t offset,
+                              std::uint64_t length, std::uint32_t pid,
+                              std::uint32_t fid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  recorder_.record(op, offset, length, pid, fid);
+}
+
+trace::TraceFile TraceCapturingFs::finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  recorder_.set_counts(
+      max_pid_ + 1,
+      std::max<std::uint32_t>(1, static_cast<std::uint32_t>(fids_.size())));
+  return recorder_.finish();
+}
+
+RecordingFile::RecordingFile(TraceCapturingFs* capture, io::ManagedFile file,
+                             std::uint32_t pid, std::uint32_t fid)
+    : capture_(capture), file_(std::move(file)), pid_(pid), fid_(fid) {}
+
+RecordingFile::RecordingFile(RecordingFile&& other) noexcept
+    : capture_(other.capture_),
+      file_(std::move(other.file_)),
+      pid_(other.pid_),
+      fid_(other.fid_) {
+  other.capture_ = nullptr;
+}
+
+RecordingFile& RecordingFile::operator=(RecordingFile&& other) noexcept {
+  if (this != &other) {
+    if (capture_ != nullptr) {
+      try {
+        close();
+      } catch (...) {
+      }
+    }
+    capture_ = other.capture_;
+    file_ = std::move(other.file_);
+    pid_ = other.pid_;
+    fid_ = other.fid_;
+    other.capture_ = nullptr;
+  }
+  return *this;
+}
+
+RecordingFile::~RecordingFile() {
+  if (capture_ != nullptr) {
+    try {
+      close();
+    } catch (...) {
+      // destructor must not throw
+    }
+  }
+}
+
+std::size_t RecordingFile::read(std::span<std::byte> out) {
+  const std::uint64_t offset = file_.position();
+  const std::size_t n = file_.read(out);
+  capture_->record(trace::TraceOp::kRead, offset, n, pid_, fid_);
+  return n;
+}
+
+void RecordingFile::read_exact(std::span<std::byte> out) {
+  const std::uint64_t offset = file_.position();
+  file_.read_exact(out);
+  capture_->record(trace::TraceOp::kRead, offset, out.size(), pid_, fid_);
+}
+
+void RecordingFile::write(std::span<const std::byte> data) {
+  const std::uint64_t offset = file_.position();
+  file_.write(data);
+  capture_->record(trace::TraceOp::kWrite, offset, data.size(), pid_, fid_);
+}
+
+void RecordingFile::seek(std::uint64_t pos) {
+  file_.seek(pos);
+  capture_->record(trace::TraceOp::kSeek, pos, 0, pid_, fid_);
+}
+
+void RecordingFile::close() {
+  if (capture_ == nullptr) return;
+  file_.close();
+  capture_->record(trace::TraceOp::kClose, 0, 0, pid_, fid_);
+  capture_ = nullptr;
+}
+
+}  // namespace clio::apps

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "io/managed_file.hpp"
+#include "trace/writer.hpp"
+
+namespace clio::apps {
+
+class RecordingFile;
+
+/// Wraps a ManagedFileSystem so that every open/close/read/write/seek the
+/// application performs is also appended to a UMD-style trace.  This is how
+/// the suite regenerates the paper's §3 inputs: the five applications are
+/// run for real, and the captured trace is what the trace-driven benchmark
+/// replays.
+///
+/// Each distinct file name is assigned a `fid` ("field" in the UMD record
+/// layout); worker threads pass their own `pid`.  Thread-safe.
+class TraceCapturingFs {
+ public:
+  /// `sample_name` is written into the trace header as the file replays
+  /// should target (the paper uses one large sample file).
+  TraceCapturingFs(io::ManagedFileSystem& fs, std::string sample_name);
+
+  /// Opens a managed file and records the Open.
+  [[nodiscard]] RecordingFile open(const std::string& name, io::OpenMode mode,
+                                   std::uint32_t pid = 0);
+
+  /// Number of distinct files seen so far.
+  [[nodiscard]] std::uint32_t num_files() const;
+
+  /// Finalizes the trace (fills header counts).
+  [[nodiscard]] trace::TraceFile finish();
+
+  [[nodiscard]] io::ManagedFileSystem& fs() { return fs_; }
+
+ private:
+  friend class RecordingFile;
+
+  void record(trace::TraceOp op, std::uint64_t offset, std::uint64_t length,
+              std::uint32_t pid, std::uint32_t fid);
+  std::uint32_t fid_of(const std::string& name);
+
+  io::ManagedFileSystem& fs_;
+  trace::TraceRecorder recorder_;
+  std::unordered_map<std::string, std::uint32_t> fids_;
+  std::uint32_t max_pid_ = 0;
+  mutable std::mutex mutex_;
+};
+
+/// A ManagedFile that mirrors every operation into the capture trace.
+/// Same interface subset as ManagedFile; movable; auto-closes.
+class RecordingFile {
+ public:
+  RecordingFile() = default;
+  RecordingFile(RecordingFile&& other) noexcept;
+  RecordingFile& operator=(RecordingFile&& other) noexcept;
+  ~RecordingFile();
+
+  std::size_t read(std::span<std::byte> out);
+  void read_exact(std::span<std::byte> out);
+  void write(std::span<const std::byte> data);
+  void seek(std::uint64_t pos);
+  void close();
+
+  [[nodiscard]] bool is_open() const { return capture_ != nullptr; }
+  [[nodiscard]] std::uint64_t position() const { return file_.position(); }
+  [[nodiscard]] std::uint64_t size() const { return file_.size(); }
+
+ private:
+  friend class TraceCapturingFs;
+  RecordingFile(TraceCapturingFs* capture, io::ManagedFile file,
+                std::uint32_t pid, std::uint32_t fid);
+
+  TraceCapturingFs* capture_ = nullptr;
+  io::ManagedFile file_;
+  std::uint32_t pid_ = 0;
+  std::uint32_t fid_ = 0;
+};
+
+}  // namespace clio::apps

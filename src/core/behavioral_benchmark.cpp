@@ -1,0 +1,64 @@
+#include "core/behavioral_benchmark.hpp"
+
+#include "util/error.hpp"
+
+namespace clio::core {
+
+QcrdFigures run_qcrd_figures(const QcrdRunConfig& config) {
+  util::check<util::ConfigError>(!config.workdir.empty(),
+                                 "run_qcrd_figures: workdir required");
+  const auto app = model::make_qcrd();
+
+  QcrdFigures figures;
+
+  // Model-predicted bars at paper scale (closed-form eqs. 3-5).
+  const auto reqs = app.per_program_requirements(config.paper_timebase_sec);
+  QcrdBar model_app{"Application", 0.0, 0.0};
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    QcrdBar bar;
+    bar.label = app.programs()[i].name();
+    bar.cpu_sec = reqs[i].cpu;
+    bar.io_sec = reqs[i].disk;
+    model_app.cpu_sec += reqs[i].cpu;
+    model_app.io_sec += reqs[i].disk;
+    figures.model_predicted.push_back(bar);
+  }
+  figures.model_predicted.insert(figures.model_predicted.begin(), model_app);
+
+  // Measured bars: execute the model for real.
+  sim::RealDriverOptions driver_options;
+  driver_options.workdir = config.workdir;
+  sim::RealExecutionDriver driver(driver_options);
+  const auto run = driver.run(app, config.timebase_sec);
+
+  QcrdBar measured_app{"Application", 0.0, 0.0};
+  for (const auto& program : run.programs) {
+    QcrdBar bar;
+    bar.label = program.name;
+    bar.cpu_sec = program.cpu_ms / 1e3;
+    bar.io_sec = program.io_ms / 1e3;
+    measured_app.cpu_sec += bar.cpu_sec;
+    measured_app.io_sec += bar.io_sec;
+    figures.measured.push_back(bar);
+  }
+  figures.measured.insert(figures.measured.begin(), measured_app);
+  figures.measured_disk_mb_s = run.disk_mb_s;
+  figures.wall_ms = run.wall_ms;
+  return figures;
+}
+
+std::vector<sim::SpeedupPoint> run_qcrd_disk_sweep(
+    const std::vector<std::size_t>& disks, double timebase_sec) {
+  sim::MachineConfig machine;
+  machine.cpus = 2;  // one per program; isolates the disk dimension
+  return sim::sweep_disks(model::make_qcrd(), machine, disks, timebase_sec);
+}
+
+std::vector<sim::SpeedupPoint> run_qcrd_cpu_sweep(
+    const std::vector<std::size_t>& cpus, double timebase_sec) {
+  sim::MachineConfig machine;
+  machine.disks = 1;
+  return sim::sweep_cpus(model::make_qcrd(), machine, cpus, timebase_sec);
+}
+
+}  // namespace clio::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <filesystem>
+
+#include "model/qcrd.hpp"
+#include "sim/real_driver.hpp"
+#include "sim/speedup.hpp"
+
+namespace clio::core {
+
+/// Benchmark 1 (paper §2): the behavioral-model-driven QCRD emulation.
+struct QcrdRunConfig {
+  /// Application timebase in seconds.  The paper's Figure 2 uses the full
+  /// 180-second run; the benches default to a scaled-down run and report
+  /// both measured values and model-predicted values at paper scale.
+  double timebase_sec = 1.0;
+  double paper_timebase_sec = 180.0;
+  std::filesystem::path workdir;
+};
+
+/// One bar group of Figures 2/3.
+struct QcrdBar {
+  std::string label;     ///< "Application", "Program1", "Program2"
+  double cpu_sec = 0.0;
+  double io_sec = 0.0;
+
+  [[nodiscard]] double cpu_pct() const {
+    const double total = cpu_sec + io_sec;
+    return total > 0 ? 100.0 * cpu_sec / total : 0.0;
+  }
+  [[nodiscard]] double io_pct() const { return 100.0 - cpu_pct(); }
+};
+
+struct QcrdFigures {
+  std::vector<QcrdBar> measured;         ///< real execution at timebase_sec
+  std::vector<QcrdBar> model_predicted;  ///< closed-form at paper scale
+  double measured_disk_mb_s = 0.0;
+  double wall_ms = 0.0;
+};
+
+/// Executes QCRD for real through the managed stack (Figures 2 and 3) and
+/// evaluates the closed-form requirements (eqs. 3-5) at paper scale.
+[[nodiscard]] QcrdFigures run_qcrd_figures(const QcrdRunConfig& config);
+
+/// Figure 4 series: speedup vs number of disks, via the DES.
+[[nodiscard]] std::vector<sim::SpeedupPoint> run_qcrd_disk_sweep(
+    const std::vector<std::size_t>& disks = {2, 4, 8, 16, 32},
+    double timebase_sec = 1.0);
+
+/// Figure 5 series: speedup vs number of CPUs, via the DES.
+[[nodiscard]] std::vector<sim::SpeedupPoint> run_qcrd_cpu_sweep(
+    const std::vector<std::size_t>& cpus = {2, 4, 8, 16, 32},
+    double timebase_sec = 1.0);
+
+}  // namespace clio::core

@@ -1,0 +1,33 @@
+#include "core/benchmark.hpp"
+
+#include "util/error.hpp"
+
+namespace clio::core {
+
+BenchmarkRegistry& BenchmarkRegistry::instance() {
+  static BenchmarkRegistry registry;
+  return registry;
+}
+
+void BenchmarkRegistry::add(const std::string& id, Factory factory) {
+  util::check<util::ConfigError>(!factories_.contains(id),
+                                 "BenchmarkRegistry: duplicate id " + id);
+  factories_.emplace(id, std::move(factory));
+}
+
+std::unique_ptr<Benchmark> BenchmarkRegistry::create(
+    const std::string& id) const {
+  const auto it = factories_.find(id);
+  util::check<util::ConfigError>(it != factories_.end(),
+                                 "BenchmarkRegistry: unknown id " + id);
+  return it->second();
+}
+
+std::vector<std::string> BenchmarkRegistry::ids() const {
+  std::vector<std::string> result;
+  result.reserve(factories_.size());
+  for (const auto& [id, _] : factories_) result.push_back(id);
+  return result;
+}
+
+}  // namespace clio::core

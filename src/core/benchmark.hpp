@@ -1,0 +1,37 @@
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace clio::core {
+
+/// A named experiment that can render its result as the paper's table or
+/// figure series.  The bench/ binaries are thin wrappers over these.
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Runs the workload and prints the paper-style rows to `os`.
+  virtual void run(std::ostream& os) = 0;
+};
+
+/// Global registry keyed by experiment id ("fig2", "table1", ...).
+class BenchmarkRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Benchmark>()>;
+
+  static BenchmarkRegistry& instance();
+
+  void add(const std::string& id, Factory factory);
+  [[nodiscard]] std::unique_ptr<Benchmark> create(const std::string& id) const;
+  [[nodiscard]] std::vector<std::string> ids() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace clio::core

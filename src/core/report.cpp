@@ -1,0 +1,135 @@
+#include "core/report.hpp"
+
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace clio::core {
+
+using util::format_fixed;
+using util::format_ms;
+using util::TextTable;
+
+void render_figure2(std::ostream& os, const QcrdFigures& figures) {
+  os << "Figure 2 — execution time of computation and disk I/O (seconds)\n";
+  TextTable measured({"bar", "CPU (s)", "IO (s)"});
+  for (const auto& bar : figures.measured) {
+    measured.add_row({bar.label, format_fixed(bar.cpu_sec, 3),
+                      format_fixed(bar.io_sec, 3)});
+  }
+  os << "measured (scaled run, calibrated at "
+     << format_fixed(figures.measured_disk_mb_s, 1) << " MB/s):\n";
+  measured.render(os);
+  TextTable model({"bar", "CPU (s)", "IO (s)"});
+  for (const auto& bar : figures.model_predicted) {
+    model.add_row({bar.label, format_fixed(bar.cpu_sec, 1),
+                   format_fixed(bar.io_sec, 1)});
+  }
+  os << "model-predicted at paper scale (T = 180 s):\n";
+  model.render(os);
+}
+
+void render_figure3(std::ostream& os, const QcrdFigures& figures) {
+  os << "Figure 3 — percentage of execution time (CPU vs disk I/O)\n";
+  TextTable table({"bar", "CPU (%)", "IO (%)"});
+  for (const auto& bar : figures.measured) {
+    table.add_row({bar.label, format_fixed(bar.cpu_pct(), 1),
+                   format_fixed(bar.io_pct(), 1)});
+  }
+  os << "measured:\n";
+  table.render(os);
+  TextTable model({"bar", "CPU (%)", "IO (%)"});
+  for (const auto& bar : figures.model_predicted) {
+    model.add_row({bar.label, format_fixed(bar.cpu_pct(), 1),
+                   format_fixed(bar.io_pct(), 1)});
+  }
+  os << "model-predicted:\n";
+  model.render(os);
+}
+
+void render_speedup_series(std::ostream& os, const std::string& x_label,
+                           const std::vector<sim::SpeedupPoint>& points) {
+  TextTable table({x_label, "Makespan (ms)", "Speedup"});
+  for (const auto& p : points) {
+    table.add_row({std::to_string(p.value), format_fixed(p.makespan_ms, 1),
+                   format_fixed(p.speedup, 3)});
+  }
+  table.render(os);
+}
+
+void render_app_summary(std::ostream& os, const std::string& app_name,
+                        std::uint64_t data_bytes,
+                        const TraceBenchResult& result, bool include_seek,
+                        bool include_write) {
+  std::vector<std::string> headers{"Appl. name", "Data size (Bytes)",
+                                   "Read time (ms)", "Open time (ms)",
+                                   "Close time (ms)"};
+  if (include_seek) headers.push_back("Seek time (ms)");
+  if (include_write) headers.push_back("Write time (ms)");
+  TextTable table(headers);
+  std::vector<std::string> row{app_name, std::to_string(data_bytes),
+                               format_ms(result.read_ms),
+                               format_ms(result.open_ms),
+                               format_ms(result.close_ms)};
+  if (include_seek) row.push_back(format_ms(result.seek_ms));
+  if (include_write) row.push_back(format_ms(result.write_ms));
+  table.add_row(row);
+  table.render(os);
+}
+
+void render_seek_rows(std::ostream& os, const trace::ReplayResult& replay,
+                      std::size_t max_rows) {
+  TextTable table({"Request number", "Data size (Bytes)", "Seek Time (ms)"});
+  std::size_t n = 0;
+  for (const auto& row : replay.rows) {
+    if (row.op != trace::TraceOp::kSeek) continue;
+    ++n;
+    table.add_row({std::to_string(n), std::to_string(row.offset),
+                   format_ms(row.ms)});
+    if (n >= max_rows) break;
+  }
+  table.render(os);
+}
+
+void render_seek_read_rows(std::ostream& os,
+                           const trace::ReplayResult& replay,
+                           std::size_t max_rows) {
+  TextTable table({"Request number", "Data size (Bytes)", "Seek time (ms)",
+                   "Read Time (ms)"});
+  // Pair each seek with the read that follows it, as Table 4 lays out.
+  std::size_t n = 0;
+  for (std::size_t i = 0; i + 1 < replay.rows.size() && n < max_rows; ++i) {
+    if (replay.rows[i].op != trace::TraceOp::kSeek ||
+        replay.rows[i + 1].op != trace::TraceOp::kRead) {
+      continue;
+    }
+    ++n;
+    table.add_row({std::to_string(n),
+                   std::to_string(replay.rows[i + 1].length),
+                   format_ms(replay.rows[i].ms),
+                   format_ms(replay.rows[i + 1].ms)});
+  }
+  table.render(os);
+}
+
+void render_table5(std::ostream& os, const std::vector<Table5Row>& rows) {
+  TextTable table({"Request number", "Data size (Bytes)", "Read Time (ms)",
+                   "Write Time (ms)"});
+  std::size_t n = 0;
+  for (const auto& row : rows) {
+    table.add_row({std::to_string(++n), std::to_string(row.bytes),
+                   format_ms(row.read_ms), format_ms(row.write_ms)});
+  }
+  table.render(os);
+}
+
+void render_table6(std::ostream& os, const std::vector<Table6Row>& rows) {
+  TextTable table({"Trial number", "Data size (Bytes)", "Read Time (ms)"});
+  for (const auto& row : rows) {
+    table.add_row({std::to_string(row.trial), std::to_string(row.bytes),
+                   format_ms(row.read_ms)});
+  }
+  table.render(os);
+}
+
+}  // namespace clio::core

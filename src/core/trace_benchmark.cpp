@@ -1,0 +1,59 @@
+#include "core/trace_benchmark.hpp"
+
+#include <cstdlib>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace clio::core {
+
+TraceBenchEnv::TraceBenchEnv(TraceBenchConfig config)
+    : config_(std::move(config)) {
+  util::check<util::ConfigError>(!config_.workdir.empty(),
+                                 "TraceBenchEnv: workdir required");
+  std::filesystem::create_directories(config_.workdir);
+  io::ManagedFsOptions options;
+  options.page_size = config_.page_size;
+  options.pool_pages = config_.pool_pages;
+  fs_ = std::make_unique<io::ManagedFileSystem>(
+      std::make_unique<io::RealFileStore>(config_.workdir), options);
+  // The large sample file all replayed I/O is issued against.
+  if (!fs_->exists(kSampleName) ||
+      util::file_size(config_.workdir / kSampleName) != config_.sample_bytes) {
+    util::create_sample_file(config_.workdir / kSampleName,
+                             config_.sample_bytes);
+  }
+}
+
+TraceBenchResult TraceBenchEnv::capture_and_replay(
+    const std::function<trace::TraceFile(apps::TraceCapturingFs&)>&
+        produce_trace) {
+  apps::TraceCapturingFs capture(*fs_, kSampleName);
+  const auto trace = produce_trace(capture);
+  return replay(trace);
+}
+
+TraceBenchResult TraceBenchEnv::replay(const trace::TraceFile& trace) {
+  if (config_.cold_cache) fs_->drop_caches();
+  trace::TraceReplayer replayer(*fs_);
+  TraceBenchResult result;
+  result.replay = replayer.replay(trace);
+  result.open_ms = result.replay.op(trace::TraceOp::kOpen).mean();
+  result.close_ms = result.replay.op(trace::TraceOp::kClose).mean();
+  result.read_ms = result.replay.op(trace::TraceOp::kRead).mean();
+  result.write_ms = result.replay.op(trace::TraceOp::kWrite).mean();
+  result.seek_ms = result.replay.op(trace::TraceOp::kSeek).mean();
+  return result;
+}
+
+TraceBenchConfig default_trace_config(const std::filesystem::path& workdir) {
+  TraceBenchConfig config;
+  config.workdir = workdir;
+  if (const char* env = std::getenv("CLIO_SAMPLE_BYTES"); env != nullptr) {
+    config.sample_bytes = util::parse_bytes(env);
+  }
+  return config;
+}
+
+}  // namespace clio::core

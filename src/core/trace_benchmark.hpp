@@ -1,0 +1,62 @@
+#pragma once
+
+#include <filesystem>
+#include <functional>
+
+#include "apps/trace_capture.hpp"
+#include "trace/replayer.hpp"
+
+namespace clio::core {
+
+/// Benchmark 2 (paper §3): trace-driven replay against a large sample file.
+struct TraceBenchConfig {
+  std::filesystem::path workdir;
+  /// Size of the sample file the I/O is issued against.  The paper uses
+  /// 1 GB; benches default smaller so full runs stay laptop-friendly
+  /// (override with CLIO_SAMPLE_BYTES).
+  std::uint64_t sample_bytes = 256ULL << 20;
+  std::size_t pool_pages = 4096;      ///< 16 MiB buffer pool
+  std::size_t page_size = 4096;
+  bool cold_cache = true;             ///< drop caches before replay
+};
+
+/// Result of replaying one application's trace.
+struct TraceBenchResult {
+  trace::ReplayResult replay;
+  double open_ms = 0.0;   ///< mean per op class, the Table 1/2 cells
+  double close_ms = 0.0;
+  double read_ms = 0.0;
+  double write_ms = 0.0;
+  double seek_ms = 0.0;
+};
+
+/// Environment for capture-then-replay benchmarks: owns the managed fs and
+/// the sample file, mirrors the paper's setup ("our simulator reads each
+/// trace file and performs the I/O operations on a local disk").
+class TraceBenchEnv {
+ public:
+  explicit TraceBenchEnv(TraceBenchConfig config);
+
+  /// Runs `produce_trace` (typically: execute one of the five applications
+  /// under capture) and replays the captured trace against the sample file.
+  TraceBenchResult capture_and_replay(
+      const std::function<trace::TraceFile(apps::TraceCapturingFs&)>&
+          produce_trace);
+
+  /// Replays an externally supplied trace.
+  TraceBenchResult replay(const trace::TraceFile& trace);
+
+  [[nodiscard]] io::ManagedFileSystem& fs() { return *fs_; }
+  [[nodiscard]] const TraceBenchConfig& config() const { return config_; }
+  static constexpr const char* kSampleName = "sample.bin";
+
+ private:
+  TraceBenchConfig config_;
+  std::unique_ptr<io::ManagedFileSystem> fs_;
+};
+
+/// Reads CLIO_SAMPLE_BYTES / CLIO_WORKDIR overrides from the environment.
+[[nodiscard]] TraceBenchConfig default_trace_config(
+    const std::filesystem::path& workdir);
+
+}  // namespace clio::core

@@ -1,0 +1,100 @@
+#include "core/webserver_benchmark.hpp"
+
+#include "io/file_store.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+
+namespace clio::core {
+namespace {
+
+/// Waits until the server has recorded `n` samples (workers record just
+/// before transmitting, so a tiny window can remain after the client
+/// returns).
+void wait_for_samples(const net::MiniWebServer& server, std::size_t n) {
+  for (int i = 0; i < 2000 && server.samples().size() < n; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  util::check<util::ClioError>(server.samples().size() >= n,
+                               "web bench: server lost samples");
+}
+
+}  // namespace
+
+WebServerBench::WebServerBench(WebBenchConfig config)
+    : config_(std::move(config)) {
+  util::check<util::ConfigError>(!config_.workdir.empty(),
+                                 "WebServerBench: workdir required");
+  std::filesystem::create_directories(config_.workdir);
+  fs_ = std::make_unique<io::ManagedFileSystem>(
+      std::make_unique<io::RealFileStore>(config_.workdir),
+      io::ManagedFsOptions{});
+  make_file("small.jpg", kSmall);
+  make_file("large.jpg", kLarge);
+  make_file("mid.jpg", kMid);
+
+  net::ServerOptions options;
+  options.vm_dispatch = config_.vm_dispatch;
+  options.vm_options.jit.compile_ns_per_byte = config_.jit_ns_per_byte;
+  server_ = std::make_unique<net::MiniWebServer>(*fs_, options);
+  server_->start();
+}
+
+WebServerBench::~WebServerBench() {
+  if (server_ != nullptr) server_->stop();
+}
+
+void WebServerBench::make_file(const std::string& name, std::uint64_t bytes) {
+  auto file = fs_->open(name, io::OpenMode::kTruncate);
+  std::vector<std::byte> content(static_cast<std::size_t>(bytes));
+  util::expected_sample_bytes(0, content);
+  file.write(content);
+  file.close();
+}
+
+std::vector<Table5Row> WebServerBench::run_table5() {
+  // Paper order: 7501, 50607, 14063 bytes.
+  const std::vector<std::pair<std::string, std::uint64_t>> files = {
+      {"small.jpg", kSmall}, {"large.jpg", kLarge}, {"mid.jpg", kMid}};
+  server_->clear_samples();
+  server_->make_cold();
+  net::HttpClient client(server_->port());
+  std::size_t expected = 0;
+  for (const auto& [name, bytes] : files) {
+    const auto get = client.get("/" + name);
+    util::check<util::ClioError>(get.status == 200, "web bench: GET failed");
+    const auto post = client.post("/" + name, get.body);
+    util::check<util::ClioError>(post.status == 201, "web bench: POST failed");
+    expected += 2;
+  }
+  wait_for_samples(*server_, expected);
+  const auto samples = server_->samples();
+  std::vector<Table5Row> rows;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    Table5Row row;
+    row.bytes = files[i].second;
+    row.read_ms = samples[2 * i].file_ms;
+    row.write_ms = samples[2 * i + 1].file_ms;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Table6Row> WebServerBench::run_table6(std::size_t trials) {
+  server_->clear_samples();
+  server_->make_cold();
+  net::HttpClient client(server_->port());
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto response = client.get("/mid.jpg");
+    util::check<util::ClioError>(response.status == 200,
+                                 "web bench: GET failed");
+  }
+  wait_for_samples(*server_, trials);
+  const auto samples = server_->samples();
+  std::vector<Table6Row> rows;
+  for (std::size_t t = 0; t < trials; ++t) {
+    rows.push_back(Table6Row{t + 1, samples[t].bytes, samples[t].file_ms});
+  }
+  return rows;
+}
+
+}  // namespace clio::core

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <filesystem>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+
+namespace clio::core {
+
+/// Benchmark 3 (paper §4): the multi-threaded web server micro benchmark.
+struct WebBenchConfig {
+  std::filesystem::path workdir;
+  bool vm_dispatch = true;  ///< managed handlers (JIT on first request)
+  std::int64_t jit_ns_per_byte = 25000;
+};
+
+/// Table 5 row: one file size, GET (read) and POST (write) response times.
+struct Table5Row {
+  std::uint64_t bytes = 0;
+  double read_ms = 0.0;
+  double write_ms = 0.0;
+};
+
+/// Table 6 / Figure 6 row: repeated reads of the same file.
+struct Table6Row {
+  std::size_t trial = 0;
+  std::uint64_t bytes = 0;
+  double read_ms = 0.0;
+};
+
+/// Owns a server over a managed docroot populated with the paper's three
+/// image-sized files (7501, 50607 and 14063 bytes).
+class WebServerBench {
+ public:
+  explicit WebServerBench(WebBenchConfig config);
+  ~WebServerBench();
+
+  /// Table 5 protocol: for each file size (server cold at the start), one
+  /// GET and one POST of that size, reporting the server-side file times.
+  [[nodiscard]] std::vector<Table5Row> run_table5();
+
+  /// Table 6 protocol: fully cold server, then `trials` consecutive GETs of
+  /// the same ~14 KB file.  The first read pays JIT + cold buffers.
+  [[nodiscard]] std::vector<Table6Row> run_table6(std::size_t trials = 6);
+
+  [[nodiscard]] net::MiniWebServer& server() { return *server_; }
+  [[nodiscard]] io::ManagedFileSystem& fs() { return *fs_; }
+
+  /// The paper's file sizes, in its Table 5 row order.
+  static constexpr std::uint64_t kSmall = 7501;
+  static constexpr std::uint64_t kLarge = 50607;
+  static constexpr std::uint64_t kMid = 14063;
+
+ private:
+  void make_file(const std::string& name, std::uint64_t bytes);
+
+  WebBenchConfig config_;
+  std::unique_ptr<io::ManagedFileSystem> fs_;
+  std::unique_ptr<net::MiniWebServer> server_;
+};
+
+}  // namespace clio::core

@@ -1,0 +1,226 @@
+#include "io/buffer_pool.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace clio::io {
+
+using util::check;
+using util::IoError;
+
+BufferPool::BufferPool(BackingStore& store, BufferPoolConfig config)
+    : store_(store), config_(config) {
+  check<util::ConfigError>(config_.page_size >= 64,
+                           "BufferPool: page_size must be >= 64");
+  check<util::ConfigError>(config_.capacity_pages >= 1,
+                           "BufferPool: capacity must be >= 1 page");
+  frames_.resize(config_.capacity_pages);
+  free_frames_.reserve(config_.capacity_pages);
+  for (std::size_t i = config_.capacity_pages; i > 0; --i) {
+    free_frames_.push_back(i - 1);
+  }
+}
+
+BufferPool::~BufferPool() {
+  // Best effort: persist dirty pages.  Failures are swallowed because a
+  // destructor must not throw; callers who care flush explicitly.
+  try {
+    flush_all();
+  } catch (...) {
+  }
+}
+
+// ------------------------------------------------------------- guards ----
+
+BufferPool::PageGuard::PageGuard(BufferPool* pool, std::size_t frame)
+    : pool_(pool), frame_(frame) {}
+
+BufferPool::PageGuard::PageGuard(PageGuard&& other) noexcept
+    : pool_(other.pool_), frame_(other.frame_) {
+  other.pool_ = nullptr;
+}
+
+BufferPool::PageGuard& BufferPool::PageGuard::operator=(
+    PageGuard&& other) noexcept {
+  if (this != &other) {
+    if (pool_ != nullptr) pool_->unpin(frame_);
+    pool_ = other.pool_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+  }
+  return *this;
+}
+
+BufferPool::PageGuard::~PageGuard() {
+  if (pool_ != nullptr) pool_->unpin(frame_);
+}
+
+std::span<std::byte> BufferPool::PageGuard::data() const {
+  check<IoError>(pool_ != nullptr, "PageGuard: empty guard");
+  return pool_->frames_[frame_].data;
+}
+
+std::size_t BufferPool::PageGuard::valid_bytes() const {
+  check<IoError>(pool_ != nullptr, "PageGuard: empty guard");
+  return pool_->frames_[frame_].valid_bytes;
+}
+
+void BufferPool::PageGuard::mark_dirty(std::size_t up_to) {
+  check<IoError>(pool_ != nullptr, "PageGuard: empty guard");
+  Frame& f = pool_->frames_[frame_];
+  check<IoError>(up_to <= f.data.size(), "PageGuard: dirty extent > page");
+  std::lock_guard<std::mutex> lock(pool_->mutex_);
+  f.dirty = true;
+  f.valid_bytes = std::max(f.valid_bytes, up_to);
+  auto& extent = pool_->dirty_extent_[f.file];
+  extent = std::max(extent,
+                    f.page_no * pool_->config_.page_size + f.valid_bytes);
+}
+
+// --------------------------------------------------------------- pool ----
+
+BufferPool::PageGuard BufferPool::pin(FileId file, std::uint64_t page_no) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t idx = find_or_load(file, page_no,
+                                       /*count_as_prefetch=*/false);
+  frames_[idx].pins++;
+  touch(idx);
+  return PageGuard(this, idx);
+}
+
+bool BufferPool::prefetch(FileId file, std::uint64_t page_no) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (page_table_.contains(PageKey{file, page_no})) return false;
+  const std::size_t idx = find_or_load(file, page_no,
+                                       /*count_as_prefetch=*/true);
+  touch(idx);
+  return true;
+}
+
+bool BufferPool::contains(FileId file, std::uint64_t page_no) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return page_table_.contains(PageKey{file, page_no});
+}
+
+std::size_t BufferPool::find_or_load(FileId file, std::uint64_t page_no,
+                                     bool count_as_prefetch) {
+  if (auto it = page_table_.find(PageKey{file, page_no});
+      it != page_table_.end()) {
+    if (!count_as_prefetch) stats_.hits++;
+    return it->second;
+  }
+  if (count_as_prefetch) {
+    stats_.prefetches++;
+  } else {
+    stats_.misses++;
+  }
+  const std::size_t idx = allocate_frame();
+  load_frame(idx, file, page_no);
+  page_table_.emplace(PageKey{file, page_no}, idx);
+  return idx;
+}
+
+std::size_t BufferPool::allocate_frame() {
+  if (!free_frames_.empty()) {
+    const std::size_t idx = free_frames_.back();
+    free_frames_.pop_back();
+    frames_[idx].lru_pos = lru_.insert(lru_.begin(), idx);
+    return idx;
+  }
+  // Evict the least recently used unpinned frame.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    Frame& f = frames_[*it];
+    if (f.pins > 0) continue;
+    const std::size_t idx = *it;
+    if (f.dirty) write_back(f);
+    page_table_.erase(PageKey{f.file, f.page_no});
+    stats_.evictions++;
+    f.in_use = false;
+    touch(idx);  // move to MRU position for reuse
+    return idx;
+  }
+  throw IoError("BufferPool: all frames pinned, cannot allocate");
+}
+
+void BufferPool::load_frame(std::size_t idx, FileId file,
+                            std::uint64_t page_no) {
+  Frame& f = frames_[idx];
+  f.file = file;
+  f.page_no = page_no;
+  f.data.assign(config_.page_size, std::byte{0});
+  f.valid_bytes =
+      store_.read(file, page_no * config_.page_size, f.data);
+  f.pins = 0;
+  f.dirty = false;
+  f.in_use = true;
+}
+
+void BufferPool::write_back(Frame& frame) {
+  store_.write(frame.file, frame.page_no * config_.page_size,
+               std::span<const std::byte>(frame.data.data(),
+                                          frame.valid_bytes));
+  frame.dirty = false;
+  stats_.writebacks++;
+}
+
+void BufferPool::touch(std::size_t idx) {
+  lru_.splice(lru_.begin(), lru_, frames_[idx].lru_pos);
+}
+
+void BufferPool::unpin(std::size_t idx) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Frame& f = frames_[idx];
+  check<IoError>(f.pins > 0, "BufferPool: unpin of unpinned frame");
+  f.pins--;
+}
+
+void BufferPool::flush_file(FileId file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Frame& f : frames_) {
+    if (f.in_use && f.file == file && f.dirty) write_back(f);
+  }
+}
+
+void BufferPool::flush_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Frame& f : frames_) {
+    if (f.in_use && f.dirty) write_back(f);
+  }
+}
+
+std::uint64_t BufferPool::logical_file_size(FileId file) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t store_size = store_.size(file);
+  const auto it = dirty_extent_.find(file);
+  if (it == dirty_extent_.end()) return store_size;
+  return std::max(store_size, it->second);
+}
+
+void BufferPool::discard_file(FileId file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  dirty_extent_.erase(file);
+  for (std::size_t i = 0; i < frames_.size(); ++i) {
+    Frame& f = frames_[i];
+    if (!f.in_use || f.file != file) continue;
+    check<IoError>(f.pins == 0, "BufferPool: discard of pinned page");
+    page_table_.erase(PageKey{f.file, f.page_no});
+    f.in_use = false;
+    f.dirty = false;
+    lru_.erase(f.lru_pos);
+    free_frames_.push_back(i);
+  }
+}
+
+PoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t BufferPool::resident_pages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return page_table_.size();
+}
+
+}  // namespace clio::io

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "io/file_store.hpp"
+
+namespace clio::io {
+
+/// Buffer pool configuration.  Defaults give a 16 MiB cache of 4 KiB pages,
+/// mirroring the OS-level I/O buffers the paper's SSCLI experiments observe.
+struct BufferPoolConfig {
+  std::size_t page_size = 4096;
+  std::size_t capacity_pages = 4096;
+};
+
+/// Counters exposed for tests and ablation benches.
+struct PoolStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t prefetches = 0;  ///< pages loaded by prefetch (not in misses)
+};
+
+/// Page-granular LRU cache over a BackingStore.
+///
+/// This is the component responsible for every first-touch effect in the
+/// paper: cold pages pay a backing-store access ("a page fault occurs,
+/// resulting in the corresponding page being fetched from the disk into the
+/// buffers"), warm pages are served from memory, and dirty pages are written
+/// back on eviction or flush — which is why closing a file costs more than
+/// opening it (Tables 1-4).
+///
+/// Thread-safe: one mutex guards metadata and load/write-back I/O.  Pinned
+/// pages are never evicted; data access through a PageGuard is lock-free and
+/// safe provided no two threads write the same page concurrently (the
+/// benchmarks never do — POST creates uniquely-named files, as in the paper).
+class BufferPool {
+ public:
+  BufferPool(BackingStore& store, BufferPoolConfig config = {});
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool();
+
+  /// RAII pin on a cached page.  While alive the frame cannot be evicted.
+  class PageGuard {
+   public:
+    PageGuard() = default;
+    PageGuard(BufferPool* pool, std::size_t frame);
+    PageGuard(PageGuard&& other) noexcept;
+    PageGuard& operator=(PageGuard&& other) noexcept;
+    PageGuard(const PageGuard&) = delete;
+    PageGuard& operator=(const PageGuard&) = delete;
+    ~PageGuard();
+
+    /// Whole page bytes (page_size long, zero-filled past EOF).
+    [[nodiscard]] std::span<std::byte> data() const;
+
+    /// Bytes of the page that hold real file content.
+    [[nodiscard]] std::size_t valid_bytes() const;
+
+    /// Marks the page dirty and extends its valid extent to `up_to` bytes.
+    void mark_dirty(std::size_t up_to);
+
+    [[nodiscard]] bool empty() const { return pool_ == nullptr; }
+
+   private:
+    BufferPool* pool_ = nullptr;
+    std::size_t frame_ = 0;
+  };
+
+  /// Pins page `page_no` of `file`, loading it on a miss.
+  PageGuard pin(FileId file, std::uint64_t page_no);
+
+  /// Loads a page into the cache without pinning it, if absent.
+  /// Returns true if the page was actually loaded (i.e. it was cold).
+  bool prefetch(FileId file, std::uint64_t page_no);
+
+  /// True if the page is resident (test/diagnostic helper).
+  [[nodiscard]] bool contains(FileId file, std::uint64_t page_no) const;
+
+  /// Writes back all dirty pages of `file`.
+  void flush_file(FileId file);
+
+  /// Writes back every dirty page.
+  void flush_all();
+
+  /// Drops all pages of `file` without write-back (used after remove).
+  void discard_file(FileId file);
+
+  /// Logical size of the file as seen through the cache: the backing
+  /// store's size extended by any dirty page not yet written back.
+  [[nodiscard]] std::uint64_t logical_file_size(FileId file) const;
+
+  [[nodiscard]] PoolStats stats() const;
+  [[nodiscard]] std::size_t page_size() const { return config_.page_size; }
+  [[nodiscard]] std::size_t capacity_pages() const {
+    return config_.capacity_pages;
+  }
+  [[nodiscard]] std::size_t resident_pages() const;
+  [[nodiscard]] BackingStore& store() { return store_; }
+
+ private:
+  struct Frame {
+    FileId file = kInvalidFile;
+    std::uint64_t page_no = 0;
+    std::vector<std::byte> data;
+    std::size_t valid_bytes = 0;
+    std::uint32_t pins = 0;
+    bool dirty = false;
+    bool in_use = false;
+    std::list<std::size_t>::iterator lru_pos;
+  };
+
+  struct PageKey {
+    FileId file;
+    std::uint64_t page_no;
+    bool operator==(const PageKey&) const = default;
+  };
+  struct PageKeyHash {
+    std::size_t operator()(const PageKey& k) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.file) << 48) ^ k.page_no);
+    }
+  };
+
+  // All private helpers assume mutex_ is held.
+  std::size_t find_or_load(FileId file, std::uint64_t page_no,
+                           bool count_as_prefetch);
+  std::size_t allocate_frame();
+  void load_frame(std::size_t idx, FileId file, std::uint64_t page_no);
+  void write_back(Frame& frame);
+  void touch(std::size_t idx);
+  void unpin(std::size_t idx);
+
+  BackingStore& store_;
+  BufferPoolConfig config_;
+  std::vector<Frame> frames_;
+  std::list<std::size_t> lru_;  ///< front = most recently used
+  std::vector<std::size_t> free_frames_;
+  std::unordered_map<PageKey, std::size_t, PageKeyHash> page_table_;
+  /// Furthest byte ever dirtied per file; only grows, erased on discard.
+  std::unordered_map<FileId, std::uint64_t> dirty_extent_;
+  PoolStats stats_;
+  mutable std::mutex mutex_;
+
+  friend class PageGuard;
+};
+
+}  // namespace clio::io

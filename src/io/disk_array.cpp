@@ -1,0 +1,69 @@
+#include "io/disk_array.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace clio::io {
+
+DiskArray::DiskArray(std::size_t num_disks, std::uint64_t stripe_bytes,
+                     const DiskParams& params)
+    : stripe_bytes_(stripe_bytes) {
+  util::check<util::ConfigError>(num_disks > 0,
+                                 "DiskArray: need at least one disk");
+  util::check<util::ConfigError>(stripe_bytes > 0,
+                                 "DiskArray: stripe unit must be > 0");
+  disks_.reserve(num_disks);
+  for (std::size_t i = 0; i < num_disks; ++i) disks_.emplace_back(params);
+}
+
+std::vector<StripeExtent> DiskArray::map(std::uint64_t offset,
+                                         std::uint64_t length) const {
+  std::vector<StripeExtent> extents;
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = length;
+  // Pure seek (length 0): map to the disk owning the target stripe.
+  if (remaining == 0) {
+    const std::uint64_t stripe = pos / stripe_bytes_;
+    extents.push_back(
+        StripeExtent{static_cast<std::size_t>(stripe % disks_.size()),
+                     (stripe / disks_.size()) * stripe_bytes_ +
+                         pos % stripe_bytes_,
+                     0});
+    return extents;
+  }
+  while (remaining > 0) {
+    const std::uint64_t stripe = pos / stripe_bytes_;
+    const std::uint64_t within = pos % stripe_bytes_;
+    const std::uint64_t take = std::min(remaining, stripe_bytes_ - within);
+    extents.push_back(StripeExtent{
+        static_cast<std::size_t>(stripe % disks_.size()),
+        (stripe / disks_.size()) * stripe_bytes_ + within, take});
+    pos += take;
+    remaining -= take;
+  }
+  return extents;
+}
+
+double DiskArray::access_ms(std::uint64_t offset, std::uint64_t length) {
+  const auto extents = map(offset, length);
+  // Coalesce per-disk: each disk serves its pieces back to back; the
+  // logical request completes when the slowest disk does.
+  std::vector<double> per_disk(disks_.size(), 0.0);
+  for (const auto& e : extents) {
+    per_disk[e.disk] += disks_[e.disk].access_ms(e.disk_offset, e.length);
+  }
+  return *std::max_element(per_disk.begin(), per_disk.end());
+}
+
+double DiskArray::total_busy_ms() const {
+  double total = 0.0;
+  for (const auto& d : disks_) total += d.busy_ms();
+  return total;
+}
+
+void DiskArray::reset_counters() {
+  for (auto& d : disks_) d.reset_counters();
+}
+
+}  // namespace clio::io

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+
+namespace clio::io {
+
+/// Parameters of one simulated disk, circa the paper's 2004 hardware
+/// (a desktop IDE drive).  The defaults matter only for the discrete-event
+/// experiments (Figures 4-5); trace replay uses real files.
+struct DiskParams {
+  double min_seek_ms = 1.0;    ///< single-track seek
+  double avg_seek_ms = 8.5;    ///< average (1/3-stroke) seek
+  double rpm = 7200.0;         ///< spindle speed
+  double transfer_mb_s = 55.0; ///< sustained media transfer rate
+  double overhead_ms = 0.10;   ///< controller/command overhead per request
+  std::uint64_t capacity_bytes = 64ULL << 30;  ///< addressable span
+};
+
+/// Analytic service-time model of a single disk, after Ruemmler & Wilkes.
+///
+/// Seek time follows the standard concave square-root curve between the
+/// single-track and full-stroke costs; rotational latency averages half a
+/// revolution; transfer is linear in request length.  The model is
+/// deliberately simple — the paper's Figure 4 depends only on the *relative*
+/// cost of I/O as disks are added, not on device fidelity.
+class DiskModel {
+ public:
+  explicit DiskModel(const DiskParams& params);
+
+  /// Seek cost from byte address `from` to `to`.
+  [[nodiscard]] double seek_time_ms(std::uint64_t from, std::uint64_t to) const;
+
+  /// Expected rotational delay (half a revolution).
+  [[nodiscard]] double rotational_latency_ms() const;
+
+  /// Media transfer time for `bytes`.
+  [[nodiscard]] double transfer_time_ms(std::uint64_t bytes) const;
+
+  /// Full request service time: overhead + seek + rotation + transfer.
+  /// A zero-byte request (pure seek) skips the rotational term.
+  [[nodiscard]] double service_time_ms(std::uint64_t head_pos,
+                                       std::uint64_t offset,
+                                       std::uint64_t bytes) const;
+
+  [[nodiscard]] const DiskParams& params() const { return params_; }
+
+ private:
+  DiskParams params_;
+  double full_stroke_ms_;  ///< derived: seek across the whole span
+};
+
+/// A disk with a remembered head position; serves requests in arrival order
+/// and accumulates busy time.  This is the unit the DiskArray stripes over
+/// and the DES schedules.
+class SimDisk {
+ public:
+  explicit SimDisk(const DiskParams& params) : model_(params) {}
+
+  /// Services a request, advances the head, and returns the service time.
+  double access_ms(std::uint64_t offset, std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t head_position() const { return head_; }
+  [[nodiscard]] double busy_ms() const { return busy_ms_; }
+  [[nodiscard]] std::uint64_t requests_served() const { return requests_; }
+  [[nodiscard]] std::uint64_t bytes_served() const { return bytes_; }
+  [[nodiscard]] const DiskModel& model() const { return model_; }
+
+  void reset_counters();
+
+ private:
+  DiskModel model_;
+  std::uint64_t head_ = 0;
+  double busy_ms_ = 0.0;
+  std::uint64_t requests_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace clio::io

@@ -1,0 +1,256 @@
+#include "io/file_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace clio::io {
+
+using util::check;
+using util::IoError;
+
+// ---------------------------------------------------------------- Real ----
+
+RealFileStore::RealFileStore(std::filesystem::path root)
+    : root_(std::move(root)) {
+  std::filesystem::create_directories(root_);
+}
+
+RealFileStore::~RealFileStore() {
+  for (auto& e : entries_) {
+    if (e.fd >= 0) ::close(e.fd);
+  }
+}
+
+FileId RealFileStore::open(const std::string& name, bool create) {
+  check<IoError>(!name.empty() && name.find('/') == std::string::npos,
+                 "RealFileStore: file names must be flat and non-empty");
+  std::lock_guard<std::mutex> lock(mutex_);
+  int flags = O_RDWR;
+  if (create) flags |= O_CREAT;
+  const auto path = root_ / name;
+  if (auto it = by_name_.find(name); it != by_name_.end()) {
+    Entry& e = entries_[it->second];
+    if (e.fd < 0) {
+      // Re-binding a retired-but-remembered name: same id, fresh fd, so
+      // buffer-pool pages cached under this id stay valid.
+      e.fd = ::open(path.c_str(), flags, 0644);
+      if (e.fd < 0) {
+        throw IoError("RealFileStore: reopen('" + path.string() +
+                      "') failed: " + std::strerror(errno));
+      }
+    }
+    e.refs++;
+    return it->second;
+  }
+  const int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    throw IoError("RealFileStore: open('" + path.string() +
+                  "') failed: " + std::strerror(errno));
+  }
+  const auto id = static_cast<FileId>(entries_.size());
+  entries_.push_back(Entry{fd, name, 1});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+void RealFileStore::close(FileId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check<IoError>(id < entries_.size() && entries_[id].fd >= 0,
+                 "RealFileStore: close of invalid id");
+  Entry& e = entries_[id];
+  if (--e.refs > 0) return;
+  ::close(e.fd);
+  e.fd = -1;
+  // The name->id binding survives so a reopen finds warm cache pages.
+}
+
+int RealFileStore::fd_of(FileId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  check<IoError>(id < entries_.size() && entries_[id].fd >= 0,
+                 "RealFileStore: invalid file id");
+  return entries_[id].fd;
+}
+
+std::uint64_t RealFileStore::size(FileId id) const {
+  struct stat st {};
+  check<IoError>(::fstat(fd_of(id), &st) == 0, "RealFileStore: fstat failed");
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+void RealFileStore::truncate(FileId id, std::uint64_t new_size) {
+  check<IoError>(::ftruncate(fd_of(id), static_cast<off_t>(new_size)) == 0,
+                 "RealFileStore: ftruncate failed");
+}
+
+std::size_t RealFileStore::read(FileId id, std::uint64_t offset,
+                                std::span<std::byte> out) {
+  std::size_t total = 0;
+  while (total < out.size()) {
+    const ssize_t n =
+        ::pread(fd_of(id), out.data() + total, out.size() - total,
+                static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("RealFileStore: pread failed: ") +
+                    std::strerror(errno));
+    }
+    if (n == 0) break;  // EOF
+    total += static_cast<std::size_t>(n);
+  }
+  return total;
+}
+
+void RealFileStore::write(FileId id, std::uint64_t offset,
+                          std::span<const std::byte> data) {
+  std::size_t total = 0;
+  while (total < data.size()) {
+    const ssize_t n =
+        ::pwrite(fd_of(id), data.data() + total, data.size() - total,
+                 static_cast<off_t>(offset + total));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("RealFileStore: pwrite failed: ") +
+                    std::strerror(errno));
+    }
+    total += static_cast<std::size_t>(n);
+  }
+}
+
+bool RealFileStore::exists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::filesystem::exists(root_ / name);
+}
+
+FileId RealFileStore::lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidFile : it->second;
+}
+
+void RealFileStore::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = by_name_.find(name); it != by_name_.end()) {
+    check<IoError>(entries_[it->second].refs == 0,
+                   "RealFileStore: cannot remove an open file");
+    by_name_.erase(it);  // retire the id; it is never reused
+  }
+  std::filesystem::remove(root_ / name);
+}
+
+// ----------------------------------------------------------------- Sim ----
+
+SimFileStore::SimFileStore(std::size_t num_disks, std::uint64_t stripe_bytes,
+                           const DiskParams& params)
+    : array_(num_disks, stripe_bytes, params) {}
+
+FileId SimFileStore::open(const std::string& name, bool create) {
+  if (auto it = by_name_.find(name); it != by_name_.end()) {
+    Entry& e = entries_[it->second];
+    e.refs++;
+    return it->second;
+  }
+  check<IoError>(create, "SimFileStore: no such file '" + name + "'");
+  const auto id = static_cast<FileId>(entries_.size());
+  Entry e;
+  e.name = name;
+  // Scatter files across the modeled address space so inter-file seeks have
+  // non-trivial distance, like separate regions of a real platter.
+  util::SplitMix64 hash(std::hash<std::string>{}(name));
+  e.base_address = hash.next() % (32ULL << 30);
+  e.refs = 1;
+  e.live = true;
+  entries_.push_back(std::move(e));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+void SimFileStore::close(FileId id) {
+  Entry& e = entry_of(id);
+  check<IoError>(e.refs > 0, "SimFileStore: close of closed id");
+  e.refs--;
+}
+
+SimFileStore::Entry& SimFileStore::entry_of(FileId id) {
+  check<IoError>(id < entries_.size() && entries_[id].live,
+                 "SimFileStore: invalid file id");
+  return entries_[id];
+}
+
+const SimFileStore::Entry& SimFileStore::entry_of(FileId id) const {
+  check<IoError>(id < entries_.size() && entries_[id].live,
+                 "SimFileStore: invalid file id");
+  return entries_[id];
+}
+
+std::uint64_t SimFileStore::size(FileId id) const {
+  const Entry& e = entry_of(id);
+  check<IoError>(e.refs > 0, "SimFileStore: size of closed id");
+  return e.data.size();
+}
+
+void SimFileStore::truncate(FileId id, std::uint64_t new_size) {
+  Entry& e = entry_of(id);
+  check<IoError>(e.refs > 0, "SimFileStore: truncate of closed id");
+  e.data.resize(static_cast<std::size_t>(new_size));
+}
+
+std::size_t SimFileStore::read(FileId id, std::uint64_t offset,
+                               std::span<std::byte> out) {
+  Entry& e = entry_of(id);
+  check<IoError>(e.refs > 0, "SimFileStore: read of closed id");
+  if (offset >= e.data.size()) {
+    // Charge the arm movement even for a miss past EOF.
+    pending_model_ms_ += array_.access_ms(e.base_address + offset, 0);
+    return 0;
+  }
+  const std::size_t n = std::min<std::size_t>(
+      out.size(), e.data.size() - static_cast<std::size_t>(offset));
+  std::memcpy(out.data(), e.data.data() + offset, n);
+  pending_model_ms_ += array_.access_ms(e.base_address + offset, n);
+  return n;
+}
+
+void SimFileStore::write(FileId id, std::uint64_t offset,
+                         std::span<const std::byte> data) {
+  Entry& e = entry_of(id);
+  check<IoError>(e.refs > 0, "SimFileStore: write of closed id");
+  const std::uint64_t end = offset + data.size();
+  if (end > e.data.size()) e.data.resize(static_cast<std::size_t>(end));
+  std::memcpy(e.data.data() + offset, data.data(), data.size());
+  pending_model_ms_ += array_.access_ms(e.base_address + offset, data.size());
+}
+
+bool SimFileStore::exists(const std::string& name) const {
+  return by_name_.find(name) != by_name_.end();
+}
+
+FileId SimFileStore::lookup(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidFile : it->second;
+}
+
+void SimFileStore::remove(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return;
+  check<IoError>(entries_[it->second].refs == 0,
+                 "SimFileStore: cannot remove an open file");
+  entries_[it->second].live = false;
+  entries_[it->second].data.clear();
+  by_name_.erase(it);
+}
+
+double SimFileStore::consume_model_ms() {
+  const double t = pending_model_ms_;
+  pending_model_ms_ = 0.0;
+  return t;
+}
+
+}  // namespace clio::io

@@ -1,0 +1,148 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "io/disk_array.hpp"
+
+namespace clio::io {
+
+/// Opaque handle to a file within a BackingStore.
+using FileId = std::uint32_t;
+inline constexpr FileId kInvalidFile = UINT32_MAX;
+
+/// Abstract block storage beneath the buffer pool.
+///
+/// Two implementations: RealFileStore does real kernel I/O against files in
+/// a directory (used by all replay/web-server benchmarks), SimFileStore
+/// keeps bytes in memory and charges a DiskArray cost model (used by the
+/// discrete-event experiments, where modeled time, not wall time, matters).
+class BackingStore {
+ public:
+  virtual ~BackingStore() = default;
+
+  /// Opens (or creates, if `create`) the named file; returns its id.
+  /// Opening the same name twice returns the same id.
+  virtual FileId open(const std::string& name, bool create) = 0;
+
+  /// Closes the id.  Later open() of the same name re-yields a valid id.
+  virtual void close(FileId id) = 0;
+
+  [[nodiscard]] virtual std::uint64_t size(FileId id) const = 0;
+
+  virtual void truncate(FileId id, std::uint64_t new_size) = 0;
+
+  /// Reads up to out.size() bytes at `offset`; returns bytes actually read
+  /// (short at EOF, 0 past EOF).
+  virtual std::size_t read(FileId id, std::uint64_t offset,
+                           std::span<std::byte> out) = 0;
+
+  /// Writes all bytes at `offset`, extending the file if needed.
+  virtual void write(FileId id, std::uint64_t offset,
+                     std::span<const std::byte> data) = 0;
+
+  /// Returns true if the named file exists in the store.
+  [[nodiscard]] virtual bool exists(const std::string& name) const = 0;
+
+  /// The id the name is (or was) bound to, kInvalidFile if never opened.
+  /// Ids are stable across close/reopen of the same name — like an inode —
+  /// so buffer-pool pages stay warm between uses; remove() retires the id.
+  [[nodiscard]] virtual FileId lookup(const std::string& name) const = 0;
+
+  virtual void remove(const std::string& name) = 0;
+};
+
+/// BackingStore over a real directory using POSIX descriptors and
+/// pread/pwrite (thread-safe positioned I/O).  Metadata operations are
+/// mutex-guarded, so concurrent opens/reads from worker threads are safe;
+/// SimFileStore, by contrast, is single-threaded by design (it backs the
+/// discrete-event simulator).
+class RealFileStore final : public BackingStore {
+ public:
+  explicit RealFileStore(std::filesystem::path root);
+  ~RealFileStore() override;
+
+  RealFileStore(const RealFileStore&) = delete;
+  RealFileStore& operator=(const RealFileStore&) = delete;
+
+  FileId open(const std::string& name, bool create) override;
+  void close(FileId id) override;
+  [[nodiscard]] std::uint64_t size(FileId id) const override;
+  void truncate(FileId id, std::uint64_t new_size) override;
+  std::size_t read(FileId id, std::uint64_t offset,
+                   std::span<std::byte> out) override;
+  void write(FileId id, std::uint64_t offset,
+             std::span<const std::byte> data) override;
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  [[nodiscard]] FileId lookup(const std::string& name) const override;
+  void remove(const std::string& name) override;
+
+  [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+ private:
+  struct Entry {
+    int fd = -1;
+    std::string name;
+    std::uint32_t refs = 0;
+  };
+
+  int fd_of(FileId id) const;
+
+  std::filesystem::path root_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, FileId> by_name_;
+  mutable std::mutex mutex_;
+};
+
+/// In-memory BackingStore that charges every access to a striped DiskArray
+/// cost model.  `consume_model_ms()` drains the accumulated modeled time so
+/// a simulator can advance its clock by it.
+class SimFileStore final : public BackingStore {
+ public:
+  /// The store places file f's byte b at array address hash(f)+b, so
+  /// distinct files live in distinct regions of the address space.
+  SimFileStore(std::size_t num_disks, std::uint64_t stripe_bytes,
+               const DiskParams& params = DiskParams{});
+
+  FileId open(const std::string& name, bool create) override;
+  void close(FileId id) override;
+  [[nodiscard]] std::uint64_t size(FileId id) const override;
+  void truncate(FileId id, std::uint64_t new_size) override;
+  std::size_t read(FileId id, std::uint64_t offset,
+                   std::span<std::byte> out) override;
+  void write(FileId id, std::uint64_t offset,
+             std::span<const std::byte> data) override;
+  [[nodiscard]] bool exists(const std::string& name) const override;
+  [[nodiscard]] FileId lookup(const std::string& name) const override;
+  void remove(const std::string& name) override;
+
+  /// Returns and clears the modeled time accumulated since the last call.
+  double consume_model_ms();
+
+  [[nodiscard]] const DiskArray& array() const { return array_; }
+
+ private:
+  struct Entry {
+    std::vector<std::byte> data;
+    std::string name;
+    std::uint64_t base_address = 0;
+    std::uint32_t refs = 0;
+    bool live = false;
+  };
+
+  Entry& entry_of(FileId id);
+  const Entry& entry_of(FileId id) const;
+
+  DiskArray array_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, FileId> by_name_;
+  double pending_model_ms_ = 0.0;
+};
+
+}  // namespace clio::io

@@ -1,0 +1,77 @@
+#include "io/io_stats.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace clio::io {
+
+std::string_view io_op_name(IoOp op) {
+  switch (op) {
+    case IoOp::kOpen:
+      return "open";
+    case IoOp::kClose:
+      return "close";
+    case IoOp::kRead:
+      return "read";
+    case IoOp::kWrite:
+      return "write";
+    case IoOp::kSeek:
+      return "seek";
+  }
+  return "?";
+}
+
+IoStats::IoStats(bool keep_records) : keep_records_(keep_records) {}
+
+void IoStats::record(IoOp op, std::uint64_t bytes, double ms) {
+  const auto idx = static_cast<std::size_t>(op);
+  util::check<util::ConfigError>(idx < kIoOpCount, "IoStats: bad op");
+  stats_[idx].push(ms);
+  histograms_[idx].push(static_cast<std::uint64_t>(ms * 1e6));
+  bytes_[idx] += bytes;
+  if (keep_records_) records_.push_back(OpRecord{op, bytes, ms});
+}
+
+void IoStats::reset() {
+  for (auto& s : stats_) s.reset();
+  for (auto& h : histograms_) h.reset();
+  bytes_.fill(0);
+  records_.clear();
+}
+
+const util::RunningStats& IoStats::op_stats(IoOp op) const {
+  return stats_.at(static_cast<std::size_t>(op));
+}
+
+const util::LatencyHistogram& IoStats::op_histogram(IoOp op) const {
+  return histograms_.at(static_cast<std::size_t>(op));
+}
+
+double IoStats::total_ms() const {
+  double total = 0.0;
+  for (const auto& s : stats_) total += s.sum();
+  return total;
+}
+
+std::uint64_t IoStats::total_bytes() const {
+  return bytes_[static_cast<std::size_t>(IoOp::kRead)] +
+         bytes_[static_cast<std::size_t>(IoOp::kWrite)];
+}
+
+void IoStats::render(std::ostream& os) const {
+  util::TextTable table(
+      {"op", "count", "mean (ms)", "min (ms)", "max (ms)", "bytes"});
+  for (std::size_t i = 0; i < kIoOpCount; ++i) {
+    const auto& s = stats_[i];
+    if (s.count() == 0) continue;
+    table.add_row({std::string(io_op_name(static_cast<IoOp>(i))),
+                   std::to_string(s.count()), util::format_ms(s.mean()),
+                   util::format_ms(s.min()), util::format_ms(s.max()),
+                   std::to_string(bytes_[i])});
+  }
+  table.render(os);
+}
+
+}  // namespace clio::io

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/statistics.hpp"
+
+namespace clio::io {
+
+/// I/O operation classes.  The numeric values match the UMD trace format the
+/// paper uses (Open=0, Close=1, Read=2, Write=3, Seek=4).
+enum class IoOp : std::uint8_t {
+  kOpen = 0,
+  kClose = 1,
+  kRead = 2,
+  kWrite = 3,
+  kSeek = 4,
+};
+
+inline constexpr std::size_t kIoOpCount = 5;
+
+[[nodiscard]] std::string_view io_op_name(IoOp op);
+
+/// One timed operation, kept when detailed logging is enabled.  Tables 3-4
+/// of the paper are rendered straight from these records.
+struct OpRecord {
+  IoOp op;
+  std::uint64_t bytes;  ///< payload length (0 for open/close)
+  double ms;            ///< measured latency in milliseconds
+};
+
+/// Per-operation-class latency accounting for a managed file system.
+///
+/// Always keeps streaming statistics and a log2 histogram per op class;
+/// optionally keeps the full per-operation record list (needed by benches
+/// that print per-request rows, e.g. the LU seek table).
+class IoStats {
+ public:
+  explicit IoStats(bool keep_records = false);
+
+  void record(IoOp op, std::uint64_t bytes, double ms);
+  void reset();
+
+  [[nodiscard]] const util::RunningStats& op_stats(IoOp op) const;
+  [[nodiscard]] const util::LatencyHistogram& op_histogram(IoOp op) const;
+  [[nodiscard]] const std::vector<OpRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] bool keeps_records() const { return keep_records_; }
+
+  /// Total milliseconds across all operation classes.
+  [[nodiscard]] double total_ms() const;
+  /// Total bytes moved by read+write.
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  /// Renders a per-op-class summary table (count, mean ms, min, max, bytes).
+  void render(std::ostream& os) const;
+
+ private:
+  std::array<util::RunningStats, kIoOpCount> stats_{};
+  std::array<util::LatencyHistogram, kIoOpCount> histograms_{};
+  std::array<std::uint64_t, kIoOpCount> bytes_{};
+  std::vector<OpRecord> records_;
+  bool keep_records_;
+};
+
+}  // namespace clio::io

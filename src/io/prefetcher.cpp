@@ -1,0 +1,29 @@
+#include "io/prefetcher.hpp"
+
+namespace clio::io {
+
+SequentialPrefetcher::SequentialPrefetcher(PrefetchConfig config)
+    : config_(config) {}
+
+void SequentialPrefetcher::on_access(FileId file, std::uint64_t page,
+                                     std::vector<std::uint64_t>& out) {
+  StreamState& st = streams_[file];
+  if (st.last_page != UINT64_MAX && page == st.last_page + 1) {
+    st.streak++;
+  } else if (page == st.last_page) {
+    // Repeated touch of the same page neither extends nor breaks the streak.
+  } else {
+    st.streak = 1;
+  }
+  st.last_page = page;
+  if (config_.window == 0 || st.streak < config_.min_streak) return;
+  for (std::size_t i = 1; i <= config_.window; ++i) {
+    out.push_back(page + i);
+  }
+}
+
+void SequentialPrefetcher::forget(FileId file) { streams_.erase(file); }
+
+void SequentialPrefetcher::reset() { streams_.clear(); }
+
+}  // namespace clio::io

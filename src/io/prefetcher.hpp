@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "io/file_store.hpp"
+
+namespace clio::io {
+
+/// Readahead policy knobs.  window = 0 disables prefetching entirely
+/// (the `ablation_prefetch` bench sweeps this).
+struct PrefetchConfig {
+  std::size_t window = 4;      ///< pages fetched ahead once sequential
+  std::size_t min_streak = 2;  ///< consecutive pages before kicking in
+};
+
+/// Detects per-file sequential page access and proposes readahead.
+///
+/// The paper attributes its cold/warm asymmetries to exactly this mechanism:
+/// "At the time when a read, write, or seek operation is performed, a
+/// prefetch operation will be invoked accordingly."  The policy here is the
+/// classic streak detector: after `min_streak` consecutive pages, propose
+/// the next `window` pages.  Stateless about residency — the BufferPool
+/// skips pages that are already cached.
+class SequentialPrefetcher {
+ public:
+  explicit SequentialPrefetcher(PrefetchConfig config = {});
+
+  /// Records an access to (file, page) and appends pages worth prefetching
+  /// to `out` (not cleared).
+  void on_access(FileId file, std::uint64_t page,
+                 std::vector<std::uint64_t>& out);
+
+  /// Forgets per-file state (e.g. after close).
+  void forget(FileId file);
+
+  void reset();
+
+  [[nodiscard]] const PrefetchConfig& config() const { return config_; }
+
+ private:
+  struct StreamState {
+    std::uint64_t last_page = UINT64_MAX;
+    std::size_t streak = 0;
+  };
+
+  PrefetchConfig config_;
+  std::unordered_map<FileId, StreamState> streams_;
+};
+
+}  // namespace clio::io

@@ -1,0 +1,45 @@
+#include "model/application.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace clio::model {
+
+ApplicationBehavior::ApplicationBehavior(std::string name,
+                                         std::vector<ProgramBehavior> programs)
+    : name_(std::move(name)), programs_(std::move(programs)) {
+  util::check<util::ConfigError>(!programs_.empty(),
+                                 "ApplicationBehavior: need >= 1 program");
+}
+
+Requirements ApplicationBehavior::requirements(double total_time) const {
+  Requirements total;
+  for (const auto& p : programs_) {
+    const Requirements r = p.requirements(total_time);
+    total.cpu += r.cpu;
+    total.disk += r.disk;
+    total.comm += r.comm;
+  }
+  return total;
+}
+
+std::vector<Requirements> ApplicationBehavior::per_program_requirements(
+    double total_time) const {
+  std::vector<Requirements> result;
+  result.reserve(programs_.size());
+  for (const auto& p : programs_) {
+    result.push_back(p.requirements(total_time));
+  }
+  return result;
+}
+
+double ApplicationBehavior::makespan(double total_time) const {
+  double longest = 0.0;
+  for (const auto& p : programs_) {
+    longest = std::max(longest, p.total_rel_time() * total_time);
+  }
+  return longest;
+}
+
+}  // namespace clio::model

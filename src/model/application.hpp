@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/program.hpp"
+
+namespace clio::model {
+
+/// A parallel application: a set of interdependent programs that execute in
+/// a coordinated manner (paper §2.1, definition 1; eq. 8).  Programs of an
+/// application may exhibit different I/O and communication behaviors.
+class ApplicationBehavior {
+ public:
+  ApplicationBehavior(std::string name, std::vector<ProgramBehavior> programs);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<ProgramBehavior>& programs() const {
+    return programs_;
+  }
+  [[nodiscard]] std::size_t num_programs() const { return programs_.size(); }
+
+  /// Aggregate requirements across programs for timebase `total_time`
+  /// (eqs. 3-5 summed over the program set).
+  [[nodiscard]] Requirements requirements(double total_time) const;
+
+  /// Per-program requirements, same order as programs().
+  [[nodiscard]] std::vector<Requirements> per_program_requirements(
+      double total_time) const;
+
+  /// Completion time of the application when programs run concurrently and
+  /// each program's bursts serialize: max over programs of ρ-sum × T.
+  [[nodiscard]] double makespan(double total_time) const;
+
+ private:
+  std::string name_;
+  std::vector<ProgramBehavior> programs_;
+};
+
+}  // namespace clio::model

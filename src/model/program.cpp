@@ -1,0 +1,58 @@
+#include "model/program.hpp"
+
+#include "util/error.hpp"
+
+namespace clio::model {
+
+ProgramBehavior::ProgramBehavior(std::string name,
+                                 std::vector<WorkingSet> working_sets)
+    : name_(std::move(name)), working_sets_(std::move(working_sets)) {
+  util::check<util::ConfigError>(!working_sets_.empty(),
+                                 "ProgramBehavior: need >= 1 working set");
+  for (const auto& ws : working_sets_) validate(ws);
+}
+
+std::vector<Phase> ProgramBehavior::phases() const {
+  std::vector<Phase> result;
+  result.reserve(num_phases());
+  for (const auto& ws : working_sets_) {
+    for (std::size_t p = 0; p < ws.phases; ++p) {
+      result.push_back(Phase{ws.io_fraction, ws.comm_fraction, ws.rel_time});
+    }
+  }
+  return result;
+}
+
+std::size_t ProgramBehavior::num_phases() const {
+  std::size_t n = 0;
+  for (const auto& ws : working_sets_) n += ws.phases;
+  return n;
+}
+
+double ProgramBehavior::total_rel_time() const {
+  double total = 0.0;
+  for (const auto& ws : working_sets_) total += ws.total_rel_time();
+  return total;
+}
+
+Requirements ProgramBehavior::requirements(double total_time) const {
+  util::check<util::ConfigError>(total_time > 0.0,
+                                 "requirements: total_time must be > 0");
+  Requirements r;
+  for (const auto& ws : working_sets_) {
+    const double ws_time = ws.total_rel_time() * total_time;
+    r.disk += ws.io_fraction * ws_time;
+    r.comm += ws.comm_fraction * ws_time;
+    r.cpu += ws.cpu_fraction() * ws_time;
+  }
+  return r;
+}
+
+ProgramBehavior ProgramBehavior::normalized() const {
+  const double total = total_rel_time();
+  std::vector<WorkingSet> scaled = working_sets_;
+  for (auto& ws : scaled) ws.rel_time /= total;
+  return ProgramBehavior(name_, std::move(scaled));
+}
+
+}  // namespace clio::model

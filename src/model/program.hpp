@@ -1,0 +1,67 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/working_set.hpp"
+
+namespace clio::model {
+
+/// A single expanded phase: one disjoint interval consisting of an I/O
+/// burst, a computation burst and possibly a communication burst (paper
+/// §2.1, definition 2).  Fractions are shares of the phase; rel_time is the
+/// phase's share of the application timebase.
+struct Phase {
+  double io_fraction = 0.0;
+  double comm_fraction = 0.0;
+  double rel_time = 0.0;
+
+  [[nodiscard]] double cpu_fraction() const {
+    return 1.0 - io_fraction - comm_fraction;
+  }
+};
+
+/// Resource requirements over a timebase T (paper eqs. 3-5):
+/// R_CPU = Σ T_CPU^i, R_Disk = Σ T_Disk^i, R_COM = Σ T_COM^i.
+struct Requirements {
+  double cpu = 0.0;
+  double disk = 0.0;
+  double comm = 0.0;
+
+  [[nodiscard]] double total() const { return cpu + disk + comm; }
+};
+
+/// The behavior vector ~Γ = [Γ1 ... ΓM] of one program (eq. 6): an ordered
+/// sequence of working sets, expandable into the program's phase sequence.
+class ProgramBehavior {
+ public:
+  ProgramBehavior(std::string name, std::vector<WorkingSet> working_sets);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<WorkingSet>& working_sets() const {
+    return working_sets_;
+  }
+
+  /// Expands working sets into the flat phase sequence (τ copies each).
+  [[nodiscard]] std::vector<Phase> phases() const;
+
+  /// Total number of phases N = Σ τi.
+  [[nodiscard]] std::size_t num_phases() const;
+
+  /// Σ ρi·τi — the program's share of the application timebase.
+  [[nodiscard]] double total_rel_time() const;
+
+  /// Requirements when the application timebase is `total_time` seconds:
+  /// phase i runs ρi·total_time seconds split by its fractions.
+  [[nodiscard]] Requirements requirements(double total_time) const;
+
+  /// A copy whose ρ values are scaled so total_rel_time() == 1 (useful when
+  /// treating the program as its own timebase).
+  [[nodiscard]] ProgramBehavior normalized() const;
+
+ private:
+  std::string name_;
+  std::vector<WorkingSet> working_sets_;
+};
+
+}  // namespace clio::model

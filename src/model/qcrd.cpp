@@ -1,0 +1,43 @@
+#include "model/qcrd.hpp"
+
+namespace clio::model {
+
+ApplicationBehavior make_qcrd() {
+  // Program 1: 24 alternating working sets (12 CPU-heavy, 12 I/O-heavy).
+  std::vector<WorkingSet> program1;
+  program1.reserve(24);
+  for (int i = 1; i <= 24; ++i) {
+    if (i % 2 == 1) {
+      program1.push_back(WorkingSet{.io_fraction = 0.14,
+                                    .comm_fraction = 0.0,
+                                    .rel_time = 0.066,
+                                    .phases = 1});
+    } else {
+      program1.push_back(WorkingSet{.io_fraction = 0.97,
+                                    .comm_fraction = 0.0,
+                                    .rel_time = 0.0082,
+                                    .phases = 1});
+    }
+  }
+  // Program 2: one working set of 13 identical I/O-intensive phases.
+  std::vector<WorkingSet> program2{WorkingSet{.io_fraction = 0.92,
+                                              .comm_fraction = 0.0,
+                                              .rel_time = 0.03,
+                                              .phases = 13}};
+  std::vector<ProgramBehavior> programs;
+  programs.emplace_back("Program1", std::move(program1));
+  programs.emplace_back("Program2", std::move(program2));
+  return ApplicationBehavior("QCRD", std::move(programs));
+}
+
+ProgramBehavior make_figure1_example() {
+  std::vector<WorkingSet> sets{
+      WorkingSet{0.52, 0.29, 0.287, 1},
+      WorkingSet{0.00, 0.85, 0.185, 2},
+      WorkingSet{0.00, 0.57, 0.194, 1},
+      WorkingSet{0.81, 0.00, 0.148, 1},
+  };
+  return ProgramBehavior("Figure1Example", std::move(sets));
+}
+
+}  // namespace clio::model

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "model/application.hpp"
+
+namespace clio::model {
+
+/// Builds the QCRD application exactly as the paper specifies (§2.2,
+/// eqs. 8-10).
+///
+/// QCRD solves the Schrödinger equation for the cross sections of the
+/// scattering of an atom by a diatomic molecule; it is I/O-intensive
+/// because the global matrices exceed memory and are processed iteratively
+/// through in-memory buffers, giving burst-cyclic I/O.
+///
+/// Program 1 (eq. 9): a sequence of CPU- and I/O-intensive phases repeated
+/// 12 times —
+///   Γ1,i = (0.14, 0, 0.066, 1)  for i = 1, 3, ..., 23
+///   Γ1,i = (0.97, 0, 0.0082, 1) for i = 2, 4, ..., 24
+///
+/// Program 2 (eq. 10): 13 identical phases with more I/O-intensive
+/// activity —
+///   Γ2 = [(0.92, 0, 0.03, 13)]
+[[nodiscard]] ApplicationBehavior make_qcrd();
+
+/// The five-working-set example program of the paper's Figure 1, used by
+/// tests as a second reference point:
+///   ~Γ = [(0.52, 0.29, 0.287, 1), (0, 0.85, 0.185, 2),
+///         (0, 0.57, 0.194, 1), (0.81, 0, 0.148, 1)]
+[[nodiscard]] ProgramBehavior make_figure1_example();
+
+}  // namespace clio::model

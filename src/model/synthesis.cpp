@@ -1,0 +1,47 @@
+#include "model/synthesis.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace clio::model {
+
+std::vector<PhaseWork> synthesize_program(const ProgramBehavior& program,
+                                          double total_time_sec,
+                                          const SynthesisRates& rates) {
+  util::check<util::ConfigError>(total_time_sec > 0.0,
+                                 "synthesize_program: timebase must be > 0");
+  util::check<util::ConfigError>(rates.disk_mb_s > 0.0,
+                                 "synthesize_program: disk rate must be > 0");
+  util::check<util::ConfigError>(
+      rates.network_mb_s > 0.0,
+      "synthesize_program: network rate must be > 0");
+
+  std::vector<PhaseWork> work;
+  const auto phases = program.phases();
+  work.reserve(phases.size());
+  for (const auto& phase : phases) {
+    const double phase_sec = phase.rel_time * total_time_sec;
+    PhaseWork w;
+    w.cpu_ns = static_cast<std::int64_t>(
+        std::llround(phase.cpu_fraction() * phase_sec * 1e9));
+    w.io_bytes = static_cast<std::uint64_t>(
+        std::llround(phase.io_fraction * phase_sec * rates.disk_mb_s * 1e6));
+    w.comm_bytes = static_cast<std::uint64_t>(std::llround(
+        phase.comm_fraction * phase_sec * rates.network_mb_s * 1e6));
+    work.push_back(w);
+  }
+  return work;
+}
+
+WorkTotals total_work(const std::vector<PhaseWork>& work) {
+  WorkTotals totals;
+  for (const auto& w : work) {
+    totals.cpu_ns += w.cpu_ns;
+    totals.io_bytes += w.io_bytes;
+    totals.comm_bytes += w.comm_bytes;
+  }
+  return totals;
+}
+
+}  // namespace clio::model

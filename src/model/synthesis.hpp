@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/application.hpp"
+
+namespace clio::model {
+
+/// Rates used to translate burst *time* (what the model specifies) into
+/// burst *work* (what an executor can actually perform): an I/O burst of
+/// s seconds becomes s × disk_mb_s megabytes of file I/O, a communication
+/// burst becomes s × network_mb_s megabytes of message traffic.
+struct SynthesisRates {
+  double disk_mb_s = 55.0;
+  double network_mb_s = 100.0;
+};
+
+/// Concrete work for one phase.
+struct PhaseWork {
+  std::int64_t cpu_ns = 0;       ///< computation burst, nanoseconds to burn
+  std::uint64_t io_bytes = 0;    ///< disk burst, bytes to read/write
+  std::uint64_t comm_bytes = 0;  ///< communication burst, bytes to exchange
+};
+
+/// Expands a program into per-phase work items for an application timebase
+/// of `total_time_sec` seconds.  This is what lets the first benchmark
+/// "quickly emulate a parallel application running on the CLI" (paper §2.1)
+/// — the model quadruples drive a real executor instead of a hand-written
+/// application.
+[[nodiscard]] std::vector<PhaseWork> synthesize_program(
+    const ProgramBehavior& program, double total_time_sec,
+    const SynthesisRates& rates = {});
+
+/// Totals of a work vector (for verification and reporting).
+struct WorkTotals {
+  std::int64_t cpu_ns = 0;
+  std::uint64_t io_bytes = 0;
+  std::uint64_t comm_bytes = 0;
+};
+[[nodiscard]] WorkTotals total_work(const std::vector<PhaseWork>& work);
+
+}  // namespace clio::model

@@ -1,0 +1,20 @@
+#include "model/working_set.hpp"
+
+#include "util/error.hpp"
+
+namespace clio::model {
+
+void validate(const WorkingSet& ws) {
+  using util::ConfigError;
+  util::check<ConfigError>(ws.io_fraction >= 0.0 && ws.io_fraction <= 1.0,
+                           "WorkingSet: io_fraction out of [0,1]");
+  util::check<ConfigError>(ws.comm_fraction >= 0.0 && ws.comm_fraction <= 1.0,
+                           "WorkingSet: comm_fraction out of [0,1]");
+  util::check<ConfigError>(ws.io_fraction + ws.comm_fraction <= 1.0 + 1e-12,
+                           "WorkingSet: io + comm fractions exceed 1");
+  util::check<ConfigError>(ws.rel_time > 0.0 && ws.rel_time <= 1.0,
+                           "WorkingSet: rel_time out of (0,1]");
+  util::check<ConfigError>(ws.phases >= 1, "WorkingSet: phases must be >= 1");
+}
+
+}  // namespace clio::model

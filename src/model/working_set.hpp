@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+
+namespace clio::model {
+
+/// One working set Γi = (φ, γ, ρ, τ) of the application behavioral model
+/// (paper §2.1, eq. 7):
+///   φ  — I/O fraction: share of each phase spent in its I/O burst
+///   γ  — communication fraction: share spent in the communication burst
+///   ρ  — relative execution time of EACH phase in the working set, as a
+///        fraction of the application's total execution time
+///   τ  — number of statistically identical consecutive phases
+///
+/// The CPU fraction is implicit: 1 - φ - γ (eq. 1 partitions a phase into
+/// CPU, communication and disk bursts).
+///
+/// Note on ρ's normalization: in the paper's own example (Fig. 1) the
+/// per-phase ρ values weighted by τ sum to ~1 across the program
+/// (0.287 + 2*0.185 + 0.194 + 0.148 = 0.999), so ρ is per *phase* and
+/// relative to the program/application timebase.  The QCRD instantiation
+/// (eqs. 9-10) keeps that convention.
+struct WorkingSet {
+  double io_fraction = 0.0;      ///< φ in [0, 1]
+  double comm_fraction = 0.0;    ///< γ in [0, 1], φ + γ <= 1
+  double rel_time = 0.0;         ///< ρ in (0, 1]
+  std::size_t phases = 1;        ///< τ >= 1
+
+  /// CPU share of each phase.
+  [[nodiscard]] double cpu_fraction() const {
+    return 1.0 - io_fraction - comm_fraction;
+  }
+
+  /// Total relative time contributed by the working set (ρ·τ).
+  [[nodiscard]] double total_rel_time() const {
+    return rel_time * static_cast<double>(phases);
+  }
+
+  bool operator==(const WorkingSet&) const = default;
+};
+
+/// Throws ConfigError unless 0 <= φ, 0 <= γ, φ+γ <= 1, 0 < ρ <= 1, τ >= 1.
+void validate(const WorkingSet& ws);
+
+}  // namespace clio::model

@@ -1,0 +1,86 @@
+#include "net/client.hpp"
+
+#include <mutex>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace clio::net {
+
+ClientResult HttpClient::round_trip(const HttpRequest& request) const {
+  util::Stopwatch watch;
+  Socket socket = connect_loopback(port_);
+  send_request(socket, request);
+  const HttpResponse response = read_response(socket);
+  ClientResult result;
+  result.status = response.status;
+  result.body = response.body;
+  result.latency_ms = watch.elapsed_ms();
+  return result;
+}
+
+ClientResult HttpClient::get(const std::string& path) const {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = path;
+  return round_trip(request);
+}
+
+ClientResult HttpClient::post(const std::string& path,
+                              std::string body) const {
+  HttpRequest request;
+  request.method = "POST";
+  request.path = path;
+  request.body = std::move(body);
+  return round_trip(request);
+}
+
+LoadResult run_get_load(std::uint16_t port,
+                        const std::vector<std::string>& files,
+                        std::size_t clients,
+                        std::size_t requests_per_client, std::uint64_t seed) {
+  util::check<util::ConfigError>(!files.empty(),
+                                 "run_get_load: need at least one file");
+  util::check<util::ConfigError>(clients >= 1,
+                                 "run_get_load: need at least one client");
+  LoadResult result;
+  std::mutex mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      util::Rng rng(seed + c * 977);
+      util::ZipfDistribution zipf(files.size(), 1.0);
+      HttpClient client(port);
+      std::vector<double> local_latencies;
+      std::uint64_t local_bytes = 0;
+      std::size_t local_errors = 0;
+      for (std::size_t r = 0; r < requests_per_client; ++r) {
+        const auto& file = files[zipf(rng)];
+        try {
+          const auto response = client.get("/" + file);
+          if (response.status == 200) {
+            local_latencies.push_back(response.latency_ms);
+            local_bytes += response.body.size();
+          } else {
+            ++local_errors;
+          }
+        } catch (const std::exception&) {
+          ++local_errors;
+        }
+      }
+      std::lock_guard<std::mutex> lock(mutex);
+      result.latencies_ms.insert(result.latencies_ms.end(),
+                                 local_latencies.begin(),
+                                 local_latencies.end());
+      result.bytes_received += local_bytes;
+      result.errors += local_errors;
+    });
+  }
+  for (auto& t : threads) t.join();
+  return result;
+}
+
+}  // namespace clio::net

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/http.hpp"
+
+namespace clio::net {
+
+/// Result of one client-side request.
+struct ClientResult {
+  int status = 0;
+  std::string body;
+  double latency_ms = 0.0;  ///< connect + request + full response
+};
+
+/// Blocking loopback HTTP client (one connection per request, matching the
+/// server's connection-per-request model).
+class HttpClient {
+ public:
+  explicit HttpClient(std::uint16_t port) : port_(port) {}
+
+  [[nodiscard]] ClientResult get(const std::string& path) const;
+  [[nodiscard]] ClientResult post(const std::string& path,
+                                  std::string body) const;
+
+ private:
+  [[nodiscard]] ClientResult round_trip(const HttpRequest& request) const;
+
+  std::uint16_t port_;
+};
+
+/// Multi-threaded load generator: `clients` threads each issue `requests`
+/// GETs over the given file set with Zipf(1.0) popularity (scientists and
+/// web users alike revisit hot objects).  Returns every latency sample.
+struct LoadResult {
+  std::vector<double> latencies_ms;
+  std::uint64_t bytes_received = 0;
+  std::size_t errors = 0;
+};
+
+[[nodiscard]] LoadResult run_get_load(std::uint16_t port,
+                                      const std::vector<std::string>& files,
+                                      std::size_t clients,
+                                      std::size_t requests_per_client,
+                                      std::uint64_t seed = 7);
+
+}  // namespace clio::net

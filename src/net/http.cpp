@@ -1,0 +1,172 @@
+#include "net/http.hpp"
+
+#include <charconv>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace clio::net {
+namespace {
+
+using util::cat;
+using util::check;
+using util::ParseError;
+
+/// Reads until "\r\n\r\n"; returns header block + any body prefix already
+/// consumed.  Empty optional on a clean immediate close.
+std::optional<std::pair<std::string, std::string>> read_head(
+    const Socket& socket) {
+  std::string data;
+  char buf[4096];
+  while (true) {
+    const auto pos = data.find("\r\n\r\n");
+    if (pos != std::string::npos) {
+      return std::make_pair(data.substr(0, pos), data.substr(pos + 4));
+    }
+    check<ParseError>(data.size() < (1u << 20), "http: headers too large");
+    const std::size_t n = socket.recv_some(buf, sizeof(buf));
+    if (n == 0) {
+      if (data.empty()) return std::nullopt;
+      throw ParseError("http: connection closed mid-headers");
+    }
+    data.append(buf, n);
+  }
+}
+
+std::size_t content_length_of(const std::string& head) {
+  // Case-insensitive scan for the Content-Length header.
+  std::size_t at = 0;
+  while (at < head.size()) {
+    auto eol = head.find("\r\n", at);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string_view line(head.data() + at, eol - at);
+    constexpr std::string_view kName = "content-length:";
+    if (line.size() > kName.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < kName.size(); ++i) {
+        const char c = line[i];
+        const char lower =
+            (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+        if (lower != kName[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::size_t value = 0;
+        std::size_t start = kName.size();
+        while (start < line.size() && line[start] == ' ') ++start;
+        const auto [ptr, ec] = std::from_chars(
+            line.data() + start, line.data() + line.size(), value);
+        check<ParseError>(ec == std::errc{} && ptr != line.data() + start,
+                          "http: bad Content-Length");
+        return value;
+      }
+    }
+    at = eol + 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string HttpRequest::file_name() const {
+  if (!path.empty() && path.front() == '/') return path.substr(1);
+  return path;
+}
+
+std::optional<HttpRequest> read_request(const Socket& socket) {
+  auto head = read_head(socket);
+  if (!head.has_value()) return std::nullopt;
+  auto& [header_block, body_prefix] = *head;
+
+  // Start line: METHOD SP PATH SP VERSION.
+  const auto line_end = header_block.find("\r\n");
+  const std::string start_line = header_block.substr(
+      0, line_end == std::string::npos ? header_block.size() : line_end);
+  const auto sp1 = start_line.find(' ');
+  check<ParseError>(sp1 != std::string::npos, "http: bad start line");
+  const auto sp2 = start_line.find(' ', sp1 + 1);
+  check<ParseError>(sp2 != std::string::npos, "http: bad start line");
+
+  HttpRequest request;
+  request.method = start_line.substr(0, sp1);
+  request.path = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  check<ParseError>(!request.path.empty() && request.path.front() == '/',
+                    "http: path must start with '/'");
+
+  const std::size_t length = content_length_of(header_block);
+  check<ParseError>(body_prefix.size() <= length,
+                    "http: body exceeds Content-Length");
+  request.body = std::move(body_prefix);
+  const std::size_t have = request.body.size();
+  request.body.resize(length);
+  if (length > have) {
+    check<ParseError>(
+        socket.recv_exact(request.body.data() + have, length - have),
+        "http: connection closed mid-body");
+  }
+  return request;
+}
+
+void send_request(const Socket& socket, const HttpRequest& request) {
+  std::string wire = cat(request.method, " ", request.path, " HTTP/1.0\r\n",
+                         "Content-Length: ", request.body.size(),
+                         "\r\nConnection: close\r\n\r\n", request.body);
+  socket.send_all(wire.data(), wire.size());
+}
+
+HttpResponse read_response(const Socket& socket) {
+  auto head = read_head(socket);
+  check<ParseError>(head.has_value(), "http: empty response");
+  auto& [header_block, body_prefix] = *head;
+  // Status line: HTTP/1.0 NNN Reason.
+  const auto sp1 = header_block.find(' ');
+  check<ParseError>(sp1 != std::string::npos, "http: bad status line");
+  HttpResponse response;
+  response.status = std::stoi(header_block.substr(sp1 + 1, 3));
+
+  const std::size_t length = content_length_of(header_block);
+  check<ParseError>(body_prefix.size() <= length,
+                    "http: body exceeds Content-Length");
+  response.body = std::move(body_prefix);
+  const std::size_t have = response.body.size();
+  response.body.resize(length);
+  if (length > have) {
+    check<ParseError>(
+        socket.recv_exact(response.body.data() + have, length - have),
+        "http: connection closed mid-body");
+  }
+  return response;
+}
+
+void send_response(const Socket& socket, int status, std::string_view body) {
+  std::string wire =
+      cat("HTTP/1.0 ", status, " ", reason_phrase(status),
+          "\r\nContent-Length: ", body.size(),
+          "\r\nContent-Type: application/octet-stream\r\nConnection: "
+          "close\r\n\r\n",
+          body);
+  socket.send_all(wire.data(), wire.size());
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 201:
+      return "Created";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace clio::net

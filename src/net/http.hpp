@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/socket.hpp"
+
+namespace clio::net {
+
+/// Minimal HTTP/1.0-style request, enough for the paper's web server:
+/// "the incoming data is read into a buffer and parsed for request type and
+/// file name".
+struct HttpRequest {
+  std::string method;  ///< "GET" or "POST"
+  std::string path;    ///< "/file.jpg"
+  std::string body;    ///< POST payload
+
+  /// File name: the path without its leading slash.
+  [[nodiscard]] std::string file_name() const;
+};
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// Reads one request off the socket (start line + headers +
+/// Content-Length body).  Returns nullopt on a clean close before any
+/// bytes.  Throws ParseError on malformed input.
+[[nodiscard]] std::optional<HttpRequest> read_request(const Socket& socket);
+
+/// Serializes and sends a request.
+void send_request(const Socket& socket, const HttpRequest& request);
+
+/// Reads one response (status line + headers + Content-Length body).
+[[nodiscard]] HttpResponse read_response(const Socket& socket);
+
+/// Serializes and sends a response.
+void send_response(const Socket& socket, int status, std::string_view body);
+
+/// Standard reason phrase for the handful of statuses the server emits.
+[[nodiscard]] std::string_view reason_phrase(int status);
+
+}  // namespace clio::net

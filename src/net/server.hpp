@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "io/managed_file.hpp"
+#include "net/http.hpp"
+#include "vm/runtime.hpp"
+
+namespace clio::net {
+
+/// Per-request latency sample, split into the parts the paper's Tables 5-6
+/// time: the file I/O portion ("creating an instance of the filestream
+/// class, reading the data from the file, and closing the filestream") and
+/// the full request turnaround.
+struct RequestSample {
+  bool is_get = true;
+  std::uint64_t bytes = 0;
+  double file_ms = 0.0;   ///< time in the managed file operation
+  double total_ms = 0.0;  ///< parse + file op (response transmit excluded
+                          ///< so samples stay in request order)
+};
+
+struct ServerOptions {
+  std::uint16_t port = 0;  ///< 0 = pick an ephemeral port
+  /// Route file operations through a mini-CLI method instead of calling
+  /// the managed I/O stack directly from native code.  This reproduces the
+  /// JIT-compilation component of the first-request latency (Table 6).
+  bool vm_dispatch = false;
+  vm::EngineOptions vm_options{};
+};
+
+/// The paper's micro benchmark (§4): a multi-threaded web server where the
+/// main thread accepts connections and spawns one worker thread per
+/// connection ("a separate thread to handle each client connection").
+/// GET reads the requested file from the managed file system and returns
+/// it; POST writes the body to a new file named by a random number
+/// generator ("hence, no synchronization is required for write
+/// operations").  One request per connection, HTTP/1.0-style.
+class MiniWebServer {
+ public:
+  MiniWebServer(io::ManagedFileSystem& fs, ServerOptions options = {});
+  ~MiniWebServer();
+
+  MiniWebServer(const MiniWebServer&) = delete;
+  MiniWebServer& operator=(const MiniWebServer&) = delete;
+
+  /// Starts the accept loop.  Idempotent.
+  void start();
+
+  /// Stops accepting, joins every worker.  Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const;
+  [[nodiscard]] bool running() const { return running_.load(); }
+
+  /// Snapshot of per-request samples since start (in completion order).
+  [[nodiscard]] std::vector<RequestSample> samples() const;
+  void clear_samples();
+
+  /// Simulates an engine restart: flushes the VM's JIT cache and the
+  /// buffer pool, so the next request is fully cold (Table 6 setup).
+  void make_cold();
+
+  [[nodiscard]] const vm::ExecutionEngine* engine() const {
+    return engine_.get();
+  }
+
+ private:
+  void accept_loop();
+  void handle_connection(Socket socket);
+  void do_get(const Socket& socket, const HttpRequest& request);
+  void do_post(const Socket& socket, const HttpRequest& request);
+  std::string read_file_vm(const std::string& name);
+  void record(RequestSample sample);
+
+  io::ManagedFileSystem& fs_;
+  ServerOptions options_;
+  std::unique_ptr<TcpListener> listener_;
+  std::unique_ptr<vm::ExecutionEngine> engine_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex workers_mutex_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> post_counter_{0};
+  std::vector<RequestSample> samples_;
+  mutable std::mutex samples_mutex_;
+};
+
+}  // namespace clio::net

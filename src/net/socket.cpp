@@ -1,0 +1,133 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace clio::net {
+
+using util::check;
+using util::IoError;
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket::~Socket() { close(); }
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::send_all(const void* data, std::size_t n) const {
+  check<IoError>(valid(), "Socket: send on closed socket");
+  const auto* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0 && errno == EINTR) continue;
+    check<IoError>(r > 0, std::string("Socket: send failed: ") +
+                              std::strerror(errno));
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+std::size_t Socket::recv_some(void* out, std::size_t n) const {
+  check<IoError>(valid(), "Socket: recv on closed socket");
+  while (true) {
+    const ssize_t r = ::recv(fd_, out, n, 0);
+    if (r < 0 && errno == EINTR) continue;
+    check<IoError>(r >= 0, std::string("Socket: recv failed: ") +
+                               std::strerror(errno));
+    return static_cast<std::size_t>(r);
+  }
+}
+
+bool Socket::recv_exact(void* out, std::size_t n) const {
+  auto* p = static_cast<char*>(out);
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t r = recv_some(p + got, n - got);
+    if (r == 0) return false;
+    got += r;
+  }
+  return true;
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  check<IoError>(fd >= 0, "TcpListener: socket() failed");
+  socket_ = Socket(fd);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  check<IoError>(::bind(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+                 std::string("TcpListener: bind failed: ") +
+                     std::strerror(errno));
+  check<IoError>(::listen(fd, 64) == 0, "TcpListener: listen failed");
+
+  socklen_t len = sizeof(addr);
+  check<IoError>(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
+                               &len) == 0,
+                 "TcpListener: getsockname failed");
+  port_ = ntohs(addr.sin_port);
+}
+
+Socket TcpListener::accept(int timeout_ms) {
+  check<IoError>(socket_.valid(), "TcpListener: accept on closed listener");
+  pollfd pfd{socket_.fd(), POLLIN, 0};
+  const int r = ::poll(&pfd, 1, timeout_ms);
+  if (r == 0) return Socket{};
+  check<IoError>(r > 0, "TcpListener: poll failed");
+  const int client = ::accept(socket_.fd(), nullptr, nullptr);
+  if (client < 0 && (errno == EAGAIN || errno == ECONNABORTED)) {
+    return Socket{};
+  }
+  check<IoError>(client >= 0, std::string("TcpListener: accept failed: ") +
+                                  std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Socket(client);
+}
+
+void TcpListener::close() { socket_.close(); }
+
+Socket connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  check<IoError>(fd >= 0, "connect_loopback: socket() failed");
+  Socket socket(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  check<IoError>(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0,
+                 std::string("connect_loopback: connect failed: ") +
+                     std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+}  // namespace clio::net

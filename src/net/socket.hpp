@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace clio::net {
+
+/// RAII POSIX socket descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket();
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] int fd() const { return fd_; }
+  void close();
+
+  /// Sends the whole buffer (throws IoError on failure).
+  void send_all(const void* data, std::size_t n) const;
+  /// Receives up to n bytes; returns 0 at orderly shutdown.
+  [[nodiscard]] std::size_t recv_some(void* out, std::size_t n) const;
+  /// Receives exactly n bytes; returns false if the peer closed early.
+  [[nodiscard]] bool recv_exact(void* out, std::size_t n) const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Loopback TCP listener.  Binding port 0 picks an ephemeral port,
+/// retrievable via port() — tests and benches never collide.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Blocks up to timeout_ms for a connection; returns an invalid Socket on
+  /// timeout.  Throws IoError if the listener broke.
+  [[nodiscard]] Socket accept(int timeout_ms);
+
+  void close();
+
+ private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:port.
+[[nodiscard]] Socket connect_loopback(std::uint16_t port);
+
+}  // namespace clio::net

@@ -1,0 +1,37 @@
+#include "sim/event_queue.hpp"
+
+#include "util/error.hpp"
+
+namespace clio::sim {
+
+void EventQueue::schedule_at(double at_ms, Callback cb) {
+  util::check<util::ConfigError>(at_ms >= now_ms_,
+                                 "EventQueue: cannot schedule in the past");
+  queue_.push(Event{at_ms, next_seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_in(double delay_ms, Callback cb) {
+  util::check<util::ConfigError>(delay_ms >= 0.0,
+                                 "EventQueue: negative delay");
+  schedule_at(now_ms_ + delay_ms, std::move(cb));
+}
+
+bool EventQueue::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move via const_cast is the standard
+  // idiom-free option, so copy the callback out instead (cheap: one
+  // std::function).
+  Event event = queue_.top();
+  queue_.pop();
+  now_ms_ = event.time;
+  ++executed_;
+  event.cb();
+  return true;
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace clio::sim

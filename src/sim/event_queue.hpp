@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace clio::sim {
+
+/// Discrete-event engine core: a clock and a time-ordered callback queue.
+///
+/// Events at equal timestamps run in scheduling order (a monotone sequence
+/// number breaks ties), which keeps simulations deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `at_ms` (must be >= now()).
+  void schedule_at(double at_ms, Callback cb);
+
+  /// Schedules `cb` `delay_ms` from now (delay >= 0).
+  void schedule_in(double delay_ms, Callback cb);
+
+  /// Runs the earliest event.  Returns false if the queue was empty.
+  bool step();
+
+  /// Runs events until the queue drains.
+  void run();
+
+  [[nodiscard]] double now_ms() const { return now_ms_; }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ms_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace clio::sim

@@ -1,0 +1,248 @@
+#include "sim/real_driver.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "io/managed_file.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/stopwatch.hpp"
+
+namespace clio::sim {
+namespace {
+
+using util::check;
+using util::IoError;
+using util::Stopwatch;
+
+/// Byte-streaming channel over a Unix socket pair with an echo thread.
+/// Protocol per burst: u64 payload length, payload, then a 1-byte ack from
+/// the echo side — so a timed burst includes full round-trip completion.
+class LoopbackChannel {
+ public:
+  LoopbackChannel() {
+    int fds[2];
+    check<IoError>(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+                   "LoopbackChannel: socketpair failed");
+    sender_fd_ = fds[0];
+    echo_fd_ = fds[1];
+    echo_thread_ = std::thread([this] { echo_loop(); });
+  }
+
+  ~LoopbackChannel() {
+    ::shutdown(sender_fd_, SHUT_RDWR);
+    ::close(sender_fd_);
+    if (echo_thread_.joinable()) echo_thread_.join();
+    ::close(echo_fd_);
+  }
+
+  LoopbackChannel(const LoopbackChannel&) = delete;
+  LoopbackChannel& operator=(const LoopbackChannel&) = delete;
+
+  /// Streams `bytes` and waits for the ack.
+  void transfer(std::uint64_t bytes) {
+    std::uint64_t header = bytes;
+    write_all(&header, sizeof(header));
+    static constexpr std::size_t kChunk = 64 * 1024;
+    std::vector<char> chunk(kChunk, 'c');
+    std::uint64_t sent = 0;
+    while (sent < bytes) {
+      const std::size_t n =
+          static_cast<std::size_t>(std::min<std::uint64_t>(kChunk,
+                                                           bytes - sent));
+      write_all(chunk.data(), n);
+      sent += n;
+    }
+    char ack;
+    check<IoError>(read_exact(sender_fd_, &ack, 1),
+                   "LoopbackChannel: ack not received");
+  }
+
+ private:
+  void echo_loop() {
+    std::vector<char> buffer(64 * 1024);
+    while (true) {
+      std::uint64_t expect = 0;
+      if (!read_exact(echo_fd_, &expect, sizeof(expect))) return;
+      std::uint64_t seen = 0;
+      while (seen < expect) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(buffer.size(), expect - seen));
+        if (!read_exact(echo_fd_, buffer.data(), n)) return;
+        seen += n;
+      }
+      const char ack = 'A';
+      if (::send(echo_fd_, &ack, 1, MSG_NOSIGNAL) != 1) return;
+    }
+  }
+
+  static bool read_exact(int fd, void* out, std::size_t n) {
+    auto* p = static_cast<char*>(out);
+    std::size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::recv(fd, p + got, n - got, 0);
+      if (r <= 0) return false;
+      got += static_cast<std::size_t>(r);
+    }
+    return true;
+  }
+
+  void write_all(const void* data, std::size_t n) {
+    const auto* p = static_cast<const char*>(data);
+    std::size_t sent = 0;
+    while (sent < n) {
+      const ssize_t r = ::send(sender_fd_, p + sent, n - sent, MSG_NOSIGNAL);
+      check<IoError>(r > 0, "LoopbackChannel: send failed");
+      sent += static_cast<std::size_t>(r);
+    }
+  }
+
+  int sender_fd_ = -1;
+  int echo_fd_ = -1;
+  std::thread echo_thread_;
+};
+
+/// Sequentially reads `bytes` from the file, wrapping to offset 0 at EOF.
+/// Returns elapsed milliseconds.
+double timed_cyclic_read(io::ManagedFile& file, std::uint64_t bytes,
+                         std::uint64_t block, std::uint64_t file_size,
+                         std::vector<std::byte>& buffer) {
+  Stopwatch watch;
+  std::uint64_t remaining = bytes;
+  while (remaining > 0) {
+    if (file.position() >= file_size) file.seek(0);
+    const std::uint64_t req = std::min<std::uint64_t>(
+        {remaining, block, file_size - file.position()});
+    buffer.resize(static_cast<std::size_t>(req));
+    file.read_exact(buffer);
+    remaining -= req;
+  }
+  return watch.elapsed_ms();
+}
+
+}  // namespace
+
+double RealRunResult::total_cpu_ms() const {
+  double t = 0.0;
+  for (const auto& p : programs) t += p.cpu_ms;
+  return t;
+}
+double RealRunResult::total_io_ms() const {
+  double t = 0.0;
+  for (const auto& p : programs) t += p.io_ms;
+  return t;
+}
+double RealRunResult::total_comm_ms() const {
+  double t = 0.0;
+  for (const auto& p : programs) t += p.comm_ms;
+  return t;
+}
+
+RealExecutionDriver::RealExecutionDriver(RealDriverOptions options)
+    : options_(std::move(options)) {
+  check<util::ConfigError>(!options_.workdir.empty(),
+                           "RealExecutionDriver: workdir is required");
+  check<util::ConfigError>(options_.io_block > 0,
+                           "RealExecutionDriver: io_block must be > 0");
+}
+
+RealRunResult RealExecutionDriver::run(const model::ApplicationBehavior& app,
+                                       double timebase_sec) {
+  std::filesystem::create_directories(options_.workdir);
+  io::ManagedFsOptions fs_options;
+  fs_options.page_size = options_.page_size;
+  fs_options.pool_pages = options_.pool_pages;
+  io::ManagedFileSystem fs(
+      std::make_unique<io::RealFileStore>(options_.workdir), fs_options);
+
+  RealRunResult result;
+  const std::uint64_t pool_bytes =
+      static_cast<std::uint64_t>(options_.page_size) * options_.pool_pages;
+
+  model::SynthesisRates rates = options_.rates;
+  LoopbackChannel channel;
+
+  if (options_.calibrate) {
+    // Disk rate: cold sequential read of a file 4x the pool.
+    const std::uint64_t calib_size =
+        std::max<std::uint64_t>(options_.calib_io_bytes, 4 * pool_bytes);
+    util::create_sample_file(options_.workdir / "calib.bin", calib_size);
+    fs.drop_caches();
+    {
+      auto f = fs.open("calib.bin", io::OpenMode::kRead);
+      std::vector<std::byte> buffer;
+      const double ms = timed_cyclic_read(f, calib_size, options_.io_block,
+                                          calib_size, buffer);
+      rates.disk_mb_s = static_cast<double>(calib_size) / 1e6 / (ms / 1e3);
+    }
+    fs.remove("calib.bin");
+    // Network rate: one loopback burst.
+    {
+      Stopwatch watch;
+      channel.transfer(options_.calib_comm_bytes);
+      const double ms = watch.elapsed_ms();
+      rates.network_mb_s =
+          static_cast<double>(options_.calib_comm_bytes) / 1e6 / (ms / 1e3);
+    }
+  }
+  result.disk_mb_s = rates.disk_mb_s;
+  result.net_mb_s = rates.network_mb_s;
+
+  Stopwatch wall;
+  for (std::size_t i = 0; i < app.num_programs(); ++i) {
+    const auto& program = app.programs()[i];
+    const auto work =
+        model::synthesize_program(program, timebase_sec, rates);
+    const auto totals = model::total_work(work);
+
+    ProgramRealResult pr;
+    pr.name = program.name();
+
+    // The program's data file: big enough that cycling reads keep missing
+    // the pool, small enough to create quickly.
+    const std::uint64_t file_size = std::min<std::uint64_t>(
+        std::max<std::uint64_t>(4 * pool_bytes, options_.io_block),
+        std::max<std::uint64_t>(totals.io_bytes, options_.io_block));
+    const std::string file_name = "program" + std::to_string(i) + ".bin";
+    std::vector<std::byte> buffer;
+    if (totals.io_bytes > 0) {
+      util::create_sample_file(options_.workdir / file_name, file_size);
+    }
+    fs.drop_caches();
+
+    io::ManagedFile file;
+    if (totals.io_bytes > 0) {
+      file = fs.open(file_name, io::OpenMode::kRead);
+    }
+    for (const auto& phase : work) {
+      if (phase.cpu_ns > 0) {
+        Stopwatch cpu_watch;
+        util::spin_for_ns(phase.cpu_ns);
+        pr.cpu_ms += cpu_watch.elapsed_ms();
+      }
+      if (phase.io_bytes > 0) {
+        pr.io_ms += timed_cyclic_read(file, phase.io_bytes, options_.io_block,
+                                      file_size, buffer);
+        pr.io_bytes += phase.io_bytes;
+      }
+      if (phase.comm_bytes > 0) {
+        Stopwatch comm_watch;
+        channel.transfer(phase.comm_bytes);
+        pr.comm_ms += comm_watch.elapsed_ms();
+        pr.comm_bytes += phase.comm_bytes;
+      }
+    }
+    if (file.is_open()) file.close();
+    if (totals.io_bytes > 0) fs.remove(file_name);
+    result.programs.push_back(std::move(pr));
+  }
+  result.wall_ms = wall.elapsed_ms();
+  return result;
+}
+
+}  // namespace clio::sim

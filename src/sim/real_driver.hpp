@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "model/application.hpp"
+#include "model/synthesis.hpp"
+
+namespace clio::sim {
+
+/// Options of the real-execution driver.
+struct RealDriverOptions {
+  std::filesystem::path workdir;        ///< directory for program data files
+  std::uint64_t io_block = 256 * 1024;  ///< bytes per synchronous read
+  std::size_t page_size = 4096;
+  std::size_t pool_pages = 1024;        ///< 4 MiB cache: files must overflow it
+  /// Measure the managed stack's actual cold-read and loopback-send rates
+  /// before the run and synthesize burst work with them, so a burst's
+  /// *measured* duration lands near its modeled duration.  When false,
+  /// `rates` is used as-is.
+  bool calibrate = true;
+  model::SynthesisRates rates{};
+  std::uint64_t calib_io_bytes = 16ULL << 20;
+  std::uint64_t calib_comm_bytes = 8ULL << 20;
+};
+
+/// Measured outcome for one program.
+struct ProgramRealResult {
+  std::string name;
+  double cpu_ms = 0.0;
+  double io_ms = 0.0;
+  double comm_ms = 0.0;
+  std::uint64_t io_bytes = 0;
+  std::uint64_t comm_bytes = 0;
+
+  [[nodiscard]] double total_ms() const { return cpu_ms + io_ms + comm_ms; }
+};
+
+/// Whole-run outcome.
+struct RealRunResult {
+  std::vector<ProgramRealResult> programs;
+  double wall_ms = 0.0;
+  double disk_mb_s = 0.0;  ///< rate used for I/O synthesis
+  double net_mb_s = 0.0;   ///< rate used for communication synthesis
+
+  [[nodiscard]] double total_cpu_ms() const;
+  [[nodiscard]] double total_io_ms() const;
+  [[nodiscard]] double total_comm_ms() const;
+};
+
+/// Executes a behavioral-model application FOR REAL: computation bursts
+/// burn CPU, I/O bursts issue synchronous reads through the managed I/O
+/// stack (clio::io) against on-disk files larger than the buffer pool, and
+/// communication bursts stream bytes through a Unix-socket pair.  This is
+/// the first benchmark of the paper: the model "quickly emulates a parallel
+/// application running on the CLI" without implementing the application.
+///
+/// Programs execute sequentially (the paper reports per-program and
+/// aggregate times; running them back-to-back keeps per-burst timing clean
+/// on a single-CPU host).
+class RealExecutionDriver {
+ public:
+  explicit RealExecutionDriver(RealDriverOptions options);
+
+  [[nodiscard]] RealRunResult run(const model::ApplicationBehavior& app,
+                                  double timebase_sec);
+
+ private:
+  RealDriverOptions options_;
+};
+
+}  // namespace clio::sim

@@ -1,0 +1,174 @@
+#include "sim/resources.hpp"
+
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace clio::sim {
+
+// ------------------------------------------------------------ CPU pool ----
+
+ResourcePool::ResourcePool(EventQueue& queue, std::size_t servers)
+    : queue_(queue), servers_(servers) {
+  util::check<util::ConfigError>(servers >= 1,
+                                 "ResourcePool: need >= 1 server");
+}
+
+void ResourcePool::submit(double service_ms, EventQueue::Callback on_done) {
+  util::check<util::ConfigError>(service_ms >= 0.0,
+                                 "ResourcePool: negative service time");
+  Job job{service_ms, std::move(on_done)};
+  if (in_service_ < servers_) {
+    start(std::move(job));
+  } else {
+    waiting_.push_back(std::move(job));
+  }
+}
+
+void ResourcePool::start(Job job) {
+  ++in_service_;
+  busy_ms_ += job.service_ms;
+  // shared_ptr so the callback can be copied into the scheduler while the
+  // job payload stays movable.
+  auto done = std::make_shared<EventQueue::Callback>(std::move(job.on_done));
+  queue_.schedule_in(job.service_ms, [this, done] {
+    --in_service_;
+    ++completed_;
+    if (!waiting_.empty()) {
+      Job next = std::move(waiting_.front());
+      waiting_.pop_front();
+      start(std::move(next));
+    }
+    (*done)();
+  });
+}
+
+// ---------------------------------------------------------- disk queue ----
+
+DiskQueue::DiskQueue(EventQueue& queue, const io::DiskParams& params)
+    : queue_(queue), disk_(params) {}
+
+void DiskQueue::submit(std::uint64_t offset, std::uint64_t bytes,
+                       EventQueue::Callback on_done) {
+  Request request{offset, bytes, std::move(on_done)};
+  if (!busy_) {
+    start(std::move(request));
+  } else {
+    waiting_.push_back(std::move(request));
+  }
+}
+
+void DiskQueue::start(Request request) {
+  busy_ = true;
+  const double service_ms = disk_.access_ms(request.offset, request.bytes);
+  auto done =
+      std::make_shared<EventQueue::Callback>(std::move(request.on_done));
+  queue_.schedule_in(service_ms, [this, done] {
+    busy_ = false;
+    if (!waiting_.empty()) {
+      Request next = std::move(waiting_.front());
+      waiting_.pop_front();
+      start(std::move(next));
+    }
+    (*done)();
+  });
+}
+
+// -------------------------------------------------------- striped disks ----
+
+StripedDiskResource::StripedDiskResource(EventQueue& queue, std::size_t disks,
+                                         std::uint64_t stripe_bytes,
+                                         const io::DiskParams& params)
+    : queue_(queue), stripe_bytes_(stripe_bytes) {
+  util::check<util::ConfigError>(disks >= 1,
+                                 "StripedDiskResource: need >= 1 disk");
+  util::check<util::ConfigError>(stripe_bytes >= 1,
+                                 "StripedDiskResource: stripe must be >= 1");
+  disks_.reserve(disks);
+  for (std::size_t i = 0; i < disks; ++i) disks_.emplace_back(queue, params);
+}
+
+void StripedDiskResource::submit(std::uint64_t offset, std::uint64_t bytes,
+                                 EventQueue::Callback on_done) {
+  // Decompose into stripe-aligned extents, fan out, and join.
+  struct Join {
+    std::size_t remaining;
+    EventQueue::Callback on_done;
+  };
+  std::vector<std::pair<std::size_t, std::pair<std::uint64_t, std::uint64_t>>>
+      extents;
+  std::uint64_t pos = offset;
+  std::uint64_t remaining = bytes;
+  if (remaining == 0) {
+    const std::uint64_t stripe = pos / stripe_bytes_;
+    const std::size_t d = static_cast<std::size_t>(stripe % disks_.size());
+    const std::uint64_t disk_off =
+        (stripe / disks_.size()) * stripe_bytes_ + pos % stripe_bytes_;
+    extents.push_back({d, {disk_off, 0}});
+  }
+  while (remaining > 0) {
+    const std::uint64_t stripe = pos / stripe_bytes_;
+    const std::uint64_t within = pos % stripe_bytes_;
+    const std::uint64_t take = std::min(remaining, stripe_bytes_ - within);
+    const std::size_t d = static_cast<std::size_t>(stripe % disks_.size());
+    const std::uint64_t disk_off =
+        (stripe / disks_.size()) * stripe_bytes_ + within;
+    extents.push_back({d, {disk_off, take}});
+    pos += take;
+    remaining -= take;
+  }
+  auto join = std::make_shared<Join>(Join{extents.size(), std::move(on_done)});
+  for (const auto& [d, ext] : extents) {
+    disks_[d].submit(ext.first, ext.second, [join] {
+      if (--join->remaining == 0) join->on_done();
+    });
+  }
+}
+
+double StripedDiskResource::total_busy_ms() const {
+  double total = 0.0;
+  for (const auto& d : disks_) total += d.busy_ms();
+  return total;
+}
+
+// ------------------------------------------------------------- network ----
+
+NetworkLink::NetworkLink(EventQueue& queue, double bandwidth_mb_s,
+                         double latency_ms)
+    : queue_(queue), bandwidth_mb_s_(bandwidth_mb_s), latency_ms_(latency_ms) {
+  util::check<util::ConfigError>(bandwidth_mb_s > 0.0,
+                                 "NetworkLink: bandwidth must be > 0");
+  util::check<util::ConfigError>(latency_ms >= 0.0,
+                                 "NetworkLink: negative latency");
+}
+
+void NetworkLink::submit(std::uint64_t bytes, EventQueue::Callback on_done) {
+  Message message{bytes, std::move(on_done)};
+  if (!busy_) {
+    start(std::move(message));
+  } else {
+    waiting_.push_back(std::move(message));
+  }
+}
+
+void NetworkLink::start(Message message) {
+  busy_ = true;
+  const double service_ms =
+      latency_ms_ +
+      static_cast<double>(message.bytes) / (bandwidth_mb_s_ * 1e6) * 1e3;
+  busy_ms_ += service_ms;
+  ++messages_;
+  auto done =
+      std::make_shared<EventQueue::Callback>(std::move(message.on_done));
+  queue_.schedule_in(service_ms, [this, done] {
+    busy_ = false;
+    if (!waiting_.empty()) {
+      Message next = std::move(waiting_.front());
+      waiting_.pop_front();
+      start(std::move(next));
+    }
+    (*done)();
+  });
+}
+
+}  // namespace clio::sim

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "io/disk_model.hpp"
+#include "sim/event_queue.hpp"
+
+namespace clio::sim {
+
+/// Pool of `n` identical servers with a shared FIFO queue (M/G/n-style).
+/// Models the CPU set: a job occupies one server for its service time.
+class ResourcePool {
+ public:
+  ResourcePool(EventQueue& queue, std::size_t servers);
+
+  /// Enqueues a job; `on_done` fires when its service completes.
+  void submit(double service_ms, EventQueue::Callback on_done);
+
+  [[nodiscard]] std::size_t servers() const { return servers_; }
+  [[nodiscard]] double busy_ms() const { return busy_ms_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  /// Jobs queued but not yet started (diagnostic).
+  [[nodiscard]] std::size_t backlog() const { return waiting_.size(); }
+
+ private:
+  struct Job {
+    double service_ms;
+    EventQueue::Callback on_done;
+  };
+
+  void start(Job job);
+
+  EventQueue& queue_;
+  std::size_t servers_;
+  std::size_t in_service_ = 0;
+  std::deque<Job> waiting_;
+  double busy_ms_ = 0.0;
+  std::uint64_t completed_ = 0;
+};
+
+/// One simulated disk with a FCFS request queue.  Service times come from
+/// the analytic DiskModel, including head-position-dependent seeks.
+class DiskQueue {
+ public:
+  DiskQueue(EventQueue& queue, const io::DiskParams& params);
+
+  void submit(std::uint64_t offset, std::uint64_t bytes,
+              EventQueue::Callback on_done);
+
+  [[nodiscard]] double busy_ms() const { return disk_.busy_ms(); }
+  [[nodiscard]] std::uint64_t requests() const {
+    return disk_.requests_served();
+  }
+  [[nodiscard]] std::uint64_t bytes() const { return disk_.bytes_served(); }
+
+ private:
+  struct Request {
+    std::uint64_t offset;
+    std::uint64_t bytes;
+    EventQueue::Callback on_done;
+  };
+
+  void start(Request request);
+
+  EventQueue& queue_;
+  io::SimDisk disk_;
+  bool busy_ = false;
+  std::deque<Request> waiting_;
+};
+
+/// RAID-0 striping over D DiskQueues.  A logical request completes when the
+/// last of its per-disk extents completes.  This is the resource behind
+/// Figure 4: requests narrower than the stripe unit exercise one spindle.
+class StripedDiskResource {
+ public:
+  StripedDiskResource(EventQueue& queue, std::size_t disks,
+                      std::uint64_t stripe_bytes,
+                      const io::DiskParams& params = {});
+
+  void submit(std::uint64_t offset, std::uint64_t bytes,
+              EventQueue::Callback on_done);
+
+  [[nodiscard]] std::size_t num_disks() const { return disks_.size(); }
+  [[nodiscard]] double total_busy_ms() const;
+  [[nodiscard]] const DiskQueue& disk(std::size_t i) const {
+    return disks_.at(i);
+  }
+  /// Direct access to one spindle, for affinity-scheduled workloads that
+  /// bypass striping.
+  [[nodiscard]] DiskQueue& raw_disk(std::size_t i) { return disks_.at(i); }
+
+ private:
+  EventQueue& queue_;
+  std::vector<DiskQueue> disks_;
+  std::uint64_t stripe_bytes_;
+};
+
+/// A shared serial network link: latency + size/bandwidth per message,
+/// messages serialized FCFS.  Models the communication medium for
+/// communication bursts.
+class NetworkLink {
+ public:
+  NetworkLink(EventQueue& queue, double bandwidth_mb_s, double latency_ms);
+
+  void submit(std::uint64_t bytes, EventQueue::Callback on_done);
+
+  [[nodiscard]] double busy_ms() const { return busy_ms_; }
+  [[nodiscard]] std::uint64_t messages() const { return messages_; }
+
+ private:
+  struct Message {
+    std::uint64_t bytes;
+    EventQueue::Callback on_done;
+  };
+
+  void start(Message message);
+
+  EventQueue& queue_;
+  double bandwidth_mb_s_;
+  double latency_ms_;
+  bool busy_ = false;
+  std::deque<Message> waiting_;
+  double busy_ms_ = 0.0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace clio::sim

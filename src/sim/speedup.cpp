@@ -1,0 +1,62 @@
+#include "sim/speedup.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace clio::sim {
+
+std::vector<SpeedupPoint> sweep_disks(const model::ApplicationBehavior& app,
+                                      MachineConfig machine,
+                                      const std::vector<std::size_t>& disk_counts,
+                                      double timebase_sec) {
+  util::check<util::ConfigError>(!disk_counts.empty(),
+                                 "sweep_disks: empty sweep");
+  if (machine.cpus < app.num_programs()) {
+    machine.cpus = app.num_programs();
+  }
+  machine.data_parallel_cpu = false;
+
+  MachineConfig baseline = machine;
+  baseline.disks = 1;
+  const double base_ms = simulate(app, baseline, timebase_sec).makespan_ms;
+
+  std::vector<SpeedupPoint> points;
+  points.reserve(disk_counts.size());
+  for (std::size_t d : disk_counts) {
+    MachineConfig config = machine;
+    config.disks = d;
+    const double ms = simulate(app, config, timebase_sec).makespan_ms;
+    points.push_back(SpeedupPoint{d, ms, base_ms / ms});
+  }
+  return points;
+}
+
+std::vector<SpeedupPoint> sweep_cpus(const model::ApplicationBehavior& app,
+                                     MachineConfig machine,
+                                     const std::vector<std::size_t>& cpu_counts,
+                                     double timebase_sec) {
+  util::check<util::ConfigError>(!cpu_counts.empty(), "sweep_cpus: empty sweep");
+  machine.data_parallel_cpu = true;
+  // Isolate the CPU dimension: one spindle per program keeps every I/O
+  // burst at its modeled duration, so the curve is pure Amdahl over the
+  // application's serial I/O fraction — the paper's Figure 5 mechanism.
+  machine.disks = std::max<std::size_t>(machine.disks, app.num_programs());
+  machine.partition_disks_by_program = true;
+
+  MachineConfig baseline = machine;
+  baseline.cpus = 1;
+  const double base_ms = simulate(app, baseline, timebase_sec).makespan_ms;
+
+  std::vector<SpeedupPoint> points;
+  points.reserve(cpu_counts.size());
+  for (std::size_t c : cpu_counts) {
+    MachineConfig config = machine;
+    config.cpus = c;
+    const double ms = simulate(app, config, timebase_sec).makespan_ms;
+    points.push_back(SpeedupPoint{c, ms, base_ms / ms});
+  }
+  return points;
+}
+
+}  // namespace clio::sim

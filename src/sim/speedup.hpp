@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/des.hpp"
+
+namespace clio::sim {
+
+/// One point of a scaling experiment.
+struct SpeedupPoint {
+  std::size_t value = 1;      ///< the swept parameter (#disks or #CPUs)
+  double makespan_ms = 0.0;
+  double speedup = 1.0;       ///< baseline makespan / this makespan
+};
+
+/// Figure 4: speedup of the application as a function of the number of
+/// disks.  Baseline is the same machine with one disk.  CPU count defaults
+/// to one per program (no CPU contention, isolating the disk dimension).
+[[nodiscard]] std::vector<SpeedupPoint> sweep_disks(
+    const model::ApplicationBehavior& app, MachineConfig machine,
+    const std::vector<std::size_t>& disk_counts, double timebase_sec);
+
+/// Figure 5: speedup as a function of the number of CPUs.  Baseline is one
+/// CPU; computation bursts are data-parallel across the pool (the model's
+/// parallel-program reading), I/O is serialized on the configured disks.
+[[nodiscard]] std::vector<SpeedupPoint> sweep_cpus(
+    const model::ApplicationBehavior& app, MachineConfig machine,
+    const std::vector<std::size_t>& cpu_counts, double timebase_sec);
+
+}  // namespace clio::sim

@@ -1,0 +1,67 @@
+#include "trace/reader.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace clio::trace {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'L', 'I', 'O', 'T', 'R', 'C', '1'};
+
+template <typename T>
+T get(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(value));
+  util::check<util::ParseError>(in.good(), "read_trace: truncated trace");
+  return value;
+}
+
+}  // namespace
+
+TraceFile read_trace(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  util::check<util::ParseError>(in.good(),
+                                "read_trace: cannot open " + path.string());
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  util::check<util::ParseError>(
+      in.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+      "read_trace: bad magic (not a clio trace)");
+
+  TraceFile trace;
+  trace.header.num_processes = get<std::uint32_t>(in);
+  trace.header.num_files = get<std::uint32_t>(in);
+  trace.header.num_records = get<std::uint64_t>(in);
+  trace.header.record_offset = get<std::uint64_t>(in);
+  const auto name_len = get<std::uint32_t>(in);
+  util::check<util::ParseError>(name_len < (1u << 20),
+                                "read_trace: implausible name length");
+  trace.header.sample_file.resize(name_len);
+  in.read(trace.header.sample_file.data(), name_len);
+  util::check<util::ParseError>(in.good(), "read_trace: truncated name");
+
+  // Honour record_offset as the authoritative position of the record array,
+  // exactly like a UMD reader would.
+  in.seekg(static_cast<std::streamoff>(trace.header.record_offset));
+  util::check<util::ParseError>(in.good(), "read_trace: bad record offset");
+
+  trace.records.reserve(trace.header.num_records);
+  for (std::uint64_t i = 0; i < trace.header.num_records; ++i) {
+    TraceRecord r;
+    r.op = static_cast<TraceOp>(get<std::uint8_t>(in));
+    r.count = get<std::uint32_t>(in);
+    r.pid = get<std::uint32_t>(in);
+    r.fid = get<std::uint32_t>(in);
+    r.wall_clock = get<double>(in);
+    r.proc_clock = get<double>(in);
+    r.offset = get<std::uint64_t>(in);
+    r.length = get<std::uint64_t>(in);
+    trace.records.push_back(r);
+  }
+  validate(trace);
+  return trace;
+}
+
+}  // namespace clio::trace

@@ -1,0 +1,13 @@
+#pragma once
+
+#include <filesystem>
+
+#include "trace/format.hpp"
+
+namespace clio::trace {
+
+/// Parses a trace written by write_trace.  Throws ParseError on a bad magic,
+/// truncated stream, or failed structural validation.
+[[nodiscard]] TraceFile read_trace(const std::filesystem::path& path);
+
+}  // namespace clio::trace

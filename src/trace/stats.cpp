@@ -1,0 +1,73 @@
+#include "trace/stats.hpp"
+
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace clio::trace {
+
+std::uint64_t TraceStats::total_records() const {
+  std::uint64_t total = 0;
+  for (auto c : op_counts) total += c;
+  return total;
+}
+
+TraceStats compute_stats(const TraceFile& trace) {
+  TraceStats stats;
+  std::uint64_t sequential = 0;
+  std::uint64_t transfers = 0;
+  std::uint64_t transfer_bytes = 0;
+  std::uint64_t next_sequential = UINT64_MAX;
+  for (const auto& r : trace.records) {
+    stats.op_counts[static_cast<std::size_t>(r.op)] += r.count;
+    stats.duration_sec = r.wall_clock;
+    const std::uint64_t span = r.length * r.count;
+    switch (r.op) {
+      case TraceOp::kRead:
+        stats.bytes_read += span;
+        break;
+      case TraceOp::kWrite:
+        stats.bytes_written += span;
+        break;
+      default:
+        break;
+    }
+    if (r.op == TraceOp::kRead || r.op == TraceOp::kWrite) {
+      stats.max_offset = std::max(stats.max_offset, r.offset + span);
+      transfers += 1;
+      transfer_bytes += span;
+      if (r.offset == next_sequential) ++sequential;
+      next_sequential = r.offset + span;
+    } else if (r.op == TraceOp::kSeek) {
+      stats.max_offset = std::max(stats.max_offset, r.offset);
+    }
+  }
+  if (transfers > 1) {
+    stats.sequentiality =
+        static_cast<double>(sequential) / static_cast<double>(transfers - 1);
+  }
+  if (transfers > 0) {
+    stats.mean_request_bytes =
+        static_cast<double>(transfer_bytes) / static_cast<double>(transfers);
+  }
+  return stats;
+}
+
+void render_stats(std::ostream& os, const TraceStats& stats) {
+  util::TextTable table({"metric", "value"});
+  for (std::size_t i = 0; i < io::kIoOpCount; ++i) {
+    table.add_row({std::string(io::io_op_name(static_cast<io::IoOp>(i))) +
+                       " ops",
+                   std::to_string(stats.op_counts[i])});
+  }
+  table.add_row({"bytes read", std::to_string(stats.bytes_read)});
+  table.add_row({"bytes written", std::to_string(stats.bytes_written)});
+  table.add_row({"max offset", std::to_string(stats.max_offset)});
+  table.add_row({"duration (s)", util::format_fixed(stats.duration_sec, 3)});
+  table.add_row({"sequentiality", util::format_fixed(stats.sequentiality, 3)});
+  table.add_row(
+      {"mean request (B)", util::format_fixed(stats.mean_request_bytes, 1)});
+  table.render(os);
+}
+
+}  // namespace clio::trace

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+
+#include "trace/format.hpp"
+
+namespace clio::trace {
+
+/// Workload-shape metrics of a trace, used to sanity-check that the
+/// generated traces have the access-pattern character of the applications
+/// they stand in for (sequential scans vs. strided panels vs. irregular).
+struct TraceStats {
+  std::array<std::uint64_t, io::kIoOpCount> op_counts{};
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t max_offset = 0;     ///< highest byte touched
+  double duration_sec = 0.0;        ///< last wall clock stamp
+  /// Fraction of read/write records whose offset equals the previous
+  /// read/write's offset+length (1.0 = perfectly sequential stream).
+  double sequentiality = 0.0;
+  /// Mean request length over read/write records.
+  double mean_request_bytes = 0.0;
+
+  [[nodiscard]] std::uint64_t count(TraceOp op) const {
+    return op_counts[static_cast<std::size_t>(op)];
+  }
+  [[nodiscard]] std::uint64_t total_records() const;
+};
+
+[[nodiscard]] TraceStats compute_stats(const TraceFile& trace);
+
+/// One-line-per-op summary plus shape metrics.
+void render_stats(std::ostream& os, const TraceStats& stats);
+
+}  // namespace clio::trace

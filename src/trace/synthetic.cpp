@@ -1,0 +1,115 @@
+#include "trace/synthetic.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace clio::trace {
+namespace {
+
+/// Shared scaffolding: stamps clocks, wraps ops in open/close.
+class Builder {
+ public:
+  explicit Builder(const SyntheticOptions& options) : options_(options) {
+    trace_.header.sample_file = options.sample_file;
+    trace_.header.num_processes = options.pid + 1;
+    trace_.header.num_files = options.fid + 1;
+    push(TraceOp::kOpen, 0, 0);
+  }
+
+  void push(TraceOp op, std::uint64_t offset, std::uint64_t length) {
+    TraceRecord r;
+    r.op = op;
+    r.pid = options_.pid;
+    r.fid = options_.fid;
+    r.offset = offset;
+    r.length = length;
+    r.wall_clock = clock_;
+    r.proc_clock = clock_;
+    clock_ += options_.inter_arrival_sec;
+    trace_.records.push_back(r);
+  }
+
+  TraceFile finish() {
+    push(TraceOp::kClose, 0, 0);
+    trace_.header.num_records = trace_.records.size();
+    validate(trace_);
+    return std::move(trace_);
+  }
+
+ private:
+  SyntheticOptions options_;
+  TraceFile trace_;
+  double clock_ = 0.0;
+};
+
+TraceFile linear(std::uint64_t total_bytes, std::uint64_t block, TraceOp op,
+                 const SyntheticOptions& options) {
+  util::check<util::ConfigError>(block > 0, "synthetic: block must be > 0");
+  Builder b(options);
+  std::uint64_t offset = 0;
+  while (offset < total_bytes) {
+    const std::uint64_t len = std::min(block, total_bytes - offset);
+    b.push(op, offset, len);
+    offset += len;
+  }
+  return b.finish();
+}
+
+}  // namespace
+
+TraceFile sequential_read(std::uint64_t total_bytes, std::uint64_t block,
+                          const SyntheticOptions& options) {
+  return linear(total_bytes, block, TraceOp::kRead, options);
+}
+
+TraceFile sequential_write(std::uint64_t total_bytes, std::uint64_t block,
+                           const SyntheticOptions& options) {
+  return linear(total_bytes, block, TraceOp::kWrite, options);
+}
+
+TraceFile strided_read(std::uint64_t start, std::uint64_t block,
+                       std::uint64_t stride, std::size_t count,
+                       const SyntheticOptions& options) {
+  util::check<util::ConfigError>(block > 0, "synthetic: block must be > 0");
+  util::check<util::ConfigError>(stride > 0, "synthetic: stride must be > 0");
+  Builder b(options);
+  std::uint64_t offset = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    b.push(TraceOp::kRead, offset, block);
+    offset += stride;
+  }
+  return b.finish();
+}
+
+TraceFile random_read(std::uint64_t file_size, std::uint64_t block,
+                      std::size_t count, std::uint64_t seed,
+                      const SyntheticOptions& options) {
+  util::check<util::ConfigError>(block > 0 && block <= file_size,
+                                 "synthetic: block must be in (0, file_size]");
+  Builder b(options);
+  util::Rng rng(seed);
+  const std::uint64_t blocks = file_size / block;
+  for (std::size_t i = 0; i < count; ++i) {
+    b.push(TraceOp::kRead, rng.uniform_u64(blocks) * block, block);
+  }
+  return b.finish();
+}
+
+TraceFile seek_sequence(const std::vector<std::uint64_t>& offsets,
+                        const SyntheticOptions& options) {
+  Builder b(options);
+  for (auto off : offsets) b.push(TraceOp::kSeek, off, 0);
+  return b.finish();
+}
+
+TraceFile seek_read_sequence(const std::vector<Request>& requests,
+                             const SyntheticOptions& options) {
+  Builder b(options);
+  for (const auto& req : requests) {
+    b.push(TraceOp::kSeek, req.offset, 0);
+    b.push(TraceOp::kRead, req.offset, req.length);
+  }
+  return b.finish();
+}
+
+}  // namespace clio::trace

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/format.hpp"
+
+namespace clio::trace {
+
+/// Parametric trace generators.
+///
+/// The UMD trace files the paper replays are not publicly archived, so the
+/// suite substitutes (a) traces captured from real reimplementations of the
+/// five applications (src/apps) and (b) these parametric generators, which
+/// produce the canonical access-pattern families the UMD study documented:
+/// whole-file sequential scans, fixed-stride panel walks, and irregular
+/// offset lists.  All generators emit open ... ops ... close and stamp
+/// synthetic wall-clock times at the given inter-arrival gap.
+
+struct SyntheticOptions {
+  std::string sample_file = "sample.bin";
+  double inter_arrival_sec = 1e-4;  ///< wall-clock gap between records
+  std::uint32_t pid = 0;
+  std::uint32_t fid = 0;
+};
+
+/// open, then ceil(total_bytes / block) sequential reads, then close.
+[[nodiscard]] TraceFile sequential_read(std::uint64_t total_bytes,
+                                        std::uint64_t block,
+                                        const SyntheticOptions& options = {});
+
+/// Like sequential_read but writing.
+[[nodiscard]] TraceFile sequential_write(std::uint64_t total_bytes,
+                                         std::uint64_t block,
+                                         const SyntheticOptions& options = {});
+
+/// Reads `count` blocks of `block` bytes, advancing the offset by `stride`
+/// between them (stride >= block gives the out-of-core panel pattern).
+[[nodiscard]] TraceFile strided_read(std::uint64_t start, std::uint64_t block,
+                                     std::uint64_t stride, std::size_t count,
+                                     const SyntheticOptions& options = {});
+
+/// `count` reads at uniformly random block-aligned offsets within
+/// [0, file_size).
+[[nodiscard]] TraceFile random_read(std::uint64_t file_size,
+                                    std::uint64_t block, std::size_t count,
+                                    std::uint64_t seed,
+                                    const SyntheticOptions& options = {});
+
+/// Pure seek workload: one seek record per entry of `offsets`
+/// (the LU Table-3 shape).
+[[nodiscard]] TraceFile seek_sequence(const std::vector<std::uint64_t>& offsets,
+                                      const SyntheticOptions& options = {});
+
+/// Interleaved seek+read pairs at the given (offset, length) requests
+/// (the Cholesky Table-4 shape).
+struct Request {
+  std::uint64_t offset;
+  std::uint64_t length;
+};
+[[nodiscard]] TraceFile seek_read_sequence(const std::vector<Request>& requests,
+                                           const SyntheticOptions& options = {});
+
+}  // namespace clio::trace

@@ -1,0 +1,85 @@
+#include "trace/writer.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace clio::trace {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'L', 'I', 'O', 'T', 'R', 'C', '1'};
+
+template <typename T>
+void put(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+}  // namespace
+
+void write_trace(const std::filesystem::path& path, const TraceFile& trace) {
+  validate(trace);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  util::check<util::IoError>(out.good(),
+                             "write_trace: cannot open " + path.string());
+  out.write(kMagic, sizeof(kMagic));
+  put(out, trace.header.num_processes);
+  put(out, trace.header.num_files);
+  put(out, static_cast<std::uint64_t>(trace.records.size()));
+  // Header size is fixed given the name length, so record_offset is known.
+  const std::uint64_t record_offset =
+      sizeof(kMagic) + 4 + 4 + 8 + 8 + 4 + trace.header.sample_file.size();
+  put(out, record_offset);
+  put(out, static_cast<std::uint32_t>(trace.header.sample_file.size()));
+  out.write(trace.header.sample_file.data(),
+            static_cast<std::streamsize>(trace.header.sample_file.size()));
+  for (const auto& r : trace.records) {
+    put(out, static_cast<std::uint8_t>(r.op));
+    put(out, r.count);
+    put(out, r.pid);
+    put(out, r.fid);
+    put(out, r.wall_clock);
+    put(out, r.proc_clock);
+    put(out, r.offset);
+    put(out, r.length);
+  }
+  util::check<util::IoError>(out.good(),
+                             "write_trace: short write to " + path.string());
+}
+
+TraceRecorder::TraceRecorder(std::string sample_file,
+                             std::uint32_t num_processes,
+                             std::uint32_t num_files) {
+  trace_.header.sample_file = std::move(sample_file);
+  trace_.header.num_processes = num_processes;
+  trace_.header.num_files = num_files;
+}
+
+void TraceRecorder::record(TraceOp op, std::uint64_t offset,
+                           std::uint64_t length, std::uint32_t pid,
+                           std::uint32_t fid, std::uint32_t count) {
+  TraceRecord r;
+  r.op = op;
+  r.count = count;
+  r.pid = pid;
+  r.fid = fid;
+  r.wall_clock = watch_.elapsed_sec();
+  r.proc_clock = r.wall_clock;  // single-process capture approximation
+  r.offset = offset;
+  r.length = length;
+  trace_.records.push_back(r);
+}
+
+void TraceRecorder::set_counts(std::uint32_t num_processes,
+                               std::uint32_t num_files) {
+  trace_.header.num_processes = num_processes;
+  trace_.header.num_files = num_files;
+}
+
+TraceFile TraceRecorder::finish() {
+  trace_.header.num_records = trace_.records.size();
+  validate(trace_);
+  return std::move(trace_);
+}
+
+}  // namespace clio::trace

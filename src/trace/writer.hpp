@@ -1,0 +1,54 @@
+#pragma once
+
+#include <filesystem>
+
+#include "trace/format.hpp"
+#include "util/stopwatch.hpp"
+
+namespace clio::trace {
+
+/// Serializes a trace to the clio binary container:
+///
+///   magic "CLIOTRC1" (8 bytes)
+///   u32 num_processes, u32 num_files, u64 num_records
+///   u64 record_offset   (filled in by the writer)
+///   u32 sample_file length, bytes of the name
+///   records, each packed little-endian:
+///     u8 op, u32 count, u32 pid, u32 fid,
+///     f64 wall_clock, f64 proc_clock, u64 offset, u64 length
+///
+/// The on-disk layout intentionally mirrors the UMD structure the paper
+/// describes: a self-describing header followed by a flat record array at
+/// `record_offset`.
+void write_trace(const std::filesystem::path& path, const TraceFile& trace);
+
+/// Incrementally builds a trace while a workload runs.  Wall-clock stamps
+/// are taken from a monotonic stopwatch started at construction; process
+/// clock is approximated by accumulated wall time (single-process capture).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::string sample_file, std::uint32_t num_processes = 1,
+                         std::uint32_t num_files = 1);
+
+  /// Appends one record stamped `now`.
+  void record(TraceOp op, std::uint64_t offset, std::uint64_t length,
+              std::uint32_t pid = 0, std::uint32_t fid = 0,
+              std::uint32_t count = 1);
+
+  /// Overrides the header's process/file counts (e.g. after the capture
+  /// layer has discovered how many workers/files participated).
+  void set_counts(std::uint32_t num_processes, std::uint32_t num_files);
+
+  /// Finalizes and returns the trace (header counts filled in).
+  [[nodiscard]] TraceFile finish();
+
+  [[nodiscard]] std::size_t records_so_far() const {
+    return trace_.records.size();
+  }
+
+ private:
+  TraceFile trace_;
+  util::Stopwatch watch_;
+};
+
+}  // namespace clio::trace

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace clio::util {
+
+/// Root of the clio exception hierarchy.
+class ClioError : public std::runtime_error {
+ public:
+  explicit ClioError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Failures in the I/O subsystem (open/read/write/seek/close, buffer pool).
+class IoError : public ClioError {
+ public:
+  explicit IoError(const std::string& what) : ClioError(what) {}
+};
+
+/// Failures while parsing textual inputs (IL assembly, trace dumps, configs).
+class ParseError : public ClioError {
+ public:
+  explicit ParseError(const std::string& what) : ClioError(what) {}
+};
+
+/// Bytecode verification failures (bad stack depth, wild branch, etc.).
+class VerifyError : public ClioError {
+ public:
+  explicit VerifyError(const std::string& what) : ClioError(what) {}
+};
+
+/// Managed-execution faults raised while running IL (division by zero,
+/// out-of-range array access, stack overflow...).
+class ExecutionError : public ClioError {
+ public:
+  explicit ExecutionError(const std::string& what) : ClioError(what) {}
+};
+
+/// Invalid benchmark/model configuration supplied by the caller.
+class ConfigError : public ClioError {
+ public:
+  explicit ConfigError(const std::string& what) : ClioError(what) {}
+};
+
+/// Throws E{msg} when `ok` is false.  Used for precondition checks on public
+/// API boundaries where a failed check is a caller bug, not a programming
+/// error inside clio.
+template <typename E = ClioError>
+inline void check(bool ok, std::string_view msg) {
+  if (!ok) throw E(std::string(msg));
+}
+
+}  // namespace clio::util

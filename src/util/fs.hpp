@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace clio::util {
+
+/// Writes the whole buffer to `path`, truncating any existing file.
+void write_file(const std::filesystem::path& path,
+                std::span<const std::byte> data);
+
+/// Convenience overload for text content.
+void write_text_file(const std::filesystem::path& path,
+                     const std::string& text);
+
+/// Reads the whole file.  Throws IoError if the file does not exist.
+[[nodiscard]] std::vector<std::byte> read_file(
+    const std::filesystem::path& path);
+
+[[nodiscard]] std::string read_text_file(const std::filesystem::path& path);
+
+/// File size in bytes; throws IoError if the file does not exist.
+[[nodiscard]] std::uint64_t file_size(const std::filesystem::path& path);
+
+/// Creates a file of exactly `size` bytes filled with a deterministic
+/// pseudo-random pattern derived from `seed`.  This is the "sample file" the
+/// paper's trace-driven benchmark issues its 1 GB of I/O against.  Data is
+/// written in 1 MiB chunks so creating a large sample stays cheap on memory.
+void create_sample_file(const std::filesystem::path& path, std::uint64_t size,
+                        std::uint64_t seed = 42);
+
+/// Fills `out` with the same deterministic pattern create_sample_file would
+/// place at byte offset `offset` — lets tests verify read contents without
+/// keeping a golden copy.
+void expected_sample_bytes(std::uint64_t offset, std::span<std::byte> out,
+                           std::uint64_t seed = 42);
+
+}  // namespace clio::util

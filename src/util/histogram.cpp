@@ -1,0 +1,74 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace clio::util {
+namespace {
+
+std::size_t bucket_of(std::uint64_t nanos) {
+  if (nanos == 0) return 0;
+  return static_cast<std::size_t>(63 - std::countl_zero(nanos));
+}
+
+}  // namespace
+
+void LatencyHistogram::push(std::uint64_t nanos) {
+  buckets_[bucket_of(nanos)]++;
+  ++count_;
+  total_ns_ += nanos;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  count_ += other.count_;
+  total_ns_ += other.total_ns_;
+}
+
+void LatencyHistogram::reset() { *this = LatencyHistogram{}; }
+
+double LatencyHistogram::mean_ns() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(total_ns_) / static_cast<double>(count_);
+}
+
+std::uint64_t LatencyHistogram::quantile_ns(double q) const {
+  check<ConfigError>(q >= 0.0 && q <= 1.0, "quantile_ns: q must be in [0,1]");
+  if (count_ == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > rank) {
+      // Upper bound of bucket b.
+      return b >= 63 ? UINT64_MAX : (2ULL << b);
+    }
+  }
+  return UINT64_MAX;
+}
+
+void LatencyHistogram::render(std::ostream& os) const {
+  const std::uint64_t max_count =
+      *std::max_element(buckets_.begin(), buckets_.end());
+  if (max_count == 0) {
+    os << "(empty histogram)\n";
+    return;
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    const std::uint64_t lo = (b == 0) ? 0 : (1ULL << b);
+    const std::uint64_t hi = 2ULL << b;
+    os << "[" << lo << ", " << hi << ") ns: " << buckets_[b] << "  ";
+    const auto bar = static_cast<std::size_t>(
+        40.0 * static_cast<double>(buckets_[b]) /
+        static_cast<double>(max_count));
+    for (std::size_t i = 0; i < bar; ++i) os << '#';
+    os << '\n';
+  }
+}
+
+}  // namespace clio::util

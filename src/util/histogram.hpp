@@ -1,0 +1,44 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace clio::util {
+
+/// Log2-bucketed latency histogram for nanosecond samples.
+///
+/// Bucket b holds samples in [2^b, 2^(b+1)) ns; bucket 0 also holds 0-ns
+/// samples.  64 buckets cover the full uint64 range, so push never drops.
+/// Cheap enough to keep on every I/O operation class during replay.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void push(std::uint64_t nanos);
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t total_ns() const { return total_ns_; }
+  [[nodiscard]] double mean_ns() const;
+
+  /// Approximate quantile from bucket boundaries (upper bound of the bucket
+  /// that crosses the rank).  q in [0, 1].
+  [[nodiscard]] std::uint64_t quantile_ns(double q) const;
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const {
+    return buckets_.at(b);
+  }
+
+  /// Renders non-empty buckets as "[lo_ns, hi_ns): count" lines with a bar.
+  void render(std::ostream& os) const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t total_ns_ = 0;
+};
+
+}  // namespace clio::util

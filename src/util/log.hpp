@@ -1,0 +1,55 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace clio::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits one line to stderr as "[LEVEL] message".  Thread-safe (one mutex
+/// around the write, so lines never interleave).
+void log_message(LogLevel level, std::string_view msg);
+
+/// Concatenates heterogeneous arguments into a string via operator<<.
+template <typename... Args>
+[[nodiscard]] std::string cat(Args&&... args) {
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_level() <= LogLevel::kDebug) {
+    log_message(LogLevel::kDebug, cat(std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_level() <= LogLevel::kInfo) {
+    log_message(LogLevel::kInfo, cat(std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_level() <= LogLevel::kWarn) {
+    log_message(LogLevel::kWarn, cat(std::forward<Args>(args)...));
+  }
+}
+
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_level() <= LogLevel::kError) {
+    log_message(LogLevel::kError, cat(std::forward<Args>(args)...));
+  }
+}
+
+}  // namespace clio::util

@@ -1,0 +1,103 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace clio::util {
+
+double sorted_percentile(std::span<const double> sorted, double q) {
+  check<ConfigError>(q >= 0.0 && q <= 1.0, "percentile: q must be in [0,1]");
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double percentile(std::span<const double> sample, double q) {
+  std::vector<double> copy(sample.begin(), sample.end());
+  std::sort(copy.begin(), copy.end());
+  return sorted_percentile(copy, q);
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+  RunningStats rs;
+  for (double x : sorted) rs.push(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.sum = rs.sum();
+  s.p50 = sorted_percentile(sorted, 0.50);
+  s.p90 = sorted_percentile(sorted, 0.90);
+  s.p99 = sorted_percentile(sorted, 0.99);
+  return s;
+}
+
+double geomean(std::span<const double> sample) {
+  check<ConfigError>(!sample.empty(), "geomean: empty sample");
+  double log_sum = 0.0;
+  for (double x : sample) {
+    check<ConfigError>(x > 0.0, "geomean: all values must be > 0");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+void RunningStats::push(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel merge.
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+}  // namespace clio::util

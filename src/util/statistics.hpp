@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace clio::util {
+
+/// Descriptive statistics of a sample, as reported in benchmark tables.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes a full Summary of the sample.  Returns a zeroed Summary for an
+/// empty sample.
+[[nodiscard]] Summary summarize(std::span<const double> sample);
+
+/// Linear-interpolation percentile (q in [0,1]) of an *unsorted* sample.
+/// Copies and sorts internally; use sorted_percentile for hot paths.
+[[nodiscard]] double percentile(std::span<const double> sample, double q);
+
+/// Percentile of an already ascending-sorted sample (no copy).
+[[nodiscard]] double sorted_percentile(std::span<const double> sorted,
+                                       double q);
+
+/// Geometric mean; all values must be > 0.  Used for speedup aggregation.
+[[nodiscard]] double geomean(std::span<const double> sample);
+
+/// Streaming mean/variance via Welford's algorithm.  Numerically stable and
+/// O(1) memory, suitable for million-operation replay runs.
+class RunningStats {
+ public:
+  void push(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return n_ > 0 ? mean_ * n_ : 0.0; }
+
+  /// Half-width of the 95% confidence interval on the mean, using the
+  /// normal approximation (adequate for the n >= 30 samples benchmarks use).
+  [[nodiscard]] double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace clio::util

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace clio::util {
+
+/// Monotonic high-resolution interval timer.
+///
+/// Plays the role of Windows' QueryPerformanceCounter in the original paper:
+/// every per-operation latency reported by the benchmarks is measured with a
+/// Stopwatch.  Backed by std::chrono::steady_clock, so it is immune to wall
+/// clock adjustments.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Starts timing immediately on construction.
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/restart in nanoseconds.
+  [[nodiscard]] std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds (fractional).
+  [[nodiscard]] double elapsed_us() const {
+    return static_cast<double>(elapsed_ns()) / 1e3;
+  }
+
+  /// Elapsed time in milliseconds (fractional) — the unit used by every
+  /// table in the paper.
+  [[nodiscard]] double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+
+  /// Elapsed time in seconds (fractional).
+  [[nodiscard]] double elapsed_sec() const {
+    return static_cast<double>(elapsed_ns()) / 1e9;
+  }
+
+  /// Raw monotonic timestamp in nanoseconds, for cross-thread event stamps.
+  [[nodiscard]] static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// RAII helper that writes the elapsed milliseconds of its scope into a
+/// caller-provided slot on destruction.
+class ScopedTimerMs {
+ public:
+  explicit ScopedTimerMs(double& out_ms) : out_ms_(out_ms) {}
+  ScopedTimerMs(const ScopedTimerMs&) = delete;
+  ScopedTimerMs& operator=(const ScopedTimerMs&) = delete;
+  ~ScopedTimerMs() { out_ms_ = watch_.elapsed_ms(); }
+
+ private:
+  double& out_ms_;
+  Stopwatch watch_;
+};
+
+/// Burns CPU for approximately the requested number of nanoseconds by
+/// spinning on the steady clock.  Used by the behavioral-model driver to
+/// realize a phase's computation burst as real work.
+inline void spin_for_ns(std::int64_t ns) {
+  if (ns <= 0) return;
+  const auto deadline = Stopwatch::Clock::now() + std::chrono::nanoseconds(ns);
+  while (Stopwatch::Clock::now() < deadline) {
+    // busy-wait; intentional
+  }
+}
+
+}  // namespace clio::util

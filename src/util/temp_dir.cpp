@@ -1,0 +1,77 @@
+#include "util/temp_dir.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <system_error>
+
+#include "util/error.hpp"
+
+namespace clio::util {
+namespace {
+
+std::uint64_t unique_token() {
+  static std::atomic<std::uint64_t> counter{0};
+  const auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+  return static_cast<std::uint64_t>(now) ^
+         (counter.fetch_add(1, std::memory_order_relaxed) << 48);
+}
+
+}  // namespace
+
+TempDir::TempDir(std::string_view prefix) {
+  const auto root = std::filesystem::temp_directory_path();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), "-%016llx",
+                  static_cast<unsigned long long>(unique_token()));
+    auto candidate = root / (std::string(prefix) + suffix);
+    std::error_code ec;
+    if (std::filesystem::create_directory(candidate, ec) && !ec) {
+      path_ = std::move(candidate);
+      return;
+    }
+  }
+  throw IoError("TempDir: failed to create a unique temporary directory");
+}
+
+TempDir::TempDir(TempDir&& other) noexcept
+    : path_(std::move(other.path_)), owned_(other.owned_) {
+  other.owned_ = false;
+  other.path_.clear();
+}
+
+TempDir& TempDir::operator=(TempDir&& other) noexcept {
+  if (this != &other) {
+    if (owned_) remove_all_noexcept();
+    path_ = std::move(other.path_);
+    owned_ = other.owned_;
+    other.owned_ = false;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+TempDir::~TempDir() {
+  if (owned_) remove_all_noexcept();
+}
+
+std::filesystem::path TempDir::file(std::string_view name) const {
+  return path_ / name;
+}
+
+std::filesystem::path TempDir::subdir(std::string_view name) const {
+  auto dir = path_ / name;
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void TempDir::release() { owned_ = false; }
+
+void TempDir::remove_all_noexcept() noexcept {
+  if (path_.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);
+  // Swallow errors: destructor must not throw; a leaked temp dir is benign.
+}
+
+}  // namespace clio::util

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace clio::util {
+
+/// RAII temporary directory.  Created unique under the system temp root on
+/// construction, recursively removed on destruction.  Every test and bench
+/// that touches disk scopes its files inside a TempDir so runs never leak
+/// state into each other.
+class TempDir {
+ public:
+  /// Creates `<system-temp>/<prefix>-XXXXXXXX/`.
+  explicit TempDir(std::string_view prefix = "clio");
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  TempDir(TempDir&& other) noexcept;
+  TempDir& operator=(TempDir&& other) noexcept;
+
+  ~TempDir();
+
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// Path of a file inside the directory (not created).
+  [[nodiscard]] std::filesystem::path file(std::string_view name) const;
+
+  /// Creates and returns a subdirectory.
+  [[nodiscard]] std::filesystem::path subdir(std::string_view name) const;
+
+  /// Detaches ownership: the directory will NOT be removed on destruction.
+  void release();
+
+ private:
+  void remove_all_noexcept() noexcept;
+
+  std::filesystem::path path_;
+  bool owned_ = true;
+};
+
+}  // namespace clio::util

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string_view>
+
+#include "vm/module.hpp"
+
+namespace clio::vm {
+
+/// Assembles the textual IL into a Module.
+///
+/// Grammar (line oriented; ';' starts a comment):
+///
+///   .method <name> <num_args> <num_locals>
+///     [label:]
+///     <mnemonic> [operand]
+///     ...
+///   .end
+///
+/// Operands: integers for `ldc`, decimals for `ldcf`, double-quoted strings
+/// for `ldstr` (interned into the pool), label names for branches, method
+/// names for `call` (forward references allowed), syscall names or ids for
+/// `syscall` (see corelib.hpp).
+///
+/// Throws ParseError with a line number on malformed input.  The result is
+/// NOT yet verified — run verify_module() before executing.
+[[nodiscard]] Module assemble(std::string_view source);
+
+}  // namespace clio::vm

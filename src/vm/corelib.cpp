@@ -1,0 +1,54 @@
+#include "vm/corelib.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace clio::vm {
+namespace {
+
+struct SysInfo {
+  std::string_view name;
+  int arity;
+};
+
+constexpr std::array<SysInfo, static_cast<std::size_t>(
+                                  SysCall::kSysCallCount_)>
+    kTable = {{
+        {"print_i64", 1},
+        {"clock_ns", 0},
+        {"file_open", 2},
+        {"file_close", 1},
+        {"file_read", 3},
+        {"file_write", 3},
+        {"file_seek", 2},
+        {"file_size", 1},
+        {"str_len", 1},
+        {"rand_seed", 1},
+        {"rand_next", 1},
+    }};
+
+}  // namespace
+
+int syscall_arity(SysCall id) {
+  const auto idx = static_cast<std::size_t>(id);
+  util::check<util::ConfigError>(idx < kTable.size(),
+                                 "syscall_arity: bad id");
+  return kTable[idx].arity;
+}
+
+std::string_view syscall_name(SysCall id) {
+  const auto idx = static_cast<std::size_t>(id);
+  util::check<util::ConfigError>(idx < kTable.size(),
+                                 "syscall_name: bad id");
+  return kTable[idx].name;
+}
+
+int syscall_by_name(std::string_view name) {
+  for (std::size_t i = 0; i < kTable.size(); ++i) {
+    if (kTable[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace clio::vm

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace clio::vm {
+
+/// Runtime-service (syscall) identifiers — the mini-CLI's "mscorlib".
+/// Each syscall pops its arguments (last argument on top of the stack) and
+/// pushes exactly one result.
+///
+/// File handles are small integers owned by the ExecutionEngine; modes are
+/// 0 = read, 1 = create, 2 = truncate (mirroring io::OpenMode).
+enum class SysCall : std::uint16_t {
+  kPrintI64 = 0,   ///< (v) -> v           : log the value (debug aid)
+  kClockNs = 1,    ///< () -> i64          : monotonic nanoseconds
+  kFileOpen = 2,   ///< (name str, mode) -> handle
+  kFileClose = 3,  ///< (handle) -> 0
+  kFileRead = 4,   ///< (handle, array, count) -> bytes read; one byte per
+                   ///< element, stored as i64
+  kFileWrite = 5,  ///< (handle, array, count) -> bytes written
+  kFileSeek = 6,   ///< (handle, pos) -> 0
+  kFileSize = 7,   ///< (handle) -> i64
+  kStrLen = 8,     ///< (str) -> i64
+  kRandSeed = 9,   ///< (seed) -> 0        : reseed the engine RNG
+  kRandNext = 10,  ///< (bound) -> u64 in [0, bound)
+  kSysCallCount_,
+};
+
+/// Number of stack arguments each syscall pops.
+[[nodiscard]] int syscall_arity(SysCall id);
+
+/// Mnemonic used by the assembler (e.g. "file_open").
+[[nodiscard]] std::string_view syscall_name(SysCall id);
+
+/// Reverse lookup; -1 when unknown.
+[[nodiscard]] int syscall_by_name(std::string_view name);
+
+}  // namespace clio::vm

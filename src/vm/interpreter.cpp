@@ -1,0 +1,306 @@
+#include "vm/interpreter.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "vm/runtime.hpp"
+
+namespace clio::vm {
+
+using util::check;
+using util::ExecutionError;
+
+Interpreter::Interpreter(ExecutionEngine& engine, Jit& jit,
+                         std::size_t max_call_depth)
+    : engine_(engine), jit_(jit), max_call_depth_(max_call_depth) {}
+
+Value Interpreter::invoke(std::uint16_t index, std::span<const Value> args) {
+  return run_frame(index, args, 0);
+}
+
+Value Interpreter::run_frame(std::uint16_t index, std::span<const Value> args,
+                             std::size_t depth) {
+  check<ExecutionError>(depth < max_call_depth_,
+                        "interpreter: call stack overflow");
+  const MethodDef& def = jit_.module().method(index);
+  check<ExecutionError>(args.size() == def.num_args,
+                        "interpreter: argument count mismatch calling '" +
+                            def.name + "'");
+  const CompiledMethod& compiled = jit_.get(index);
+
+  std::vector<Value> locals(def.num_locals);
+  std::vector<Value> arg_slots(args.begin(), args.end());
+  std::vector<Value> stack;
+  stack.reserve(compiled.max_stack);
+
+  auto pop = [&]() -> Value {
+    Value v = std::move(stack.back());
+    stack.pop_back();
+    return v;
+  };
+  auto pop_int = [&]() -> std::int64_t { return pop().as_int(); };
+  auto pop_float = [&]() -> double { return pop().as_float(); };
+
+  std::size_t pc = 0;
+  while (true) {
+    check<ExecutionError>(pc < compiled.code.size(),
+                          "interpreter: pc out of range");
+    const DecodedInsn& insn = compiled.code[pc];
+    ++instructions_;
+    switch (insn.op) {
+      case Op::kNop:
+        break;
+      case Op::kLdcI8:
+        stack.push_back(Value::from_int(insn.imm));
+        break;
+      case Op::kLdcF64:
+        stack.push_back(Value::from_float(insn.fimm));
+        break;
+      case Op::kLdStr:
+        stack.push_back(Value::from_obj(std::make_shared<Obj>(
+            jit_.module().string_at(static_cast<std::size_t>(insn.imm)))));
+        break;
+      case Op::kLdLoc:
+        stack.push_back(locals[static_cast<std::size_t>(insn.imm)]);
+        break;
+      case Op::kStLoc:
+        locals[static_cast<std::size_t>(insn.imm)] = pop();
+        break;
+      case Op::kLdArg:
+        stack.push_back(arg_slots[static_cast<std::size_t>(insn.imm)]);
+        break;
+      case Op::kStArg:
+        arg_slots[static_cast<std::size_t>(insn.imm)] = pop();
+        break;
+      case Op::kDup:
+        stack.push_back(stack.back());
+        break;
+      case Op::kPop:
+        stack.pop_back();
+        break;
+      // ---- integer ----
+      case Op::kAdd: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        stack.push_back(Value::from_int(a + b));
+        break;
+      }
+      case Op::kSub: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        stack.push_back(Value::from_int(a - b));
+        break;
+      }
+      case Op::kMul: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        stack.push_back(Value::from_int(a * b));
+        break;
+      }
+      case Op::kDiv: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        check<ExecutionError>(b != 0, "interpreter: division by zero");
+        stack.push_back(Value::from_int(a / b));
+        break;
+      }
+      case Op::kRem: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        check<ExecutionError>(b != 0, "interpreter: remainder by zero");
+        stack.push_back(Value::from_int(a % b));
+        break;
+      }
+      case Op::kNeg:
+        stack.push_back(Value::from_int(-pop_int()));
+        break;
+      case Op::kAnd: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        stack.push_back(Value::from_int(a & b));
+        break;
+      }
+      case Op::kOr: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        stack.push_back(Value::from_int(a | b));
+        break;
+      }
+      case Op::kXor: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        stack.push_back(Value::from_int(a ^ b));
+        break;
+      }
+      case Op::kShl: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        check<ExecutionError>(b >= 0 && b < 64, "interpreter: bad shift");
+        stack.push_back(Value::from_int(
+            static_cast<std::int64_t>(static_cast<std::uint64_t>(a) << b)));
+        break;
+      }
+      case Op::kShr: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        check<ExecutionError>(b >= 0 && b < 64, "interpreter: bad shift");
+        stack.push_back(Value::from_int(
+            static_cast<std::int64_t>(static_cast<std::uint64_t>(a) >> b)));
+        break;
+      }
+      // ---- float ----
+      case Op::kAddF: {
+        const auto b = pop_float();
+        const auto a = pop_float();
+        stack.push_back(Value::from_float(a + b));
+        break;
+      }
+      case Op::kSubF: {
+        const auto b = pop_float();
+        const auto a = pop_float();
+        stack.push_back(Value::from_float(a - b));
+        break;
+      }
+      case Op::kMulF: {
+        const auto b = pop_float();
+        const auto a = pop_float();
+        stack.push_back(Value::from_float(a * b));
+        break;
+      }
+      case Op::kDivF: {
+        const auto b = pop_float();
+        const auto a = pop_float();
+        stack.push_back(Value::from_float(a / b));
+        break;
+      }
+      case Op::kNegF:
+        stack.push_back(Value::from_float(-pop_float()));
+        break;
+      case Op::kConvI2F:
+        stack.push_back(
+            Value::from_float(static_cast<double>(pop_int())));
+        break;
+      case Op::kConvF2I:
+        stack.push_back(Value::from_int(
+            static_cast<std::int64_t>(std::llround(pop_float()))));
+        break;
+      // ---- comparisons ----
+      case Op::kCmpEq: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        stack.push_back(Value::from_int(a == b ? 1 : 0));
+        break;
+      }
+      case Op::kCmpNe: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        stack.push_back(Value::from_int(a != b ? 1 : 0));
+        break;
+      }
+      case Op::kCmpLt: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        stack.push_back(Value::from_int(a < b ? 1 : 0));
+        break;
+      }
+      case Op::kCmpLe: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        stack.push_back(Value::from_int(a <= b ? 1 : 0));
+        break;
+      }
+      case Op::kCmpGt: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        stack.push_back(Value::from_int(a > b ? 1 : 0));
+        break;
+      }
+      case Op::kCmpGe: {
+        const auto b = pop_int();
+        const auto a = pop_int();
+        stack.push_back(Value::from_int(a >= b ? 1 : 0));
+        break;
+      }
+      // ---- control ----
+      case Op::kBr:
+        pc = static_cast<std::size_t>(insn.imm);
+        continue;
+      case Op::kBrTrue:
+        if (pop_int() != 0) {
+          pc = static_cast<std::size_t>(insn.imm);
+          continue;
+        }
+        break;
+      case Op::kBrFalse:
+        if (pop_int() == 0) {
+          pc = static_cast<std::size_t>(insn.imm);
+          continue;
+        }
+        break;
+      case Op::kCall: {
+        const auto callee = static_cast<std::uint16_t>(insn.imm);
+        const auto nargs = jit_.module().method(callee).num_args;
+        std::vector<Value> callee_args(nargs);
+        for (std::size_t i = nargs; i-- > 0;) callee_args[i] = pop();
+        stack.push_back(run_frame(callee, callee_args, depth + 1));
+        break;
+      }
+      case Op::kRet:
+        return pop();
+      // ---- arrays ----
+      case Op::kNewArr: {
+        const auto len = pop_int();
+        check<ExecutionError>(len >= 0 && len <= (1 << 28),
+                              "interpreter: bad array length");
+        stack.push_back(Value::from_obj(std::make_shared<Obj>(
+            std::vector<Value>(static_cast<std::size_t>(len)))));
+        break;
+      }
+      case Op::kLdElem: {
+        const auto idx = pop_int();
+        const auto arr = pop().as_obj();
+        check<ExecutionError>(!arr->is_string(),
+                              "interpreter: ldelem on string");
+        check<ExecutionError>(
+            idx >= 0 && static_cast<std::size_t>(idx) < arr->arr().size(),
+            "interpreter: array index out of range");
+        stack.push_back(arr->arr()[static_cast<std::size_t>(idx)]);
+        break;
+      }
+      case Op::kStElem: {
+        Value v = pop();
+        const auto idx = pop_int();
+        const auto arr = pop().as_obj();
+        check<ExecutionError>(!arr->is_string(),
+                              "interpreter: stelem on string");
+        check<ExecutionError>(
+            idx >= 0 && static_cast<std::size_t>(idx) < arr->arr().size(),
+            "interpreter: array index out of range");
+        arr->arr()[static_cast<std::size_t>(idx)] = std::move(v);
+        break;
+      }
+      case Op::kArrLen: {
+        const auto arr = pop().as_obj();
+        const auto len = arr->is_string() ? arr->str().size()
+                                          : arr->arr().size();
+        stack.push_back(
+            Value::from_int(static_cast<std::int64_t>(len)));
+        break;
+      }
+      // ---- services ----
+      case Op::kSysCall: {
+        const auto id = static_cast<SysCall>(insn.imm);
+        const int arity = syscall_arity(id);
+        std::vector<Value> sys_args(static_cast<std::size_t>(arity));
+        for (std::size_t i = sys_args.size(); i-- > 0;) sys_args[i] = pop();
+        stack.push_back(engine_.dispatch_syscall(id, sys_args));
+        break;
+      }
+      case Op::kOpCount_:
+        throw ExecutionError("interpreter: invalid opcode");
+    }
+    ++pc;
+  }
+}
+
+}  // namespace clio::vm

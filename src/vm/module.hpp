@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "vm/opcodes.hpp"
+
+namespace clio::vm {
+
+class Obj;
+using ObjPtr = std::shared_ptr<Obj>;
+
+/// A managed value: 64-bit integer, double, or object reference.  Types are
+/// checked dynamically by the interpreter (the verifier guarantees stack
+/// *depth* safety; operand types trap at execution time, like an
+/// unverifiable-but-memory-safe CLI).
+class Value {
+ public:
+  enum class Kind : std::uint8_t { kInt, kFloat, kObj };
+
+  Value() : kind_(Kind::kInt), i_(0) {}
+  static Value from_int(std::int64_t v) {
+    Value x;
+    x.kind_ = Kind::kInt;
+    x.i_ = v;
+    return x;
+  }
+  static Value from_float(double v) {
+    Value x;
+    x.kind_ = Kind::kFloat;
+    x.f_ = v;
+    return x;
+  }
+  static Value from_obj(ObjPtr obj) {
+    Value x;
+    x.kind_ = Kind::kObj;
+    x.obj_ = std::move(obj);
+    return x;
+  }
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  /// Accessors trap (ExecutionError) on kind mismatch.
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_float() const;
+  [[nodiscard]] const ObjPtr& as_obj() const;
+
+ private:
+  Kind kind_;
+  std::int64_t i_ = 0;
+  double f_ = 0.0;
+  ObjPtr obj_;
+};
+
+/// Heap object: a managed string or a managed array of values.
+class Obj {
+ public:
+  explicit Obj(std::string s) : data_(std::move(s)) {}
+  explicit Obj(std::vector<Value> a) : data_(std::move(a)) {}
+
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(data_);
+  }
+  [[nodiscard]] std::string& str() { return std::get<std::string>(data_); }
+  [[nodiscard]] const std::string& str() const {
+    return std::get<std::string>(data_);
+  }
+  [[nodiscard]] std::vector<Value>& arr() {
+    return std::get<std::vector<Value>>(data_);
+  }
+  [[nodiscard]] const std::vector<Value>& arr() const {
+    return std::get<std::vector<Value>>(data_);
+  }
+
+ private:
+  std::variant<std::string, std::vector<Value>> data_;
+};
+
+/// Method metadata + raw bytecode, ECMA-335 MethodDef in miniature.
+struct MethodDef {
+  std::string name;
+  std::uint16_t num_args = 0;
+  std::uint16_t num_locals = 0;
+  std::vector<std::uint8_t> code;
+  /// Filled in by the verifier: deepest evaluation stack this method needs.
+  std::uint32_t max_stack = 0;
+};
+
+/// A loaded assembly: methods plus a string pool (the metadata tables).
+class Module {
+ public:
+  /// Adds a method; returns its index.  Names must be unique.
+  std::uint16_t add_method(MethodDef method);
+
+  /// Interns a string; returns its pool index.
+  std::uint16_t add_string(std::string s);
+
+  [[nodiscard]] const MethodDef& method(std::size_t idx) const;
+  [[nodiscard]] MethodDef& method_mutable(std::size_t idx);
+  [[nodiscard]] std::size_t num_methods() const { return methods_.size(); }
+  /// Index by name; throws ConfigError when absent.
+  [[nodiscard]] std::uint16_t find_method(std::string_view name) const;
+  [[nodiscard]] bool has_method(std::string_view name) const;
+
+  [[nodiscard]] const std::string& string_at(std::size_t idx) const;
+  [[nodiscard]] std::size_t num_strings() const { return strings_.size(); }
+
+ private:
+  std::vector<MethodDef> methods_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace clio::vm

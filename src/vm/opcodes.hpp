@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace clio::vm {
+
+/// Instruction set of the mini-CLI: a stack-based intermediate language in
+/// the spirit of ECMA-335 CIL, reduced to what I/O-intensive benchmark
+/// kernels need (integer/float arithmetic, locals, arrays, branches, calls
+/// and syscalls into the managed I/O subsystem).
+enum class Op : std::uint8_t {
+  kNop = 0,
+  // Constants & data movement.
+  kLdcI8,   ///< push i64 immediate (8-byte operand)
+  kLdcF64,  ///< push f64 immediate (8-byte operand)
+  kLdStr,   ///< push string object (u16 string-pool index)
+  kLdLoc,   ///< push local (u16 index)
+  kStLoc,   ///< pop into local (u16 index)
+  kLdArg,   ///< push argument (u16 index)
+  kStArg,   ///< pop into argument (u16 index)
+  kDup,     ///< duplicate top of stack
+  kPop,     ///< discard top of stack
+  // Integer arithmetic (i64).
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  ///< traps on divide by zero
+  kRem,
+  kNeg,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  // Float arithmetic (f64).
+  kAddF,
+  kSubF,
+  kMulF,
+  kDivF,
+  kNegF,
+  kConvI2F,
+  kConvF2I,
+  // Comparisons (pop 2 ints, push 0/1).
+  kCmpEq,
+  kCmpNe,
+  kCmpLt,
+  kCmpLe,
+  kCmpGt,
+  kCmpGe,
+  // Control flow (u32 absolute byte offset operand).
+  kBr,
+  kBrTrue,   ///< pop; branch if != 0
+  kBrFalse,  ///< pop; branch if == 0
+  kCall,     ///< u16 method index; pops callee's args, pushes 1 result
+  kRet,      ///< pop 1, return it
+  // Arrays (reference objects).
+  kNewArr,  ///< pop length, push new zeroed array
+  kLdElem,  ///< pop index, pop array, push element
+  kStElem,  ///< pop value, pop index, pop array
+  kArrLen,  ///< pop array, push length
+  // Runtime services (u16 syscall id) — see corelib.hpp.
+  kSysCall,
+
+  kOpCount_,
+};
+
+/// How an opcode's inline operand is encoded in the bytecode stream.
+enum class OperandKind : std::uint8_t {
+  kNone,   ///< no operand
+  kImm64,  ///< 8 bytes (i64 or f64 bit pattern)
+  kU16,    ///< 2 bytes (index)
+  kU32,    ///< 4 bytes (branch target: absolute byte offset)
+};
+
+struct OpInfo {
+  std::string_view name;
+  OperandKind operand;
+  /// Values popped from the evaluation stack.  -1 = variable (kCall).
+  int pops;
+  /// Values pushed.  Always >= 0.
+  int pushes;
+};
+
+/// Metadata for every opcode; index with static_cast<size_t>(op).
+[[nodiscard]] const OpInfo& op_info(Op op);
+
+/// Looks up an opcode by mnemonic; returns kOpCount_ when unknown.
+[[nodiscard]] Op op_by_name(std::string_view name);
+
+/// Size in bytes of one encoded instruction (1 + operand size).
+[[nodiscard]] std::size_t encoded_size(Op op);
+
+}  // namespace clio::vm

@@ -1,0 +1,170 @@
+#include "vm/runtime.hpp"
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace clio::vm {
+
+using util::check;
+using util::ExecutionError;
+
+ExecutionEngine::ExecutionEngine(Module module, EngineOptions options,
+                                 io::ManagedFileSystem* fs)
+    : module_(std::move(module)), fs_(fs) {
+  jit_ = std::make_unique<Jit>(module_, options.jit);
+  interpreter_ =
+      std::make_unique<Interpreter>(*this, *jit_, options.max_call_depth);
+}
+
+Value ExecutionEngine::call(std::string_view method, std::vector<Value> args) {
+  return call_index(module_.find_method(method), args);
+}
+
+Value ExecutionEngine::call_index(std::uint16_t method,
+                                  std::span<const Value> args) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return interpreter_->invoke(method, args);
+}
+
+void ExecutionEngine::flush_jit_cache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  jit_->flush_cache();
+}
+
+Value ExecutionEngine::dispatch_syscall(SysCall id,
+                                        std::span<const Value> args) {
+  switch (id) {
+    case SysCall::kPrintI64: {
+      const auto v = args[0].as_int();
+      util::log_debug("vm print: ", v);
+      return Value::from_int(v);
+    }
+    case SysCall::kClockNs:
+      return Value::from_int(util::Stopwatch::now_ns());
+    case SysCall::kFileOpen: {
+      check<ExecutionError>(fs_ != nullptr,
+                            "vm: file syscalls need a managed fs");
+      const auto& name_obj = args[0].as_obj();
+      check<ExecutionError>(name_obj->is_string(),
+                            "vm: file_open needs a string name");
+      const auto mode = args[1].as_int();
+      io::OpenMode open_mode;
+      switch (mode) {
+        case 0:
+          open_mode = io::OpenMode::kRead;
+          break;
+        case 1:
+          open_mode = io::OpenMode::kCreate;
+          break;
+        case 2:
+          open_mode = io::OpenMode::kTruncate;
+          break;
+        default:
+          throw ExecutionError("vm: bad open mode");
+      }
+      // Reuse a free slot if any handle was closed.
+      for (std::size_t i = 0; i < handles_.size(); ++i) {
+        if (!handles_[i].is_open()) {
+          handles_[i] = fs_->open(name_obj->str(), open_mode);
+          return Value::from_int(static_cast<std::int64_t>(i));
+        }
+      }
+      handles_.push_back(fs_->open(name_obj->str(), open_mode));
+      return Value::from_int(static_cast<std::int64_t>(handles_.size() - 1));
+    }
+    case SysCall::kFileClose: {
+      const auto h = args[0].as_int();
+      check<ExecutionError>(
+          h >= 0 && static_cast<std::size_t>(h) < handles_.size() &&
+              handles_[static_cast<std::size_t>(h)].is_open(),
+          "vm: file_close on bad handle");
+      handles_[static_cast<std::size_t>(h)].close();
+      return Value::from_int(0);
+    }
+    case SysCall::kFileRead: {
+      const auto h = args[0].as_int();
+      check<ExecutionError>(
+          h >= 0 && static_cast<std::size_t>(h) < handles_.size() &&
+              handles_[static_cast<std::size_t>(h)].is_open(),
+          "vm: file_read on bad handle");
+      const auto& arr_obj = args[1].as_obj();
+      check<ExecutionError>(!arr_obj->is_string(),
+                            "vm: file_read needs an array");
+      auto& arr = arr_obj->arr();
+      const auto count = args[2].as_int();
+      check<ExecutionError>(count >= 0 &&
+                                static_cast<std::size_t>(count) <= arr.size(),
+                            "vm: file_read count out of range");
+      std::vector<std::byte> buffer(static_cast<std::size_t>(count));
+      const std::size_t got =
+          handles_[static_cast<std::size_t>(h)].read(buffer);
+      for (std::size_t i = 0; i < got; ++i) {
+        arr[i] = Value::from_int(static_cast<std::int64_t>(
+            std::to_integer<std::uint8_t>(buffer[i])));
+      }
+      return Value::from_int(static_cast<std::int64_t>(got));
+    }
+    case SysCall::kFileWrite: {
+      const auto h = args[0].as_int();
+      check<ExecutionError>(
+          h >= 0 && static_cast<std::size_t>(h) < handles_.size() &&
+              handles_[static_cast<std::size_t>(h)].is_open(),
+          "vm: file_write on bad handle");
+      const auto& arr_obj = args[1].as_obj();
+      check<ExecutionError>(!arr_obj->is_string(),
+                            "vm: file_write needs an array");
+      const auto& arr = arr_obj->arr();
+      const auto count = args[2].as_int();
+      check<ExecutionError>(count >= 0 &&
+                                static_cast<std::size_t>(count) <= arr.size(),
+                            "vm: file_write count out of range");
+      std::vector<std::byte> buffer(static_cast<std::size_t>(count));
+      for (std::size_t i = 0; i < buffer.size(); ++i) {
+        buffer[i] = static_cast<std::byte>(arr[i].as_int() & 0xff);
+      }
+      handles_[static_cast<std::size_t>(h)].write(buffer);
+      return Value::from_int(count);
+    }
+    case SysCall::kFileSeek: {
+      const auto h = args[0].as_int();
+      check<ExecutionError>(
+          h >= 0 && static_cast<std::size_t>(h) < handles_.size() &&
+              handles_[static_cast<std::size_t>(h)].is_open(),
+          "vm: file_seek on bad handle");
+      const auto pos = args[1].as_int();
+      check<ExecutionError>(pos >= 0, "vm: negative seek");
+      handles_[static_cast<std::size_t>(h)].seek(
+          static_cast<std::uint64_t>(pos));
+      return Value::from_int(0);
+    }
+    case SysCall::kFileSize: {
+      const auto h = args[0].as_int();
+      check<ExecutionError>(
+          h >= 0 && static_cast<std::size_t>(h) < handles_.size() &&
+              handles_[static_cast<std::size_t>(h)].is_open(),
+          "vm: file_size on bad handle");
+      return Value::from_int(static_cast<std::int64_t>(
+          handles_[static_cast<std::size_t>(h)].size()));
+    }
+    case SysCall::kStrLen: {
+      const auto& obj = args[0].as_obj();
+      check<ExecutionError>(obj->is_string(), "vm: str_len needs a string");
+      return Value::from_int(static_cast<std::int64_t>(obj->str().size()));
+    }
+    case SysCall::kRandSeed:
+      rng_ = util::Rng(static_cast<std::uint64_t>(args[0].as_int()));
+      return Value::from_int(0);
+    case SysCall::kRandNext: {
+      const auto bound = args[0].as_int();
+      check<ExecutionError>(bound > 0, "vm: rand_next bound must be > 0");
+      return Value::from_int(static_cast<std::int64_t>(
+          rng_.uniform_u64(static_cast<std::uint64_t>(bound))));
+    }
+    case SysCall::kSysCallCount_:
+      break;
+  }
+  throw ExecutionError("vm: unknown syscall");
+}
+
+}  // namespace clio::vm

@@ -1,0 +1,198 @@
+#include "vm/verifier.hpp"
+
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "vm/corelib.hpp"
+
+namespace clio::vm {
+namespace {
+
+using util::cat;
+using util::check;
+using util::VerifyError;
+
+std::uint16_t read_u16(const std::vector<std::uint8_t>& code,
+                       std::size_t at) {
+  return static_cast<std::uint16_t>(code[at] |
+                                    (static_cast<std::uint16_t>(code[at + 1])
+                                     << 8));
+}
+
+std::uint32_t read_u32(const std::vector<std::uint8_t>& code,
+                       std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | code[at + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t verify_method(const Module& module, const MethodDef& method) {
+  const auto& code = method.code;
+  check<VerifyError>(!code.empty(),
+                     "verify: empty body in '" + method.name + "'");
+
+  // Pass 1: decode linearly, recording instruction boundaries and operands.
+  std::unordered_map<std::uint32_t, std::size_t> boundary_to_index;
+  struct Insn {
+    Op op;
+    std::uint32_t offset;
+    std::uint64_t operand;
+  };
+  std::vector<Insn> insns;
+  std::size_t at = 0;
+  while (at < code.size()) {
+    const auto op = static_cast<Op>(code[at]);
+    check<VerifyError>(code[at] < static_cast<std::uint8_t>(Op::kOpCount_),
+                       cat("verify: bad opcode at offset ", at, " in '",
+                           method.name, "'"));
+    const std::size_t size = encoded_size(op);
+    check<VerifyError>(at + size <= code.size(),
+                       cat("verify: truncated operand at offset ", at,
+                           " in '", method.name, "'"));
+    std::uint64_t operand = 0;
+    switch (op_info(op).operand) {
+      case OperandKind::kNone:
+        break;
+      case OperandKind::kImm64:
+        std::memcpy(&operand, code.data() + at + 1, 8);
+        break;
+      case OperandKind::kU16:
+        operand = read_u16(code, at + 1);
+        break;
+      case OperandKind::kU32:
+        operand = read_u32(code, at + 1);
+        break;
+    }
+    boundary_to_index.emplace(static_cast<std::uint32_t>(at), insns.size());
+    insns.push_back(Insn{op, static_cast<std::uint32_t>(at), operand});
+    at += size;
+  }
+
+  // Pass 2: operand validity.
+  for (const auto& insn : insns) {
+    switch (insn.op) {
+      case Op::kLdLoc:
+      case Op::kStLoc:
+        check<VerifyError>(insn.operand < method.num_locals,
+                           cat("verify: local index out of range in '",
+                               method.name, "'"));
+        break;
+      case Op::kLdArg:
+      case Op::kStArg:
+        check<VerifyError>(insn.operand < method.num_args,
+                           cat("verify: arg index out of range in '",
+                               method.name, "'"));
+        break;
+      case Op::kLdStr:
+        check<VerifyError>(insn.operand < module.num_strings(),
+                           cat("verify: string index out of range in '",
+                               method.name, "'"));
+        break;
+      case Op::kCall:
+        check<VerifyError>(insn.operand < module.num_methods(),
+                           cat("verify: call target out of range in '",
+                               method.name, "'"));
+        break;
+      case Op::kSysCall:
+        check<VerifyError>(
+            insn.operand <
+                static_cast<std::uint64_t>(SysCall::kSysCallCount_),
+            cat("verify: unknown syscall in '", method.name, "'"));
+        break;
+      case Op::kBr:
+      case Op::kBrTrue:
+      case Op::kBrFalse:
+        check<VerifyError>(
+            boundary_to_index.contains(
+                static_cast<std::uint32_t>(insn.operand)),
+            cat("verify: branch to non-boundary offset ", insn.operand,
+                " in '", method.name, "'"));
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Pass 3: abstract stack-depth interpretation over all paths.
+  std::vector<int> depth_at(insns.size(), -1);
+  std::deque<std::size_t> worklist;
+  depth_at[0] = 0;
+  worklist.push_back(0);
+  std::uint32_t max_depth = 0;
+  bool saw_ret = false;
+
+  auto flow_to = [&](std::size_t target, int depth) {
+    if (depth_at[target] == -1) {
+      depth_at[target] = depth;
+      worklist.push_back(target);
+    } else {
+      check<VerifyError>(depth_at[target] == depth,
+                         cat("verify: inconsistent stack depth at offset ",
+                             insns[target].offset, " in '", method.name,
+                             "' (", depth_at[target], " vs ", depth, ")"));
+    }
+  };
+
+  while (!worklist.empty()) {
+    const std::size_t idx = worklist.front();
+    worklist.pop_front();
+    const Insn& insn = insns[idx];
+    int depth = depth_at[idx];
+
+    int pops = op_info(insn.op).pops;
+    if (insn.op == Op::kCall) {
+      pops = module.method(insn.operand).num_args;
+    } else if (insn.op == Op::kSysCall) {
+      pops = syscall_arity(static_cast<SysCall>(insn.operand));
+    }
+    check<VerifyError>(depth >= pops,
+                       cat("verify: stack underflow at offset ", insn.offset,
+                           " in '", method.name, "'"));
+    depth = depth - pops + op_info(insn.op).pushes;
+    max_depth = std::max(max_depth, static_cast<std::uint32_t>(depth));
+
+    switch (insn.op) {
+      case Op::kRet:
+        check<VerifyError>(depth == 0,
+                           cat("verify: ret with residual stack in '",
+                               method.name, "'"));
+        saw_ret = true;
+        continue;  // no fallthrough
+      case Op::kBr:
+        flow_to(boundary_to_index.at(static_cast<std::uint32_t>(insn.operand)),
+                depth);
+        continue;
+      case Op::kBrTrue:
+      case Op::kBrFalse:
+        flow_to(boundary_to_index.at(static_cast<std::uint32_t>(insn.operand)),
+                depth);
+        break;
+      default:
+        break;
+    }
+    // Fallthrough successor.
+    check<VerifyError>(idx + 1 < insns.size(),
+                       cat("verify: execution falls off the end of '",
+                           method.name, "'"));
+    flow_to(idx + 1, depth);
+  }
+  check<VerifyError>(saw_ret, "verify: no reachable ret in '" + method.name +
+                                  "'");
+  return max_depth;
+}
+
+void verify_module(Module& module) {
+  for (std::size_t m = 0; m < module.num_methods(); ++m) {
+    module.method_mutable(m).max_stack =
+        verify_method(module, module.method(m));
+  }
+}
+
+}  // namespace clio::vm

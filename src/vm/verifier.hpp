@@ -1,0 +1,28 @@
+#pragma once
+
+#include "vm/module.hpp"
+
+namespace clio::vm {
+
+/// Bytecode verification, the mini-CLI's analogue of the CLI's mandatory
+/// IL verification pass.  Guarantees, for every path through a method:
+///   - instructions decode cleanly (no truncated operands),
+///   - branch targets land on instruction boundaries,
+///   - the evaluation stack never underflows,
+///   - stack depth is consistent at every join point,
+///   - `ret` executes with exactly one value on the stack,
+///   - execution cannot fall off the end of the method,
+///   - local/arg/string/method/syscall indices are in range.
+///
+/// Returns the maximum stack depth (stored into MethodDef::max_stack by
+/// verify_module).  Type correctness is enforced dynamically by the
+/// interpreter.
+///
+/// Throws VerifyError on the first violation.
+[[nodiscard]] std::uint32_t verify_method(const Module& module,
+                                          const MethodDef& method);
+
+/// Verifies every method and stamps max_stack.
+void verify_module(Module& module);
+
+}  // namespace clio::vm

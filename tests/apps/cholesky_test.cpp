@@ -1,0 +1,257 @@
+#include "apps/cholesky/numeric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "io/file_store.hpp"
+#include "trace/stats.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/temp_dir.hpp"
+
+namespace clio::apps::cholesky {
+namespace {
+
+// ------------------------------ matrix ------------------------------------
+
+TEST(SparseMatrix, MakeSpdIsStructurallyValid) {
+  const auto a = make_spd(50, 3, 7);
+  EXPECT_NO_THROW(validate(a));
+  EXPECT_EQ(a.n, 50u);
+  // Diagonal dominance by construction.
+  for (std::size_t j = 0; j < a.n; ++j) {
+    double off = 0.0;
+    for (std::size_t p = a.col_ptr[j] + 1; p < a.col_ptr[j + 1]; ++p) {
+      off += std::fabs(a.values[p]);
+    }
+    EXPECT_GT(a.at(j, j), off);
+  }
+}
+
+TEST(SparseMatrix, AtReadsEntries) {
+  const auto a = make_spd(10, 1, 3);
+  EXPECT_GT(a.at(0, 0), 0.0);
+  EXPECT_NE(a.at(1, 0), 0.0);  // first subdiagonal always present
+}
+
+TEST(SparseMatrix, DenseExpansionIsSymmetric) {
+  const auto a = make_spd(12, 2, 5);
+  const auto dense = to_dense_symmetric(a);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      EXPECT_DOUBLE_EQ(dense[j * 12 + i], dense[i * 12 + j]);
+    }
+  }
+}
+
+TEST(SparseMatrix, MatvecMatchesDense) {
+  const auto a = make_spd(20, 2, 9);
+  const auto dense = to_dense_symmetric(a);
+  util::Rng rng(4);
+  std::vector<double> x(20);
+  for (auto& v : x) v = rng.uniform_double(-1.0, 1.0);
+  const auto y = symmetric_matvec(a, x);
+  for (std::size_t i = 0; i < 20; ++i) {
+    double expect = 0.0;
+    for (std::size_t j = 0; j < 20; ++j) expect += dense[j * 20 + i] * x[j];
+    EXPECT_NEAR(y[i], expect, 1e-12);
+  }
+}
+
+TEST(SparseMatrix, ValidateCatchesCorruption) {
+  auto a = make_spd(6, 1, 1);
+  auto broken = a;
+  broken.row_idx[1] = 0;  // duplicate/unsorted
+  EXPECT_THROW(validate(broken), util::ConfigError);
+  broken = a;
+  broken.col_ptr[3] = broken.col_ptr[4] + 1;
+  EXPECT_THROW(validate(broken), util::ConfigError);
+}
+
+// ------------------------------ etree -------------------------------------
+
+TEST(Etree, ChainMatrixGivesChainTree) {
+  // Tridiagonal: parent[j] = j+1.
+  const auto a = make_spd(8, 0, 2);
+  const auto parent = elimination_tree(a);
+  for (std::size_t j = 0; j + 1 < 8; ++j) EXPECT_EQ(parent[j], j + 1);
+  EXPECT_EQ(parent[7], kNoParent);
+}
+
+TEST(Etree, ParentsAlwaysLarger) {
+  const auto a = make_spd(64, 4, 13);
+  const auto parent = elimination_tree(a);
+  for (std::size_t j = 0; j < a.n; ++j) {
+    if (parent[j] != kNoParent) EXPECT_GT(parent[j], j);
+  }
+}
+
+TEST(Etree, PostorderVisitsChildrenFirst) {
+  const auto a = make_spd(40, 3, 17);
+  const auto parent = elimination_tree(a);
+  const auto order = postorder(parent);
+  ASSERT_EQ(order.size(), 40u);
+  std::vector<std::size_t> position(40);
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (std::size_t j = 0; j < 40; ++j) {
+    if (parent[j] != kNoParent) {
+      EXPECT_LT(position[j], position[parent[j]]);
+    }
+  }
+  // It is a permutation.
+  auto sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<std::size_t> expect(40);
+  std::iota(expect.begin(), expect.end(), 0u);
+  EXPECT_EQ(sorted, expect);
+}
+
+TEST(Etree, ColumnCountsMatchSymbolic) {
+  const auto a = make_spd(48, 3, 19);
+  const auto parent = elimination_tree(a);
+  const auto counts = column_counts(a, parent);
+  const auto symbolic = symbolic_factor(a);
+  for (std::size_t j = 0; j < a.n; ++j) {
+    EXPECT_EQ(counts[j], symbolic.col_rows[j].size()) << "col " << j;
+  }
+}
+
+// ------------------------------ symbolic ----------------------------------
+
+TEST(Symbolic, PatternContainsMatrixPattern) {
+  const auto a = make_spd(32, 2, 23);
+  const auto s = symbolic_factor(a);
+  for (std::size_t j = 0; j < a.n; ++j) {
+    for (std::size_t p = a.col_ptr[j]; p < a.col_ptr[j + 1]; ++p) {
+      const auto& rows = s.col_rows[j];
+      EXPECT_TRUE(std::binary_search(rows.begin(), rows.end(),
+                                     a.row_idx[p]))
+          << "A(" << a.row_idx[p] << "," << j << ") missing from L";
+    }
+  }
+}
+
+TEST(Symbolic, OffsetsArePackedAndSized) {
+  const auto a = make_spd(24, 2, 29);
+  const auto s = symbolic_factor(a);
+  std::uint64_t expect = 0;
+  for (std::size_t j = 0; j < a.n; ++j) {
+    EXPECT_EQ(s.col_offset[j], expect);
+    expect += s.column_bytes(j);
+  }
+  EXPECT_EQ(s.file_bytes, expect);
+  EXPECT_EQ(s.nnz * sizeof(double), s.file_bytes);
+}
+
+TEST(Symbolic, RowColsMirrorsColRows) {
+  const auto a = make_spd(24, 3, 31);
+  const auto s = symbolic_factor(a);
+  for (std::size_t j = 0; j < a.n; ++j) {
+    for (std::size_t i : s.col_rows[j]) {
+      if (i == j) continue;
+      const auto& cols = s.row_cols[i];
+      EXPECT_TRUE(std::binary_search(cols.begin(), cols.end(), j));
+    }
+  }
+}
+
+// ------------------------------ numeric -----------------------------------
+
+class CholeskyTest : public ::testing::Test {
+ protected:
+  CholeskyTest()
+      : fs_(std::make_unique<io::RealFileStore>(dir_.path()),
+            io::ManagedFsOptions{}),
+        capture_(fs_, "sample.bin") {}
+
+  util::TempDir dir_;
+  io::ManagedFileSystem fs_;
+  TraceCapturingFs capture_;
+};
+
+TEST_F(CholeskyTest, FactorizationResidualIsTiny) {
+  const auto a = make_spd(40, 3, 37);
+  const auto s = symbolic_factor(a);
+  OocCholesky chol(a, s);
+  const auto stats = chol.factor(capture_, "factor.bin");
+  EXPECT_EQ(stats.columns_written, 40u);
+  const auto l = chol.load_factor(capture_, "factor.bin");
+  EXPECT_LT(cholesky_residual(a, l), 1e-10);
+}
+
+TEST_F(CholeskyTest, SolveRecoversKnownSolution) {
+  const auto a = make_spd(32, 2, 41);
+  const auto s = symbolic_factor(a);
+  OocCholesky chol(a, s);
+  chol.factor(capture_, "factor.bin");
+  const auto l = chol.load_factor(capture_, "factor.bin");
+
+  util::Rng rng(6);
+  std::vector<double> x_true(32);
+  for (auto& v : x_true) v = rng.uniform_double(-3.0, 3.0);
+  const auto b = symmetric_matvec(a, x_true);
+  const auto x = cholesky_solve(l, b);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+// Property sweep: density affects fill-in but never correctness.
+class CholeskyDensity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskyDensity, CorrectAcrossDensities) {
+  util::TempDir dir;
+  io::ManagedFileSystem fs(std::make_unique<io::RealFileStore>(dir.path()),
+                           io::ManagedFsOptions{});
+  TraceCapturingFs capture(fs, "sample.bin");
+  const auto a = make_spd(36, GetParam(), 43 + GetParam());
+  const auto s = symbolic_factor(a);
+  OocCholesky chol(a, s);
+  chol.factor(capture, "factor.bin");
+  const auto l = chol.load_factor(capture, "factor.bin");
+  EXPECT_LT(cholesky_residual(a, l), 1e-10);
+  // Fill-in: L has at least the pattern of A.
+  EXPECT_GE(s.nnz, a.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, CholeskyDensity,
+                         ::testing::Values(0, 1, 2, 4, 8));
+
+TEST_F(CholeskyTest, RejectsNonPositiveDefinite) {
+  auto a = make_spd(10, 1, 47);
+  a.values[a.col_ptr[5]] = -4.0;  // poison a diagonal
+  const auto s = symbolic_factor(a);
+  OocCholesky chol(a, s);
+  EXPECT_THROW(chol.factor(capture_, "bad.bin"), util::ExecutionError);
+}
+
+TEST_F(CholeskyTest, TraceHasIrregularSeekReadPattern) {
+  const auto a = make_spd(48, 3, 53);
+  const auto s = symbolic_factor(a);
+  OocCholesky chol(a, s);
+  const auto stats = chol.factor(capture_, "factor.bin");
+  const auto t = capture_.finish();
+  EXPECT_NO_THROW(validate(t));
+  // Table 4's signature: many seek+read pairs with varying sizes.
+  std::set<std::uint64_t> read_sizes;
+  std::size_t reads = 0;
+  for (const auto& r : t.records) {
+    if (r.op == trace::TraceOp::kRead && r.length > 0) {
+      read_sizes.insert(r.length);
+      ++reads;
+    }
+  }
+  EXPECT_EQ(reads, stats.column_reads);
+  EXPECT_GT(read_sizes.size(), 3u);  // genuinely irregular request sizes
+}
+
+TEST_F(CholeskyTest, StatsAccountBytes) {
+  const auto a = make_spd(30, 2, 59);
+  const auto s = symbolic_factor(a);
+  OocCholesky chol(a, s);
+  const auto stats = chol.factor(capture_, "factor.bin");
+  EXPECT_EQ(stats.bytes_written, s.file_bytes);
+  EXPECT_GT(stats.flops, 0u);
+}
+
+}  // namespace
+}  // namespace clio::apps::cholesky

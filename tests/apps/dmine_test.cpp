@@ -1,0 +1,188 @@
+#include "apps/dmine/apriori.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/file_store.hpp"
+#include "trace/stats.hpp"
+#include "util/error.hpp"
+#include "util/temp_dir.hpp"
+
+namespace clio::apps::dmine {
+namespace {
+
+class DmineTest : public ::testing::Test {
+ protected:
+  DmineTest()
+      : fs_(std::make_unique<io::RealFileStore>(dir_.path()),
+            io::ManagedFsOptions{}),
+        capture_(fs_, "sample.bin") {}
+
+  util::TempDir dir_;
+  io::ManagedFileSystem fs_;
+  TraceCapturingFs capture_;
+};
+
+StoreConfig small_config() {
+  StoreConfig config;
+  config.num_transactions = 500;
+  config.num_items = 50;
+  config.mean_basket = 6.0;
+  config.planted = {{1, 2, 3}, {10, 11}};
+  config.plant_probability = 0.4;
+  config.seed = 7;
+  return config;
+}
+
+TEST_F(DmineTest, GeneratorRejectsBadConfig) {
+  StoreConfig bad = small_config();
+  bad.num_transactions = 0;
+  EXPECT_THROW(TransactionStore::generate(capture_, "t.db", bad),
+               util::ConfigError);
+  bad = small_config();
+  bad.planted = {{999}};
+  EXPECT_THROW(TransactionStore::generate(capture_, "t.db", bad),
+               util::ConfigError);
+}
+
+TEST_F(DmineTest, StoreRoundTripsHeaderAndScan) {
+  TransactionStore::generate(capture_, "t.db", small_config());
+  TransactionStore store(capture_, "t.db");
+  EXPECT_EQ(store.num_transactions(), 500u);
+  EXPECT_EQ(store.num_items(), 50u);
+  std::size_t seen = 0;
+  std::size_t total_items = 0;
+  store.scan([&](const std::vector<std::uint32_t>& basket) {
+    ++seen;
+    total_items += basket.size();
+    for (std::size_t i = 1; i < basket.size(); ++i) {
+      EXPECT_LT(basket[i - 1], basket[i]);  // sorted, unique
+    }
+    for (auto item : basket) EXPECT_LT(item, 50u);
+  });
+  EXPECT_EQ(seen, 500u);
+  EXPECT_GT(total_items, 500u);  // baskets average several items
+}
+
+TEST_F(DmineTest, PlantedItemsetsAreFound) {
+  TransactionStore::generate(capture_, "t.db", small_config());
+  TransactionStore store(capture_, "t.db");
+  Apriori miner(MiningConfig{.min_support = 0.08,
+                             .min_confidence = 0.5,
+                             .max_itemset_size = 3});
+  const auto result = miner.run(store);
+  // The planted triple {1,2,3} appears in ~20% of baskets (0.4 * 0.5).
+  EXPECT_NE(result.find({1, 2, 3}), nullptr);
+  EXPECT_NE(result.find({10, 11}), nullptr);
+  EXPECT_NE(result.find({1, 2}), nullptr);  // subsets frequent too
+  EXPECT_NE(result.find({1}), nullptr);
+}
+
+TEST_F(DmineTest, SupportIsDownwardClosed) {
+  TransactionStore::generate(capture_, "t.db", small_config());
+  TransactionStore store(capture_, "t.db");
+  Apriori miner(MiningConfig{.min_support = 0.05,
+                             .min_confidence = 0.5,
+                             .max_itemset_size = 3});
+  const auto result = miner.run(store);
+  // Every frequent k-set's (k-1)-subsets are frequent with >= support.
+  for (std::size_t level = 1; level < result.frequent.size(); ++level) {
+    for (const auto& set : result.frequent[level]) {
+      for (std::size_t skip = 0; skip < set.items.size(); ++skip) {
+        std::vector<std::uint32_t> subset;
+        for (std::size_t i = 0; i < set.items.size(); ++i) {
+          if (i != skip) subset.push_back(set.items[i]);
+        }
+        const ItemSet* sub = result.find(subset);
+        ASSERT_NE(sub, nullptr);
+        EXPECT_GE(sub->support, set.support);
+      }
+    }
+  }
+}
+
+TEST_F(DmineTest, RulesMeetConfidenceBar) {
+  TransactionStore::generate(capture_, "t.db", small_config());
+  TransactionStore store(capture_, "t.db");
+  Apriori miner(MiningConfig{.min_support = 0.08,
+                             .min_confidence = 0.7,
+                             .max_itemset_size = 3});
+  const auto result = miner.run(store);
+  EXPECT_FALSE(result.rules.empty());
+  for (const auto& rule : result.rules) {
+    EXPECT_GE(rule.confidence, 0.7);
+    EXPECT_LE(rule.confidence, 1.0 + 1e-12);
+    EXPECT_GT(rule.support_fraction, 0.0);
+  }
+}
+
+TEST_F(DmineTest, SupportCountsAreExact) {
+  // Verify one itemset's support against a brute-force rescan.
+  TransactionStore::generate(capture_, "t.db", small_config());
+  TransactionStore store(capture_, "t.db");
+  Apriori miner(MiningConfig{.min_support = 0.08,
+                             .min_confidence = 0.5,
+                             .max_itemset_size = 2});
+  const auto result = miner.run(store);
+  const ItemSet* pair = result.find({10, 11});
+  ASSERT_NE(pair, nullptr);
+  std::uint32_t manual = 0;
+  store.scan([&](const std::vector<std::uint32_t>& basket) {
+    const bool has10 =
+        std::find(basket.begin(), basket.end(), 10u) != basket.end();
+    const bool has11 =
+        std::find(basket.begin(), basket.end(), 11u) != basket.end();
+    if (has10 && has11) ++manual;
+  });
+  EXPECT_EQ(pair->support, manual);
+}
+
+TEST_F(DmineTest, EachPassIsOneSequentialScan) {
+  // A database big enough that every scan spans many read blocks, so the
+  // sequential character of the workload dominates pass boundaries.
+  StoreConfig config = small_config();
+  config.num_transactions = 20000;
+  TransactionStore::generate(capture_, "t.db", config);
+  TransactionStore store(capture_, "t.db");
+  Apriori miner(MiningConfig{.min_support = 0.08,
+                             .min_confidence = 0.5,
+                             .max_itemset_size = 3});
+  const auto result = miner.run(store);
+  const auto t = capture_.finish();
+  EXPECT_NO_THROW(validate(t));
+  const auto stats = trace::compute_stats(t);
+  // generate (1 open) + header probe (1) + passes (1 each).
+  EXPECT_EQ(stats.count(trace::TraceOp::kOpen), 2u + result.passes);
+  // Mining reads are sequential (the Table 1 workload shape).
+  EXPECT_GT(stats.sequentiality, 0.7);
+}
+
+TEST_F(DmineTest, HigherSupportPrunesMore) {
+  TransactionStore::generate(capture_, "t.db", small_config());
+  TransactionStore store(capture_, "t.db");
+  const auto loose =
+      Apriori(MiningConfig{.min_support = 0.05,
+                           .min_confidence = 0.5,
+                           .max_itemset_size = 2})
+          .run(store);
+  const auto tight =
+      Apriori(MiningConfig{.min_support = 0.30,
+                           .min_confidence = 0.5,
+                           .max_itemset_size = 2})
+          .run(store);
+  EXPECT_GE(loose.frequent[0].size(), tight.frequent[0].size());
+}
+
+TEST_F(DmineTest, MinerRejectsBadConfig) {
+  EXPECT_THROW(Apriori(MiningConfig{.min_support = 0.0}), util::ConfigError);
+  EXPECT_THROW(Apriori(MiningConfig{.min_support = 1.5}), util::ConfigError);
+  EXPECT_THROW(Apriori(MiningConfig{.min_support = 0.1,
+                                    .min_confidence = -0.1}),
+               util::ConfigError);
+  EXPECT_THROW(Apriori(MiningConfig{.min_support = 0.1,
+                                    .min_confidence = 0.5,
+                                    .max_itemset_size = 0}),
+               util::ConfigError);
+}
+
+}  // namespace
+}  // namespace clio::apps::dmine

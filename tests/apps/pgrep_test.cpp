@@ -1,0 +1,186 @@
+#include "apps/pgrep/pgrep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/file_store.hpp"
+#include "trace/stats.hpp"
+#include "util/error.hpp"
+#include "util/temp_dir.hpp"
+
+namespace clio::apps::pgrep {
+namespace {
+
+// ------------------------------ Bitap core --------------------------------
+
+TEST(Bitap, ExactMatchFindsAllOccurrences) {
+  Bitap b("abc", 0);
+  const auto m = b.find("xxabcyyabcabc");
+  EXPECT_EQ(m, (std::vector<std::size_t>{5, 10, 13}));
+}
+
+TEST(Bitap, ExactMatchAtStartAndEnd) {
+  Bitap b("ab", 0);
+  const auto m = b.find("abxxab");
+  EXPECT_EQ(m, (std::vector<std::size_t>{2, 6}));
+}
+
+TEST(Bitap, NoMatchReturnsEmpty) {
+  Bitap b("needle", 0);
+  EXPECT_TRUE(b.find("haystack without it").empty());
+  EXPECT_FALSE(b.contains("haystack without it"));
+}
+
+TEST(Bitap, SingleSubstitutionWithinK1) {
+  Bitap b("hello", 1);
+  EXPECT_TRUE(b.contains("say heXlo there"));
+  EXPECT_FALSE(Bitap("hello", 0).contains("say heXlo there"));
+}
+
+TEST(Bitap, SingleDeletionWithinK1) {
+  // Text is missing one pattern character.
+  Bitap b("hello", 1);
+  EXPECT_TRUE(b.contains("say helo there"));
+}
+
+TEST(Bitap, SingleInsertionWithinK1) {
+  // Text has one extra character inside the pattern.
+  Bitap b("hello", 1);
+  EXPECT_TRUE(b.contains("say heAllo there"));
+}
+
+TEST(Bitap, TwoErrorsNeedK2) {
+  Bitap k1("pattern", 1);
+  Bitap k2("pattern", 2);
+  const std::string text = "a pZttRrn here";  // two substitutions
+  EXPECT_FALSE(k1.contains(text));
+  EXPECT_TRUE(k2.contains(text));
+}
+
+TEST(Bitap, K0OnSingleChar) {
+  Bitap b("x", 0);
+  EXPECT_EQ(b.find("axbx"), (std::vector<std::size_t>{2, 4}));
+}
+
+TEST(Bitap, RejectsBadConstruction) {
+  EXPECT_THROW(Bitap("", 0), util::ConfigError);
+  EXPECT_THROW(Bitap("ab", 2), util::ConfigError);  // k >= pattern length
+  EXPECT_THROW(Bitap(std::string(64, 'a'), 0), util::ConfigError);
+}
+
+TEST(Bitap, MatchEndOffsetsAreInclusiveOfEdits) {
+  // With k=1, a match can end one earlier (deletion) or later (insertion).
+  Bitap b("abcd", 1);
+  const auto m = b.find("abcd");
+  EXPECT_FALSE(m.empty());
+  // An exact occurrence always reports its true end among the matches.
+  EXPECT_NE(std::find(m.begin(), m.end(), 4u), m.end());
+}
+
+// ------------------------------ Parallel grep -----------------------------
+
+class PgrepTest : public ::testing::Test {
+ protected:
+  PgrepTest()
+      : fs_(std::make_unique<io::RealFileStore>(dir_.path()),
+            io::ManagedFsOptions{}),
+        capture_(fs_, "sample.bin") {}
+
+  util::TempDir dir_;
+  io::ManagedFileSystem fs_;
+  TraceCapturingFs capture_;
+};
+
+CorpusConfig small_corpus() {
+  CorpusConfig config;
+  config.size_bytes = 256 * 1024;
+  config.pattern = "xylophonequark";  // distinctive: no accidental matches
+  config.exact_occurrences = 12;
+  config.fuzzy_occurrences = 6;
+  config.seed = 21;
+  return config;
+}
+
+TEST_F(PgrepTest, FindsEveryPlantedExactOccurrence) {
+  const auto planted = generate_corpus(capture_, "corpus.txt", small_corpus());
+  ParallelGrep grep("xylophonequark", PgrepConfig{.max_errors = 0,
+                                                  .num_workers = 3});
+  const auto result = grep.search(capture_, "corpus.txt");
+  // Every planted exact position p produces a match ending at p + len.
+  for (auto p : planted.exact_positions) {
+    const auto end = p + small_corpus().pattern.size();
+    EXPECT_NE(std::find(result.match_ends.begin(), result.match_ends.end(),
+                        end),
+              result.match_ends.end())
+        << "missing exact match at " << p;
+  }
+  EXPECT_EQ(result.match_ends.size(), planted.exact_positions.size());
+}
+
+TEST_F(PgrepTest, FuzzySearchAlsoFindsMutatedPlants) {
+  const auto planted = generate_corpus(capture_, "corpus.txt", small_corpus());
+  ParallelGrep exact("xylophonequark", PgrepConfig{.max_errors = 0,
+                                                   .num_workers = 3});
+  ParallelGrep fuzzy("xylophonequark", PgrepConfig{.max_errors = 1,
+                                                   .num_workers = 3});
+  const auto exact_result = exact.search(capture_, "corpus.txt");
+  const auto fuzzy_result = fuzzy.search(capture_, "corpus.txt");
+  // Fuzzy must cover all exact matches and find (at least) the mutants.
+  EXPECT_GE(fuzzy_result.match_ends.size(),
+            exact_result.match_ends.size() + planted.fuzzy_positions.size());
+}
+
+TEST_F(PgrepTest, WorkerCountDoesNotChangeResults) {
+  generate_corpus(capture_, "corpus.txt", small_corpus());
+  const PgrepConfig base{.max_errors = 1, .num_workers = 1};
+  ParallelGrep one("xylophonequark", base);
+  const auto r1 = one.search(capture_, "corpus.txt");
+  for (std::size_t workers : {2u, 4u, 7u}) {
+    PgrepConfig config = base;
+    config.num_workers = workers;
+    ParallelGrep multi("xylophonequark", config);
+    const auto rn = multi.search(capture_, "corpus.txt");
+    EXPECT_EQ(rn.match_ends, r1.match_ends) << workers << " workers";
+  }
+}
+
+TEST_F(PgrepTest, MatchesSpanningBlockBoundariesAreFound) {
+  // Tiny read_block forces many block boundaries through the plants.
+  generate_corpus(capture_, "corpus.txt", small_corpus());
+  ParallelGrep grep("xylophonequark",
+                    PgrepConfig{.max_errors = 0,
+                                .num_workers = 2,
+                                .read_block = 64});
+  const auto result = grep.search(capture_, "corpus.txt");
+  EXPECT_EQ(result.match_ends.size(), 12u);
+}
+
+TEST_F(PgrepTest, TraceShowsMultiProcessSequentialReads) {
+  generate_corpus(capture_, "corpus.txt", small_corpus());
+  ParallelGrep grep("xylophonequark", PgrepConfig{.max_errors = 0,
+                                                  .num_workers = 4});
+  grep.search(capture_, "corpus.txt");
+  const auto t = capture_.finish();
+  EXPECT_NO_THROW(validate(t));
+  EXPECT_EQ(t.header.num_processes, 4u);  // one pid per worker
+  const auto stats = trace::compute_stats(t);
+  EXPECT_GE(stats.count(trace::TraceOp::kRead), 4u);  // every worker reads
+}
+
+TEST_F(PgrepTest, ScansWholeFile) {
+  generate_corpus(capture_, "corpus.txt", small_corpus());
+  ParallelGrep grep("xylophonequark", PgrepConfig{.max_errors = 0,
+                                                  .num_workers = 3});
+  const auto result = grep.search(capture_, "corpus.txt");
+  // Overlap means slightly more than the file size is read in aggregate.
+  EXPECT_GE(result.bytes_scanned, small_corpus().size_bytes);
+}
+
+TEST_F(PgrepTest, GeneratorRejectsOverfullPlan) {
+  CorpusConfig bad = small_corpus();
+  bad.size_bytes = 1024;
+  bad.exact_occurrences = 500;
+  EXPECT_THROW(generate_corpus(capture_, "c.txt", bad), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace clio::apps::pgrep

@@ -1,0 +1,202 @@
+#include "apps/titan/titan_db.hpp"
+
+#include <gtest/gtest.h>
+
+#include "io/file_store.hpp"
+#include "trace/stats.hpp"
+#include "util/error.hpp"
+#include "util/temp_dir.hpp"
+
+namespace clio::apps::titan {
+namespace {
+
+// ------------------------------ quadtree ----------------------------------
+
+TEST(Quadtree, FullRangeReturnsAllTiles) {
+  TileQuadtree tree(4, 4);
+  const auto tiles = tree.query(TileRect{0, 0, 4, 4});
+  EXPECT_EQ(tiles.size(), 16u);
+}
+
+TEST(Quadtree, SingleTileQuery) {
+  TileQuadtree tree(8, 8);
+  const auto tiles = tree.query(TileRect{3, 5, 4, 6});
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], (TileId{3, 5}));
+}
+
+TEST(Quadtree, RectangleQueryReturnsExactCover) {
+  TileQuadtree tree(8, 8);
+  const auto tiles = tree.query(TileRect{1, 2, 4, 5});
+  EXPECT_EQ(tiles.size(), 9u);  // 3x3 block
+  for (const auto& t : tiles) {
+    EXPECT_GE(t.tx, 1u);
+    EXPECT_LT(t.tx, 4u);
+    EXPECT_GE(t.ty, 2u);
+    EXPECT_LT(t.ty, 5u);
+  }
+}
+
+TEST(Quadtree, EmptyQueryReturnsNothing) {
+  TileQuadtree tree(8, 8);
+  EXPECT_TRUE(tree.query(TileRect{2, 2, 2, 5}).empty());
+}
+
+TEST(Quadtree, PrunesDisjointQuadrants) {
+  TileQuadtree tree(16, 16);
+  tree.query(TileRect{0, 0, 1, 1});
+  // Visiting all 256 leaves + internals would be > 300 nodes; a pruned
+  // descent visits a path plus siblings.
+  EXPECT_LT(tree.last_visited(), 40u);
+}
+
+TEST(Quadtree, NonSquareAndNonPowerOfTwoGrids) {
+  TileQuadtree tree(5, 3);
+  EXPECT_EQ(tree.query(TileRect{0, 0, 5, 3}).size(), 15u);
+  EXPECT_EQ(tree.query(TileRect{4, 2, 5, 3}).size(), 1u);
+  TileQuadtree skinny(1, 7);
+  EXPECT_EQ(skinny.query(TileRect{0, 0, 1, 7}).size(), 7u);
+}
+
+TEST(Quadtree, RejectsEmptyGrid) {
+  EXPECT_THROW(TileQuadtree(0, 4), util::ConfigError);
+}
+
+// ------------------------------ raster + db -------------------------------
+
+class TitanTest : public ::testing::Test {
+ protected:
+  TitanTest()
+      : fs_(std::make_unique<io::RealFileStore>(dir_.path()),
+            io::ManagedFsOptions{}),
+        capture_(fs_, "sample.bin") {}
+
+  RasterConfig small_config() {
+    RasterConfig config;
+    config.width_tiles = 4;
+    config.height_tiles = 4;
+    config.tile_size = 16;
+    config.bands = 2;
+    config.seed = 77;
+    return config;
+  }
+
+  util::TempDir dir_;
+  io::ManagedFileSystem fs_;
+  TraceCapturingFs capture_;
+};
+
+TEST_F(TitanTest, GeneratedTilesMatchExpectedSamples) {
+  const auto config = small_config();
+  RasterStore::generate(capture_, "world.rst", config);
+  RasterStore store(capture_, "world.rst");
+  EXPECT_EQ(store.config().width_tiles, 4u);
+  EXPECT_EQ(store.config().bands, 2u);
+  TileData tile;
+  store.read_tile(1, 2, 3, tile);
+  for (std::uint32_t py = 0; py < config.tile_size; ++py) {
+    for (std::uint32_t px = 0; px < config.tile_size; ++px) {
+      EXPECT_EQ(tile[py * config.tile_size + px],
+                RasterStore::expected_sample(config, 1, 2 * 16 + px,
+                                             3 * 16 + py));
+    }
+  }
+}
+
+TEST_F(TitanTest, TileOffsetsAreBandMajor) {
+  const auto config = small_config();
+  RasterStore::generate(capture_, "world.rst", config);
+  RasterStore store(capture_, "world.rst");
+  const auto tb = store.tile_bytes();
+  EXPECT_EQ(tb, 16u * 16 * 2);
+  EXPECT_EQ(store.tile_offset(0, 0, 0), RasterStore::kHeaderBytes);
+  EXPECT_EQ(store.tile_offset(0, 1, 0), RasterStore::kHeaderBytes + tb);
+  EXPECT_EQ(store.tile_offset(0, 0, 1), RasterStore::kHeaderBytes + 4 * tb);
+  EXPECT_EQ(store.tile_offset(1, 0, 0), RasterStore::kHeaderBytes + 16 * tb);
+  EXPECT_THROW(store.tile_offset(2, 0, 0), util::ConfigError);
+}
+
+TEST_F(TitanTest, QueryAggregatesMatchBruteForce) {
+  const auto config = small_config();
+  RasterStore::generate(capture_, "world.rst", config);
+  RasterStore store(capture_, "world.rst");
+  TitanDb db(store);
+  const PixelRect window{5, 9, 37, 30};  // straddles several tiles
+  const auto result = db.range_query(window);
+  EXPECT_EQ(result.pixels, (37u - 5) * (30u - 9));
+
+  // Brute force from the generator function.
+  double sum = 0.0;
+  double lo = 2.0;
+  double hi = -2.0;
+  for (std::uint32_t y = 9; y < 30; ++y) {
+    for (std::uint32_t x = 5; x < 37; ++x) {
+      const double v0 = RasterStore::expected_sample(config, 0, x, y);
+      const double v1 = RasterStore::expected_sample(config, 1, x, y);
+      const double index = (v1 - v0) / (v0 + v1);
+      sum += index;
+      lo = std::min(lo, index);
+      hi = std::max(hi, index);
+    }
+  }
+  EXPECT_NEAR(result.mean_index, sum / result.pixels, 1e-12);
+  EXPECT_NEAR(result.min_index, lo, 1e-12);
+  EXPECT_NEAR(result.max_index, hi, 1e-12);
+}
+
+TEST_F(TitanTest, FetchesOnlyIntersectingTiles) {
+  RasterStore::generate(capture_, "world.rst", small_config());
+  RasterStore store(capture_, "world.rst");
+  TitanDb db(store);
+  // Window inside one tile: 2 fetches (one per band).
+  const auto result = db.range_query(PixelRect{2, 2, 10, 10});
+  EXPECT_EQ(result.tiles_fetched, 2u);
+  // Window covering 2x2 tiles: 8 fetches.
+  const auto result4 = db.range_query(PixelRect{10, 10, 30, 30});
+  EXPECT_EQ(result4.tiles_fetched, 8u);
+}
+
+TEST_F(TitanTest, RejectsOutOfBoundsWindow) {
+  RasterStore::generate(capture_, "world.rst", small_config());
+  RasterStore store(capture_, "world.rst");
+  TitanDb db(store);
+  EXPECT_THROW(db.range_query(PixelRect{0, 0, 65, 10}), util::ConfigError);
+  EXPECT_THROW(db.range_query(PixelRect{5, 5, 5, 10}), util::ConfigError);
+}
+
+TEST_F(TitanTest, WorkloadIsDeterministicAndInBounds) {
+  RasterStore::generate(capture_, "world.rst", small_config());
+  RasterStore store(capture_, "world.rst");
+  TitanDb db(store);
+  const auto a = db.make_workload(50, 9);
+  const auto b = db.make_workload(50, 9);
+  ASSERT_EQ(a.size(), 50u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x0, b[i].x0);
+    EXPECT_EQ(a[i].y1, b[i].y1);
+    EXPECT_LT(a[i].x0, a[i].x1);
+    EXPECT_LE(a[i].x1, 64u);
+    EXPECT_LE(a[i].y1, 64u);
+  }
+  // All workload queries execute cleanly.
+  for (const auto& q : a) EXPECT_NO_THROW(db.range_query(q));
+}
+
+TEST_F(TitanTest, TraceShowsSeekReadPairsPerTile) {
+  RasterStore::generate(capture_, "world.rst", small_config());
+  {
+    RasterStore store(capture_, "world.rst");
+    TitanDb db(store);
+    db.range_query(PixelRect{0, 0, 32, 32});  // 2x2 tiles x 2 bands
+    store.close();
+  }
+  const auto t = capture_.finish();
+  EXPECT_NO_THROW(validate(t));
+  const auto stats = trace::compute_stats(t);
+  // 8 tile reads, each preceded by a seek (plus generation writes).
+  EXPECT_GE(stats.count(trace::TraceOp::kSeek), 8u);
+  EXPECT_GE(stats.count(trace::TraceOp::kRead), 8u);
+}
+
+}  // namespace
+}  // namespace clio::apps::titan

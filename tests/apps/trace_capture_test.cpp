@@ -1,0 +1,112 @@
+#include "apps/trace_capture.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "io/file_store.hpp"
+#include "trace/stats.hpp"
+#include "util/temp_dir.hpp"
+
+namespace clio::apps {
+namespace {
+
+class CaptureTest : public ::testing::Test {
+ protected:
+  CaptureTest()
+      : fs_(std::make_unique<io::RealFileStore>(dir_.path()),
+            io::ManagedFsOptions{}),
+        capture_(fs_, "sample.bin") {}
+
+  util::TempDir dir_;
+  io::ManagedFileSystem fs_;
+  TraceCapturingFs capture_;
+};
+
+std::span<const std::byte> as_bytes(const std::string& s) {
+  return std::as_bytes(std::span<const char>(s.data(), s.size()));
+}
+
+TEST_F(CaptureTest, RecordsFullLifecycle) {
+  auto f = capture_.open("a.bin", io::OpenMode::kCreate);
+  f.write(as_bytes("0123456789"));
+  f.seek(2);
+  std::vector<std::byte> buf(4);
+  f.read(buf);
+  f.close();
+  const auto t = capture_.finish();
+  ASSERT_EQ(t.records.size(), 5u);
+  EXPECT_EQ(t.records[0].op, trace::TraceOp::kOpen);
+  EXPECT_EQ(t.records[1].op, trace::TraceOp::kWrite);
+  EXPECT_EQ(t.records[1].offset, 0u);
+  EXPECT_EQ(t.records[1].length, 10u);
+  EXPECT_EQ(t.records[2].op, trace::TraceOp::kSeek);
+  EXPECT_EQ(t.records[2].offset, 2u);
+  EXPECT_EQ(t.records[3].op, trace::TraceOp::kRead);
+  EXPECT_EQ(t.records[3].offset, 2u);
+  EXPECT_EQ(t.records[3].length, 4u);
+  EXPECT_EQ(t.records[4].op, trace::TraceOp::kClose);
+  EXPECT_EQ(t.header.sample_file, "sample.bin");
+}
+
+TEST_F(CaptureTest, AssignsDistinctFids) {
+  auto a = capture_.open("a.bin", io::OpenMode::kCreate);
+  auto b = capture_.open("b.bin", io::OpenMode::kCreate);
+  a.close();
+  b.close();
+  auto c = capture_.open("a.bin", io::OpenMode::kCreate);  // same fid as a
+  c.close();
+  EXPECT_EQ(capture_.num_files(), 2u);
+  const auto t = capture_.finish();
+  EXPECT_EQ(t.header.num_files, 2u);
+  EXPECT_EQ(t.records[0].fid, t.records[4].fid);  // a.bin both times
+  EXPECT_NE(t.records[0].fid, t.records[1].fid);
+}
+
+TEST_F(CaptureTest, TracksPids) {
+  auto a = capture_.open("a.bin", io::OpenMode::kCreate, /*pid=*/3);
+  a.close();
+  const auto t = capture_.finish();
+  EXPECT_EQ(t.header.num_processes, 4u);
+  EXPECT_EQ(t.records[0].pid, 3u);
+}
+
+TEST_F(CaptureTest, DestructorClosesAndRecords) {
+  {
+    auto f = capture_.open("d.bin", io::OpenMode::kCreate);
+    f.write(as_bytes("x"));
+  }
+  const auto t = capture_.finish();
+  EXPECT_EQ(t.records.back().op, trace::TraceOp::kClose);
+}
+
+TEST_F(CaptureTest, CapturedTraceValidates) {
+  auto f = capture_.open("v.bin", io::OpenMode::kCreate);
+  f.write(as_bytes("abc"));
+  f.close();
+  EXPECT_NO_THROW(validate(capture_.finish()));
+}
+
+TEST_F(CaptureTest, ConcurrentRecordingIsSafe) {
+  // Four threads each write their own file through the shared capture.
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&, w] {
+      auto f = capture_.open("w" + std::to_string(w) + ".bin",
+                             io::OpenMode::kCreate,
+                             static_cast<std::uint32_t>(w));
+      for (int i = 0; i < 50; ++i) f.write(as_bytes("payload"));
+      f.close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t = capture_.finish();
+  EXPECT_NO_THROW(validate(t));
+  const auto stats = trace::compute_stats(t);
+  EXPECT_EQ(stats.count(trace::TraceOp::kWrite), 200u);
+  EXPECT_EQ(stats.count(trace::TraceOp::kOpen), 4u);
+  EXPECT_EQ(t.header.num_processes, 4u);
+}
+
+}  // namespace
+}  // namespace clio::apps

@@ -1,0 +1,203 @@
+#include "io/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/temp_dir.hpp"
+
+namespace clio::io {
+namespace {
+
+std::span<const std::byte> as_bytes(const std::string& s) {
+  return std::as_bytes(std::span<const char>(s.data(), s.size()));
+}
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest()
+      : store_(dir_.path()),
+        pool_(store_, BufferPoolConfig{.page_size = 256,
+                                       .capacity_pages = 4}) {
+    file_ = store_.open("data.bin", true);
+    // 8 pages of recognizable content.
+    std::string content;
+    for (int p = 0; p < 8; ++p) content += std::string(256, char('a' + p));
+    store_.write(file_, 0, as_bytes(content));
+  }
+
+  util::TempDir dir_;
+  RealFileStore store_;
+  BufferPool pool_;
+  FileId file_ = kInvalidFile;
+};
+
+TEST_F(BufferPoolTest, RejectsSillyConfig) {
+  EXPECT_THROW(BufferPool(store_, BufferPoolConfig{.page_size = 1,
+                                                   .capacity_pages = 4}),
+               util::ConfigError);
+  EXPECT_THROW(BufferPool(store_, BufferPoolConfig{.page_size = 256,
+                                                   .capacity_pages = 0}),
+               util::ConfigError);
+}
+
+TEST_F(BufferPoolTest, MissThenHit) {
+  {
+    auto g = pool_.pin(file_, 0);
+    EXPECT_EQ(static_cast<char>(g.data()[0]), 'a');
+  }
+  EXPECT_EQ(pool_.stats().misses, 1u);
+  {
+    auto g = pool_.pin(file_, 0);
+    EXPECT_EQ(static_cast<char>(g.data()[10]), 'a');
+  }
+  EXPECT_EQ(pool_.stats().hits, 1u);
+}
+
+TEST_F(BufferPoolTest, ValidBytesReflectsFileContent) {
+  auto g = pool_.pin(file_, 7);  // last full page
+  EXPECT_EQ(g.valid_bytes(), 256u);
+  auto past = pool_.pin(file_, 100);  // way past EOF
+  EXPECT_EQ(past.valid_bytes(), 0u);
+}
+
+TEST_F(BufferPoolTest, PastEofPageIsZeroFilled) {
+  auto g = pool_.pin(file_, 100);
+  for (auto b : g.data()) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST_F(BufferPoolTest, LruEvictsOldestUnpinned) {
+  for (std::uint64_t p = 0; p < 4; ++p) pool_.pin(file_, p);
+  EXPECT_EQ(pool_.resident_pages(), 4u);
+  pool_.pin(file_, 4);  // must evict page 0 (least recently used)
+  EXPECT_EQ(pool_.stats().evictions, 1u);
+  EXPECT_FALSE(pool_.contains(file_, 0));
+  EXPECT_TRUE(pool_.contains(file_, 4));
+}
+
+TEST_F(BufferPoolTest, TouchOrderAffectsEviction) {
+  for (std::uint64_t p = 0; p < 4; ++p) pool_.pin(file_, p);
+  pool_.pin(file_, 0);  // refresh page 0; page 1 becomes LRU
+  pool_.pin(file_, 5);
+  EXPECT_TRUE(pool_.contains(file_, 0));
+  EXPECT_FALSE(pool_.contains(file_, 1));
+}
+
+TEST_F(BufferPoolTest, PinnedPagesSurviveEvictionPressure) {
+  auto guard = pool_.pin(file_, 0);
+  for (std::uint64_t p = 1; p < 8; ++p) pool_.pin(file_, p);
+  EXPECT_TRUE(pool_.contains(file_, 0));
+}
+
+TEST_F(BufferPoolTest, AllPinnedThrows) {
+  std::vector<BufferPool::PageGuard> guards;
+  for (std::uint64_t p = 0; p < 4; ++p) guards.push_back(pool_.pin(file_, p));
+  EXPECT_THROW(pool_.pin(file_, 4), util::IoError);
+}
+
+TEST_F(BufferPoolTest, DirtyPageWrittenBackOnEviction) {
+  {
+    auto g = pool_.pin(file_, 0);
+    g.data()[0] = static_cast<std::byte>('Z');
+    g.mark_dirty(256);
+  }
+  for (std::uint64_t p = 1; p <= 4; ++p) pool_.pin(file_, p);  // evict page 0
+  EXPECT_GE(pool_.stats().writebacks, 1u);
+  std::byte b;
+  store_.read(file_, 0, std::span<std::byte>(&b, 1));
+  EXPECT_EQ(static_cast<char>(b), 'Z');
+}
+
+TEST_F(BufferPoolTest, FlushFilePersistsDirtyPages) {
+  {
+    auto g = pool_.pin(file_, 2);
+    g.data()[5] = static_cast<std::byte>('Q');
+    g.mark_dirty(256);
+  }
+  pool_.flush_file(file_);
+  std::byte b;
+  store_.read(file_, 2 * 256 + 5, std::span<std::byte>(&b, 1));
+  EXPECT_EQ(static_cast<char>(b), 'Q');
+}
+
+TEST_F(BufferPoolTest, WritebackRespectsValidBytes) {
+  // A fresh page past EOF written only partially must not extend the file
+  // to a full page.
+  const FileId small = store_.open("small.bin", true);
+  {
+    auto g = pool_.pin(small, 0);
+    std::memcpy(g.data().data(), "hi", 2);
+    g.mark_dirty(2);
+  }
+  pool_.flush_file(small);
+  EXPECT_EQ(store_.size(small), 2u);
+  store_.close(small);
+}
+
+TEST_F(BufferPoolTest, PrefetchLoadsWithoutCountingMiss) {
+  EXPECT_TRUE(pool_.prefetch(file_, 3));
+  EXPECT_EQ(pool_.stats().prefetches, 1u);
+  EXPECT_EQ(pool_.stats().misses, 0u);
+  EXPECT_FALSE(pool_.prefetch(file_, 3));  // already resident
+  auto g = pool_.pin(file_, 3);
+  EXPECT_EQ(pool_.stats().hits, 1u);
+  EXPECT_EQ(static_cast<char>(g.data()[0]), 'd');
+}
+
+TEST_F(BufferPoolTest, DiscardDropsWithoutWriteback) {
+  {
+    auto g = pool_.pin(file_, 1);
+    g.data()[0] = static_cast<std::byte>('X');
+    g.mark_dirty(256);
+  }
+  pool_.discard_file(file_);
+  EXPECT_EQ(pool_.resident_pages(), 0u);
+  EXPECT_EQ(pool_.stats().writebacks, 0u);
+  std::byte b;
+  store_.read(file_, 256, std::span<std::byte>(&b, 1));
+  EXPECT_EQ(static_cast<char>(b), 'b');  // original content intact
+}
+
+TEST_F(BufferPoolTest, MarkDirtyBeyondPageThrows) {
+  auto g = pool_.pin(file_, 0);
+  EXPECT_THROW(g.mark_dirty(257), util::IoError);
+}
+
+TEST_F(BufferPoolTest, MovedFromGuardIsEmpty) {
+  auto a = pool_.pin(file_, 0);
+  auto b = std::move(a);
+  EXPECT_TRUE(a.empty());
+  EXPECT_FALSE(b.empty());
+  EXPECT_THROW(a.data(), util::IoError);
+}
+
+TEST_F(BufferPoolTest, GuardsFromTwoFilesAreIndependent) {
+  const FileId other = store_.open("other.bin", true);
+  store_.write(other, 0, as_bytes(std::string(256, 'z')));
+  auto g1 = pool_.pin(file_, 0);
+  auto g2 = pool_.pin(other, 0);
+  EXPECT_EQ(static_cast<char>(g1.data()[0]), 'a');
+  EXPECT_EQ(static_cast<char>(g2.data()[0]), 'z');
+  store_.close(other);
+}
+
+TEST_F(BufferPoolTest, StressEvictionKeepsContentsCoherent) {
+  // Write a distinct marker into each of 8 pages through a 4-frame pool,
+  // then read everything back: LRU thrash must not lose updates.
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    auto g = pool_.pin(file_, p);
+    g.data()[0] = static_cast<std::byte>('0' + p);
+    g.mark_dirty(256);
+  }
+  pool_.flush_all();
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    std::byte b;
+    store_.read(file_, p * 256, std::span<std::byte>(&b, 1));
+    EXPECT_EQ(static_cast<char>(b), static_cast<char>('0' + p)) << p;
+  }
+}
+
+}  // namespace
+}  // namespace clio::io

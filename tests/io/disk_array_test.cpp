@@ -1,0 +1,114 @@
+#include "io/disk_array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace clio::io {
+namespace {
+
+TEST(DiskArray, RejectsBadConfig) {
+  EXPECT_THROW(DiskArray(0, 4096), util::ConfigError);
+  EXPECT_THROW(DiskArray(4, 0), util::ConfigError);
+}
+
+TEST(DiskArray, SmallRequestMapsToSingleDisk) {
+  DiskArray array(4, 64 * 1024);
+  const auto extents = array.map(0, 4096);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].disk, 0u);
+  EXPECT_EQ(extents[0].disk_offset, 0u);
+  EXPECT_EQ(extents[0].length, 4096u);
+}
+
+TEST(DiskArray, RequestSpanningStripesSplits) {
+  DiskArray array(4, 1024);
+  const auto extents = array.map(512, 1024);  // crosses stripe 0 -> 1
+  ASSERT_EQ(extents.size(), 2u);
+  EXPECT_EQ(extents[0].disk, 0u);
+  EXPECT_EQ(extents[0].disk_offset, 512u);
+  EXPECT_EQ(extents[0].length, 512u);
+  EXPECT_EQ(extents[1].disk, 1u);
+  EXPECT_EQ(extents[1].disk_offset, 0u);
+  EXPECT_EQ(extents[1].length, 512u);
+}
+
+TEST(DiskArray, RoundRobinWrapsToFirstDisk) {
+  DiskArray array(2, 1024);
+  // Stripe 2 lives on disk 0 at disk offset 1024.
+  const auto extents = array.map(2048, 100);
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].disk, 0u);
+  EXPECT_EQ(extents[0].disk_offset, 1024u);
+}
+
+TEST(DiskArray, MapCoversRequestExactly) {
+  DiskArray array(3, 777);
+  const std::uint64_t offset = 1234;
+  const std::uint64_t length = 99999;
+  const auto extents = array.map(offset, length);
+  std::uint64_t total = 0;
+  for (const auto& e : extents) total += e.length;
+  EXPECT_EQ(total, length);
+}
+
+TEST(DiskArray, ZeroLengthSeekMapsToOwningDisk) {
+  DiskArray array(4, 1024);
+  const auto extents = array.map(5000, 0);  // stripe 4 -> disk 0
+  ASSERT_EQ(extents.size(), 1u);
+  EXPECT_EQ(extents[0].disk, 0u);
+  EXPECT_EQ(extents[0].length, 0u);
+}
+
+TEST(DiskArray, LargeRequestUsesAllDisks) {
+  DiskArray array(4, 1024);
+  array.access_ms(0, 16 * 1024);
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_GT(array.disk(d).bytes_served(), 0u) << "disk " << d;
+  }
+}
+
+TEST(DiskArray, ParallelServiceFasterThanSerial) {
+  // The same large transfer on a 1-disk vs 8-disk array: the striped array
+  // overlaps transfer, so the request latency must drop.
+  DiskArray one(1, 64 * 1024);
+  DiskArray eight(8, 64 * 1024);
+  const double t1 = one.access_ms(0, 8 * 1024 * 1024);
+  const double t8 = eight.access_ms(0, 8 * 1024 * 1024);
+  EXPECT_LT(t8, t1 * 0.5);
+}
+
+TEST(DiskArray, SmallRequestsGainNothingFromMoreDisks) {
+  // The Figure-4 mechanism: 4 KiB requests fit in one stripe, so per-request
+  // latency is disk-bound regardless of array width.
+  DiskArray two(2, 64 * 1024);
+  DiskArray thirtytwo(32, 64 * 1024);
+  const double t2 = two.access_ms(0, 4096);
+  const double t32 = thirtytwo.access_ms(0, 4096);
+  EXPECT_NEAR(t2, t32, t2 * 0.01);
+}
+
+// Parameterized sweep: byte conservation and busy accounting across widths.
+class DiskArrayWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DiskArrayWidth, BytesConservedAcrossDisks) {
+  DiskArray array(GetParam(), 4096);
+  const std::uint64_t total_bytes = 1 << 20;
+  array.access_ms(12345, total_bytes);
+  std::uint64_t served = 0;
+  for (std::size_t d = 0; d < array.num_disks(); ++d) {
+    served += array.disk(d).bytes_served();
+  }
+  EXPECT_EQ(served, total_bytes);
+  EXPECT_GT(array.total_busy_ms(), 0.0);
+  array.reset_counters();
+  EXPECT_DOUBLE_EQ(array.total_busy_ms(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DiskArrayWidth,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace clio::io

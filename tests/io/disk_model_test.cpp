@@ -1,0 +1,115 @@
+#include "io/disk_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace clio::io {
+namespace {
+
+TEST(DiskModel, RejectsBadParams) {
+  DiskParams p;
+  p.rpm = 0;
+  EXPECT_THROW(DiskModel{p}, util::ConfigError);
+  p = DiskParams{};
+  p.transfer_mb_s = -1;
+  EXPECT_THROW(DiskModel{p}, util::ConfigError);
+  p = DiskParams{};
+  p.avg_seek_ms = 0.1;
+  p.min_seek_ms = 5.0;
+  EXPECT_THROW(DiskModel{p}, util::ConfigError);
+  p = DiskParams{};
+  p.capacity_bytes = 0;
+  EXPECT_THROW(DiskModel{p}, util::ConfigError);
+}
+
+TEST(DiskModel, ZeroDistanceSeekIsFree) {
+  DiskModel m{DiskParams{}};
+  EXPECT_DOUBLE_EQ(m.seek_time_ms(1000, 1000), 0.0);
+}
+
+TEST(DiskModel, SeekGrowsWithDistanceConcavely) {
+  DiskModel m{DiskParams{}};
+  const double near = m.seek_time_ms(0, 1 << 20);
+  const double mid = m.seek_time_ms(0, 1ULL << 30);
+  const double far = m.seek_time_ms(0, 32ULL << 30);
+  EXPECT_GT(near, 0.0);
+  EXPECT_GT(mid, near);
+  EXPECT_GT(far, mid);
+  // Concavity: doubling distance less than doubles cost at the high end.
+  const double half_far = m.seek_time_ms(0, 16ULL << 30);
+  EXPECT_LT(far, 2.0 * half_far);
+}
+
+TEST(DiskModel, SeekIsSymmetric) {
+  DiskModel m{DiskParams{}};
+  EXPECT_DOUBLE_EQ(m.seek_time_ms(0, 12345678), m.seek_time_ms(12345678, 0));
+}
+
+TEST(DiskModel, RotationalLatencyMatchesRpm) {
+  DiskParams p;
+  p.rpm = 7200;
+  DiskModel m{p};
+  EXPECT_NEAR(m.rotational_latency_ms(), 4.1667, 1e-3);
+  p.rpm = 15000;
+  DiskModel fast{p};
+  EXPECT_NEAR(fast.rotational_latency_ms(), 2.0, 1e-9);
+}
+
+TEST(DiskModel, TransferTimeLinearInBytes) {
+  DiskParams p;
+  p.transfer_mb_s = 50.0;  // 50 MB/s -> 1 MiB in ~20.97 ms? no: 1e6 B in 20ms
+  DiskModel m{p};
+  EXPECT_NEAR(m.transfer_time_ms(1'000'000), 20.0, 1e-9);
+  EXPECT_NEAR(m.transfer_time_ms(2'000'000), 40.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.transfer_time_ms(0), 0.0);
+}
+
+TEST(DiskModel, PureSeekSkipsRotation) {
+  DiskModel m{DiskParams{}};
+  const double pure_seek = m.service_time_ms(0, 1 << 20, 0);
+  const double with_read = m.service_time_ms(0, 1 << 20, 4096);
+  EXPECT_GT(with_read, pure_seek + m.rotational_latency_ms() * 0.99);
+}
+
+TEST(DiskModel, ServiceTimeIncludesOverhead) {
+  DiskParams p;
+  p.overhead_ms = 0.5;
+  DiskModel m{p};
+  EXPECT_GE(m.service_time_ms(0, 0, 0), 0.5);
+}
+
+TEST(SimDisk, HeadAdvancesToEndOfRequest) {
+  SimDisk disk{DiskParams{}};
+  disk.access_ms(1000, 500);
+  EXPECT_EQ(disk.head_position(), 1500u);
+}
+
+TEST(SimDisk, SequentialCheaperThanRandom) {
+  SimDisk seq{DiskParams{}};
+  SimDisk rnd{DiskParams{}};
+  double seq_ms = 0.0;
+  double rnd_ms = 0.0;
+  std::uint64_t pos = 0;
+  for (int i = 0; i < 64; ++i) {
+    seq_ms += seq.access_ms(pos, 4096);
+    pos += 4096;
+    rnd_ms += rnd.access_ms((i * 7919ULL) << 22, 4096);
+  }
+  EXPECT_LT(seq_ms, rnd_ms * 0.5);
+}
+
+TEST(SimDisk, CountsRequestsAndBytes) {
+  SimDisk disk{DiskParams{}};
+  disk.access_ms(0, 100);
+  disk.access_ms(1000, 200);
+  EXPECT_EQ(disk.requests_served(), 2u);
+  EXPECT_EQ(disk.bytes_served(), 300u);
+  EXPECT_GT(disk.busy_ms(), 0.0);
+  disk.reset_counters();
+  EXPECT_EQ(disk.requests_served(), 0u);
+  EXPECT_DOUBLE_EQ(disk.busy_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace clio::io

@@ -1,0 +1,203 @@
+#include "io/file_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/temp_dir.hpp"
+
+namespace clio::io {
+namespace {
+
+std::span<const std::byte> as_bytes(const std::string& s) {
+  return std::as_bytes(std::span<const char>(s.data(), s.size()));
+}
+
+std::string to_string(std::span<const std::byte> bytes, std::size_t n) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()), n);
+}
+
+/// Both BackingStore implementations must satisfy the same contract, so the
+/// whole suite is typed over a factory.
+template <typename MakeStore>
+class StoreFixture : public ::testing::Test {
+ protected:
+  StoreFixture() : store_holder_(MakeStore{}(dir_)), store_(*store_holder_) {}
+
+  util::TempDir dir_;
+  std::unique_ptr<BackingStore> store_holder_;
+  BackingStore& store_;
+};
+
+struct MakeReal {
+  std::unique_ptr<BackingStore> operator()(util::TempDir& dir) const {
+    return std::make_unique<RealFileStore>(dir.path());
+  }
+};
+struct MakeSim {
+  std::unique_ptr<BackingStore> operator()(util::TempDir&) const {
+    return std::make_unique<SimFileStore>(4, 64 * 1024);
+  }
+};
+
+template <typename T>
+using BackingStoreContract = StoreFixture<T>;
+using StoreTypes = ::testing::Types<MakeReal, MakeSim>;
+TYPED_TEST_SUITE(BackingStoreContract, StoreTypes);
+
+TYPED_TEST(BackingStoreContract, CreateWriteReadRoundTrip) {
+  auto& store = this->store_;
+  const FileId id = store.open("data.bin", /*create=*/true);
+  store.write(id, 0, as_bytes("hello world"));
+  std::vector<std::byte> buf(11);
+  EXPECT_EQ(store.read(id, 0, buf), 11u);
+  EXPECT_EQ(to_string(buf, 11), "hello world");
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, OpenMissingWithoutCreateFails) {
+  auto& store = this->store_;
+  EXPECT_THROW(store.open("missing", /*create=*/false), util::IoError);
+}
+
+TYPED_TEST(BackingStoreContract, SizeTracksWrites) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  EXPECT_EQ(store.size(id), 0u);
+  store.write(id, 100, as_bytes("x"));
+  EXPECT_EQ(store.size(id), 101u);  // hole + 1 byte
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, HolesReadAsZero) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  store.write(id, 10, as_bytes("z"));
+  std::vector<std::byte> buf(10);
+  EXPECT_EQ(store.read(id, 0, buf), 10u);
+  for (auto b : buf) EXPECT_EQ(b, std::byte{0});
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, ReadPastEofReturnsZero) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("abc"));
+  std::vector<std::byte> buf(8);
+  EXPECT_EQ(store.read(id, 100, buf), 0u);
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, ShortReadAtEof) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("abcdef"));
+  std::vector<std::byte> buf(10);
+  EXPECT_EQ(store.read(id, 4, buf), 2u);
+  EXPECT_EQ(to_string(buf, 2), "ef");
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, OverwriteInPlace) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("aaaaaa"));
+  store.write(id, 2, as_bytes("BB"));
+  std::vector<std::byte> buf(6);
+  store.read(id, 0, buf);
+  EXPECT_EQ(to_string(buf, 6), "aaBBaa");
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, TruncateShrinksFile) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("0123456789"));
+  store.truncate(id, 4);
+  EXPECT_EQ(store.size(id), 4u);
+  std::vector<std::byte> buf(10);
+  EXPECT_EQ(store.read(id, 0, buf), 4u);
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, ExistsReflectsLifecycle) {
+  auto& store = this->store_;
+  EXPECT_FALSE(store.exists("f"));
+  const FileId id = store.open("f", true);
+  EXPECT_TRUE(store.exists("f"));
+  store.close(id);
+  EXPECT_TRUE(store.exists("f"));  // close does not delete
+  store.remove("f");
+  EXPECT_FALSE(store.exists("f"));
+}
+
+TYPED_TEST(BackingStoreContract, ReopenSeesPersistedData) {
+  auto& store = this->store_;
+  FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("persist"));
+  store.close(id);
+  id = store.open("f", true);
+  std::vector<std::byte> buf(7);
+  EXPECT_EQ(store.read(id, 0, buf), 7u);
+  EXPECT_EQ(to_string(buf, 7), "persist");
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, DoubleOpenSharesId) {
+  auto& store = this->store_;
+  const FileId a = store.open("f", true);
+  const FileId b = store.open("f", true);
+  EXPECT_EQ(a, b);
+  store.close(a);
+  store.close(b);
+}
+
+TYPED_TEST(BackingStoreContract, OperationsOnClosedIdFail) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  store.close(id);
+  std::vector<std::byte> buf(1);
+  EXPECT_THROW(store.read(id, 0, buf), util::IoError);
+}
+
+TEST(RealFileStore, RefusesNestedNames) {
+  util::TempDir dir;
+  RealFileStore store(dir.path());
+  EXPECT_THROW(store.open("a/b", true), util::IoError);
+  EXPECT_THROW(store.open("", true), util::IoError);
+}
+
+TEST(RealFileStore, FilesAppearUnderRoot) {
+  util::TempDir dir;
+  RealFileStore store(dir.path());
+  const FileId id = store.open("visible.bin", true);
+  store.write(id, 0, as_bytes("x"));
+  store.close(id);
+  EXPECT_TRUE(std::filesystem::exists(dir.path() / "visible.bin"));
+}
+
+TEST(SimFileStore, AccumulatesModelTime) {
+  SimFileStore store(2, 64 * 1024);
+  const FileId id = store.open("f", true);
+  EXPECT_DOUBLE_EQ(store.consume_model_ms(), 0.0);
+  std::vector<std::byte> big(1 << 20);
+  store.write(id, 0, big);
+  const double t = store.consume_model_ms();
+  EXPECT_GT(t, 0.0);
+  EXPECT_DOUBLE_EQ(store.consume_model_ms(), 0.0);  // drained
+  store.close(id);
+}
+
+TEST(SimFileStore, RemoveOfOpenFileFails) {
+  SimFileStore store(1, 4096);
+  const FileId id = store.open("f", true);
+  EXPECT_THROW(store.remove("f"), util::IoError);
+  store.close(id);
+  store.remove("f");
+  EXPECT_FALSE(store.exists("f"));
+}
+
+}  // namespace
+}  // namespace clio::io

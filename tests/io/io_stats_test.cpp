@@ -1,0 +1,85 @@
+#include "io/io_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace clio::io {
+namespace {
+
+TEST(IoStats, OpNamesMatchTraceEncoding) {
+  EXPECT_EQ(io_op_name(IoOp::kOpen), "open");
+  EXPECT_EQ(io_op_name(IoOp::kClose), "close");
+  EXPECT_EQ(io_op_name(IoOp::kRead), "read");
+  EXPECT_EQ(io_op_name(IoOp::kWrite), "write");
+  EXPECT_EQ(io_op_name(IoOp::kSeek), "seek");
+  EXPECT_EQ(static_cast<int>(IoOp::kOpen), 0);
+  EXPECT_EQ(static_cast<int>(IoOp::kClose), 1);
+  EXPECT_EQ(static_cast<int>(IoOp::kRead), 2);
+  EXPECT_EQ(static_cast<int>(IoOp::kWrite), 3);
+  EXPECT_EQ(static_cast<int>(IoOp::kSeek), 4);
+}
+
+TEST(IoStats, RecordsPerOpClass) {
+  IoStats stats;
+  stats.record(IoOp::kRead, 100, 1.5);
+  stats.record(IoOp::kRead, 200, 2.5);
+  stats.record(IoOp::kWrite, 50, 0.5);
+  EXPECT_EQ(stats.op_stats(IoOp::kRead).count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.op_stats(IoOp::kRead).mean(), 2.0);
+  EXPECT_EQ(stats.op_stats(IoOp::kWrite).count(), 1u);
+  EXPECT_EQ(stats.op_stats(IoOp::kOpen).count(), 0u);
+}
+
+TEST(IoStats, TotalsAggregateAcrossOps) {
+  IoStats stats;
+  stats.record(IoOp::kOpen, 0, 0.1);
+  stats.record(IoOp::kRead, 100, 1.0);
+  stats.record(IoOp::kWrite, 300, 2.0);
+  stats.record(IoOp::kSeek, 12345, 0.2);  // seek bytes = offset, not payload
+  EXPECT_DOUBLE_EQ(stats.total_ms(), 3.3);
+  EXPECT_EQ(stats.total_bytes(), 400u);  // read + write only
+}
+
+TEST(IoStats, RecordsKeptOnlyWhenRequested) {
+  IoStats quiet(false);
+  quiet.record(IoOp::kRead, 1, 1.0);
+  EXPECT_TRUE(quiet.records().empty());
+  EXPECT_FALSE(quiet.keeps_records());
+
+  IoStats verbose(true);
+  verbose.record(IoOp::kRead, 1, 1.0);
+  verbose.record(IoOp::kSeek, 2, 0.5);
+  ASSERT_EQ(verbose.records().size(), 2u);
+  EXPECT_EQ(verbose.records()[0].op, IoOp::kRead);
+  EXPECT_EQ(verbose.records()[1].op, IoOp::kSeek);
+  EXPECT_DOUBLE_EQ(verbose.records()[1].ms, 0.5);
+}
+
+TEST(IoStats, HistogramTracksOps) {
+  IoStats stats;
+  stats.record(IoOp::kRead, 1, 1.0);  // 1 ms = 1e6 ns
+  EXPECT_EQ(stats.op_histogram(IoOp::kRead).count(), 1u);
+  EXPECT_EQ(stats.op_histogram(IoOp::kWrite).count(), 0u);
+}
+
+TEST(IoStats, ResetClearsEverything) {
+  IoStats stats(true);
+  stats.record(IoOp::kClose, 0, 9.0);
+  stats.reset();
+  EXPECT_EQ(stats.op_stats(IoOp::kClose).count(), 0u);
+  EXPECT_TRUE(stats.records().empty());
+  EXPECT_DOUBLE_EQ(stats.total_ms(), 0.0);
+}
+
+TEST(IoStats, RenderListsOnlyUsedOps) {
+  IoStats stats;
+  stats.record(IoOp::kRead, 64, 0.5);
+  std::ostringstream oss;
+  stats.render(oss);
+  EXPECT_NE(oss.str().find("read"), std::string::npos);
+  EXPECT_EQ(oss.str().find("write"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clio::io

@@ -1,0 +1,115 @@
+#include "io/prefetcher.hpp"
+
+#include <gtest/gtest.h>
+
+namespace clio::io {
+namespace {
+
+TEST(Prefetcher, NoProposalOnFirstAccess) {
+  SequentialPrefetcher pf;
+  std::vector<std::uint64_t> out;
+  pf.on_access(1, 0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetcher, ProposesWindowAfterStreak) {
+  SequentialPrefetcher pf(PrefetchConfig{.window = 3, .min_streak = 2});
+  std::vector<std::uint64_t> out;
+  pf.on_access(1, 0, out);
+  EXPECT_TRUE(out.empty());
+  pf.on_access(1, 1, out);  // streak = 2 -> propose 2,3,4
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{2, 3, 4}));
+}
+
+TEST(Prefetcher, RandomAccessBreaksStreak) {
+  SequentialPrefetcher pf(PrefetchConfig{.window = 2, .min_streak = 2});
+  std::vector<std::uint64_t> out;
+  pf.on_access(1, 0, out);
+  pf.on_access(1, 1, out);
+  out.clear();
+  pf.on_access(1, 50, out);  // jump
+  EXPECT_TRUE(out.empty());
+  pf.on_access(1, 51, out);  // streak rebuilt
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{52, 53}));
+}
+
+TEST(Prefetcher, RepeatedSamePageKeepsStreakAlive) {
+  SequentialPrefetcher pf(PrefetchConfig{.window = 1, .min_streak = 2});
+  std::vector<std::uint64_t> out;
+  pf.on_access(1, 0, out);
+  pf.on_access(1, 1, out);
+  out.clear();
+  pf.on_access(1, 1, out);  // re-touch: still sequential enough
+  // streak stays >= min_streak so the window is proposed again
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{2}));
+}
+
+TEST(Prefetcher, FilesTrackedIndependently) {
+  SequentialPrefetcher pf(PrefetchConfig{.window = 1, .min_streak = 2});
+  std::vector<std::uint64_t> out;
+  pf.on_access(1, 0, out);
+  pf.on_access(2, 10, out);
+  pf.on_access(1, 1, out);  // file 1 streak = 2
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{2}));
+  out.clear();
+  pf.on_access(2, 11, out);  // file 2 streak = 2
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{12}));
+}
+
+TEST(Prefetcher, ZeroWindowDisables) {
+  SequentialPrefetcher pf(PrefetchConfig{.window = 0, .min_streak = 1});
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t p = 0; p < 10; ++p) pf.on_access(1, p, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetcher, ForgetResetsFileState) {
+  SequentialPrefetcher pf(PrefetchConfig{.window = 1, .min_streak = 2});
+  std::vector<std::uint64_t> out;
+  pf.on_access(1, 0, out);
+  pf.forget(1);
+  pf.on_access(1, 1, out);  // streak restarts at 1
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetcher, ResetClearsAllFiles) {
+  SequentialPrefetcher pf(PrefetchConfig{.window = 1, .min_streak = 2});
+  std::vector<std::uint64_t> out;
+  pf.on_access(1, 0, out);
+  pf.on_access(2, 0, out);
+  pf.reset();
+  pf.on_access(1, 1, out);
+  pf.on_access(2, 1, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Prefetcher, AppendsWithoutClearing) {
+  SequentialPrefetcher pf(PrefetchConfig{.window = 1, .min_streak = 1});
+  std::vector<std::uint64_t> out{99};
+  pf.on_access(1, 0, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 99u);
+  EXPECT_EQ(out[1], 1u);
+}
+
+// Property sweep: the proposal is always the contiguous run after the
+// accessed page, of exactly `window` length, once the streak is met.
+class PrefetchWindowProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PrefetchWindowProperty, WindowShapeHolds) {
+  const std::size_t window = GetParam();
+  SequentialPrefetcher pf(PrefetchConfig{.window = window, .min_streak = 3});
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t p = 100; p < 103; ++p) {
+    out.clear();
+    pf.on_access(7, p, out);
+  }
+  ASSERT_EQ(out.size(), window);
+  for (std::size_t i = 0; i < window; ++i) EXPECT_EQ(out[i], 103 + i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, PrefetchWindowProperty,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace clio::io

@@ -1,0 +1,132 @@
+#include "model/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/qcrd.hpp"
+#include "util/error.hpp"
+
+namespace clio::model {
+namespace {
+
+TEST(ProgramBehavior, RejectsEmptyWorkingSets) {
+  EXPECT_THROW(ProgramBehavior("p", {}), util::ConfigError);
+}
+
+TEST(ProgramBehavior, RejectsInvalidWorkingSet) {
+  EXPECT_THROW(ProgramBehavior("p", {WorkingSet{2.0, 0.0, 0.5, 1}}),
+               util::ConfigError);
+}
+
+TEST(ProgramBehavior, PhasesExpandTauCopies) {
+  ProgramBehavior p("p", {WorkingSet{0.1, 0.0, 0.2, 3},
+                          WorkingSet{0.5, 0.1, 0.1, 2}});
+  const auto phases = p.phases();
+  ASSERT_EQ(phases.size(), 5u);
+  EXPECT_EQ(p.num_phases(), 5u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(phases[i].io_fraction, 0.1);
+    EXPECT_DOUBLE_EQ(phases[i].rel_time, 0.2);
+  }
+  EXPECT_DOUBLE_EQ(phases[3].comm_fraction, 0.1);
+}
+
+TEST(ProgramBehavior, Figure1ExampleSumsToOne) {
+  // The paper's own example: per-phase rho weighted by tau sums to ~1.
+  const auto p = make_figure1_example();
+  EXPECT_EQ(p.num_phases(), 5u);
+  EXPECT_NEAR(p.total_rel_time(), 0.999, 1e-9);
+}
+
+TEST(ProgramBehavior, RequirementsPartitionTotalTime) {
+  // One working set, one phase: T splits exactly by the fractions.
+  ProgramBehavior p("p", {WorkingSet{0.3, 0.2, 1.0, 1}});
+  const auto r = p.requirements(100.0);
+  EXPECT_NEAR(r.disk, 30.0, 1e-9);
+  EXPECT_NEAR(r.comm, 20.0, 1e-9);
+  EXPECT_NEAR(r.cpu, 50.0, 1e-9);
+  EXPECT_NEAR(r.total(), 100.0, 1e-9);
+}
+
+TEST(ProgramBehavior, RequirementsRejectNonPositiveTime) {
+  ProgramBehavior p("p", {WorkingSet{0.3, 0.2, 1.0, 1}});
+  EXPECT_THROW(p.requirements(0.0), util::ConfigError);
+  EXPECT_THROW(p.requirements(-1.0), util::ConfigError);
+}
+
+TEST(ProgramBehavior, NormalizedScalesToUnitTime) {
+  ProgramBehavior p("p", {WorkingSet{0.1, 0.0, 0.2, 2},
+                          WorkingSet{0.2, 0.0, 0.1, 1}});
+  EXPECT_NEAR(p.total_rel_time(), 0.5, 1e-12);
+  const auto n = p.normalized();
+  EXPECT_NEAR(n.total_rel_time(), 1.0, 1e-12);
+  // Fractions are untouched.
+  EXPECT_DOUBLE_EQ(n.working_sets()[0].io_fraction, 0.1);
+}
+
+// --- QCRD checks against the paper's numbers -----------------------------
+
+TEST(Qcrd, StructureMatchesEquations) {
+  const auto app = make_qcrd();
+  EXPECT_EQ(app.name(), "QCRD");
+  ASSERT_EQ(app.num_programs(), 2u);
+  EXPECT_EQ(app.programs()[0].num_phases(), 24u);  // eq. 9
+  EXPECT_EQ(app.programs()[1].num_phases(), 13u);  // eq. 10
+  // Odd phases of program 1 are the CPU-heavy ones.
+  const auto& ws1 = app.programs()[0].working_sets();
+  EXPECT_DOUBLE_EQ(ws1[0].io_fraction, 0.14);
+  EXPECT_DOUBLE_EQ(ws1[1].io_fraction, 0.97);
+  EXPECT_DOUBLE_EQ(ws1[0].rel_time, 0.066);
+  EXPECT_DOUBLE_EQ(ws1[1].rel_time, 0.0082);
+  const auto& ws2 = app.programs()[1].working_sets();
+  ASSERT_EQ(ws2.size(), 1u);
+  EXPECT_DOUBLE_EQ(ws2[0].io_fraction, 0.92);
+  EXPECT_EQ(ws2[0].phases, 13u);
+}
+
+TEST(Qcrd, Program1IsCpuBoundProgram2IsIoBound) {
+  const auto app = make_qcrd();
+  const auto reqs = app.per_program_requirements(1.0);
+  // Program 1: CPU 12*0.86*0.066 + 12*0.03*0.0082 = 0.684
+  EXPECT_NEAR(reqs[0].cpu, 12 * 0.86 * 0.066 + 12 * 0.03 * 0.0082, 1e-9);
+  EXPECT_NEAR(reqs[0].disk, 12 * 0.14 * 0.066 + 12 * 0.97 * 0.0082, 1e-9);
+  EXPECT_GT(reqs[0].cpu, reqs[0].disk);  // "more CPU-intensive than I/O"
+  // Program 2: I/O dominates.
+  EXPECT_NEAR(reqs[1].disk, 13 * 0.92 * 0.03, 1e-9);
+  EXPECT_GT(reqs[1].disk, reqs[1].cpu * 5);
+  // "the I/O activities in the second program is more intensive compared
+  // with that in the first program" (relative share).
+  const double share1 = reqs[0].disk / reqs[0].total();
+  const double share2 = reqs[1].disk / reqs[1].total();
+  EXPECT_GT(share2, share1);
+}
+
+TEST(Qcrd, Program1RunsLongerThanProgram2) {
+  const auto app = make_qcrd();
+  const auto p1 = app.programs()[0].total_rel_time();
+  const auto p2 = app.programs()[1].total_rel_time();
+  EXPECT_NEAR(p1, 12 * 0.066 + 12 * 0.0082, 1e-9);  // 0.8904
+  EXPECT_NEAR(p2, 0.39, 1e-9);
+  EXPECT_GT(p1, p2);  // paper: "the first program runs longer"
+  EXPECT_NEAR(app.makespan(100.0), p1 * 100.0, 1e-9);
+}
+
+TEST(Qcrd, QcrdHasNoCommunication) {
+  const auto app = make_qcrd();
+  const auto r = app.requirements(10.0);
+  EXPECT_DOUBLE_EQ(r.comm, 0.0);
+}
+
+TEST(Application, RejectsEmptyProgramList) {
+  EXPECT_THROW(ApplicationBehavior("a", {}), util::ConfigError);
+}
+
+TEST(Application, AggregateIsSumOfPrograms) {
+  const auto app = make_qcrd();
+  const auto total = app.requirements(50.0);
+  const auto per = app.per_program_requirements(50.0);
+  EXPECT_NEAR(total.cpu, per[0].cpu + per[1].cpu, 1e-9);
+  EXPECT_NEAR(total.disk, per[0].disk + per[1].disk, 1e-9);
+}
+
+}  // namespace
+}  // namespace clio::model

@@ -1,0 +1,90 @@
+#include "model/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/qcrd.hpp"
+#include "util/error.hpp"
+
+namespace clio::model {
+namespace {
+
+TEST(Synthesis, SinglePhaseSplitsByFractions) {
+  ProgramBehavior p("p", {WorkingSet{0.4, 0.1, 1.0, 1}});
+  SynthesisRates rates;
+  rates.disk_mb_s = 10.0;     // 10 MB/s
+  rates.network_mb_s = 20.0;  // 20 MB/s
+  const auto work = synthesize_program(p, 2.0, rates);
+  ASSERT_EQ(work.size(), 1u);
+  // CPU: 0.5 fraction * 2 s = 1 s.
+  EXPECT_EQ(work[0].cpu_ns, 1'000'000'000);
+  // I/O: 0.4 * 2 s * 10 MB/s = 8 MB.
+  EXPECT_EQ(work[0].io_bytes, 8'000'000u);
+  // Comm: 0.1 * 2 s * 20 MB/s = 4 MB.
+  EXPECT_EQ(work[0].comm_bytes, 4'000'000u);
+}
+
+TEST(Synthesis, WorkScalesLinearlyWithTimebase) {
+  const auto p = make_figure1_example();
+  const auto small = total_work(synthesize_program(p, 1.0));
+  const auto large = total_work(synthesize_program(p, 10.0));
+  EXPECT_NEAR(static_cast<double>(large.cpu_ns),
+              10.0 * static_cast<double>(small.cpu_ns),
+              static_cast<double>(small.cpu_ns) * 0.01);
+  EXPECT_NEAR(static_cast<double>(large.io_bytes),
+              10.0 * static_cast<double>(small.io_bytes),
+              static_cast<double>(small.io_bytes) * 0.01);
+}
+
+TEST(Synthesis, QcrdPhaseCountsAndShape) {
+  const auto app = make_qcrd();
+  const auto w1 = synthesize_program(app.programs()[0], 10.0);
+  const auto w2 = synthesize_program(app.programs()[1], 10.0);
+  EXPECT_EQ(w1.size(), 24u);
+  EXPECT_EQ(w2.size(), 13u);
+  // Program 1 odd phases are CPU-heavy, even phases I/O-heavy.
+  EXPECT_GT(w1[0].cpu_ns, static_cast<std::int64_t>(w1[0].io_bytes) / 100);
+  EXPECT_GT(w1[1].io_bytes, 0u);
+  // QCRD has no communication anywhere.
+  for (const auto& w : w1) EXPECT_EQ(w.comm_bytes, 0u);
+  for (const auto& w : w2) EXPECT_EQ(w.comm_bytes, 0u);
+  // Program 2 total I/O exceeds program 1 total I/O in *share*:
+  const auto t1 = total_work(w1);
+  const auto t2 = total_work(w2);
+  const double io_share1 =
+      static_cast<double>(t1.io_bytes) /
+      (static_cast<double>(t1.io_bytes) + static_cast<double>(t1.cpu_ns));
+  const double io_share2 =
+      static_cast<double>(t2.io_bytes) /
+      (static_cast<double>(t2.io_bytes) + static_cast<double>(t2.cpu_ns));
+  EXPECT_GT(io_share2, io_share1);
+}
+
+TEST(Synthesis, RejectsBadInputs) {
+  const auto p = make_figure1_example();
+  EXPECT_THROW(synthesize_program(p, 0.0), util::ConfigError);
+  SynthesisRates bad;
+  bad.disk_mb_s = 0.0;
+  EXPECT_THROW(synthesize_program(p, 1.0, bad), util::ConfigError);
+  bad = SynthesisRates{};
+  bad.network_mb_s = -1.0;
+  EXPECT_THROW(synthesize_program(p, 1.0, bad), util::ConfigError);
+}
+
+TEST(Synthesis, TotalsMatchRequirementEquations) {
+  // total_work over synthesized phases must agree with eqs. 3-5 applied to
+  // the model directly, converted via the same rates.
+  const auto app = make_qcrd();
+  const double timebase = 5.0;
+  SynthesisRates rates;
+  for (const auto& program : app.programs()) {
+    const auto work = total_work(synthesize_program(program, timebase, rates));
+    const auto req = program.requirements(timebase);
+    EXPECT_NEAR(static_cast<double>(work.cpu_ns), req.cpu * 1e9,
+                1e9 * 1e-6 * 24);  // rounding per phase
+    EXPECT_NEAR(static_cast<double>(work.io_bytes),
+                req.disk * rates.disk_mb_s * 1e6, 24.0);
+  }
+}
+
+}  // namespace
+}  // namespace clio::model

@@ -1,0 +1,57 @@
+#include "model/working_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace clio::model {
+namespace {
+
+TEST(WorkingSet, CpuFractionIsComplement) {
+  WorkingSet ws{0.3, 0.2, 0.5, 2};
+  EXPECT_DOUBLE_EQ(ws.cpu_fraction(), 0.5);
+}
+
+TEST(WorkingSet, TotalRelTimeMultipliesPhases) {
+  WorkingSet ws{0.0, 0.0, 0.03, 13};
+  EXPECT_NEAR(ws.total_rel_time(), 0.39, 1e-12);
+}
+
+TEST(WorkingSetValidate, AcceptsPaperValues) {
+  EXPECT_NO_THROW(validate(WorkingSet{0.52, 0.29, 0.287, 1}));
+  EXPECT_NO_THROW(validate(WorkingSet{0.97, 0.0, 0.0082, 1}));
+  EXPECT_NO_THROW(validate(WorkingSet{0.92, 0.0, 0.03, 13}));
+}
+
+TEST(WorkingSetValidate, RejectsNegativeFractions) {
+  EXPECT_THROW(validate(WorkingSet{-0.1, 0.0, 0.5, 1}), util::ConfigError);
+  EXPECT_THROW(validate(WorkingSet{0.0, -0.1, 0.5, 1}), util::ConfigError);
+}
+
+TEST(WorkingSetValidate, RejectsFractionsAboveOne) {
+  EXPECT_THROW(validate(WorkingSet{1.1, 0.0, 0.5, 1}), util::ConfigError);
+  EXPECT_THROW(validate(WorkingSet{0.0, 1.1, 0.5, 1}), util::ConfigError);
+}
+
+TEST(WorkingSetValidate, RejectsSumAboveOne) {
+  EXPECT_THROW(validate(WorkingSet{0.6, 0.6, 0.5, 1}), util::ConfigError);
+}
+
+TEST(WorkingSetValidate, RejectsBadRelTime) {
+  EXPECT_THROW(validate(WorkingSet{0.1, 0.1, 0.0, 1}), util::ConfigError);
+  EXPECT_THROW(validate(WorkingSet{0.1, 0.1, -0.2, 1}), util::ConfigError);
+  EXPECT_THROW(validate(WorkingSet{0.1, 0.1, 1.2, 1}), util::ConfigError);
+}
+
+TEST(WorkingSetValidate, RejectsZeroPhases) {
+  EXPECT_THROW(validate(WorkingSet{0.1, 0.1, 0.5, 0}), util::ConfigError);
+}
+
+TEST(WorkingSetValidate, BoundaryValuesAccepted) {
+  EXPECT_NO_THROW(validate(WorkingSet{1.0, 0.0, 1.0, 1}));
+  EXPECT_NO_THROW(validate(WorkingSet{0.0, 1.0, 1.0, 1}));
+  EXPECT_NO_THROW(validate(WorkingSet{0.5, 0.5, 0.001, 100}));
+}
+
+}  // namespace
+}  // namespace clio::model

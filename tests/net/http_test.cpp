@@ -1,0 +1,140 @@
+#include "net/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace clio::net {
+namespace {
+
+/// Runs `server_side` against a connected socket pair via a real listener.
+template <typename ServerFn, typename ClientFn>
+void with_pair(ServerFn&& server_side, ClientFn&& client_side) {
+  TcpListener listener(0);
+  std::thread server([&] {
+    Socket socket = listener.accept(2000);
+    ASSERT_TRUE(socket.valid());
+    server_side(socket);
+  });
+  Socket client = connect_loopback(listener.port());
+  client_side(client);
+  server.join();
+}
+
+TEST(Http, RequestRoundTrip) {
+  with_pair(
+      [](const Socket& socket) {
+        const auto request = read_request(socket);
+        ASSERT_TRUE(request.has_value());
+        EXPECT_EQ(request->method, "GET");
+        EXPECT_EQ(request->path, "/image.jpg");
+        EXPECT_EQ(request->file_name(), "image.jpg");
+        EXPECT_TRUE(request->body.empty());
+        send_response(socket, 200, "payload");
+      },
+      [](const Socket& socket) {
+        HttpRequest request;
+        request.method = "GET";
+        request.path = "/image.jpg";
+        send_request(socket, request);
+        const auto response = read_response(socket);
+        EXPECT_EQ(response.status, 200);
+        EXPECT_EQ(response.body, "payload");
+      });
+}
+
+TEST(Http, PostBodyRoundTrip) {
+  const std::string body(10000, 'B');
+  with_pair(
+      [&](const Socket& socket) {
+        const auto request = read_request(socket);
+        ASSERT_TRUE(request.has_value());
+        EXPECT_EQ(request->method, "POST");
+        EXPECT_EQ(request->body.size(), 10000u);
+        EXPECT_EQ(request->body, body);
+        send_response(socket, 201, "created");
+      },
+      [&](const Socket& socket) {
+        HttpRequest request;
+        request.method = "POST";
+        request.path = "/upload";
+        request.body = body;
+        send_request(socket, request);
+        EXPECT_EQ(read_response(socket).status, 201);
+      });
+}
+
+TEST(Http, BinaryBodySurvives) {
+  std::string body;
+  for (int i = 0; i < 256; ++i) body.push_back(static_cast<char>(i));
+  with_pair(
+      [&](const Socket& socket) {
+        const auto request = read_request(socket);
+        ASSERT_TRUE(request.has_value());
+        EXPECT_EQ(request->body, body);
+        send_response(socket, 200, request->body);
+      },
+      [&](const Socket& socket) {
+        HttpRequest request;
+        request.method = "POST";
+        request.path = "/bin";
+        request.body = body;
+        send_request(socket, request);
+        EXPECT_EQ(read_response(socket).body, body);
+      });
+}
+
+TEST(Http, CleanCloseYieldsNullopt) {
+  with_pair(
+      [](const Socket& socket) {
+        EXPECT_FALSE(read_request(socket).has_value());
+      },
+      [](Socket& socket) { socket.close(); });
+}
+
+TEST(Http, MalformedStartLineThrows) {
+  with_pair(
+      [](const Socket& socket) {
+        EXPECT_THROW(read_request(socket), util::ParseError);
+      },
+      [](const Socket& socket) {
+        const std::string junk = "NONSENSE\r\n\r\n";
+        socket.send_all(junk.data(), junk.size());
+      });
+}
+
+TEST(Http, PathMustBeAbsolute) {
+  with_pair(
+      [](const Socket& socket) {
+        EXPECT_THROW(read_request(socket), util::ParseError);
+      },
+      [](const Socket& socket) {
+        const std::string junk = "GET relative HTTP/1.0\r\n\r\n";
+        socket.send_all(junk.data(), junk.size());
+      });
+}
+
+TEST(Http, ReasonPhrases) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(404), "Not Found");
+  EXPECT_EQ(reason_phrase(599), "Unknown");
+}
+
+TEST(Sockets, ListenerPicksEphemeralPort) {
+  TcpListener a(0);
+  TcpListener b(0);
+  EXPECT_NE(a.port(), 0);
+  EXPECT_NE(b.port(), 0);
+  EXPECT_NE(a.port(), b.port());
+}
+
+TEST(Sockets, AcceptTimesOutWhenNoClient) {
+  TcpListener listener(0);
+  Socket socket = listener.accept(10);
+  EXPECT_FALSE(socket.valid());
+}
+
+}  // namespace
+}  // namespace clio::net

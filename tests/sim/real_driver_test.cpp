@@ -1,0 +1,103 @@
+#include "sim/real_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/qcrd.hpp"
+#include "util/error.hpp"
+#include "util/temp_dir.hpp"
+
+namespace clio::sim {
+namespace {
+
+/// Uncalibrated fixed rates keep the test workload tiny and deterministic.
+RealDriverOptions fast_options(const util::TempDir& dir) {
+  RealDriverOptions options;
+  options.workdir = dir.path() / "driver";
+  options.calibrate = false;
+  options.rates.disk_mb_s = 400.0;    // 0.1 s of I/O -> 40 MB
+  options.rates.network_mb_s = 400.0;
+  options.pool_pages = 256;           // 1 MiB pool
+  options.io_block = 64 * 1024;
+  return options;
+}
+
+TEST(RealDriver, RequiresWorkdir) {
+  RealDriverOptions options;
+  EXPECT_THROW(RealExecutionDriver{options}, util::ConfigError);
+}
+
+TEST(RealDriver, QcrdRunMeasuresBothPrograms) {
+  util::TempDir dir;
+  RealExecutionDriver driver(fast_options(dir));
+  const auto result = driver.run(model::make_qcrd(), /*timebase=*/0.05);
+  ASSERT_EQ(result.programs.size(), 2u);
+  EXPECT_EQ(result.programs[0].name, "Program1");
+  EXPECT_EQ(result.programs[1].name, "Program2");
+  for (const auto& p : result.programs) {
+    EXPECT_GT(p.cpu_ms, 0.0);
+    EXPECT_GT(p.io_ms, 0.0);
+    EXPECT_GT(p.io_bytes, 0u);
+    EXPECT_DOUBLE_EQ(p.comm_ms, 0.0);  // QCRD: no communication
+  }
+  EXPECT_GE(result.wall_ms,
+            result.total_cpu_ms());  // wall covers at least the spin time
+}
+
+TEST(RealDriver, CpuTimeTracksModelPrediction) {
+  util::TempDir dir;
+  RealExecutionDriver driver(fast_options(dir));
+  const double timebase = 0.05;
+  const auto app = model::make_qcrd();
+  const auto result = driver.run(app, timebase);
+  const auto reqs = app.per_program_requirements(timebase);
+  // Spinning is accurate; allow generous scheduler slop upward.
+  EXPECT_GE(result.programs[0].cpu_ms, reqs[0].cpu * 1e3 * 0.95);
+  EXPECT_LT(result.programs[0].cpu_ms, reqs[0].cpu * 1e3 * 3.0);
+}
+
+TEST(RealDriver, Program2MoreIoBoundThanProgram1) {
+  util::TempDir dir;
+  RealExecutionDriver driver(fast_options(dir));
+  const auto result = driver.run(model::make_qcrd(), 0.05);
+  const auto& p1 = result.programs[0];
+  const auto& p2 = result.programs[1];
+  EXPECT_GT(p2.io_ms / p2.total_ms(), p1.io_ms / p1.total_ms());
+}
+
+TEST(RealDriver, CommunicationBurstsExecute) {
+  util::TempDir dir;
+  RealExecutionDriver driver(fast_options(dir));
+  // A program with a communication-heavy working set.
+  model::ProgramBehavior program(
+      "Chatty", {model::WorkingSet{0.0, 0.8, 1.0, 1}});
+  model::ApplicationBehavior app("CommApp", {program});
+  const auto result = driver.run(app, 0.02);
+  EXPECT_GT(result.programs[0].comm_ms, 0.0);
+  EXPECT_GT(result.programs[0].comm_bytes, 0u);
+}
+
+TEST(RealDriver, CalibrationFillsRates) {
+  util::TempDir dir;
+  auto options = fast_options(dir);
+  options.calibrate = true;
+  options.calib_io_bytes = 2ULL << 20;   // keep the test quick
+  options.calib_comm_bytes = 1ULL << 20;
+  RealExecutionDriver driver(options);
+  model::ProgramBehavior tiny("Tiny", {model::WorkingSet{0.5, 0.0, 1.0, 1}});
+  const auto result =
+      driver.run(model::ApplicationBehavior("T", {tiny}), 0.01);
+  EXPECT_GT(result.disk_mb_s, 0.0);
+  EXPECT_GT(result.net_mb_s, 0.0);
+}
+
+TEST(RealDriver, WorkdirIsReusableAcrossRuns) {
+  util::TempDir dir;
+  RealExecutionDriver driver(fast_options(dir));
+  model::ProgramBehavior tiny("Tiny", {model::WorkingSet{0.5, 0.0, 1.0, 1}});
+  const model::ApplicationBehavior app("T", {tiny});
+  EXPECT_NO_THROW(driver.run(app, 0.01));
+  EXPECT_NO_THROW(driver.run(app, 0.01));
+}
+
+}  // namespace
+}  // namespace clio::sim

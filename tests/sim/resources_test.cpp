@@ -1,0 +1,128 @@
+#include "sim/resources.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace clio::sim {
+namespace {
+
+TEST(ResourcePool, RejectsZeroServers) {
+  EventQueue q;
+  EXPECT_THROW(ResourcePool(q, 0), util::ConfigError);
+}
+
+TEST(ResourcePool, SingleServerSerializes) {
+  EventQueue q;
+  ResourcePool pool(q, 1);
+  std::vector<double> finishes;
+  for (int i = 0; i < 3; ++i) {
+    pool.submit(10.0, [&] { finishes.push_back(q.now_ms()); });
+  }
+  q.run();
+  EXPECT_EQ(finishes, (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_DOUBLE_EQ(pool.busy_ms(), 30.0);
+  EXPECT_EQ(pool.completed(), 3u);
+}
+
+TEST(ResourcePool, TwoServersOverlap) {
+  EventQueue q;
+  ResourcePool pool(q, 2);
+  std::vector<double> finishes;
+  for (int i = 0; i < 4; ++i) {
+    pool.submit(10.0, [&] { finishes.push_back(q.now_ms()); });
+  }
+  q.run();
+  // Jobs 1,2 run together finishing at 10; jobs 3,4 finish at 20.
+  EXPECT_EQ(finishes, (std::vector<double>{10.0, 10.0, 20.0, 20.0}));
+}
+
+TEST(ResourcePool, ZeroServiceCompletesImmediately) {
+  EventQueue q;
+  ResourcePool pool(q, 1);
+  bool done = false;
+  pool.submit(0.0, [&] { done = true; });
+  q.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(q.now_ms(), 0.0);
+}
+
+TEST(ResourcePool, RejectsNegativeService) {
+  EventQueue q;
+  ResourcePool pool(q, 1);
+  EXPECT_THROW(pool.submit(-1.0, [] {}), util::ConfigError);
+}
+
+TEST(DiskQueue, RequestsSerializeWithSeekCosts) {
+  EventQueue q;
+  DiskQueue disk(q, io::DiskParams{});
+  int completed = 0;
+  disk.submit(0, 4096, [&] { ++completed; });
+  disk.submit(1ULL << 30, 4096, [&] { ++completed; });  // long seek away
+  q.run();
+  EXPECT_EQ(completed, 2);
+  EXPECT_EQ(disk.requests(), 2u);
+  EXPECT_EQ(disk.bytes(), 8192u);
+  EXPECT_GT(disk.busy_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(q.now_ms(), disk.busy_ms());  // no idle gaps
+}
+
+TEST(StripedDisk, SingleStripeRequestUsesOneDisk) {
+  EventQueue q;
+  StripedDiskResource disks(q, 4, 64 * 1024);
+  bool done = false;
+  disks.submit(0, 4096, [&] { done = true; });
+  q.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(disks.disk(0).requests(), 1u);
+  EXPECT_EQ(disks.disk(1).requests(), 0u);
+}
+
+TEST(StripedDisk, WideRequestFansOutAndJoins) {
+  EventQueue q;
+  StripedDiskResource disks(q, 4, 64 * 1024);
+  double finish = -1.0;
+  disks.submit(0, 256 * 1024, [&] { finish = q.now_ms(); });
+  q.run();
+  EXPECT_GT(finish, 0.0);
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_EQ(disks.disk(d).requests(), 1u) << d;
+  }
+  // Completion is the max of per-disk times, not the sum: well under the
+  // serial cost of 4 extents.
+  EXPECT_LT(finish, disks.total_busy_ms());
+}
+
+TEST(StripedDisk, CallbackCountMatchesSubmissions) {
+  EventQueue q;
+  StripedDiskResource disks(q, 2, 4096);
+  int done = 0;
+  for (int i = 0; i < 10; ++i) {
+    disks.submit(static_cast<std::uint64_t>(i) * 8192, 8192,
+                 [&] { ++done; });
+  }
+  q.run();
+  EXPECT_EQ(done, 10);
+}
+
+TEST(NetworkLink, MessagesSerializeOnTheLink) {
+  EventQueue q;
+  NetworkLink link(q, 100.0, 1.0);  // 100 MB/s, 1 ms latency
+  std::vector<double> finishes;
+  link.submit(1'000'000, [&] { finishes.push_back(q.now_ms()); });  // 10+1 ms
+  link.submit(1'000'000, [&] { finishes.push_back(q.now_ms()); });
+  q.run();
+  ASSERT_EQ(finishes.size(), 2u);
+  EXPECT_NEAR(finishes[0], 11.0, 1e-9);
+  EXPECT_NEAR(finishes[1], 22.0, 1e-9);
+  EXPECT_EQ(link.messages(), 2u);
+}
+
+TEST(NetworkLink, RejectsBadParams) {
+  EventQueue q;
+  EXPECT_THROW(NetworkLink(q, 0.0, 1.0), util::ConfigError);
+  EXPECT_THROW(NetworkLink(q, 10.0, -1.0), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace clio::sim

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "trace/reader.hpp"
+#include "trace/synthetic.hpp"
+#include "trace/writer.hpp"
+#include "util/error.hpp"
+#include "util/fs.hpp"
+#include "util/temp_dir.hpp"
+
+namespace clio::trace {
+namespace {
+
+TEST(TraceRoundTrip, SequentialTraceSurvivesDisk) {
+  util::TempDir dir;
+  const auto original = sequential_read(1 << 20, 4096);
+  write_trace(dir.file("t.trc"), original);
+  const auto loaded = read_trace(dir.file("t.trc"));
+  EXPECT_EQ(loaded.header.sample_file, original.header.sample_file);
+  EXPECT_EQ(loaded.header.num_records, original.header.num_records);
+  ASSERT_EQ(loaded.records.size(), original.records.size());
+  for (std::size_t i = 0; i < loaded.records.size(); ++i) {
+    EXPECT_EQ(loaded.records[i], original.records[i]) << "record " << i;
+  }
+}
+
+TEST(TraceRoundTrip, RecordOffsetPointsAtRecords) {
+  util::TempDir dir;
+  auto t = seek_sequence({100, 200, 300});
+  write_trace(dir.file("t.trc"), t);
+  const auto loaded = read_trace(dir.file("t.trc"));
+  // Header fixed part + name: 8 magic + 4 + 4 + 8 + 8 + 4 + len.
+  EXPECT_EQ(loaded.header.record_offset,
+            36u + t.header.sample_file.size());
+}
+
+TEST(TraceRoundTrip, ReaderRejectsBadMagic) {
+  util::TempDir dir;
+  util::write_text_file(dir.file("junk.trc"), "NOTATRACEFILE_____");
+  EXPECT_THROW(read_trace(dir.file("junk.trc")), util::ParseError);
+}
+
+TEST(TraceRoundTrip, ReaderRejectsTruncatedFile) {
+  util::TempDir dir;
+  const auto t = sequential_read(64 * 1024, 4096);
+  write_trace(dir.file("t.trc"), t);
+  auto bytes = util::read_file(dir.file("t.trc"));
+  bytes.resize(bytes.size() / 2);
+  util::write_file(dir.file("cut.trc"), bytes);
+  EXPECT_THROW(read_trace(dir.file("cut.trc")), util::ParseError);
+}
+
+TEST(TraceRoundTrip, ReaderRejectsMissingFile) {
+  util::TempDir dir;
+  EXPECT_THROW(read_trace(dir.file("absent.trc")), util::ParseError);
+}
+
+TEST(TraceRoundTrip, WriterRejectsInvalidTrace) {
+  util::TempDir dir;
+  TraceFile bad;
+  bad.header.sample_file = "s";
+  TraceRecord r;
+  r.op = TraceOp::kClose;  // close without open
+  bad.records = {r};
+  bad.header.num_records = 1;
+  EXPECT_THROW(write_trace(dir.file("bad.trc"), bad), util::ParseError);
+}
+
+TEST(TraceRecorder, StampsMonotonicClocks) {
+  TraceRecorder rec("sample.bin");
+  rec.record(TraceOp::kOpen, 0, 0);
+  rec.record(TraceOp::kRead, 0, 1024);
+  rec.record(TraceOp::kClose, 0, 0);
+  const auto t = rec.finish();
+  ASSERT_EQ(t.records.size(), 3u);
+  EXPECT_LE(t.records[0].wall_clock, t.records[1].wall_clock);
+  EXPECT_LE(t.records[1].wall_clock, t.records[2].wall_clock);
+  EXPECT_EQ(t.header.num_records, 3u);
+}
+
+TEST(TraceRecorder, CountsRecords) {
+  TraceRecorder rec("s");
+  EXPECT_EQ(rec.records_so_far(), 0u);
+  rec.record(TraceOp::kOpen, 0, 0);
+  EXPECT_EQ(rec.records_so_far(), 1u);
+}
+
+}  // namespace
+}  // namespace clio::trace

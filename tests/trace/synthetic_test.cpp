@@ -1,0 +1,119 @@
+#include "trace/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/stats.hpp"
+#include "util/error.hpp"
+
+namespace clio::trace {
+namespace {
+
+TEST(Synthetic, SequentialReadShape) {
+  const auto t = sequential_read(10 * 4096, 4096);
+  const auto s = compute_stats(t);
+  EXPECT_EQ(s.count(TraceOp::kOpen), 1u);
+  EXPECT_EQ(s.count(TraceOp::kClose), 1u);
+  EXPECT_EQ(s.count(TraceOp::kRead), 10u);
+  EXPECT_EQ(s.bytes_read, 10u * 4096);
+  EXPECT_DOUBLE_EQ(s.sequentiality, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_request_bytes, 4096.0);
+}
+
+TEST(Synthetic, SequentialHandlesPartialTailBlock) {
+  const auto t = sequential_read(10000, 4096);  // 4096+4096+1808
+  const auto s = compute_stats(t);
+  EXPECT_EQ(s.count(TraceOp::kRead), 3u);
+  EXPECT_EQ(s.bytes_read, 10000u);
+  EXPECT_EQ(t.records[3].length, 10000u - 8192u);
+}
+
+TEST(Synthetic, SequentialWriteShape) {
+  const auto t = sequential_write(8 * 1024, 1024);
+  const auto s = compute_stats(t);
+  EXPECT_EQ(s.count(TraceOp::kWrite), 8u);
+  EXPECT_EQ(s.bytes_written, 8u * 1024);
+  EXPECT_EQ(s.bytes_read, 0u);
+}
+
+TEST(Synthetic, StridedReadIsNonSequential) {
+  const auto t = strided_read(0, 4096, 1 << 20, 16);
+  const auto s = compute_stats(t);
+  EXPECT_EQ(s.count(TraceOp::kRead), 16u);
+  EXPECT_DOUBLE_EQ(s.sequentiality, 0.0);
+  EXPECT_EQ(t.records[1].offset, 0u);
+  EXPECT_EQ(t.records[2].offset, 1u << 20);
+}
+
+TEST(Synthetic, StrideEqualToBlockIsSequential) {
+  const auto t = strided_read(0, 4096, 4096, 8);
+  EXPECT_DOUBLE_EQ(compute_stats(t).sequentiality, 1.0);
+}
+
+TEST(Synthetic, RandomReadStaysInBounds) {
+  const std::uint64_t file_size = 1 << 20;
+  const auto t = random_read(file_size, 4096, 200, /*seed=*/7);
+  for (const auto& r : t.records) {
+    if (r.op != TraceOp::kRead) continue;
+    EXPECT_LE(r.offset + r.length, file_size);
+    EXPECT_EQ(r.offset % 4096, 0u);
+  }
+}
+
+TEST(Synthetic, RandomReadIsDeterministicPerSeed) {
+  const auto a = random_read(1 << 20, 4096, 50, 3);
+  const auto b = random_read(1 << 20, 4096, 50, 3);
+  const auto c = random_read(1 << 20, 4096, 50, 4);
+  EXPECT_EQ(a.records, b.records);
+  EXPECT_NE(a.records, c.records);
+}
+
+TEST(Synthetic, SeekSequencePreservesOffsets) {
+  const std::vector<std::uint64_t> offsets{66617088, 66092544, 64518912};
+  const auto t = seek_sequence(offsets);
+  ASSERT_EQ(t.records.size(), 5u);  // open + 3 seeks + close
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    EXPECT_EQ(t.records[i + 1].op, TraceOp::kSeek);
+    EXPECT_EQ(t.records[i + 1].offset, offsets[i]);
+    EXPECT_EQ(t.records[i + 1].length, 0u);
+  }
+}
+
+TEST(Synthetic, SeekReadPairsInterleave) {
+  const auto t = seek_read_sequence({{100, 10}, {5000, 20}});
+  ASSERT_EQ(t.records.size(), 6u);
+  EXPECT_EQ(t.records[1].op, TraceOp::kSeek);
+  EXPECT_EQ(t.records[2].op, TraceOp::kRead);
+  EXPECT_EQ(t.records[2].offset, 100u);
+  EXPECT_EQ(t.records[2].length, 10u);
+  EXPECT_EQ(t.records[3].offset, 5000u);
+}
+
+TEST(Synthetic, WallClockAdvancesByInterArrival) {
+  SyntheticOptions options;
+  options.inter_arrival_sec = 0.5;
+  const auto t = sequential_read(2 * 4096, 4096, options);
+  EXPECT_DOUBLE_EQ(t.records[1].wall_clock - t.records[0].wall_clock, 0.5);
+}
+
+TEST(Synthetic, RejectsBadBlockSizes) {
+  EXPECT_THROW(sequential_read(100, 0), util::ConfigError);
+  EXPECT_THROW(strided_read(0, 0, 10, 1), util::ConfigError);
+  EXPECT_THROW(strided_read(0, 10, 0, 1), util::ConfigError);
+  EXPECT_THROW(random_read(100, 0, 1, 1), util::ConfigError);
+  EXPECT_THROW(random_read(100, 200, 1, 1), util::ConfigError);
+}
+
+TEST(TraceStats, DurationIsLastStamp) {
+  SyntheticOptions options;
+  options.inter_arrival_sec = 0.25;
+  const auto t = sequential_read(4096, 4096, options);  // 3 records
+  EXPECT_DOUBLE_EQ(compute_stats(t).duration_sec, 0.5);
+}
+
+TEST(TraceStats, MaxOffsetSeesSeeksToo) {
+  const auto t = seek_sequence({42, 99999});
+  EXPECT_EQ(compute_stats(t).max_offset, 99999u);
+}
+
+}  // namespace
+}  // namespace clio::trace

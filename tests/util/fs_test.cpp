@@ -1,0 +1,92 @@
+#include "util/fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/bytes.hpp"
+#include "util/error.hpp"
+#include "util/temp_dir.hpp"
+
+namespace clio::util {
+namespace {
+
+TEST(Fs, WriteThenReadRoundTrips) {
+  TempDir dir;
+  const std::string text = "hello, managed I/O";
+  write_text_file(dir.file("a.txt"), text);
+  EXPECT_EQ(read_text_file(dir.file("a.txt")), text);
+}
+
+TEST(Fs, WriteTruncatesExisting) {
+  TempDir dir;
+  write_text_file(dir.file("a.txt"), "long original content");
+  write_text_file(dir.file("a.txt"), "short");
+  EXPECT_EQ(read_text_file(dir.file("a.txt")), "short");
+}
+
+TEST(Fs, ReadMissingFileThrows) {
+  TempDir dir;
+  EXPECT_THROW(read_file(dir.file("missing.bin")), IoError);
+}
+
+TEST(Fs, FileSizeMatches) {
+  TempDir dir;
+  write_text_file(dir.file("a.txt"), std::string(1234, 'x'));
+  EXPECT_EQ(clio::util::file_size(dir.file("a.txt")), 1234u);
+}
+
+TEST(Fs, FileSizeMissingThrows) {
+  TempDir dir;
+  EXPECT_THROW(clio::util::file_size(dir.file("missing")), IoError);
+}
+
+TEST(Fs, EmptyFileRoundTrips) {
+  TempDir dir;
+  write_file(dir.file("empty"), {});
+  EXPECT_TRUE(read_file(dir.file("empty")).empty());
+  EXPECT_EQ(clio::util::file_size(dir.file("empty")), 0u);
+}
+
+TEST(SampleFile, HasExactSize) {
+  TempDir dir;
+  create_sample_file(dir.file("sample"), 100000);
+  EXPECT_EQ(clio::util::file_size(dir.file("sample")), 100000u);
+}
+
+TEST(SampleFile, ContentMatchesExpectedPattern) {
+  TempDir dir;
+  create_sample_file(dir.file("sample"), 4096, /*seed=*/7);
+  const auto data = read_file(dir.file("sample"));
+  std::vector<std::byte> expected(4096);
+  expected_sample_bytes(0, expected, /*seed=*/7);
+  EXPECT_EQ(std::memcmp(data.data(), expected.data(), 4096), 0);
+}
+
+TEST(SampleFile, WindowsAreOffsetIndependent) {
+  // Reading bytes [100, 200) of the file must equal the generator's output
+  // for offset 100 regardless of chunking during creation.
+  TempDir dir;
+  create_sample_file(dir.file("sample"), 3 * kMiB + 17, /*seed=*/9);
+  const auto data = read_file(dir.file("sample"));
+  std::vector<std::byte> expected(200);
+  expected_sample_bytes(kMiB - 100, expected, /*seed=*/9);
+  EXPECT_EQ(std::memcmp(data.data() + kMiB - 100, expected.data(), 200), 0);
+}
+
+TEST(SampleFile, DifferentSeedsDiffer) {
+  std::vector<std::byte> a(64);
+  std::vector<std::byte> b(64);
+  expected_sample_bytes(0, a, 1);
+  expected_sample_bytes(0, b, 2);
+  EXPECT_NE(std::memcmp(a.data(), b.data(), 64), 0);
+}
+
+TEST(SampleFile, ZeroSizeProducesEmptyFile) {
+  TempDir dir;
+  create_sample_file(dir.file("sample"), 0);
+  EXPECT_EQ(clio::util::file_size(dir.file("sample")), 0u);
+}
+
+}  // namespace
+}  // namespace clio::util

@@ -1,0 +1,109 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace clio::util {
+namespace {
+
+TEST(LatencyHistogram, StartsEmpty) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.total_ns(), 0u);
+  EXPECT_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(LatencyHistogram, CountsAndTotals) {
+  LatencyHistogram h;
+  h.push(100);
+  h.push(200);
+  h.push(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.total_ns(), 600u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 200.0);
+}
+
+TEST(LatencyHistogram, BucketAssignment) {
+  LatencyHistogram h;
+  h.push(0);    // bucket 0
+  h.push(1);    // bucket 0
+  h.push(2);    // bucket 1
+  h.push(3);    // bucket 1
+  h.push(4);    // bucket 2
+  h.push(255);  // bucket 7
+  h.push(256);  // bucket 8
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(7), 1u);
+  EXPECT_EQ(h.bucket_count(8), 1u);
+}
+
+TEST(LatencyHistogram, HandlesHugeSamples) {
+  LatencyHistogram h;
+  h.push(UINT64_MAX);
+  EXPECT_EQ(h.bucket_count(63), 1u);
+  EXPECT_EQ(h.quantile_ns(0.5), UINT64_MAX);
+}
+
+TEST(LatencyHistogram, QuantileBracketsTrueValue) {
+  LatencyHistogram h;
+  for (std::uint64_t i = 0; i < 1000; ++i) h.push(1000);  // all in [512,1024)
+  EXPECT_EQ(h.quantile_ns(0.5), 1024u);
+  EXPECT_EQ(h.quantile_ns(0.99), 1024u);
+}
+
+TEST(LatencyHistogram, QuantileSeparatesModes) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.push(100);      // fast mode
+  for (int i = 0; i < 10; ++i) h.push(1 << 20);  // slow mode ~1ms
+  EXPECT_LE(h.quantile_ns(0.5), 256u);
+  EXPECT_GE(h.quantile_ns(0.95), 1u << 20);
+}
+
+TEST(LatencyHistogram, QuantileRejectsBadQ) {
+  LatencyHistogram h;
+  h.push(1);
+  EXPECT_THROW(h.quantile_ns(-0.1), ConfigError);
+  EXPECT_THROW(h.quantile_ns(1.5), ConfigError);
+}
+
+TEST(LatencyHistogram, MergeAddsCounts) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.push(10);
+  b.push(20);
+  b.push(30);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.total_ns(), 60u);
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.push(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+}
+
+TEST(LatencyHistogram, RenderShowsNonEmptyBuckets) {
+  LatencyHistogram h;
+  h.push(100);
+  std::ostringstream oss;
+  h.render(oss);
+  EXPECT_NE(oss.str().find("[64, 128) ns: 1"), std::string::npos);
+}
+
+TEST(LatencyHistogram, RenderEmpty) {
+  LatencyHistogram h;
+  std::ostringstream oss;
+  h.render(oss);
+  EXPECT_EQ(oss.str(), "(empty histogram)\n");
+}
+
+}  // namespace
+}  // namespace clio::util

@@ -1,0 +1,173 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/statistics.hpp"
+
+namespace clio::util {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformU64RespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_u64(17), 17u);
+  }
+}
+
+TEST(Rng, UniformU64RejectsZeroBound) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_u64(0), ConfigError);
+}
+
+TEST(Rng, UniformU64CoversAllResidues) {
+  Rng rng(9);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10000; ++i) seen[rng.uniform_u64(10)]++;
+  for (int count : seen) EXPECT_GT(count, 700);  // ~1000 expected each
+}
+
+TEST(Rng, UniformI64InclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_i64(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformI64RejectsInvertedRange) {
+  Rng rng(13);
+  EXPECT_THROW(rng.uniform_i64(3, -3), ConfigError);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(23);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.push(rng.exponential(4.0));
+  EXPECT_NEAR(rs.mean(), 4.0, 0.2);
+  EXPECT_GE(rs.min(), 0.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(23);
+  EXPECT_THROW(rng.exponential(0.0), ConfigError);
+  EXPECT_THROW(rng.exponential(-1.0), ConfigError);
+}
+
+TEST(Rng, NormalMomentsConverge) {
+  Rng rng(29);
+  RunningStats rs;
+  for (int i = 0; i < 50000; ++i) rs.push(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 5.0, 0.1);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(SplitMix64, KnownFirstOutputsDiffer) {
+  SplitMix64 a(0);
+  SplitMix64 b(1);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Zipf, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), ConfigError);
+}
+
+TEST(Zipf, RejectsNegativeExponent) {
+  EXPECT_THROW(ZipfDistribution(10, -0.5), ConfigError);
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  ZipfDistribution zipf(4, 0.0);
+  Rng rng(37);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[zipf(rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 4, n / 40);
+}
+
+// Property: with positive exponent, rank-0 items dominate, and higher
+// exponents concentrate more mass on the head.
+class ZipfSkewProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfSkewProperty, HeadIsMostPopular) {
+  const double s = GetParam();
+  ZipfDistribution zipf(100, s);
+  Rng rng(41);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) counts[zipf(rng)]++;
+  EXPECT_EQ(std::max_element(counts.begin(), counts.end()) - counts.begin(),
+            0);
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[99]);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExponentSweep, ZipfSkewProperty,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.5, 2.0));
+
+TEST(Zipf, TheoreticalHeadProbability) {
+  // For n=3, s=1: weights 1, 1/2, 1/3 -> P(0) = 6/11.
+  ZipfDistribution zipf(3, 1.0);
+  Rng rng(43);
+  int zero = 0;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) zero += (zipf(rng) == 0) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(zero) / n, 6.0 / 11.0, 0.02);
+}
+
+}  // namespace
+}  // namespace clio::util

@@ -1,0 +1,160 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace clio::util {
+namespace {
+
+TEST(Summarize, EmptySampleIsZeroed) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+}
+
+TEST(Summarize, SingleElement) {
+  const std::vector<double> v{4.5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 4.5);
+  EXPECT_DOUBLE_EQ(s.max, 4.5);
+  EXPECT_DOUBLE_EQ(s.mean, 4.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 4.5);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.sum, 40.0);
+  // Sample stddev with n-1 = sqrt(32/7).
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  const std::vector<double> v{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.75), 7.5);
+}
+
+TEST(Percentile, ExtremesReturnMinAndMax) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 3.0);
+}
+
+TEST(Percentile, RejectsOutOfRangeQ) {
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -0.1), ConfigError);
+  EXPECT_THROW(percentile(v, 1.1), ConfigError);
+}
+
+TEST(Geomean, KnownValues) {
+  const std::vector<double> v{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(v), 4.0, 1e-12);
+}
+
+TEST(Geomean, RejectsNonPositive) {
+  const std::vector<double> v{1.0, 0.0};
+  EXPECT_THROW(geomean(v), ConfigError);
+  EXPECT_THROW(geomean({}), ConfigError);
+}
+
+TEST(RunningStats, MatchesBatchSummary) {
+  Rng rng(7);
+  std::vector<double> sample;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sample.push_back(x);
+    rs.push(x);
+  }
+  const Summary s = summarize(sample);
+  EXPECT_EQ(rs.count(), s.count);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-9);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), s.min);
+  EXPECT_DOUBLE_EQ(rs.max(), s.max);
+}
+
+TEST(RunningStats, MergeEqualsSequentialPush) {
+  Rng rng(11);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.exponential(2.0);
+    all.push(x);
+    (i % 2 == 0 ? a : b).push(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a;
+  RunningStats b;
+  b.push(3.0);
+  a.merge(b);  // empty.merge(nonempty)
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  RunningStats c;
+  a.merge(c);  // nonempty.merge(empty)
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSampleSize) {
+  Rng rng(3);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 30; ++i) small.push(rng.normal(0, 1));
+  for (int i = 0; i < 3000; ++i) large.push(rng.normal(0, 1));
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+}
+
+TEST(RunningStats, ResetClearsState) {
+  RunningStats rs;
+  rs.push(1.0);
+  rs.push(2.0);
+  rs.reset();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+}
+
+// Property-style sweep: mean of uniform [0, hi) converges to hi/2.
+class UniformMeanProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(UniformMeanProperty, SampleMeanNearExpectation) {
+  const double hi = GetParam();
+  Rng rng(static_cast<std::uint64_t>(hi * 1000) + 1);
+  RunningStats rs;
+  for (int i = 0; i < 20000; ++i) rs.push(rng.uniform_double(0.0, hi));
+  EXPECT_NEAR(rs.mean(), hi / 2.0, hi * 0.02);
+  EXPECT_GE(rs.min(), 0.0);
+  EXPECT_LT(rs.max(), hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UniformMeanProperty,
+                         ::testing::Values(0.5, 1.0, 10.0, 1000.0));
+
+}  // namespace
+}  // namespace clio::util

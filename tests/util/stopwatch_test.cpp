@@ -1,0 +1,73 @@
+#include "util/stopwatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace clio::util {
+namespace {
+
+TEST(Stopwatch, ElapsedIsNonNegativeAndMonotone) {
+  Stopwatch sw;
+  const auto a = sw.elapsed_ns();
+  const auto b = sw.elapsed_ns();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Stopwatch, MeasuresSleepsApproximately) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double ms = sw.elapsed_ms();
+  EXPECT_GE(ms, 18.0);   // allow scheduler slop downward is impossible, but
+  EXPECT_LT(ms, 500.0);  // and a loose sanity upper bound
+}
+
+TEST(Stopwatch, RestartResetsOrigin) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sw.restart();
+  EXPECT_LT(sw.elapsed_ms(), 5.0);
+}
+
+TEST(Stopwatch, UnitConversionsAgree) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const auto ns = static_cast<double>(sw.elapsed_ns());
+  // Units sampled later, so they can only be larger.
+  EXPECT_GE(sw.elapsed_us() * 1e3, ns * 0.999);
+  EXPECT_GE(sw.elapsed_ms() * 1e6, ns * 0.999);
+  EXPECT_GE(sw.elapsed_sec() * 1e9, ns * 0.999);
+}
+
+TEST(Stopwatch, NowNsIsMonotone) {
+  const auto a = Stopwatch::now_ns();
+  const auto b = Stopwatch::now_ns();
+  EXPECT_LE(a, b);
+}
+
+TEST(ScopedTimerMs, WritesElapsedOnDestruction) {
+  double out = -1.0;
+  {
+    ScopedTimerMs timer(out);
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    EXPECT_EQ(out, -1.0);  // not yet written
+  }
+  EXPECT_GE(out, 2.0);
+}
+
+TEST(SpinForNs, BurnsAtLeastRequestedTime) {
+  Stopwatch sw;
+  spin_for_ns(2'000'000);  // 2 ms
+  EXPECT_GE(sw.elapsed_ns(), 2'000'000);
+}
+
+TEST(SpinForNs, ZeroAndNegativeReturnImmediately) {
+  Stopwatch sw;
+  spin_for_ns(0);
+  spin_for_ns(-5);
+  EXPECT_LT(sw.elapsed_ms(), 50.0);
+}
+
+}  // namespace
+}  // namespace clio::util

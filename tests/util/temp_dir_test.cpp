@@ -1,0 +1,83 @@
+#include "util/temp_dir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace clio::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(TempDir, CreatesDirectoryOnConstruction) {
+  TempDir dir("clio-test");
+  EXPECT_TRUE(fs::is_directory(dir.path()));
+  EXPECT_NE(dir.path().string().find("clio-test"), std::string::npos);
+}
+
+TEST(TempDir, RemovesDirectoryOnDestruction) {
+  fs::path path;
+  {
+    TempDir dir;
+    path = dir.path();
+    std::ofstream(dir.file("payload.bin")) << "data";
+    EXPECT_TRUE(fs::exists(path / "payload.bin"));
+  }
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(TempDir, DistinctInstancesGetDistinctPaths) {
+  TempDir a;
+  TempDir b;
+  EXPECT_NE(a.path(), b.path());
+}
+
+TEST(TempDir, FileHelperJoinsPath) {
+  TempDir dir;
+  EXPECT_EQ(dir.file("x.trace"), dir.path() / "x.trace");
+}
+
+TEST(TempDir, SubdirCreatesNestedDirectory) {
+  TempDir dir;
+  const auto sub = dir.subdir("panels");
+  EXPECT_TRUE(fs::is_directory(sub));
+  EXPECT_EQ(sub.parent_path(), dir.path());
+}
+
+TEST(TempDir, ReleasePreventsRemoval) {
+  fs::path path;
+  {
+    TempDir dir;
+    path = dir.path();
+    dir.release();
+  }
+  EXPECT_TRUE(fs::exists(path));
+  fs::remove_all(path);  // manual cleanup
+}
+
+TEST(TempDir, MoveTransfersOwnership) {
+  fs::path path;
+  {
+    TempDir a;
+    path = a.path();
+    TempDir b = std::move(a);
+    EXPECT_EQ(b.path(), path);
+    // `a` must not remove the directory when it dies first.
+  }
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(TempDir, MoveAssignmentCleansUpOldTarget) {
+  TempDir a;
+  const fs::path a_path = a.path();
+  TempDir b;
+  const fs::path b_path = b.path();
+  b = std::move(a);
+  EXPECT_FALSE(fs::exists(b_path));  // b's original dir removed on assign
+  EXPECT_TRUE(fs::exists(a_path));
+  EXPECT_EQ(b.path(), a_path);
+}
+
+}  // namespace
+}  // namespace clio::util

@@ -1,0 +1,163 @@
+#include "vm/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "vm/verifier.hpp"
+
+namespace clio::vm {
+namespace {
+
+TEST(Assembler, AssemblesMinimalMethod) {
+  const auto module = assemble(R"(
+.method answer 0 0
+  ldc 42
+  ret
+.end
+)");
+  EXPECT_EQ(module.num_methods(), 1u);
+  const auto& m = module.method(0);
+  EXPECT_EQ(m.name, "answer");
+  EXPECT_EQ(m.num_args, 0);
+  EXPECT_EQ(m.num_locals, 0);
+  ASSERT_EQ(m.code.size(), 10u);  // ldc(9) + ret(1)
+  EXPECT_EQ(static_cast<Op>(m.code[0]), Op::kLdcI8);
+  EXPECT_EQ(static_cast<Op>(m.code[9]), Op::kRet);
+}
+
+TEST(Assembler, CommentsAndBlankLinesIgnored) {
+  const auto module = assemble(R"(
+; leading comment
+.method f 0 0   ; trailing comment
+
+  ldc 1  ; push one
+  ret
+.end
+)");
+  EXPECT_EQ(module.num_methods(), 1u);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward) {
+  auto module = assemble(R"(
+.method loop_to_ten 0 1
+  ldc 0
+  stloc 0
+top:
+  ldloc 0
+  ldc 10
+  cmpge
+  brtrue done
+  ldloc 0
+  ldc 1
+  add
+  stloc 0
+  br top
+done:
+  ldloc 0
+  ret
+.end
+)");
+  EXPECT_NO_THROW(verify_module(module));
+}
+
+TEST(Assembler, CallResolvesForwardReference) {
+  auto module = assemble(R"(
+.method main 0 0
+  ldc 5
+  call helper
+  ret
+.end
+.method helper 1 0
+  ldarg 0
+  ldc 2
+  mul
+  ret
+.end
+)");
+  EXPECT_EQ(module.num_methods(), 2u);
+  EXPECT_NO_THROW(verify_module(module));
+}
+
+TEST(Assembler, LdstrInternsStrings) {
+  const auto module = assemble(R"(
+.method f 0 0
+  ldstr "hello.txt"
+  pop
+  ldstr "hello.txt"
+  pop
+  ldstr "other"
+  pop
+  ldc 0
+  ret
+.end
+)");
+  EXPECT_EQ(module.num_strings(), 2u);
+  EXPECT_EQ(module.string_at(0), "hello.txt");
+  EXPECT_EQ(module.string_at(1), "other");
+}
+
+TEST(Assembler, SyscallByNameAndById) {
+  const auto by_name = assemble(R"(
+.method f 0 0
+  syscall clock_ns
+  ret
+.end
+)");
+  const auto by_id = assemble(R"(
+.method f 0 0
+  syscall 1
+  ret
+.end
+)");
+  EXPECT_EQ(by_name.method(0).code, by_id.method(0).code);
+}
+
+TEST(Assembler, FloatImmediates) {
+  auto module = assemble(R"(
+.method f 0 0
+  ldcf 3.25
+  ldcf -0.5
+  addf
+  convf2i
+  ret
+.end
+)");
+  EXPECT_NO_THROW(verify_module(module));
+}
+
+TEST(Assembler, Errors) {
+  EXPECT_THROW(assemble(".method f 0 0\n ldc 1\n ret\n"),
+               util::ParseError);  // missing .end
+  EXPECT_THROW(assemble("ldc 1\n"), util::ParseError);  // outside method
+  EXPECT_THROW(assemble(".method f 0 0\n frobnicate\n ret\n.end\n"),
+               util::ParseError);  // unknown mnemonic
+  EXPECT_THROW(assemble(".method f 0 0\n br nowhere\n ret\n.end\n"),
+               util::ParseError);  // undefined label
+  EXPECT_THROW(assemble(".method f 0 0\n ldc\n ret\n.end\n"),
+               util::ParseError);  // missing operand
+  EXPECT_THROW(assemble(".method f 0 0\n ldc twelve\n ret\n.end\n"),
+               util::ParseError);  // bad integer
+  EXPECT_THROW(assemble(".method f 0 0\n ldstr naked\n ret\n.end\n"),
+               util::ParseError);  // unquoted string
+  EXPECT_THROW(
+      assemble(".method f 0 0\n ldc 1\n ret\n.end\n.method f 0 0\n ldc 1\n "
+               "ret\n.end\n"),
+      util::ConfigError);  // duplicate method name
+  EXPECT_THROW(assemble(".method f 0 0\n ldc 0\n call missing\n ret\n.end\n"),
+               util::ConfigError);  // unresolved call
+}
+
+TEST(Assembler, DuplicateLabelRejected) {
+  EXPECT_THROW(assemble(R"(
+.method f 0 0
+x:
+x:
+  ldc 1
+  ret
+.end
+)"),
+               util::ParseError);
+}
+
+}  // namespace
+}  // namespace clio::vm

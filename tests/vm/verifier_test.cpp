@@ -1,0 +1,180 @@
+#include "vm/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "vm/assembler.hpp"
+
+namespace clio::vm {
+namespace {
+
+Module assemble_one(const char* body) {
+  return assemble(std::string(".method f 0 2\n") + body + "\n.end\n");
+}
+
+TEST(Verifier, AcceptsStraightLineCode) {
+  auto module = assemble_one("ldc 1\nldc 2\nadd\nret");
+  EXPECT_EQ(verify_method(module, module.method(0)), 2u);
+}
+
+TEST(Verifier, ComputesMaxStack) {
+  auto module = assemble_one("ldc 1\nldc 2\nldc 3\nadd\nadd\nret");
+  EXPECT_EQ(verify_method(module, module.method(0)), 3u);
+}
+
+TEST(Verifier, RejectsStackUnderflow) {
+  auto module = assemble_one("add\nret");
+  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+}
+
+TEST(Verifier, RejectsResidualStackAtRet) {
+  auto module = assemble_one("ldc 1\nldc 2\nret");
+  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+}
+
+TEST(Verifier, RejectsFallingOffTheEnd) {
+  auto module = assemble_one("ldc 1\npop");
+  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+}
+
+TEST(Verifier, RejectsEmptyBody) {
+  Module module;
+  MethodDef m;
+  m.name = "empty";
+  module.add_method(std::move(m));
+  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+}
+
+TEST(Verifier, RejectsInconsistentJoinDepth) {
+  // One path pushes an extra value before the join.
+  auto module = assemble_one(R"(
+  ldc 1
+  brtrue extra
+  ldc 7
+  br join
+extra:
+  ldc 7
+  ldc 8
+join:
+  ret)");
+  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+}
+
+TEST(Verifier, AcceptsConsistentDiamond) {
+  auto module = assemble_one(R"(
+  ldc 1
+  brtrue left
+  ldc 10
+  br join
+left:
+  ldc 20
+join:
+  ret)");
+  EXPECT_NO_THROW(verify_method(module, module.method(0)));
+}
+
+TEST(Verifier, RejectsLocalIndexOutOfRange) {
+  auto module = assemble_one("ldloc 5\nret");  // only 2 locals
+  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+}
+
+TEST(Verifier, RejectsArgIndexOutOfRange) {
+  auto module = assemble_one("ldarg 0\nret");  // zero args
+  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+}
+
+TEST(Verifier, RejectsBranchIntoOperandBytes) {
+  // Hand-craft: br to offset 1 (inside the br's own operand).
+  Module module;
+  MethodDef m;
+  m.name = "evil";
+  m.code = {static_cast<std::uint8_t>(Op::kBr), 1, 0, 0, 0,
+            static_cast<std::uint8_t>(Op::kRet)};
+  module.add_method(std::move(m));
+  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+}
+
+TEST(Verifier, RejectsTruncatedOperand) {
+  Module module;
+  MethodDef m;
+  m.name = "cut";
+  m.code = {static_cast<std::uint8_t>(Op::kLdcI8), 1, 2};  // needs 8 bytes
+  module.add_method(std::move(m));
+  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+}
+
+TEST(Verifier, RejectsUnknownOpcode) {
+  Module module;
+  MethodDef m;
+  m.name = "junk";
+  m.code = {0xee};
+  module.add_method(std::move(m));
+  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+}
+
+TEST(Verifier, RejectsCallArityUnderflow) {
+  auto source = R"(
+.method main 0 0
+  call callee
+  ret
+.end
+.method callee 2 0
+  ldarg 0
+  ret
+.end
+)";
+  auto module = assemble(source);
+  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+}
+
+TEST(Verifier, VerifyModuleStampsMaxStack) {
+  auto module = assemble(R"(
+.method a 0 0
+  ldc 1
+  ldc 2
+  ldc 3
+  add
+  add
+  ret
+.end
+.method b 0 0
+  ldc 1
+  ret
+.end
+)");
+  verify_module(module);
+  EXPECT_EQ(module.method(0).max_stack, 3u);
+  EXPECT_EQ(module.method(1).max_stack, 1u);
+}
+
+TEST(Verifier, LoopsVerifyCleanly) {
+  auto module = assemble(R"(
+.method sum 1 2
+  ldc 0
+  stloc 0
+  ldc 0
+  stloc 1
+top:
+  ldloc 1
+  ldarg 0
+  cmpge
+  brtrue done
+  ldloc 0
+  ldloc 1
+  add
+  stloc 0
+  ldloc 1
+  ldc 1
+  add
+  stloc 1
+  br top
+done:
+  ldloc 0
+  ret
+.end
+)");
+  EXPECT_NO_THROW(verify_module(module));
+}
+
+}  // namespace
+}  // namespace clio::vm
