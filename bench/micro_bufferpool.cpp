@@ -1,0 +1,234 @@
+// Multithreaded buffer-pool microbenchmark: measures the de-serialization
+// work in the I/O hot path (sharded lock striping, I/O outside the shard
+// lock, coalesced write-back).
+//
+// Scenarios:
+//   warm-hit   — every pin is a cache hit on the thread's own page range;
+//                under the old single pool mutex this was ~flat with thread
+//                count, with shards it should scale on multi-core hosts.
+//   miss-churn — pool much smaller than the file, every access evicts and
+//                loads; measures how much the loads serialize.
+//   flush      — dirties a sequentially-written file and flushes, reporting
+//                backing-store write calls vs dirty pages (coalescing win).
+//
+// Each scenario runs at 1/2/4/8 threads and reports aggregate ops/sec plus
+// speedup vs 1 thread, for shards=1 (the pre-sharding structure) and the
+// default 16-way sharding.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/buffer_pool.hpp"
+#include "io/file_store.hpp"
+#include "util/rng.hpp"
+#include "util/temp_dir.hpp"
+
+namespace {
+
+using namespace clio;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kPageSize = 4096;
+constexpr std::uint64_t kFilePages = 2048;  // 8 MiB working file
+
+volatile unsigned long long benchmark_sink = 0;
+
+/// Counts backing-store write calls; forwards everything to a RealFileStore.
+class CountingStore final : public io::BackingStore {
+ public:
+  explicit CountingStore(io::BackingStore& inner) : inner_(inner) {}
+
+  io::FileId open(const std::string& name, bool create) override {
+    return inner_.open(name, create);
+  }
+  void close(io::FileId id) override { inner_.close(id); }
+  [[nodiscard]] std::uint64_t size(io::FileId id) const override {
+    return inner_.size(id);
+  }
+  void truncate(io::FileId id, std::uint64_t n) override {
+    inner_.truncate(id, n);
+  }
+  std::size_t read(io::FileId id, std::uint64_t offset,
+                   std::span<std::byte> out) override {
+    return inner_.read(id, offset, out);
+  }
+  void write(io::FileId id, std::uint64_t offset,
+             std::span<const std::byte> data) override {
+    write_calls++;
+    inner_.write(id, offset, data);
+  }
+  void writev(io::FileId id, std::uint64_t offset,
+              std::span<const std::span<const std::byte>> parts) override {
+    writev_calls++;
+    inner_.writev(id, offset, parts);
+  }
+  [[nodiscard]] bool exists(const std::string& name) const override {
+    return inner_.exists(name);
+  }
+  [[nodiscard]] io::FileId lookup(const std::string& name) const override {
+    return inner_.lookup(name);
+  }
+  void remove(const std::string& name) override { inner_.remove(name); }
+
+  std::atomic<std::uint64_t> write_calls{0};
+  std::atomic<std::uint64_t> writev_calls{0};
+
+ private:
+  io::BackingStore& inner_;
+};
+
+struct RunResult {
+  double ops_per_sec = 0.0;
+};
+
+/// Runs `body(thread_id)` on `threads` threads, returns aggregate ops/sec
+/// given that each thread performs `ops_per_thread` operations.
+template <typename Body>
+RunResult run_threads(int threads, std::uint64_t ops_per_thread, Body body) {
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      ready++;
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      body(t);
+    });
+  }
+  while (ready.load() < threads) {
+  }
+  const auto start = Clock::now();
+  go.store(true, std::memory_order_release);
+  for (auto& th : pool) th.join();
+  const double sec = std::chrono::duration<double>(Clock::now() - start).count();
+  return RunResult{static_cast<double>(threads) * ops_per_thread / sec};
+}
+
+void print_row(const char* scenario, std::size_t shards, int threads,
+               const RunResult& r, double base_ops) {
+  std::printf("%-10s  shards=%-2zu  threads=%d  %12.0f ops/s  speedup %.2fx\n",
+              scenario, shards, threads, r.ops_per_sec,
+              r.ops_per_sec / base_ops);
+}
+
+void bench_warm_hits(std::size_t shards) {
+  util::TempDir dir("clio-microbp");
+  io::RealFileStore store(dir.path());
+  const io::FileId file = store.open("data.bin", true);
+  std::vector<std::byte> chunk(kPageSize, std::byte{0x5a});
+  for (std::uint64_t p = 0; p < kFilePages; ++p) {
+    store.write(file, p * kPageSize, chunk);
+  }
+  io::BufferPool pool(store,
+                      io::BufferPoolConfig{.page_size = kPageSize,
+                                           .capacity_pages = kFilePages,
+                                           .shards = shards});
+  // Warm the whole file so every benched pin is a hit.
+  for (std::uint64_t p = 0; p < kFilePages; ++p) pool.prefetch(file, p);
+
+  constexpr std::uint64_t kOps = 400000;
+  double base = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    const std::uint64_t span = kFilePages / threads;
+    const RunResult r = run_threads(threads, kOps, [&](int t) {
+      util::Rng rng(1000 + t);
+      const std::uint64_t lo = t * span;
+      unsigned long long local = 0;
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        auto g = pool.pin(file, lo + rng.uniform_u64(span));
+        local += static_cast<unsigned char>(g.data()[0]);
+      }
+      benchmark_sink = local;
+    });
+    if (threads == 1) base = r.ops_per_sec;
+    print_row("warm-hit", pool.shard_count(), threads, r, base);
+  }
+}
+
+void bench_miss_churn(std::size_t shards) {
+  util::TempDir dir("clio-microbp");
+  io::RealFileStore store(dir.path());
+  const io::FileId file = store.open("data.bin", true);
+  std::vector<std::byte> chunk(kPageSize, std::byte{0x5a});
+  for (std::uint64_t p = 0; p < kFilePages; ++p) {
+    store.write(file, p * kPageSize, chunk);
+  }
+  io::BufferPool pool(store,
+                      io::BufferPoolConfig{.page_size = kPageSize,
+                                           .capacity_pages = 128,
+                                           .shards = shards});
+  constexpr std::uint64_t kOps = 20000;
+  double base = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    const std::uint64_t span = kFilePages / threads;
+    const RunResult r = run_threads(threads, kOps, [&](int t) {
+      util::Rng rng(2000 + t);
+      const std::uint64_t lo = t * span;
+      unsigned long long local = 0;
+      for (std::uint64_t i = 0; i < kOps; ++i) {
+        auto g = pool.pin(file, lo + rng.uniform_u64(span));
+        local += static_cast<unsigned char>(g.data()[0]);
+      }
+      benchmark_sink = local;
+    });
+    if (threads == 1) base = r.ops_per_sec;
+    print_row("miss-churn", pool.shard_count(), threads, r, base);
+  }
+}
+
+void bench_flush_coalescing() {
+  util::TempDir dir("clio-microbp");
+  io::RealFileStore real(dir.path());
+  CountingStore store(real);
+  const io::FileId file = store.open("out.bin", true);
+  io::BufferPool pool(store,
+                      io::BufferPoolConfig{.page_size = kPageSize,
+                                           .capacity_pages = 1024,
+                                           .shards = 16});
+  constexpr std::uint64_t kDirty = 1024;
+  for (std::uint64_t p = 0; p < kDirty; ++p) {
+    auto g = pool.pin(file, p);
+    std::memset(g.data().data(), static_cast<int>(p & 0xff), kPageSize);
+    g.mark_dirty(kPageSize);
+  }
+  store.write_calls = 0;
+  store.writev_calls = 0;
+  const auto start = Clock::now();
+  pool.flush_all();
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  const std::uint64_t calls = store.write_calls + store.writev_calls;
+  std::printf(
+      "flush       dirty pages=%llu  backing write calls=%llu  "
+      "(%.1f pages/call)  %.2f ms\n",
+      static_cast<unsigned long long>(kDirty),
+      static_cast<unsigned long long>(calls),
+      static_cast<double>(kDirty) / static_cast<double>(calls), ms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("micro_bufferpool — hot-path concurrency microbenchmark\n");
+  std::printf("hardware threads: %u\n\n", std::thread::hardware_concurrency());
+
+  std::printf("-- warm hits, single global stripe (pre-sharding layout) --\n");
+  bench_warm_hits(1);
+  std::printf("\n-- warm hits, 16-way sharding --\n");
+  bench_warm_hits(16);
+
+  std::printf("\n-- miss/evict churn, single stripe --\n");
+  bench_miss_churn(1);
+  std::printf("\n-- miss/evict churn, 16-way sharding --\n");
+  bench_miss_churn(16);
+
+  std::printf("\n-- coalesced write-back --\n");
+  bench_flush_coalescing();
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "io/buffer_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <exception>
 
 #include "util/error.hpp"
 
@@ -10,12 +12,26 @@ namespace clio::io {
 using util::check;
 using util::IoError;
 
+namespace {
+
+std::size_t auto_shards(std::size_t capacity_pages) {
+  return std::clamp<std::size_t>(capacity_pages / 256, 1, 16);
+}
+
+}  // namespace
+
 BufferPool::BufferPool(BackingStore& store, BufferPoolConfig config)
     : store_(store), config_(config) {
   check<util::ConfigError>(config_.page_size >= 64,
                            "BufferPool: page_size must be >= 64");
   check<util::ConfigError>(config_.capacity_pages >= 1,
                            "BufferPool: capacity must be >= 1 page");
+  check<util::ConfigError>(config_.coalesce_pages >= 1,
+                           "BufferPool: coalesce_pages must be >= 1");
+  if (config_.shards == 0) config_.shards = auto_shards(config_.capacity_pages);
+  check<util::ConfigError>(config_.shards <= config_.capacity_pages,
+                           "BufferPool: more shards than capacity pages");
+  shards_ = std::vector<Shard>(config_.shards);
   frames_.resize(config_.capacity_pages);
   free_frames_.reserve(config_.capacity_pages);
   for (std::size_t i = config_.capacity_pages; i > 0; --i) {
@@ -32,21 +48,27 @@ BufferPool::~BufferPool() {
   }
 }
 
+std::size_t BufferPool::shard_of(const PageKey& key) const {
+  return PageKeyHash{}(key) % shards_.size();
+}
+
 // ------------------------------------------------------------- guards ----
 
-BufferPool::PageGuard::PageGuard(BufferPool* pool, std::size_t frame)
-    : pool_(pool), frame_(frame) {}
+BufferPool::PageGuard::PageGuard(BufferPool* pool, std::size_t shard,
+                                 std::size_t frame)
+    : pool_(pool), shard_(shard), frame_(frame) {}
 
 BufferPool::PageGuard::PageGuard(PageGuard&& other) noexcept
-    : pool_(other.pool_), frame_(other.frame_) {
+    : pool_(other.pool_), shard_(other.shard_), frame_(other.frame_) {
   other.pool_ = nullptr;
 }
 
 BufferPool::PageGuard& BufferPool::PageGuard::operator=(
     PageGuard&& other) noexcept {
   if (this != &other) {
-    if (pool_ != nullptr) pool_->unpin(frame_);
+    if (pool_ != nullptr) pool_->unpin(shard_, frame_);
     pool_ = other.pool_;
+    shard_ = other.shard_;
     frame_ = other.frame_;
     other.pool_ = nullptr;
   }
@@ -54,7 +76,7 @@ BufferPool::PageGuard& BufferPool::PageGuard::operator=(
 }
 
 BufferPool::PageGuard::~PageGuard() {
-  if (pool_ != nullptr) pool_->unpin(frame_);
+  if (pool_ != nullptr) pool_->unpin(shard_, frame_);
 }
 
 std::span<std::byte> BufferPool::PageGuard::data() const {
@@ -69,158 +91,454 @@ std::size_t BufferPool::PageGuard::valid_bytes() const {
 
 void BufferPool::PageGuard::mark_dirty(std::size_t up_to) {
   check<IoError>(pool_ != nullptr, "PageGuard: empty guard");
-  Frame& f = pool_->frames_[frame_];
-  check<IoError>(up_to <= f.data.size(), "PageGuard: dirty extent > page");
-  std::lock_guard<std::mutex> lock(pool_->mutex_);
-  f.dirty = true;
-  f.valid_bytes = std::max(f.valid_bytes, up_to);
-  auto& extent = pool_->dirty_extent_[f.file];
-  extent = std::max(extent,
-                    f.page_no * pool_->config_.page_size + f.valid_bytes);
+  Shard& sh = pool_->shards_[shard_];
+  std::uint64_t new_extent = 0;
+  FileId file = kInvalidFile;
+  {
+    // Frame fields are read under the shard lock: an unlocked read of
+    // data.size() here raced with load_frame in the pre-sharding pool.
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    Frame& f = pool_->frames_[frame_];
+    check<IoError>(up_to <= f.data.size(), "PageGuard: dirty extent > page");
+    f.dirty = true;
+    f.valid_bytes = std::max(f.valid_bytes, up_to);
+    file = f.file;
+    new_extent = f.page_no * pool_->config_.page_size + f.valid_bytes;
+  }
+  std::lock_guard<std::mutex> lock(pool_->extent_mutex_);
+  auto& extent = pool_->dirty_extent_[file];
+  extent = std::max(extent, new_extent);
+}
+
+// ---------------------------------------------------------- LRU intrusive ----
+
+void BufferPool::lru_push_front(Shard& sh, std::size_t idx) {
+  Frame& f = frames_[idx];
+  f.lru_prev = kNoFrame;
+  f.lru_next = sh.lru_head;
+  if (sh.lru_head != kNoFrame) frames_[sh.lru_head].lru_prev = idx;
+  sh.lru_head = idx;
+  if (sh.lru_tail == kNoFrame) sh.lru_tail = idx;
+}
+
+void BufferPool::lru_remove(Shard& sh, std::size_t idx) {
+  Frame& f = frames_[idx];
+  if (f.lru_prev != kNoFrame) {
+    frames_[f.lru_prev].lru_next = f.lru_next;
+  } else {
+    sh.lru_head = f.lru_next;
+  }
+  if (f.lru_next != kNoFrame) {
+    frames_[f.lru_next].lru_prev = f.lru_prev;
+  } else {
+    sh.lru_tail = f.lru_prev;
+  }
+  f.lru_prev = kNoFrame;
+  f.lru_next = kNoFrame;
+}
+
+void BufferPool::lru_touch(Shard& sh, std::size_t idx) {
+  if (sh.lru_head == idx) return;
+  lru_remove(sh, idx);
+  lru_push_front(sh, idx);
 }
 
 // --------------------------------------------------------------- pool ----
 
 BufferPool::PageGuard BufferPool::pin(FileId file, std::uint64_t page_no) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const std::size_t idx = find_or_load(file, page_no,
-                                       /*count_as_prefetch=*/false);
-  frames_[idx].pins++;
-  touch(idx);
-  return PageGuard(this, idx);
+  const std::size_t s = shard_of(PageKey{file, page_no});
+  Shard& sh = shards_[s];
+  std::unique_lock<std::mutex> lk(sh.mutex);
+  const std::size_t idx = find_or_load(sh, lk, file, page_no,
+                                       /*count_as_prefetch=*/false,
+                                       /*pin_result=*/true);
+  return PageGuard(this, s, idx);
 }
 
 bool BufferPool::prefetch(FileId file, std::uint64_t page_no) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (page_table_.contains(PageKey{file, page_no})) return false;
-  const std::size_t idx = find_or_load(file, page_no,
-                                       /*count_as_prefetch=*/true);
-  touch(idx);
+  const PageKey key{file, page_no};
+  Shard& sh = shards_[shard_of(key)];
+  std::unique_lock<std::mutex> lk(sh.mutex);
+  // Resident or already being loaded by someone else: nothing to do.
+  if (sh.page_table.contains(key)) return false;
+  find_or_load(sh, lk, file, page_no, /*count_as_prefetch=*/true,
+               /*pin_result=*/false);
   return true;
 }
 
+std::size_t BufferPool::prefetch_range(FileId file, std::uint64_t first_page,
+                                       std::size_t count) {
+  std::size_t loaded = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (prefetch(file, first_page + i)) loaded++;
+  }
+  return loaded;
+}
+
 bool BufferPool::contains(FileId file, std::uint64_t page_no) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return page_table_.contains(PageKey{file, page_no});
+  const PageKey key{file, page_no};
+  const Shard& sh = shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(sh.mutex);
+  return sh.page_table.contains(key);
 }
 
-std::size_t BufferPool::find_or_load(FileId file, std::uint64_t page_no,
-                                     bool count_as_prefetch) {
-  if (auto it = page_table_.find(PageKey{file, page_no});
-      it != page_table_.end()) {
-    if (!count_as_prefetch) stats_.hits++;
-    return it->second;
-  }
-  if (count_as_prefetch) {
-    stats_.prefetches++;
-  } else {
-    stats_.misses++;
-  }
-  const std::size_t idx = allocate_frame();
-  load_frame(idx, file, page_no);
-  page_table_.emplace(PageKey{file, page_no}, idx);
-  return idx;
-}
-
-std::size_t BufferPool::allocate_frame() {
-  if (!free_frames_.empty()) {
-    const std::size_t idx = free_frames_.back();
-    free_frames_.pop_back();
-    frames_[idx].lru_pos = lru_.insert(lru_.begin(), idx);
+std::size_t BufferPool::find_or_load(Shard& sh,
+                                     std::unique_lock<std::mutex>& lk,
+                                     FileId file, std::uint64_t page_no,
+                                     bool count_as_prefetch,
+                                     bool pin_result) {
+  const PageKey key{file, page_no};
+  for (;;) {
+    if (auto it = sh.page_table.find(key); it != sh.page_table.end()) {
+      Frame& f = frames_[it->second];
+      if (f.io_busy) {
+        // Another thread is faulting or writing back this very page: wait
+        // for its I/O instead of issuing a conflicting backing access.
+        sh.io_cv.wait(lk);
+        continue;
+      }
+      if (!count_as_prefetch) sh.stats.hits++;
+      if (pin_result) f.pins++;
+      lru_touch(sh, it->second);
+      return it->second;
+    }
+    const std::size_t idx = acquire_frame(sh, lk);
+    if (sh.page_table.contains(key)) {
+      // Lost a race while acquire_frame released the lock: someone else
+      // claimed this page.  Return the frame and retry.
+      release_frame(idx);
+      continue;
+    }
+    Frame& f = frames_[idx];
+    f.file = file;
+    f.page_no = page_no;
+    f.valid_bytes = 0;
+    f.pins = pin_result ? 1u : 0u;
+    f.dirty = false;
+    f.in_use = true;
+    f.io_busy = true;
+    sh.page_table.emplace(key, idx);
+    lru_push_front(sh, idx);
+    if (count_as_prefetch) {
+      sh.stats.prefetches++;
+    } else {
+      sh.stats.misses++;
+    }
+    // The actual disk read happens outside the shard lock; the io_busy
+    // latch keeps the frame from being evicted or double-loaded.
+    lk.unlock();
+    std::exception_ptr error;
+    std::size_t got = 0;
+    try {
+      if (f.data.size() != config_.page_size) {
+        f.data.resize(config_.page_size);  // zero-filled on first allocation
+      }
+      got = store_.read(file, page_no * config_.page_size, f.data);
+      if (got < config_.page_size) {
+        // Only the stale tail needs zeroing; full-page loads skip the
+        // page-sized memset the old code paid on every load.
+        std::memset(f.data.data() + got, 0, config_.page_size - got);
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lk.lock();
+    if (error) {
+      sh.page_table.erase(key);
+      lru_remove(sh, idx);
+      f.in_use = false;
+      f.io_busy = false;
+      f.pins = 0;
+      release_frame(idx);
+      sh.io_cv.notify_all();
+      std::rethrow_exception(error);
+    }
+    f.valid_bytes = got;
+    f.io_busy = false;
+    sh.io_cv.notify_all();
     return idx;
   }
-  // Evict the least recently used unpinned frame.
-  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-    Frame& f = frames_[*it];
+}
+
+/// Returns an unused frame to the pool-wide free list.
+void BufferPool::release_frame(std::size_t idx) {
+  std::lock_guard<std::mutex> lock(free_mutex_);
+  free_frames_.push_back(idx);
+}
+
+/// Tries to evict `sh`'s least recently used unpinned frame.  Returns the
+/// detached frame index, or kNoFrame if nothing was evictable; sets
+/// `transient_holds` if a frame was skipped only because of in-flight I/O
+/// or a flush hold.  May release and reacquire `lk` for a dirty victim's
+/// write-back.
+std::size_t BufferPool::try_evict_from(Shard& sh,
+                                       std::unique_lock<std::mutex>& lk,
+                                       bool& transient_holds) {
+  for (std::size_t idx = sh.lru_tail; idx != kNoFrame;
+       idx = frames_[idx].lru_prev) {
+    Frame& f = frames_[idx];
     if (f.pins > 0) continue;
-    const std::size_t idx = *it;
-    if (f.dirty) write_back(f);
-    page_table_.erase(PageKey{f.file, f.page_no});
-    stats_.evictions++;
+    if (f.io_busy || f.flush_pins > 0) {
+      // In-flight load or flush write: will be released shortly.
+      transient_holds = true;
+      continue;
+    }
+    if (f.dirty) {
+      // Write the victim back before retiring its page-table entry: a
+      // concurrent fault on the same page must find the io_busy entry
+      // and wait, not race a fresh store read against this write.
+      f.dirty = false;
+      f.io_busy = true;
+      lru_remove(sh, idx);
+      const FileId file = f.file;
+      const std::uint64_t offset = f.page_no * config_.page_size;
+      const std::size_t n = f.valid_bytes;
+      lk.unlock();
+      std::exception_ptr error;
+      try {
+        store_.write(file, offset,
+                     std::span<const std::byte>(f.data.data(), n));
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lk.lock();
+      f.io_busy = false;
+      if (error) {
+        // Failed write-back: keep the page resident and dirty so a later
+        // flush or eviction can retry — its data must not be lost just
+        // because this allocation failed.
+        f.dirty = true;
+        lru_push_front(sh, idx);
+        sh.io_cv.notify_all();
+        std::rethrow_exception(error);
+      }
+      sh.stats.writebacks++;
+    } else {
+      lru_remove(sh, idx);
+    }
+    sh.page_table.erase(PageKey{f.file, f.page_no});
+    sh.stats.evictions++;
     f.in_use = false;
-    touch(idx);  // move to MRU position for reuse
+    sh.io_cv.notify_all();
     return idx;
   }
-  throw IoError("BufferPool: all frames pinned, cannot allocate");
+  return kNoFrame;
 }
 
-void BufferPool::load_frame(std::size_t idx, FileId file,
-                            std::uint64_t page_no) {
-  Frame& f = frames_[idx];
-  f.file = file;
-  f.page_no = page_no;
-  f.data.assign(config_.page_size, std::byte{0});
-  f.valid_bytes =
-      store_.read(file, page_no * config_.page_size, f.data);
-  f.pins = 0;
-  f.dirty = false;
-  f.in_use = true;
+/// Hands the caller a frame, with `self`'s mutex held on entry and exit.
+/// Order: pool-wide free list, then eviction from `self`, then eviction
+/// from sibling shards (releasing `self`'s lock; at most one shard lock is
+/// ever held, so shards cannot deadlock).  Throws only when every frame in
+/// the pool is durably pinned.
+std::size_t BufferPool::acquire_frame(Shard& self,
+                                      std::unique_lock<std::mutex>& lk) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(free_mutex_);
+      if (!free_frames_.empty()) {
+        const std::size_t idx = free_frames_.back();
+        free_frames_.pop_back();
+        return idx;
+      }
+    }
+    bool transient_holds = false;
+    const std::size_t local = try_evict_from(self, lk, transient_holds);
+    if (local != kNoFrame) return local;
+    if (shards_.size() > 1) {
+      const std::size_t self_idx = &self - shards_.data();
+      std::size_t stolen = kNoFrame;
+      lk.unlock();
+      for (std::size_t off = 1; off < shards_.size() && stolen == kNoFrame;
+           ++off) {
+        Shard& other = shards_[(self_idx + off) % shards_.size()];
+        std::unique_lock<std::mutex> other_lk(other.mutex);
+        stolen = try_evict_from(other, other_lk, transient_holds);
+      }
+      lk.lock();
+      if (stolen != kNoFrame) return stolen;
+    }
+    // Only durable PageGuard pins justify failing; transient holds by a
+    // concurrent flush or loader resolve, so wait and rescan.  The wait is
+    // bounded because the hold may live in a sibling shard whose progress
+    // signals that shard's CV, not ours.
+    if (!transient_holds) {
+      throw IoError("BufferPool: all frames pinned, cannot allocate");
+    }
+    self.io_cv.wait_for(lk, std::chrono::milliseconds(1));
+  }
 }
 
-void BufferPool::write_back(Frame& frame) {
-  store_.write(frame.file, frame.page_no * config_.page_size,
-               std::span<const std::byte>(frame.data.data(),
-                                          frame.valid_bytes));
-  frame.dirty = false;
-  stats_.writebacks++;
-}
-
-void BufferPool::touch(std::size_t idx) {
-  lru_.splice(lru_.begin(), lru_, frames_[idx].lru_pos);
-}
-
-void BufferPool::unpin(std::size_t idx) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Frame& f = frames_[idx];
+void BufferPool::unpin(std::size_t shard, std::size_t frame) {
+  Shard& sh = shards_[shard];
+  std::lock_guard<std::mutex> lock(sh.mutex);
+  Frame& f = frames_[frame];
   check<IoError>(f.pins > 0, "BufferPool: unpin of unpinned frame");
   f.pins--;
 }
 
-void BufferPool::flush_file(FileId file) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (Frame& f : frames_) {
-    if (f.in_use && f.file == file && f.dirty) write_back(f);
+// ---------------------------------------------------------------- flush ----
+
+void BufferPool::collect_dirty(Shard& sh, std::size_t shard_idx, FileId file,
+                               bool match_all, std::vector<FlushEntry>& out) {
+  std::lock_guard<std::mutex> lock(sh.mutex);
+  for (std::size_t i = sh.lru_head; i != kNoFrame; i = frames_[i].lru_next) {
+    Frame& f = frames_[i];
+    if (!f.in_use || !f.dirty || f.io_busy) continue;
+    if (!match_all && f.file != file) continue;
+    // Clear dirty now and take a transient hold: the coalesced write below
+    // runs without the shard lock, and the hold keeps the frame from being
+    // evicted (a concurrent mark_dirty simply re-dirties the page).
+    f.dirty = false;
+    f.flush_pins++;
+    out.push_back(FlushEntry{f.file, f.page_no, shard_idx, i, f.valid_bytes});
   }
+}
+
+void BufferPool::write_back_coalesced(std::vector<FlushEntry>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const FlushEntry& a, const FlushEntry& b) {
+              return a.file != b.file ? a.file < b.file
+                                      : a.page_no < b.page_no;
+            });
+  std::exception_ptr error;
+  std::vector<std::span<const std::byte>> parts;
+  std::vector<bool> written(entries.size(), false);
+  for (std::size_t i = 0; i < entries.size() && !error;) {
+    // Extend the run while pages are adjacent in the same file and every
+    // page except the last covers the full page (no holes in the middle).
+    std::size_t j = i + 1;
+    while (j < entries.size() && j - i < config_.coalesce_pages &&
+           entries[j].file == entries[i].file &&
+           entries[j].page_no == entries[j - 1].page_no + 1 &&
+           entries[j - 1].valid_bytes == config_.page_size) {
+      j++;
+    }
+    try {
+      const std::uint64_t offset = entries[i].page_no * config_.page_size;
+      if (j - i == 1) {
+        const FlushEntry& e = entries[i];
+        store_.write(e.file, offset,
+                     std::span<const std::byte>(frames_[e.frame].data.data(),
+                                                e.valid_bytes));
+      } else {
+        parts.clear();
+        for (std::size_t k = i; k < j; ++k) {
+          const FlushEntry& e = entries[k];
+          parts.emplace_back(frames_[e.frame].data.data(), e.valid_bytes);
+        }
+        store_.writev(entries[i].file, offset, parts);
+      }
+      for (std::size_t k = i; k < j; ++k) written[k] = true;
+    } catch (...) {
+      error = std::current_exception();
+    }
+    i = j;
+  }
+  // Release the holds; credit write-backs that happened and re-dirty the
+  // pages a failed write left behind, so a retried flush still sees them.
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    const FlushEntry& e = entries[k];
+    Shard& sh = shards_[e.shard];
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    Frame& f = frames_[e.frame];
+    f.flush_pins--;
+    if (written[k]) {
+      sh.stats.writebacks++;
+    } else {
+      f.dirty = true;
+    }
+    sh.io_cv.notify_all();
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void BufferPool::flush_file(FileId file) {
+  std::vector<FlushEntry> dirty;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    collect_dirty(shards_[s], s, file, /*match_all=*/false, dirty);
+  }
+  write_back_coalesced(dirty);
 }
 
 void BufferPool::flush_all() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (Frame& f : frames_) {
-    if (f.in_use && f.dirty) write_back(f);
+  std::vector<FlushEntry> dirty;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    collect_dirty(shards_[s], s, kInvalidFile, /*match_all=*/true, dirty);
   }
+  write_back_coalesced(dirty);
 }
 
+// ---------------------------------------------------------------- misc ----
+
 std::uint64_t BufferPool::logical_file_size(FileId file) const {
-  std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t store_size = store_.size(file);
+  std::lock_guard<std::mutex> lock(extent_mutex_);
   const auto it = dirty_extent_.find(file);
   if (it == dirty_extent_.end()) return store_size;
   return std::max(store_size, it->second);
 }
 
 void BufferPool::discard_file(FileId file) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  dirty_extent_.erase(file);
-  for (std::size_t i = 0; i < frames_.size(); ++i) {
-    Frame& f = frames_[i];
-    if (!f.in_use || f.file != file) continue;
-    check<IoError>(f.pins == 0, "BufferPool: discard of pinned page");
-    page_table_.erase(PageKey{f.file, f.page_no});
-    f.in_use = false;
-    f.dirty = false;
-    lru_.erase(f.lru_pos);
-    free_frames_.push_back(i);
+  {
+    std::lock_guard<std::mutex> lock(extent_mutex_);
+    dirty_extent_.erase(file);
+  }
+  for (Shard& sh : shards_) {
+    std::unique_lock<std::mutex> lk(sh.mutex);
+    // Wait out in-flight loads, eviction write-backs and flush writes of
+    // this file so the drop is complete.  The page table — not the LRU —
+    // is the authoritative index: a frame mid-eviction is detached from
+    // the LRU but keeps its table entry until its write-back finishes.
+    for (;;) {
+      bool busy = false;
+      for (const auto& [key, idx] : sh.page_table) {
+        if (key.file != file) continue;
+        const Frame& f = frames_[idx];
+        if (f.io_busy || f.flush_pins > 0) {
+          busy = true;
+          break;
+        }
+      }
+      if (!busy) break;
+      sh.io_cv.wait(lk);
+    }
+    for (auto it = sh.page_table.begin(); it != sh.page_table.end();) {
+      if (it->first.file != file) {
+        ++it;
+        continue;
+      }
+      const std::size_t idx = it->second;
+      Frame& f = frames_[idx];
+      check<IoError>(f.pins == 0, "BufferPool: discard of pinned page");
+      f.in_use = false;
+      f.dirty = false;
+      lru_remove(sh, idx);
+      release_frame(idx);
+      it = sh.page_table.erase(it);
+    }
   }
 }
 
 PoolStats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  PoolStats total;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    total.hits += sh.stats.hits;
+    total.misses += sh.stats.misses;
+    total.evictions += sh.stats.evictions;
+    total.writebacks += sh.stats.writebacks;
+    total.prefetches += sh.stats.prefetches;
+  }
+  return total;
 }
 
 std::size_t BufferPool::resident_pages() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return page_table_.size();
+  std::size_t total = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    total += sh.page_table.size();
+  }
+  return total;
 }
 
 }  // namespace clio::io

@@ -1,7 +1,7 @@
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
-#include <list>
 #include <mutex>
 #include <span>
 #include <unordered_map>
@@ -16,15 +16,53 @@ namespace clio::io {
 struct BufferPoolConfig {
   std::size_t page_size = 4096;
   std::size_t capacity_pages = 4096;
+
+  /// Number of lock-striped sub-pools.  Pages are distributed across shards
+  /// by a mixed hash of (file, page_no); each shard has its own mutex, page
+  /// table, LRU list, and stats, so concurrent accesses to different pages
+  /// contend only when they land on the same shard.  0 = auto: one shard
+  /// per 256 capacity pages, clamped to [1, 16] — small pools (tests,
+  /// tight-cache ablations) keep a single shard and therefore exact global
+  /// LRU order; default-sized pools get 16-way striping.
+  std::size_t shards = 0;
+
+  /// Upper bound on the number of adjacent dirty pages merged into a single
+  /// vectored backing-store write during flush_file/flush_all.  1 disables
+  /// coalescing (one write per dirty page, the pre-sharding behaviour).
+  std::size_t coalesce_pages = 64;
 };
 
-/// Counters exposed for tests and ablation benches.
+/// Counters exposed for tests and ablation benches.  With sharding enabled
+/// these are exact totals: every hit/miss/eviction/writeback/prefetch is
+/// counted under its shard's lock and summed on stats().
 struct PoolStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t writebacks = 0;
   std::uint64_t prefetches = 0;  ///< pages loaded by prefetch (not in misses)
+};
+
+/// Key of a cached page and its hash.  The hash feeds both the per-shard
+/// page tables and shard selection, so it must mix *both* fields into the
+/// low bits: the previous `(file << 48) ^ page_no` scheme degenerated under
+/// modulo — page N of every file shared a bucket and a shard.  This is a
+/// SplitMix64-style finalizer over both fields.
+struct PageKey {
+  FileId file;
+  std::uint64_t page_no;
+  bool operator==(const PageKey&) const = default;
+};
+struct PageKeyHash {
+  static constexpr std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::size_t operator()(const PageKey& k) const {
+    return static_cast<std::size_t>(
+        mix(k.page_no + 0x9e3779b97f4a7c15ULL * (k.file + 1)));
+  }
 };
 
 /// Page-granular LRU cache over a BackingStore.
@@ -36,10 +74,30 @@ struct PoolStats {
 /// back on eviction or flush — which is why closing a file costs more than
 /// opening it (Tables 1-4).
 ///
-/// Thread-safe: one mutex guards metadata and load/write-back I/O.  Pinned
-/// pages are never evicted; data access through a PageGuard is lock-free and
-/// safe provided no two threads write the same page concurrently (the
-/// benchmarks never do — POST creates uniquely-named files, as in the paper).
+/// Concurrency structure: the pool is split into `config.shards` lock
+/// stripes, each owning its mutex, page table, LRU list and stats.  A
+/// pin/prefetch takes only its shard's mutex, and all backing-store I/O —
+/// miss loads and eviction write-backs — happens *outside* that mutex, with
+/// the frame held by a per-frame "io busy" latch: a second thread faulting
+/// the same page waits on the shard's condition variable instead of
+/// repeating the load, while unrelated pages (same shard or not) proceed.
+/// Warm hits on different shards never contend.
+///
+/// Frames themselves are pooled globally (one free list), not split
+/// statically across shards: a shard borrows a frame on demand and only
+/// evicts — locally first, then from sibling shards — once all
+/// capacity_pages frames are in use.  This keeps the capacity guarantee
+/// exact (a working set of capacity_pages stays fully resident regardless
+/// of how its pages hash) and means "all frames pinned" can only happen
+/// when every frame in the pool is truly pinned.
+///
+/// Pinned pages are never evicted; data access through a PageGuard is
+/// lock-free and safe provided no two threads write the same page
+/// concurrently (the benchmarks never do — POST creates uniquely-named
+/// files, as in the paper).  Mutating a page's bytes while a flush or
+/// eviction is writing that page back counts as such a conflict: the
+/// write-back may persist a torn snapshot, though the page stays dirty
+/// and the next flush writes the final bytes.
 class BufferPool {
  public:
   BufferPool(BackingStore& store, BufferPoolConfig config = {});
@@ -52,7 +110,7 @@ class BufferPool {
   class PageGuard {
    public:
     PageGuard() = default;
-    PageGuard(BufferPool* pool, std::size_t frame);
+    PageGuard(BufferPool* pool, std::size_t shard, std::size_t frame);
     PageGuard(PageGuard&& other) noexcept;
     PageGuard& operator=(PageGuard&& other) noexcept;
     PageGuard(const PageGuard&) = delete;
@@ -72,6 +130,7 @@ class BufferPool {
 
    private:
     BufferPool* pool_ = nullptr;
+    std::size_t shard_ = 0;
     std::size_t frame_ = 0;
   };
 
@@ -82,13 +141,19 @@ class BufferPool {
   /// Returns true if the page was actually loaded (i.e. it was cold).
   bool prefetch(FileId file, std::uint64_t page_no);
 
-  /// True if the page is resident (test/diagnostic helper).
+  /// Prefetches `count` consecutive pages starting at `first_page`;
+  /// returns how many were cold and actually loaded.
+  std::size_t prefetch_range(FileId file, std::uint64_t first_page,
+                             std::size_t count);
+
+  /// True if the page is resident or being loaded (test/diagnostic helper).
   [[nodiscard]] bool contains(FileId file, std::uint64_t page_no) const;
 
-  /// Writes back all dirty pages of `file`.
+  /// Writes back all dirty pages of `file`, coalescing adjacent pages into
+  /// vectored backing-store writes.
   void flush_file(FileId file);
 
-  /// Writes back every dirty page.
+  /// Writes back every dirty page (coalesced).
   void flush_all();
 
   /// Drops all pages of `file` without write-back (used after remove).
@@ -103,52 +168,85 @@ class BufferPool {
   [[nodiscard]] std::size_t capacity_pages() const {
     return config_.capacity_pages;
   }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] std::size_t resident_pages() const;
   [[nodiscard]] BackingStore& store() { return store_; }
 
  private:
+  static constexpr std::size_t kNoFrame = SIZE_MAX;
+
   struct Frame {
     FileId file = kInvalidFile;
     std::uint64_t page_no = 0;
     std::vector<std::byte> data;
     std::size_t valid_bytes = 0;
     std::uint32_t pins = 0;
+    /// Transient holds taken by flush while its coalesced write runs
+    /// outside the lock.  Kept separate from `pins` so eviction can tell
+    /// "caller holds a PageGuard" (throw when no frame is free) from
+    /// "flush is briefly using this frame" (wait, it will be released).
+    std::uint32_t flush_pins = 0;
     bool dirty = false;
     bool in_use = false;
-    std::list<std::size_t>::iterator lru_pos;
+    /// Set while a miss load or eviction write-back runs outside the shard
+    /// lock; such frames are skipped by eviction and waited on by faulters.
+    bool io_busy = false;
+    // Intrusive LRU links (indices into the shard's frame vector): no
+    // allocator traffic on touch, unlike the former std::list.
+    std::size_t lru_prev = kNoFrame;
+    std::size_t lru_next = kNoFrame;
   };
 
-  struct PageKey {
+  /// One lock stripe: page table, LRU and stats for the pages that hash
+  /// here.  Frames are drawn from the pool-wide free list on demand.
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable io_cv;  ///< signalled when io_busy clears
+    std::size_t lru_head = kNoFrame;  ///< most recently used
+    std::size_t lru_tail = kNoFrame;  ///< least recently used
+    std::unordered_map<PageKey, std::size_t, PageKeyHash> page_table;
+    PoolStats stats;
+  };
+
+  /// A dirty page captured for flush: pinned so it cannot be evicted while
+  /// the (lock-free) coalesced write runs.
+  struct FlushEntry {
     FileId file;
     std::uint64_t page_no;
-    bool operator==(const PageKey&) const = default;
-  };
-  struct PageKeyHash {
-    std::size_t operator()(const PageKey& k) const {
-      return std::hash<std::uint64_t>{}(
-          (static_cast<std::uint64_t>(k.file) << 48) ^ k.page_no);
-    }
+    std::size_t shard;
+    std::size_t frame;
+    std::size_t valid_bytes;
   };
 
-  // All private helpers assume mutex_ is held.
-  std::size_t find_or_load(FileId file, std::uint64_t page_no,
-                           bool count_as_prefetch);
-  std::size_t allocate_frame();
-  void load_frame(std::size_t idx, FileId file, std::uint64_t page_no);
-  void write_back(Frame& frame);
-  void touch(std::size_t idx);
-  void unpin(std::size_t idx);
+  [[nodiscard]] std::size_t shard_of(const PageKey& key) const;
+
+  // Shard-local helpers; all assume the shard's mutex is held by `lk` /
+  // the caller unless stated otherwise.
+  std::size_t find_or_load(Shard& sh, std::unique_lock<std::mutex>& lk,
+                           FileId file, std::uint64_t page_no,
+                           bool count_as_prefetch, bool pin_result);
+  std::size_t acquire_frame(Shard& self, std::unique_lock<std::mutex>& lk);
+  std::size_t try_evict_from(Shard& sh, std::unique_lock<std::mutex>& lk,
+                             bool& transient_holds);
+  void release_frame(std::size_t idx);
+  void lru_push_front(Shard& sh, std::size_t idx);
+  void lru_remove(Shard& sh, std::size_t idx);
+  void lru_touch(Shard& sh, std::size_t idx);
+  void unpin(std::size_t shard, std::size_t frame);
+
+  void collect_dirty(Shard& sh, std::size_t shard_idx, FileId file,
+                     bool match_all, std::vector<FlushEntry>& out);
+  void write_back_coalesced(std::vector<FlushEntry>& entries);
 
   BackingStore& store_;
   BufferPoolConfig config_;
-  std::vector<Frame> frames_;
-  std::list<std::size_t> lru_;  ///< front = most recently used
+  std::vector<Shard> shards_;
+  std::vector<Frame> frames_;  ///< all capacity_pages frames, shard-agnostic
   std::vector<std::size_t> free_frames_;
-  std::unordered_map<PageKey, std::size_t, PageKeyHash> page_table_;
+  std::mutex free_mutex_;
   /// Furthest byte ever dirtied per file; only grows, erased on discard.
   std::unordered_map<FileId, std::uint64_t> dirty_extent_;
-  PoolStats stats_;
-  mutable std::mutex mutex_;
+  mutable std::mutex extent_mutex_;
 
   friend class PageGuard;
 };

@@ -47,6 +47,13 @@ class BackingStore {
   virtual void write(FileId id, std::uint64_t offset,
                      std::span<const std::byte> data) = 0;
 
+  /// Writes several buffers contiguously starting at `offset` — the buffer
+  /// pool's coalesced write-back path.  Implementations should treat the
+  /// whole gather as one storage access (pwritev / a single modeled seek);
+  /// the default falls back to one write() per part.
+  virtual void writev(FileId id, std::uint64_t offset,
+                      std::span<const std::span<const std::byte>> parts);
+
   /// Returns true if the named file exists in the store.
   [[nodiscard]] virtual bool exists(const std::string& name) const = 0;
 
@@ -59,10 +66,9 @@ class BackingStore {
 };
 
 /// BackingStore over a real directory using POSIX descriptors and
-/// pread/pwrite (thread-safe positioned I/O).  Metadata operations are
-/// mutex-guarded, so concurrent opens/reads from worker threads are safe;
-/// SimFileStore, by contrast, is single-threaded by design (it backs the
-/// discrete-event simulator).
+/// pread/pwrite/pwritev (thread-safe positioned I/O).  Metadata operations
+/// are mutex-guarded, so concurrent opens/reads from worker threads are
+/// safe.
 class RealFileStore final : public BackingStore {
  public:
   explicit RealFileStore(std::filesystem::path root);
@@ -79,6 +85,8 @@ class RealFileStore final : public BackingStore {
                    std::span<std::byte> out) override;
   void write(FileId id, std::uint64_t offset,
              std::span<const std::byte> data) override;
+  void writev(FileId id, std::uint64_t offset,
+              std::span<const std::span<const std::byte>> parts) override;
   [[nodiscard]] bool exists(const std::string& name) const override;
   [[nodiscard]] FileId lookup(const std::string& name) const override;
   void remove(const std::string& name) override;
@@ -103,6 +111,10 @@ class RealFileStore final : public BackingStore {
 /// In-memory BackingStore that charges every access to a striped DiskArray
 /// cost model.  `consume_model_ms()` drains the accumulated modeled time so
 /// a simulator can advance its clock by it.
+///
+/// Thread-safe: BufferPool is documented thread-safe over any BackingStore,
+/// so metadata, file bytes, and the modeled-time accumulator are all guarded
+/// by one mutex (the work under it is memcpy-scale, never kernel I/O).
 class SimFileStore final : public BackingStore {
  public:
   /// The store places file f's byte b at array address hash(f)+b, so
@@ -118,6 +130,8 @@ class SimFileStore final : public BackingStore {
                    std::span<std::byte> out) override;
   void write(FileId id, std::uint64_t offset,
              std::span<const std::byte> data) override;
+  void writev(FileId id, std::uint64_t offset,
+              std::span<const std::span<const std::byte>> parts) override;
   [[nodiscard]] bool exists(const std::string& name) const override;
   [[nodiscard]] FileId lookup(const std::string& name) const override;
   void remove(const std::string& name) override;
@@ -143,6 +157,7 @@ class SimFileStore final : public BackingStore {
   std::vector<Entry> entries_;
   std::unordered_map<std::string, FileId> by_name_;
   double pending_model_ms_ = 0.0;
+  mutable std::mutex mutex_;
 };
 
 }  // namespace clio::io

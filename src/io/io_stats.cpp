@@ -28,6 +28,7 @@ IoStats::IoStats(bool keep_records) : keep_records_(keep_records) {}
 void IoStats::record(IoOp op, std::uint64_t bytes, double ms) {
   const auto idx = static_cast<std::size_t>(op);
   util::check<util::ConfigError>(idx < kIoOpCount, "IoStats: bad op");
+  std::lock_guard<std::mutex> lock(mutex_);
   stats_[idx].push(ms);
   histograms_[idx].push(static_cast<std::uint64_t>(ms * 1e6));
   bytes_[idx] += bytes;
@@ -35,6 +36,7 @@ void IoStats::record(IoOp op, std::uint64_t bytes, double ms) {
 }
 
 void IoStats::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (auto& s : stats_) s.reset();
   for (auto& h : histograms_) h.reset();
   bytes_.fill(0);
@@ -42,6 +44,8 @@ void IoStats::reset() {
 }
 
 const util::RunningStats& IoStats::op_stats(IoOp op) const {
+  // Returns a reference, so no lock is useful here: callers read these
+  // after their workers quiesce (see the class comment).
   return stats_.at(static_cast<std::size_t>(op));
 }
 
@@ -50,17 +54,20 @@ const util::LatencyHistogram& IoStats::op_histogram(IoOp op) const {
 }
 
 double IoStats::total_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   double total = 0.0;
   for (const auto& s : stats_) total += s.sum();
   return total;
 }
 
 std::uint64_t IoStats::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return bytes_[static_cast<std::size_t>(IoOp::kRead)] +
          bytes_[static_cast<std::size_t>(IoOp::kWrite)];
 }
 
 void IoStats::render(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   util::TextTable table(
       {"op", "count", "mean (ms)", "min (ms)", "max (ms)", "bytes"});
   for (std::size_t i = 0; i < kIoOpCount; ++i) {

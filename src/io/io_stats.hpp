@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -38,6 +39,12 @@ struct OpRecord {
 /// Always keeps streaming statistics and a log2 histogram per op class;
 /// optionally keeps the full per-operation record list (needed by benches
 /// that print per-request rows, e.g. the LU seek table).
+///
+/// record() and reset() are internally synchronized so every worker thread
+/// of a server can account into one instance.  The value-returning readers
+/// (total_ms, total_bytes, render) take the same lock; op_stats and
+/// op_histogram hand out references, so call those only after the recording
+/// threads have quiesced (benchmarks report after joining their workers).
 class IoStats {
  public:
   explicit IoStats(bool keep_records = false);
@@ -66,6 +73,7 @@ class IoStats {
   std::array<std::uint64_t, kIoOpCount> bytes_{};
   std::vector<OpRecord> records_;
   bool keep_records_;
+  mutable std::mutex mutex_;
 };
 
 }  // namespace clio::io

@@ -22,7 +22,9 @@ ManagedFileSystem::ManagedFileSystem(std::unique_ptr<BackingStore> store,
                            "ManagedFileSystem: null backing store");
   pool_ = std::make_unique<BufferPool>(
       *store_,
-      BufferPoolConfig{options_.page_size, options_.pool_pages});
+      BufferPoolConfig{.page_size = options_.page_size,
+                       .capacity_pages = options_.pool_pages,
+                       .shards = options_.pool_shards});
 }
 
 ManagedFileSystem::~ManagedFileSystem() = default;
@@ -41,10 +43,7 @@ ManagedFile ManagedFileSystem::open(const std::string& name, OpenMode mode) {
   }
   ManagedFile file(this, id, name);
   const double ms = watch.elapsed_ms();
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.record(IoOp::kOpen, 0, ms);
-  }
+  stats_.record(IoOp::kOpen, 0, ms);
   return file;
 }
 
@@ -64,7 +63,9 @@ void ManagedFileSystem::drop_caches() {
   pool_->flush_all();
   // Rebuild the pool: cheapest way to guarantee cold frames.
   pool_ = std::make_unique<BufferPool>(
-      *store_, BufferPoolConfig{options_.page_size, options_.pool_pages});
+      *store_, BufferPoolConfig{.page_size = options_.page_size,
+                                .capacity_pages = options_.pool_pages,
+                                .shards = options_.pool_shards});
   std::lock_guard<std::mutex> lock(prefetcher_mutex_);
   prefetcher_.reset();
 }
@@ -117,17 +118,19 @@ std::uint64_t ManagedFile::size() const {
 }
 
 void ManagedFile::run_prefetch(std::uint64_t page) {
-  std::vector<std::uint64_t> ahead;
+  PrefetchRange ahead;
   {
     std::lock_guard<std::mutex> lock(fs_->prefetcher_mutex_);
-    fs_->prefetcher_.on_access(id_, page, ahead);
+    ahead = fs_->prefetcher_.propose(id_, page);
   }
-  const std::uint64_t last_page =
-      size() == 0 ? 0 : (size() - 1) / fs_->pool_->page_size();
-  for (std::uint64_t p : ahead) {
-    if (p > last_page) break;
-    fs_->pool_->prefetch(id_, p);
-  }
+  if (ahead.empty()) return;
+  const std::uint64_t file_size = size();
+  if (file_size == 0) return;
+  const std::uint64_t last_page = (file_size - 1) / fs_->pool_->page_size();
+  if (ahead.first > last_page) return;
+  const std::size_t count = static_cast<std::size_t>(
+      std::min<std::uint64_t>(ahead.count, last_page - ahead.first + 1));
+  fs_->pool_->prefetch_range(id_, ahead.first, count);
 }
 
 std::size_t ManagedFile::read(std::span<std::byte> out) {
@@ -154,10 +157,7 @@ std::size_t ManagedFile::read(std::span<std::byte> out) {
     position_ += total;
   }
   const double ms = watch.elapsed_ms();
-  {
-    std::lock_guard<std::mutex> lock(fs_->stats_mutex_);
-    fs_->stats_.record(IoOp::kRead, total, ms);
-  }
+  fs_->stats_.record(IoOp::kRead, total, ms);
   return total;
 }
 
@@ -187,10 +187,7 @@ void ManagedFile::write(std::span<const std::byte> data) {
   }
   position_ += total;
   const double ms = watch.elapsed_ms();
-  {
-    std::lock_guard<std::mutex> lock(fs_->stats_mutex_);
-    fs_->stats_.record(IoOp::kWrite, total, ms);
-  }
+  fs_->stats_.record(IoOp::kWrite, total, ms);
 }
 
 void ManagedFile::seek(std::uint64_t pos) {
@@ -207,10 +204,7 @@ void ManagedFile::seek(std::uint64_t pos) {
     run_prefetch(page);
   }
   const double ms = watch.elapsed_ms();
-  {
-    std::lock_guard<std::mutex> lock(fs_->stats_mutex_);
-    fs_->stats_.record(IoOp::kSeek, pos, ms);
-  }
+  fs_->stats_.record(IoOp::kSeek, pos, ms);
 }
 
 void ManagedFile::close() {
@@ -225,10 +219,7 @@ void ManagedFile::close() {
   }
   fs_->store_->close(id_);
   const double ms = watch.elapsed_ms();
-  {
-    std::lock_guard<std::mutex> lock(fs_->stats_mutex_);
-    fs_->stats_.record(IoOp::kClose, 0, ms);
-  }
+  fs_->stats_.record(IoOp::kClose, 0, ms);
   fs_ = nullptr;
   id_ = kInvalidFile;
 }

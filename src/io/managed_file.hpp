@@ -25,6 +25,7 @@ enum class OpenMode {
 struct ManagedFsOptions {
   std::size_t page_size = 4096;
   std::size_t pool_pages = 4096;      ///< 16 MiB cache by default
+  std::size_t pool_shards = 0;        ///< lock stripes; 0 = auto (see BufferPoolConfig)
   PrefetchConfig prefetch;            ///< readahead policy
   bool prefetch_on_seek = true;       ///< paper: prefetch on read/write/seek
   bool writeback_on_close = true;     ///< close flushes dirty pages
@@ -70,8 +71,7 @@ class ManagedFileSystem {
   std::unique_ptr<BufferPool> pool_;
   SequentialPrefetcher prefetcher_;
   std::mutex prefetcher_mutex_;
-  IoStats stats_;
-  std::mutex stats_mutex_;
+  IoStats stats_;  ///< internally synchronized
 };
 
 /// A position-tracking stream over one file, in the style of .NET

@@ -5,8 +5,7 @@ namespace clio::io {
 SequentialPrefetcher::SequentialPrefetcher(PrefetchConfig config)
     : config_(config) {}
 
-void SequentialPrefetcher::on_access(FileId file, std::uint64_t page,
-                                     std::vector<std::uint64_t>& out) {
+PrefetchRange SequentialPrefetcher::propose(FileId file, std::uint64_t page) {
   StreamState& st = streams_[file];
   if (st.last_page != UINT64_MAX && page == st.last_page + 1) {
     st.streak++;
@@ -16,10 +15,8 @@ void SequentialPrefetcher::on_access(FileId file, std::uint64_t page,
     st.streak = 1;
   }
   st.last_page = page;
-  if (config_.window == 0 || st.streak < config_.min_streak) return;
-  for (std::size_t i = 1; i <= config_.window; ++i) {
-    out.push_back(page + i);
-  }
+  if (config_.window == 0 || st.streak < config_.min_streak) return {};
+  return PrefetchRange{page + 1, config_.window};
 }
 
 void SequentialPrefetcher::forget(FileId file) { streams_.erase(file); }

@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <unordered_map>
-#include <vector>
 
 #include "io/file_store.hpp"
 
@@ -13,6 +12,17 @@ namespace clio::io {
 struct PrefetchConfig {
   std::size_t window = 4;      ///< pages fetched ahead once sequential
   std::size_t min_streak = 2;  ///< consecutive pages before kicking in
+};
+
+/// A contiguous run of pages proposed for readahead ([first, first+count)).
+/// Sequential readahead is always contiguous, so returning a range instead
+/// of materializing a page vector keeps the hot path allocation-free.  The
+/// pool still loads the run page by page (read coalescing is a ROADMAP
+/// open item).
+struct PrefetchRange {
+  std::uint64_t first = 0;
+  std::size_t count = 0;
+  [[nodiscard]] bool empty() const { return count == 0; }
 };
 
 /// Detects per-file sequential page access and proposes readahead.
@@ -27,10 +37,9 @@ class SequentialPrefetcher {
  public:
   explicit SequentialPrefetcher(PrefetchConfig config = {});
 
-  /// Records an access to (file, page) and appends pages worth prefetching
-  /// to `out` (not cleared).
-  void on_access(FileId file, std::uint64_t page,
-                 std::vector<std::uint64_t>& out);
+  /// Records an access to (file, page) and returns the run of pages worth
+  /// prefetching (empty until the sequential streak is established).
+  PrefetchRange propose(FileId file, std::uint64_t page);
 
   /// Forgets per-file state (e.g. after close).
   void forget(FileId file);

@@ -7,89 +7,70 @@ namespace {
 
 TEST(Prefetcher, NoProposalOnFirstAccess) {
   SequentialPrefetcher pf;
-  std::vector<std::uint64_t> out;
-  pf.on_access(1, 0, out);
-  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(pf.propose(1, 0).empty());
 }
 
 TEST(Prefetcher, ProposesWindowAfterStreak) {
   SequentialPrefetcher pf(PrefetchConfig{.window = 3, .min_streak = 2});
-  std::vector<std::uint64_t> out;
-  pf.on_access(1, 0, out);
-  EXPECT_TRUE(out.empty());
-  pf.on_access(1, 1, out);  // streak = 2 -> propose 2,3,4
-  EXPECT_EQ(out, (std::vector<std::uint64_t>{2, 3, 4}));
+  EXPECT_TRUE(pf.propose(1, 0).empty());
+  const PrefetchRange r = pf.propose(1, 1);  // streak = 2 -> propose 2,3,4
+  EXPECT_EQ(r.first, 2u);
+  EXPECT_EQ(r.count, 3u);
 }
 
 TEST(Prefetcher, RandomAccessBreaksStreak) {
   SequentialPrefetcher pf(PrefetchConfig{.window = 2, .min_streak = 2});
-  std::vector<std::uint64_t> out;
-  pf.on_access(1, 0, out);
-  pf.on_access(1, 1, out);
-  out.clear();
-  pf.on_access(1, 50, out);  // jump
-  EXPECT_TRUE(out.empty());
-  pf.on_access(1, 51, out);  // streak rebuilt
-  EXPECT_EQ(out, (std::vector<std::uint64_t>{52, 53}));
+  pf.propose(1, 0);
+  pf.propose(1, 1);
+  EXPECT_TRUE(pf.propose(1, 50).empty());  // jump
+  const PrefetchRange r = pf.propose(1, 51);  // streak rebuilt
+  EXPECT_EQ(r.first, 52u);
+  EXPECT_EQ(r.count, 2u);
 }
 
 TEST(Prefetcher, RepeatedSamePageKeepsStreakAlive) {
   SequentialPrefetcher pf(PrefetchConfig{.window = 1, .min_streak = 2});
-  std::vector<std::uint64_t> out;
-  pf.on_access(1, 0, out);
-  pf.on_access(1, 1, out);
-  out.clear();
-  pf.on_access(1, 1, out);  // re-touch: still sequential enough
+  pf.propose(1, 0);
+  pf.propose(1, 1);
+  const PrefetchRange r = pf.propose(1, 1);  // re-touch: still sequential
   // streak stays >= min_streak so the window is proposed again
-  EXPECT_EQ(out, (std::vector<std::uint64_t>{2}));
+  EXPECT_EQ(r.first, 2u);
+  EXPECT_EQ(r.count, 1u);
 }
 
 TEST(Prefetcher, FilesTrackedIndependently) {
   SequentialPrefetcher pf(PrefetchConfig{.window = 1, .min_streak = 2});
-  std::vector<std::uint64_t> out;
-  pf.on_access(1, 0, out);
-  pf.on_access(2, 10, out);
-  pf.on_access(1, 1, out);  // file 1 streak = 2
-  EXPECT_EQ(out, (std::vector<std::uint64_t>{2}));
-  out.clear();
-  pf.on_access(2, 11, out);  // file 2 streak = 2
-  EXPECT_EQ(out, (std::vector<std::uint64_t>{12}));
+  pf.propose(1, 0);
+  pf.propose(2, 10);
+  const PrefetchRange r1 = pf.propose(1, 1);  // file 1 streak = 2
+  EXPECT_EQ(r1.first, 2u);
+  EXPECT_EQ(r1.count, 1u);
+  const PrefetchRange r2 = pf.propose(2, 11);  // file 2 streak = 2
+  EXPECT_EQ(r2.first, 12u);
+  EXPECT_EQ(r2.count, 1u);
 }
 
 TEST(Prefetcher, ZeroWindowDisables) {
   SequentialPrefetcher pf(PrefetchConfig{.window = 0, .min_streak = 1});
-  std::vector<std::uint64_t> out;
-  for (std::uint64_t p = 0; p < 10; ++p) pf.on_access(1, p, out);
-  EXPECT_TRUE(out.empty());
+  for (std::uint64_t p = 0; p < 10; ++p) {
+    EXPECT_TRUE(pf.propose(1, p).empty());
+  }
 }
 
 TEST(Prefetcher, ForgetResetsFileState) {
   SequentialPrefetcher pf(PrefetchConfig{.window = 1, .min_streak = 2});
-  std::vector<std::uint64_t> out;
-  pf.on_access(1, 0, out);
+  pf.propose(1, 0);
   pf.forget(1);
-  pf.on_access(1, 1, out);  // streak restarts at 1
-  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(pf.propose(1, 1).empty());  // streak restarts at 1
 }
 
 TEST(Prefetcher, ResetClearsAllFiles) {
   SequentialPrefetcher pf(PrefetchConfig{.window = 1, .min_streak = 2});
-  std::vector<std::uint64_t> out;
-  pf.on_access(1, 0, out);
-  pf.on_access(2, 0, out);
+  pf.propose(1, 0);
+  pf.propose(2, 0);
   pf.reset();
-  pf.on_access(1, 1, out);
-  pf.on_access(2, 1, out);
-  EXPECT_TRUE(out.empty());
-}
-
-TEST(Prefetcher, AppendsWithoutClearing) {
-  SequentialPrefetcher pf(PrefetchConfig{.window = 1, .min_streak = 1});
-  std::vector<std::uint64_t> out{99};
-  pf.on_access(1, 0, out);
-  ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[0], 99u);
-  EXPECT_EQ(out[1], 1u);
+  EXPECT_TRUE(pf.propose(1, 1).empty());
+  EXPECT_TRUE(pf.propose(2, 1).empty());
 }
 
 // Property sweep: the proposal is always the contiguous run after the
@@ -99,13 +80,10 @@ class PrefetchWindowProperty : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(PrefetchWindowProperty, WindowShapeHolds) {
   const std::size_t window = GetParam();
   SequentialPrefetcher pf(PrefetchConfig{.window = window, .min_streak = 3});
-  std::vector<std::uint64_t> out;
-  for (std::uint64_t p = 100; p < 103; ++p) {
-    out.clear();
-    pf.on_access(7, p, out);
-  }
-  ASSERT_EQ(out.size(), window);
-  for (std::size_t i = 0; i < window; ++i) EXPECT_EQ(out[i], 103 + i);
+  PrefetchRange r;
+  for (std::uint64_t p = 100; p < 103; ++p) r = pf.propose(7, p);
+  EXPECT_EQ(r.first, 103u);
+  EXPECT_EQ(r.count, window);
 }
 
 INSTANTIATE_TEST_SUITE_P(Windows, PrefetchWindowProperty,
