@@ -10,10 +10,17 @@
 //                loads; measures how much the loads serialize.
 //   flush      — dirties a sequentially-written file and flushes, reporting
 //                backing-store write calls vs dirty pages (coalescing win).
+//   prefetch   — sequential scans through a pool much smaller than the file,
+//                driven by prefetch_range windows: measures the coalesced
+//                readv gather path (and, in async mode, the background
+//                prefetch workers), reporting pages/s plus the backing
+//                read-batching ratio.
 //
 // Each scenario runs at 1/2/4/8 threads and reports aggregate ops/sec plus
 // speedup vs 1 thread, for shards=1 (the pre-sharding structure) and the
 // default 16-way sharding.
+//
+// Usage: micro_bufferpool [all|warm|miss|flush|prefetch]  (default: all)
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -54,7 +61,13 @@ class CountingStore final : public io::BackingStore {
   }
   std::size_t read(io::FileId id, std::uint64_t offset,
                    std::span<std::byte> out) override {
+    read_calls++;
     return inner_.read(id, offset, out);
+  }
+  std::size_t readv(io::FileId id, std::uint64_t offset,
+                    std::span<const std::span<std::byte>> parts) override {
+    readv_calls++;
+    return inner_.readv(id, offset, parts);
   }
   void write(io::FileId id, std::uint64_t offset,
              std::span<const std::byte> data) override {
@@ -76,6 +89,8 @@ class CountingStore final : public io::BackingStore {
 
   std::atomic<std::uint64_t> write_calls{0};
   std::atomic<std::uint64_t> writev_calls{0};
+  std::atomic<std::uint64_t> read_calls{0};
+  std::atomic<std::uint64_t> readv_calls{0};
 
  private:
   io::BackingStore& inner_;
@@ -212,23 +227,110 @@ void bench_flush_coalescing() {
       static_cast<double>(kDirty) / static_cast<double>(calls), ms);
 }
 
+/// Sequential scans driven by readahead windows, through a pool much
+/// smaller than the file so every pass is cold: this is the prefetch-churn
+/// path the coalesced readv gather (and the async workers) accelerate.
+void bench_prefetch_churn(bool async) {
+  util::TempDir dir("clio-microbp");
+  io::RealFileStore real(dir.path());
+  CountingStore store(real);
+  const io::FileId file = store.open("data.bin", true);
+  std::vector<std::byte> chunk(kPageSize, std::byte{0x5a});
+  for (std::uint64_t p = 0; p < kFilePages; ++p) {
+    store.write(file, p * kPageSize, chunk);
+  }
+  constexpr std::size_t kWindow = 16;
+  constexpr int kPasses = 4;
+  double base = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    io::BufferPool pool(
+        store, io::BufferPoolConfig{.page_size = kPageSize,
+                                    .capacity_pages = 256,
+                                    .shards = 16,
+                                    .async_prefetch = async,
+                                    .prefetch_threads = 2});
+    const std::uint64_t span = kFilePages / threads;
+    const std::uint64_t pages_per_thread = span * kPasses;
+    store.read_calls = 0;
+    store.readv_calls = 0;
+    const RunResult r = run_threads(threads, pages_per_thread, [&](int t) {
+      const std::uint64_t lo = t * span;
+      unsigned long long local = 0;
+      for (int pass = 0; pass < kPasses; ++pass) {
+        for (std::uint64_t p = 0; p < span; p += kWindow) {
+          const std::size_t n =
+              static_cast<std::size_t>(std::min<std::uint64_t>(kWindow,
+                                                               span - p));
+          if (async) {
+            pool.prefetch_range_async(file, lo + p, n);
+          } else {
+            pool.prefetch_range(file, lo + p, n);
+          }
+          // Consume the window like a sequential reader: pins wait for the
+          // in-flight gather instead of re-issuing per-page loads.
+          for (std::size_t i = 0; i < n; ++i) {
+            auto g = pool.pin(file, lo + p + i);
+            local += static_cast<unsigned char>(g.data()[0]);
+          }
+        }
+      }
+      benchmark_sink = local;
+    });
+    pool.drain_prefetches();
+    if (threads == 1) base = r.ops_per_sec;
+    std::printf(
+        "%-10s  %-5s      threads=%d  %12.0f pages/s  speedup %.2fx  "
+        "(%llu readv + %llu read calls)\n",
+        "prefetch", async ? "async" : "sync", threads, r.ops_per_sec,
+        r.ops_per_sec / base,
+        static_cast<unsigned long long>(store.readv_calls),
+        static_cast<unsigned long long>(store.read_calls));
+  }
+  const std::uint64_t total_pages = kFilePages * kPasses;
+  const std::uint64_t calls = store.read_calls + store.readv_calls;
+  if (calls > 0) {
+    std::printf("prefetch    %-5s      batching: %.1f pages/backing call "
+                "(8-thread run)\n",
+                async ? "async" : "sync",
+                static_cast<double>(total_pages) /
+                    static_cast<double>(calls));
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "all";
+  const auto enabled = [&](const char* name) {
+    return mode == "all" || mode == name;
+  };
   std::printf("micro_bufferpool — hot-path concurrency microbenchmark\n");
   std::printf("hardware threads: %u\n\n", std::thread::hardware_concurrency());
 
-  std::printf("-- warm hits, single global stripe (pre-sharding layout) --\n");
-  bench_warm_hits(1);
-  std::printf("\n-- warm hits, 16-way sharding --\n");
-  bench_warm_hits(16);
-
-  std::printf("\n-- miss/evict churn, single stripe --\n");
-  bench_miss_churn(1);
-  std::printf("\n-- miss/evict churn, 16-way sharding --\n");
-  bench_miss_churn(16);
-
-  std::printf("\n-- coalesced write-back --\n");
-  bench_flush_coalescing();
+  if (enabled("warm")) {
+    std::printf("-- warm hits, single global stripe (pre-sharding layout) --\n");
+    bench_warm_hits(1);
+    std::printf("\n-- warm hits, 16-way sharding --\n");
+    bench_warm_hits(16);
+    std::printf("\n");
+  }
+  if (enabled("miss")) {
+    std::printf("-- miss/evict churn, single stripe --\n");
+    bench_miss_churn(1);
+    std::printf("\n-- miss/evict churn, 16-way sharding --\n");
+    bench_miss_churn(16);
+    std::printf("\n");
+  }
+  if (enabled("flush")) {
+    std::printf("-- coalesced write-back --\n");
+    bench_flush_coalescing();
+    std::printf("\n");
+  }
+  if (enabled("prefetch")) {
+    std::printf("-- prefetch churn, coalesced readv (inline) --\n");
+    bench_prefetch_churn(/*async=*/false);
+    std::printf("\n-- prefetch churn, async background workers --\n");
+    bench_prefetch_churn(/*async=*/true);
+  }
   return 0;
 }

@@ -18,6 +18,10 @@ std::size_t auto_shards(std::size_t capacity_pages) {
   return std::clamp<std::size_t>(capacity_pages / 256, 1, 16);
 }
 
+/// Async readahead hints beyond this backlog are dropped, not queued: a
+/// saturated queue means the workers are already behind the reader.
+constexpr std::size_t kMaxQueuedPrefetches = 1024;
+
 }  // namespace
 
 BufferPool::BufferPool(BackingStore& store, BufferPoolConfig config)
@@ -37,9 +41,41 @@ BufferPool::BufferPool(BackingStore& store, BufferPoolConfig config)
   for (std::size_t i = config_.capacity_pages; i > 0; --i) {
     free_frames_.push_back(i - 1);
   }
+  if (config_.async_prefetch) {
+    check<util::ConfigError>(config_.prefetch_threads >= 1,
+                             "BufferPool: async_prefetch needs >= 1 thread");
+    prefetch_workers_.reserve(config_.prefetch_threads);
+    try {
+      for (std::size_t i = 0; i < config_.prefetch_threads; ++i) {
+        prefetch_workers_.emplace_back([this] { prefetch_worker(); });
+      }
+    } catch (...) {
+      // A failed std::thread spawn unwinds the constructor without running
+      // ~BufferPool, so the already-started workers must be quiesced here
+      // or their joinable threads would terminate() on member destruction.
+      {
+        std::lock_guard<std::mutex> lock(prefetch_mutex_);
+        prefetch_stop_ = true;
+      }
+      prefetch_work_cv_.notify_all();
+      for (auto& worker : prefetch_workers_) worker.join();
+      throw;
+    }
+  }
 }
 
 BufferPool::~BufferPool() {
+  if (!prefetch_workers_.empty()) {
+    // Quiesce the readahead workers first: each finishes its in-flight
+    // request, still-queued hints are pointless for a dying pool and are
+    // dropped.  After the joins no thread touches frames_ but ours.
+    {
+      std::lock_guard<std::mutex> lock(prefetch_mutex_);
+      prefetch_stop_ = true;
+    }
+    prefetch_work_cv_.notify_all();
+    for (auto& worker : prefetch_workers_) worker.join();
+  }
   // Best effort: persist dirty pages.  Failures are swallowed because a
   // destructor must not throw; callers who care flush explicitly.
   try {
@@ -168,11 +204,194 @@ bool BufferPool::prefetch(FileId file, std::uint64_t page_no) {
 
 std::size_t BufferPool::prefetch_range(FileId file, std::uint64_t first_page,
                                        std::size_t count) {
-  std::size_t loaded = 0;
-  for (std::size_t i = 0; i < count; ++i) {
-    if (prefetch(file, first_page + i)) loaded++;
+  if (count == 0) return 0;
+  // Clamp the window to end-of-file: faulting zero-filled pages past EOF
+  // into the pool wastes frames and pollutes the LRU.  A page past the
+  // store's size that holds unflushed dirty data is necessarily resident,
+  // so it is skipped below anyway.
+  const std::uint64_t file_size = store_.size(file);
+  if (file_size == 0) return 0;
+  const std::uint64_t last_page = (file_size - 1) / config_.page_size;
+  if (first_page > last_page) return 0;
+  count = static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, last_page - first_page + 1));
+
+  // Phase 1: claim a frame for every cold page in the window, entering it
+  // into its shard's page table io_busy-latched — a concurrent faulter of
+  // the same page waits on the shard CV instead of duplicating the read.
+  // Resident and in-flight pages are skipped (they split the runs below);
+  // under frame pressure the rest of the window is dropped, never waited
+  // for: prefetch is a hint and must not stall on pinned frames.
+  std::vector<PrefetchTarget> targets;
+  targets.reserve(count);
+  try {
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::uint64_t page_no = first_page + i;
+      const PageKey key{file, page_no};
+      const std::size_t s = shard_of(key);
+      Shard& sh = shards_[s];
+      std::unique_lock<std::mutex> lk(sh.mutex);
+      if (sh.page_table.contains(key)) continue;
+      bool transient_holds = false;
+      const std::size_t idx = try_acquire_frame(sh, lk, transient_holds);
+      if (idx == kNoFrame) break;
+      if (sh.page_table.contains(key)) {
+        // Lost a race while try_acquire_frame released the lock.
+        release_frame(idx);
+        continue;
+      }
+      install_loading_frame(sh, file, page_no, idx, /*pins=*/0);
+      sh.stats.prefetches++;
+      targets.push_back(PrefetchTarget{page_no, s, idx});
+    }
+  } catch (...) {
+    // A claim can throw before any I/O is issued — e.g. try_acquire_frame
+    // evicting a dirty victim whose write-back fails.  The pages claimed
+    // so far must not be left io_busy forever (a demand pin would hang on
+    // the latch), so unwind them all before surfacing the error.
+    abort_prefetch_frames(file, targets);
+    throw;
   }
+  if (targets.empty()) return 0;
+
+  // Phase 2: one vectored gather per contiguous run of claimed pages, all
+  // I/O outside any lock (the io_busy latches own the frames).  Runs are
+  // capped at coalesce_pages, mirroring the write-back side.
+  std::size_t loaded = 0;
+  std::exception_ptr error;
+  std::vector<std::span<std::byte>> parts;
+  for (std::size_t i = 0; i < targets.size();) {
+    std::size_t j = i + 1;
+    while (j < targets.size() && j - i < config_.coalesce_pages &&
+           targets[j].page_no == targets[j - 1].page_no + 1) {
+      j++;
+    }
+    std::size_t got = 0;
+    try {
+      parts.clear();
+      for (std::size_t k = i; k < j; ++k) {
+        Frame& f = frames_[targets[k].frame];
+        if (f.data.size() != config_.page_size) {
+          f.data.resize(config_.page_size);  // can throw bad_alloc
+        }
+        parts.emplace_back(f.data.data(), config_.page_size);
+      }
+      got = store_.readv(file, targets[i].page_no * config_.page_size, parts);
+    } catch (...) {
+      // Unwind this run and everything not yet issued: a failed gather
+      // must leave no half-valid frame resident.  Runs already published
+      // stay — their data is complete.
+      error = std::current_exception();
+      abort_prefetch_frames(file, std::span<const PrefetchTarget>(targets)
+                                      .subspan(i));
+      break;
+    }
+    // Publish the run: set each frame's valid extent, zero any stale tail
+    // of a reused frame, then release the io_busy latch under the lock.
+    for (std::size_t k = i; k < j; ++k) {
+      Frame& f = frames_[targets[k].frame];
+      const std::size_t skip = (k - i) * config_.page_size;
+      const std::size_t valid =
+          got > skip ? std::min(config_.page_size, got - skip) : 0;
+      if (valid < config_.page_size) {
+        std::memset(f.data.data() + valid, 0, config_.page_size - valid);
+      }
+      Shard& sh = shards_[targets[k].shard];
+      std::lock_guard<std::mutex> lock(sh.mutex);
+      f.valid_bytes = valid;
+      f.io_busy = false;
+      sh.io_cv.notify_all();
+    }
+    loaded += j - i;
+    i = j;
+  }
+  if (error) std::rethrow_exception(error);
   return loaded;
+}
+
+/// Drops the claimed-but-unloaded frames of a failed prefetch: page-table
+/// entries are erased and the frames returned to the free list, so faulters
+/// waiting on them retry from a clean slate.  The prefetch counter is taken
+/// back too — PoolStats counts pages actually loaded, and these were not.
+void BufferPool::abort_prefetch_frames(
+    FileId file, std::span<const PrefetchTarget> targets) {
+  for (const PrefetchTarget& t : targets) {
+    Shard& sh = shards_[t.shard];
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    Frame& f = frames_[t.frame];
+    sh.page_table.erase(PageKey{file, t.page_no});
+    lru_remove(sh, t.frame);
+    f.in_use = false;
+    f.io_busy = false;
+    sh.stats.prefetches--;
+    release_frame(t.frame);
+    sh.io_cv.notify_all();
+  }
+}
+
+std::size_t BufferPool::prefetch_range_async(FileId file,
+                                             std::uint64_t first_page,
+                                             std::size_t count) {
+  if (count == 0) return 0;
+  if (prefetch_workers_.empty()) {
+    return prefetch_range(file, first_page, count);
+  }
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mutex_);
+    if (prefetch_stop_ || prefetch_queue_.size() >= kMaxQueuedPrefetches) {
+      return 0;  // drop the hint; the workers are already behind
+    }
+    prefetch_queue_.push_back(
+        PrefetchRequest{file, first_page, count, prefetch_enqueue_seq_++});
+  }
+  prefetch_work_cv_.notify_one();
+  return 0;
+}
+
+void BufferPool::drain_prefetches() {
+  if (prefetch_workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(prefetch_mutex_);
+  // Snapshot semantics: wait for the requests that exist *now*, not for a
+  // queue other threads may keep refilling — otherwise a flush or close
+  // could starve behind unrelated readers' readahead.  Pops are FIFO, so
+  // "every seq below the snapshot has been popped and is no longer in
+  // flight" is exactly "the backlog at entry has completed".
+  const std::uint64_t upto = prefetch_enqueue_seq_;
+  prefetch_done_cv_.wait(lock, [&] {
+    for (const std::uint64_t seq : prefetch_inflight_seqs_) {
+      if (seq < upto) return false;
+    }
+    // After stop, still-queued hints will never run; in-flight ones (all
+    // checked above) are what remains to wait for.
+    return prefetch_popped_seq_ >= upto || prefetch_stop_;
+  });
+}
+
+void BufferPool::prefetch_worker() {
+  std::unique_lock<std::mutex> lock(prefetch_mutex_);
+  for (;;) {
+    prefetch_work_cv_.wait(lock, [this] {
+      return prefetch_stop_ || !prefetch_queue_.empty();
+    });
+    if (prefetch_stop_) return;
+    const PrefetchRequest req = prefetch_queue_.front();
+    prefetch_queue_.pop_front();
+    prefetch_popped_seq_ = req.seq + 1;
+    prefetch_inflight_seqs_.push_back(req.seq);
+    lock.unlock();
+    try {
+      prefetch_range(req.file, req.first_page, req.count);
+    } catch (...) {
+      // Readahead is best-effort: a failed background load leaves the
+      // pages cold (abort_prefetch_frames already unwound the frames) and
+      // the demand fault reports the error to the actual reader.
+    }
+    lock.lock();
+    prefetch_inflight_seqs_.erase(
+        std::find(prefetch_inflight_seqs_.begin(),
+                  prefetch_inflight_seqs_.end(), req.seq));
+    prefetch_done_cv_.notify_all();
+  }
 }
 
 bool BufferPool::contains(FileId file, std::uint64_t page_no) const {
@@ -209,16 +428,8 @@ std::size_t BufferPool::find_or_load(Shard& sh,
       release_frame(idx);
       continue;
     }
+    install_loading_frame(sh, file, page_no, idx, pin_result ? 1u : 0u);
     Frame& f = frames_[idx];
-    f.file = file;
-    f.page_no = page_no;
-    f.valid_bytes = 0;
-    f.pins = pin_result ? 1u : 0u;
-    f.dirty = false;
-    f.in_use = true;
-    f.io_busy = true;
-    sh.page_table.emplace(key, idx);
-    lru_push_front(sh, idx);
     if (count_as_prefetch) {
       sh.stats.prefetches++;
     } else {
@@ -249,6 +460,9 @@ std::size_t BufferPool::find_or_load(Shard& sh,
       f.in_use = false;
       f.io_busy = false;
       f.pins = 0;
+      // Prefetches count pages actually loaded; a miss stays counted — the
+      // demand fault did happen even though its load failed.
+      if (count_as_prefetch) sh.stats.prefetches--;
       release_frame(idx);
       sh.io_cv.notify_all();
       std::rethrow_exception(error);
@@ -258,6 +472,25 @@ std::size_t BufferPool::find_or_load(Shard& sh,
     sh.io_cv.notify_all();
     return idx;
   }
+}
+
+/// Installs `idx` as the io_busy-latched frame for (file, page_no): resets
+/// the frame's bookkeeping and enters it into `sh`'s page table and LRU.
+/// Caller holds the shard lock, owns the load, and must either publish the
+/// frame (valid_bytes + io_busy = false) or unwind it on failure.
+void BufferPool::install_loading_frame(Shard& sh, FileId file,
+                                       std::uint64_t page_no, std::size_t idx,
+                                       std::uint32_t pins) {
+  Frame& f = frames_[idx];
+  f.file = file;
+  f.page_no = page_no;
+  f.valid_bytes = 0;
+  f.pins = pins;
+  f.dirty = false;
+  f.in_use = true;
+  f.io_busy = true;
+  sh.page_table.emplace(PageKey{file, page_no}, idx);
+  lru_push_front(sh, idx);
 }
 
 /// Returns an unused frame to the pool-wide free list.
@@ -325,38 +558,49 @@ std::size_t BufferPool::try_evict_from(Shard& sh,
   return kNoFrame;
 }
 
-/// Hands the caller a frame, with `self`'s mutex held on entry and exit.
+/// One allocation attempt, with `self`'s mutex held on entry and exit.
 /// Order: pool-wide free list, then eviction from `self`, then eviction
 /// from sibling shards (releasing `self`'s lock; at most one shard lock is
-/// ever held, so shards cannot deadlock).  Throws only when every frame in
-/// the pool is durably pinned.
+/// ever held, so shards cannot deadlock).  Returns kNoFrame when nothing
+/// was obtainable right now; `transient_holds` is set if a frame was
+/// skipped only because of in-flight I/O or a flush hold.
+std::size_t BufferPool::try_acquire_frame(Shard& self,
+                                          std::unique_lock<std::mutex>& lk,
+                                          bool& transient_holds) {
+  {
+    std::lock_guard<std::mutex> lock(free_mutex_);
+    if (!free_frames_.empty()) {
+      const std::size_t idx = free_frames_.back();
+      free_frames_.pop_back();
+      return idx;
+    }
+  }
+  const std::size_t local = try_evict_from(self, lk, transient_holds);
+  if (local != kNoFrame) return local;
+  if (shards_.size() > 1) {
+    const std::size_t self_idx = static_cast<std::size_t>(&self - shards_.data());
+    std::size_t stolen = kNoFrame;
+    lk.unlock();
+    for (std::size_t off = 1; off < shards_.size() && stolen == kNoFrame;
+         ++off) {
+      Shard& other = shards_[(self_idx + off) % shards_.size()];
+      std::unique_lock<std::mutex> other_lk(other.mutex);
+      stolen = try_evict_from(other, other_lk, transient_holds);
+    }
+    lk.lock();
+    if (stolen != kNoFrame) return stolen;
+  }
+  return kNoFrame;
+}
+
+/// Hands the caller a frame, retrying until one is available.  Throws only
+/// when every frame in the pool is durably pinned.
 std::size_t BufferPool::acquire_frame(Shard& self,
                                       std::unique_lock<std::mutex>& lk) {
   for (;;) {
-    {
-      std::lock_guard<std::mutex> lock(free_mutex_);
-      if (!free_frames_.empty()) {
-        const std::size_t idx = free_frames_.back();
-        free_frames_.pop_back();
-        return idx;
-      }
-    }
     bool transient_holds = false;
-    const std::size_t local = try_evict_from(self, lk, transient_holds);
-    if (local != kNoFrame) return local;
-    if (shards_.size() > 1) {
-      const std::size_t self_idx = &self - shards_.data();
-      std::size_t stolen = kNoFrame;
-      lk.unlock();
-      for (std::size_t off = 1; off < shards_.size() && stolen == kNoFrame;
-           ++off) {
-        Shard& other = shards_[(self_idx + off) % shards_.size()];
-        std::unique_lock<std::mutex> other_lk(other.mutex);
-        stolen = try_evict_from(other, other_lk, transient_holds);
-      }
-      lk.lock();
-      if (stolen != kNoFrame) return stolen;
-    }
+    const std::size_t idx = try_acquire_frame(self, lk, transient_holds);
+    if (idx != kNoFrame) return idx;
     // Only durable PageGuard pins justify failing; transient holds by a
     // concurrent flush or loader resolve, so wait and rescan.  The wait is
     // bounded because the hold may live in a sibling shard whose progress
@@ -453,6 +697,7 @@ void BufferPool::write_back_coalesced(std::vector<FlushEntry>& entries) {
 }
 
 void BufferPool::flush_file(FileId file) {
+  drain_prefetches();
   std::vector<FlushEntry> dirty;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     collect_dirty(shards_[s], s, file, /*match_all=*/false, dirty);
@@ -461,6 +706,7 @@ void BufferPool::flush_file(FileId file) {
 }
 
 void BufferPool::flush_all() {
+  drain_prefetches();
   std::vector<FlushEntry> dirty;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     collect_dirty(shards_[s], s, kInvalidFile, /*match_all=*/true, dirty);
@@ -479,6 +725,9 @@ std::uint64_t BufferPool::logical_file_size(FileId file) const {
 }
 
 void BufferPool::discard_file(FileId file) {
+  // Outstanding async readahead may still target this file; let it land
+  // before dropping, so no worker re-faults pages mid-discard.
+  drain_prefetches();
   {
     std::lock_guard<std::mutex> lock(extent_mutex_);
     dirty_extent_.erase(file);

@@ -2,8 +2,10 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -27,9 +29,19 @@ struct BufferPoolConfig {
   std::size_t shards = 0;
 
   /// Upper bound on the number of adjacent dirty pages merged into a single
-  /// vectored backing-store write during flush_file/flush_all.  1 disables
-  /// coalescing (one write per dirty page, the pre-sharding behaviour).
+  /// vectored backing-store write during flush_file/flush_all, and on the
+  /// number of adjacent cold pages merged into a single vectored gather
+  /// read during prefetch_range.  1 disables coalescing on both sides (one
+  /// backing call per page, the pre-sharding behaviour).
   std::size_t coalesce_pages = 64;
+
+  /// Opt-in background readahead: when set, prefetch_range_async() enqueues
+  /// the range on `prefetch_threads` dedicated I/O workers instead of
+  /// loading it inline, so sequential readers overlap readahead with
+  /// compute.  flush_file/flush_all/discard_file and the destructor drain
+  /// the queue before proceeding.
+  bool async_prefetch = false;
+  std::size_t prefetch_threads = 1;  ///< workers when async_prefetch is on
 };
 
 /// Counters exposed for tests and ablation benches.  With sharding enabled
@@ -91,6 +103,13 @@ struct PageKeyHash {
 /// of how its pages hash) and means "all frames pinned" can only happen
 /// when every frame in the pool is truly pinned.
 ///
+/// Both bulk transfer directions are coalesced: flush merges adjacent dirty
+/// pages into vectored writev gathers, and prefetch_range merges adjacent
+/// cold pages into vectored readv scatters — one backing access per run
+/// instead of one per page.  With config.async_prefetch the readv side
+/// additionally runs on background I/O workers so readahead overlaps the
+/// caller's compute.
+///
 /// Pinned pages are never evicted; data access through a PageGuard is
 /// lock-free and safe provided no two threads write the same page
 /// concurrently (the benchmarks never do — POST creates uniquely-named
@@ -142,9 +161,29 @@ class BufferPool {
   bool prefetch(FileId file, std::uint64_t page_no);
 
   /// Prefetches `count` consecutive pages starting at `first_page`;
-  /// returns how many were cold and actually loaded.
+  /// returns how many were cold and actually loaded.  The window is clamped
+  /// to end-of-file (pages wholly past EOF are never faulted in), cold
+  /// pages are claimed up front across shards with io_busy latches, and
+  /// each contiguous cold run is loaded by a single vectored
+  /// BackingStore::readv issued outside any lock (runs are capped at
+  /// config.coalesce_pages).  Under frame pressure the tail of the window
+  /// is dropped rather than waited for — prefetch is a hint.
   std::size_t prefetch_range(FileId file, std::uint64_t first_page,
                              std::size_t count);
+
+  /// Like prefetch_range but, when config.async_prefetch is on, enqueues
+  /// the range for the background I/O workers and returns 0 immediately
+  /// (the hint is dropped if the queue is saturated).  Falls back to the
+  /// synchronous path when async prefetch is off.
+  std::size_t prefetch_range_async(FileId file, std::uint64_t first_page,
+                                   std::size_t count);
+
+  /// Blocks until every async prefetch queued or in flight *at the time of
+  /// the call* has completed (no-op when async_prefetch is off).  Snapshot
+  /// semantics keep the wait bounded: hints other threads enqueue after
+  /// entry are not chased.  flush_file/flush_all/discard_file call this on
+  /// entry so their view of residency is quiescent.
+  void drain_prefetches();
 
   /// True if the page is resident or being loaded (test/diagnostic helper).
   [[nodiscard]] bool contains(FileId file, std::uint64_t page_no) const;
@@ -218,6 +257,24 @@ class BufferPool {
     std::size_t valid_bytes;
   };
 
+  /// A cold page claimed for prefetch: its frame sits in the page table
+  /// io_busy-latched while the coalesced gather read runs outside the lock.
+  struct PrefetchTarget {
+    std::uint64_t page_no;
+    std::size_t shard;
+    std::size_t frame;
+  };
+
+  /// A queued async readahead request.  `seq` orders requests so a drain
+  /// can wait for exactly the backlog present at its entry (snapshot
+  /// semantics) instead of chasing a queue other threads keep refilling.
+  struct PrefetchRequest {
+    FileId file;
+    std::uint64_t first_page;
+    std::size_t count;
+    std::uint64_t seq;
+  };
+
   [[nodiscard]] std::size_t shard_of(const PageKey& key) const;
 
   // Shard-local helpers; all assume the shard's mutex is held by `lk` /
@@ -225,9 +282,16 @@ class BufferPool {
   std::size_t find_or_load(Shard& sh, std::unique_lock<std::mutex>& lk,
                            FileId file, std::uint64_t page_no,
                            bool count_as_prefetch, bool pin_result);
+  void install_loading_frame(Shard& sh, FileId file, std::uint64_t page_no,
+                             std::size_t idx, std::uint32_t pins);
   std::size_t acquire_frame(Shard& self, std::unique_lock<std::mutex>& lk);
+  std::size_t try_acquire_frame(Shard& self, std::unique_lock<std::mutex>& lk,
+                                bool& transient_holds);
   std::size_t try_evict_from(Shard& sh, std::unique_lock<std::mutex>& lk,
                              bool& transient_holds);
+  void abort_prefetch_frames(FileId file,
+                             std::span<const PrefetchTarget> targets);
+  void prefetch_worker();
   void release_frame(std::size_t idx);
   void lru_push_front(Shard& sh, std::size_t idx);
   void lru_remove(Shard& sh, std::size_t idx);
@@ -247,6 +311,21 @@ class BufferPool {
   /// Furthest byte ever dirtied per file; only grows, erased on discard.
   std::unordered_map<FileId, std::uint64_t> dirty_extent_;
   mutable std::mutex extent_mutex_;
+
+  // Async readahead state (empty / idle unless config.async_prefetch).
+  // Requests carry FIFO sequence numbers: `prefetch_enqueue_seq_` is the
+  // next to assign, seqs below `prefetch_popped_seq_` have left the queue,
+  // and `prefetch_inflight_seqs_` (at most prefetch_threads entries) holds
+  // the popped-but-unfinished ones.
+  std::vector<std::thread> prefetch_workers_;
+  std::deque<PrefetchRequest> prefetch_queue_;
+  std::mutex prefetch_mutex_;
+  std::condition_variable prefetch_work_cv_;  ///< workers wait for requests
+  std::condition_variable prefetch_done_cv_;  ///< drainers wait on progress
+  std::uint64_t prefetch_enqueue_seq_ = 0;
+  std::uint64_t prefetch_popped_seq_ = 0;
+  std::vector<std::uint64_t> prefetch_inflight_seqs_;
+  bool prefetch_stop_ = false;
 
   friend class PageGuard;
 };

@@ -30,6 +30,19 @@ void BackingStore::writev(FileId id, std::uint64_t offset,
   }
 }
 
+std::size_t BackingStore::readv(FileId id, std::uint64_t offset,
+                                std::span<const std::span<std::byte>> parts) {
+  // Portable fallback: one read per part, stopping at the first short read
+  // so the caller sees exactly the EOF semantics of read().
+  std::size_t total = 0;
+  for (const auto& part : parts) {
+    const std::size_t n = read(id, offset + total, part);
+    total += n;
+    if (n < part.size()) break;
+  }
+  return total;
+}
+
 // ---------------------------------------------------------------- Real ----
 
 RealFileStore::RealFileStore(std::filesystem::path root)
@@ -172,6 +185,44 @@ void RealFileStore::writev(FileId id, std::uint64_t offset,
   }
 }
 
+std::size_t RealFileStore::readv(FileId id, std::uint64_t offset,
+                                 std::span<const std::span<std::byte>> parts) {
+  const int fd = fd_of(id);
+  std::vector<iovec> iov;
+  iov.reserve(parts.size());
+  for (const auto& part : parts) {
+    if (part.empty()) continue;
+    iov.push_back(iovec{part.data(), part.size()});
+  }
+  std::size_t total = 0;
+  std::size_t next = 0;  // first iovec not fully filled yet
+  while (next < iov.size()) {
+    const int cnt =
+        static_cast<int>(std::min<std::size_t>(iov.size() - next, IOV_MAX));
+    const ssize_t n =
+        ::preadv(fd, iov.data() + next, cnt, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("RealFileStore: preadv failed: ") +
+                    std::strerror(errno));
+    }
+    if (n == 0) break;  // EOF
+    offset += static_cast<std::uint64_t>(n);
+    total += static_cast<std::size_t>(n);
+    // Consume fully-filled iovecs; trim a partially-filled one.
+    std::size_t done = static_cast<std::size_t>(n);
+    while (next < iov.size() && done >= iov[next].iov_len) {
+      done -= iov[next].iov_len;
+      next++;
+    }
+    if (done > 0) {
+      iov[next].iov_base = static_cast<char*>(iov[next].iov_base) + done;
+      iov[next].iov_len -= done;
+    }
+  }
+  return total;
+}
+
 bool RealFileStore::exists(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return std::filesystem::exists(root_ / name);
@@ -299,6 +350,32 @@ void SimFileStore::writev(FileId id, std::uint64_t offset,
   // One modeled access for the whole gather: coalescing saves the per-page
   // seek + rotational cost, exactly the effect the paper's Tables measure.
   pending_model_ms_ += array_.access_ms(e.base_address + offset, total);
+}
+
+std::size_t SimFileStore::readv(FileId id, std::uint64_t offset,
+                                std::span<const std::span<std::byte>> parts) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entry_of(id);
+  check<IoError>(e.refs > 0, "SimFileStore: read of closed id");
+  if (offset >= e.data.size()) {
+    // Charge the arm movement even for a miss past EOF.
+    pending_model_ms_ += array_.access_ms(e.base_address + offset, 0);
+    return 0;
+  }
+  std::size_t total = 0;
+  for (const auto& part : parts) {
+    const std::uint64_t pos = offset + total;
+    if (pos >= e.data.size()) break;
+    const std::size_t n = std::min<std::size_t>(
+        part.size(), e.data.size() - static_cast<std::size_t>(pos));
+    std::memcpy(part.data(), e.data.data() + pos, n);
+    total += n;
+    if (n < part.size()) break;
+  }
+  // One modeled access for the whole scatter: coalescing saves the per-page
+  // seek + rotational cost, mirroring writev on the read side.
+  pending_model_ms_ += array_.access_ms(e.base_address + offset, total);
+  return total;
 }
 
 bool SimFileStore::exists(const std::string& name) const {

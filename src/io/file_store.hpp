@@ -54,6 +54,14 @@ class BackingStore {
   virtual void writev(FileId id, std::uint64_t offset,
                       std::span<const std::span<const std::byte>> parts);
 
+  /// Reads contiguous bytes starting at `offset`, scattering them into
+  /// `parts` in order — the buffer pool's coalesced prefetch path.  Returns
+  /// total bytes read (short at EOF, 0 past EOF).  Implementations should
+  /// treat the whole scatter as one storage access (preadv / a single
+  /// modeled seek); the default falls back to one read() per part.
+  virtual std::size_t readv(FileId id, std::uint64_t offset,
+                            std::span<const std::span<std::byte>> parts);
+
   /// Returns true if the named file exists in the store.
   [[nodiscard]] virtual bool exists(const std::string& name) const = 0;
 
@@ -87,6 +95,8 @@ class RealFileStore final : public BackingStore {
              std::span<const std::byte> data) override;
   void writev(FileId id, std::uint64_t offset,
               std::span<const std::span<const std::byte>> parts) override;
+  std::size_t readv(FileId id, std::uint64_t offset,
+                    std::span<const std::span<std::byte>> parts) override;
   [[nodiscard]] bool exists(const std::string& name) const override;
   [[nodiscard]] FileId lookup(const std::string& name) const override;
   void remove(const std::string& name) override;
@@ -132,6 +142,8 @@ class SimFileStore final : public BackingStore {
              std::span<const std::byte> data) override;
   void writev(FileId id, std::uint64_t offset,
               std::span<const std::span<const std::byte>> parts) override;
+  std::size_t readv(FileId id, std::uint64_t offset,
+                    std::span<const std::span<std::byte>> parts) override;
   [[nodiscard]] bool exists(const std::string& name) const override;
   [[nodiscard]] FileId lookup(const std::string& name) const override;
   void remove(const std::string& name) override;

@@ -20,14 +20,18 @@ ManagedFileSystem::ManagedFileSystem(std::unique_ptr<BackingStore> store,
       stats_(options.keep_op_records) {
   check<util::ConfigError>(store_ != nullptr,
                            "ManagedFileSystem: null backing store");
-  pool_ = std::make_unique<BufferPool>(
-      *store_,
-      BufferPoolConfig{.page_size = options_.page_size,
-                       .capacity_pages = options_.pool_pages,
-                       .shards = options_.pool_shards});
+  pool_ = std::make_unique<BufferPool>(*store_, pool_config());
 }
 
 ManagedFileSystem::~ManagedFileSystem() = default;
+
+BufferPoolConfig ManagedFileSystem::pool_config() const {
+  return BufferPoolConfig{.page_size = options_.page_size,
+                          .capacity_pages = options_.pool_pages,
+                          .shards = options_.pool_shards,
+                          .async_prefetch = options_.async_prefetch,
+                          .prefetch_threads = options_.prefetch_threads};
+}
 
 ManagedFile ManagedFileSystem::open(const std::string& name, OpenMode mode) {
   Stopwatch watch;
@@ -62,10 +66,7 @@ void ManagedFileSystem::remove(const std::string& name) {
 void ManagedFileSystem::drop_caches() {
   pool_->flush_all();
   // Rebuild the pool: cheapest way to guarantee cold frames.
-  pool_ = std::make_unique<BufferPool>(
-      *store_, BufferPoolConfig{.page_size = options_.page_size,
-                                .capacity_pages = options_.pool_pages,
-                                .shards = options_.pool_shards});
+  pool_ = std::make_unique<BufferPool>(*store_, pool_config());
   std::lock_guard<std::mutex> lock(prefetcher_mutex_);
   prefetcher_.reset();
 }
@@ -130,7 +131,9 @@ void ManagedFile::run_prefetch(std::uint64_t page) {
   if (ahead.first > last_page) return;
   const std::size_t count = static_cast<std::size_t>(
       std::min<std::uint64_t>(ahead.count, last_page - ahead.first + 1));
-  fs_->pool_->prefetch_range(id_, ahead.first, count);
+  // With async_prefetch on, the window loads on the pool's I/O workers
+  // while this reader keeps consuming warm pages; otherwise inline.
+  fs_->pool_->prefetch_range_async(id_, ahead.first, count);
 }
 
 std::size_t ManagedFile::read(std::span<std::byte> out) {
@@ -210,8 +213,13 @@ void ManagedFile::seek(std::uint64_t pos) {
 void ManagedFile::close() {
   if (fs_ == nullptr) return;
   Stopwatch watch;
+  // Outstanding async readahead for this file must land before the backing
+  // handle is released; flush_file drains on entry, so only the no-flush
+  // configuration needs the explicit drain.
   if (fs_->options_.writeback_on_close) {
     fs_->pool_->flush_file(id_);
+  } else {
+    fs_->pool_->drain_prefetches();
   }
   {
     std::lock_guard<std::mutex> lock(fs_->prefetcher_mutex_);

@@ -28,6 +28,11 @@ struct ManagedFsOptions {
   std::size_t pool_shards = 0;        ///< lock stripes; 0 = auto (see BufferPoolConfig)
   PrefetchConfig prefetch;            ///< readahead policy
   bool prefetch_on_seek = true;       ///< paper: prefetch on read/write/seek
+  /// Run readahead on the pool's background I/O workers so sequential
+  /// reads overlap the window load with compute instead of paying for it
+  /// inline (see BufferPoolConfig::async_prefetch).
+  bool async_prefetch = false;
+  std::size_t prefetch_threads = 1;   ///< workers when async_prefetch is on
   bool writeback_on_close = true;     ///< close flushes dirty pages
   bool keep_op_records = false;       ///< retain per-op rows for tables
 };
@@ -65,6 +70,8 @@ class ManagedFileSystem {
 
  private:
   friend class ManagedFile;
+
+  [[nodiscard]] BufferPoolConfig pool_config() const;
 
   std::unique_ptr<BackingStore> store_;
   ManagedFsOptions options_;

@@ -16,9 +16,9 @@ struct PrefetchConfig {
 
 /// A contiguous run of pages proposed for readahead ([first, first+count)).
 /// Sequential readahead is always contiguous, so returning a range instead
-/// of materializing a page vector keeps the hot path allocation-free.  The
-/// pool still loads the run page by page (read coalescing is a ROADMAP
-/// open item).
+/// of materializing a page vector keeps the hot path allocation-free, and
+/// the pool loads each contiguous cold run with a single vectored
+/// BackingStore::readv gather (mirroring the write-back coalescing).
 struct PrefetchRange {
   std::uint64_t first = 0;
   std::size_t count = 0;

@@ -83,7 +83,9 @@ TEST(Etree, ParentsAlwaysLarger) {
   const auto a = make_spd(64, 4, 13);
   const auto parent = elimination_tree(a);
   for (std::size_t j = 0; j < a.n; ++j) {
-    if (parent[j] != kNoParent) EXPECT_GT(parent[j], j);
+    if (parent[j] != kNoParent) {
+      EXPECT_GT(parent[j], j);
+    }
   }
 }
 

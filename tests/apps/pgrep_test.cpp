@@ -158,7 +158,7 @@ TEST_F(PgrepTest, TraceShowsMultiProcessSequentialReads) {
   generate_corpus(capture_, "corpus.txt", small_corpus());
   ParallelGrep grep("xylophonequark", PgrepConfig{.max_errors = 0,
                                                   .num_workers = 4});
-  grep.search(capture_, "corpus.txt");
+  static_cast<void>(grep.search(capture_, "corpus.txt"));
   const auto t = capture_.finish();
   EXPECT_NO_THROW(validate(t));
   EXPECT_EQ(t.header.num_processes, 4u);  // one pid per worker

@@ -44,7 +44,7 @@ TEST(Quadtree, EmptyQueryReturnsNothing) {
 
 TEST(Quadtree, PrunesDisjointQuadrants) {
   TileQuadtree tree(16, 16);
-  tree.query(TileRect{0, 0, 1, 1});
+  static_cast<void>(tree.query(TileRect{0, 0, 1, 1}));
   // Visiting all 256 leaves + internals would be > 300 nodes; a pruned
   // descent visits a path plus siblings.
   EXPECT_LT(tree.last_visited(), 40u);
@@ -113,7 +113,8 @@ TEST_F(TitanTest, TileOffsetsAreBandMajor) {
   EXPECT_EQ(store.tile_offset(0, 1, 0), RasterStore::kHeaderBytes + tb);
   EXPECT_EQ(store.tile_offset(0, 0, 1), RasterStore::kHeaderBytes + 4 * tb);
   EXPECT_EQ(store.tile_offset(1, 0, 0), RasterStore::kHeaderBytes + 16 * tb);
-  EXPECT_THROW(store.tile_offset(2, 0, 0), util::ConfigError);
+  EXPECT_THROW(static_cast<void>(store.tile_offset(2, 0, 0)),
+               util::ConfigError);
 }
 
 TEST_F(TitanTest, QueryAggregatesMatchBruteForce) {
@@ -160,8 +161,10 @@ TEST_F(TitanTest, RejectsOutOfBoundsWindow) {
   RasterStore::generate(capture_, "world.rst", small_config());
   RasterStore store(capture_, "world.rst");
   TitanDb db(store);
-  EXPECT_THROW(db.range_query(PixelRect{0, 0, 65, 10}), util::ConfigError);
-  EXPECT_THROW(db.range_query(PixelRect{5, 5, 5, 10}), util::ConfigError);
+  EXPECT_THROW(static_cast<void>(db.range_query(PixelRect{0, 0, 65, 10})),
+               util::ConfigError);
+  EXPECT_THROW(static_cast<void>(db.range_query(PixelRect{5, 5, 5, 10})),
+               util::ConfigError);
 }
 
 TEST_F(TitanTest, WorkloadIsDeterministicAndInBounds) {
@@ -179,7 +182,7 @@ TEST_F(TitanTest, WorkloadIsDeterministicAndInBounds) {
     EXPECT_LE(a[i].y1, 64u);
   }
   // All workload queries execute cleanly.
-  for (const auto& q : a) EXPECT_NO_THROW(db.range_query(q));
+  for (const auto& q : a) EXPECT_NO_THROW(static_cast<void>(db.range_query(q)));
 }
 
 TEST_F(TitanTest, TraceShowsSeekReadPairsPerTile) {
@@ -187,7 +190,7 @@ TEST_F(TitanTest, TraceShowsSeekReadPairsPerTile) {
   {
     RasterStore store(capture_, "world.rst");
     TitanDb db(store);
-    db.range_query(PixelRect{0, 0, 32, 32});  // 2x2 tiles x 2 bands
+    static_cast<void>(db.range_query(PixelRect{0, 0, 32, 32}));  // 2x2 tiles x 2 bands
     store.close();
   }
   const auto t = capture_.finish();

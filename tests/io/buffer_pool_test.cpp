@@ -255,7 +255,7 @@ TEST_F(BufferPoolTest, MovedFromGuardIsEmpty) {
   auto b = std::move(a);
   EXPECT_TRUE(a.empty());
   EXPECT_FALSE(b.empty());
-  EXPECT_THROW(a.data(), util::IoError);
+  EXPECT_THROW(static_cast<void>(a.data()), util::IoError);
 }
 
 TEST_F(BufferPoolTest, GuardsFromTwoFilesAreIndependent) {

@@ -154,6 +154,40 @@ TYPED_TEST(BackingStoreContract, DoubleOpenSharesId) {
   store.close(b);
 }
 
+TYPED_TEST(BackingStoreContract, ReadvScattersContiguousBytesInOrder) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("0123456789abcdef"));
+  std::vector<std::byte> a(4), b(6);
+  std::vector<std::span<std::byte>> parts{a, b};
+  EXPECT_EQ(store.readv(id, 2, parts), 10u);
+  EXPECT_EQ(to_string(a, 4), "2345");
+  EXPECT_EQ(to_string(b, 6), "6789ab");
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, ReadvShortAtEof) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("abcdef"));
+  std::vector<std::byte> a(4), b(4);
+  std::vector<std::span<std::byte>> parts{a, b};
+  EXPECT_EQ(store.readv(id, 0, parts), 6u);  // short: only 6 bytes exist
+  EXPECT_EQ(to_string(a, 4), "abcd");
+  EXPECT_EQ(to_string(b, 2), "ef");
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, ReadvPastEofReturnsZero) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("abc"));
+  std::vector<std::byte> a(4);
+  std::vector<std::span<std::byte>> parts{a};
+  EXPECT_EQ(store.readv(id, 100, parts), 0u);
+  store.close(id);
+}
+
 TYPED_TEST(BackingStoreContract, OperationsOnClosedIdFail) {
   auto& store = this->store_;
   const FileId id = store.open("f", true);

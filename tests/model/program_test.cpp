@@ -49,8 +49,8 @@ TEST(ProgramBehavior, RequirementsPartitionTotalTime) {
 
 TEST(ProgramBehavior, RequirementsRejectNonPositiveTime) {
   ProgramBehavior p("p", {WorkingSet{0.3, 0.2, 1.0, 1}});
-  EXPECT_THROW(p.requirements(0.0), util::ConfigError);
-  EXPECT_THROW(p.requirements(-1.0), util::ConfigError);
+  EXPECT_THROW(static_cast<void>(p.requirements(0.0)), util::ConfigError);
+  EXPECT_THROW(static_cast<void>(p.requirements(-1.0)), util::ConfigError);
 }
 
 TEST(ProgramBehavior, NormalizedScalesToUnitTime) {

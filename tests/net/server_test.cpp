@@ -98,8 +98,8 @@ TEST_F(ServerTest, SamplesRecordFileAndTotalTime) {
   MiniWebServer server(fs_);
   server.start();
   HttpClient client(server.port());
-  client.get("/small.jpg");
-  client.post("/up", "data");
+  static_cast<void>(client.get("/small.jpg"));
+  static_cast<void>(client.post("/up", "data"));
   server.stop();
   const auto samples = server.samples();
   ASSERT_EQ(samples.size(), 2u);
@@ -137,7 +137,7 @@ TEST_F(ServerTest, RepeatedReadsGetFasterAfterFirst) {
   server.start();
   server.make_cold();
   HttpClient client(server.port());
-  for (int i = 0; i < 6; ++i) client.get("/mid.jpg");
+  for (int i = 0; i < 6; ++i) static_cast<void>(client.get("/mid.jpg"));
   server.stop();
   const auto samples = server.samples();
   ASSERT_EQ(samples.size(), 6u);
@@ -209,14 +209,14 @@ TEST_F(ServerTest, MakeColdResetsCaches) {
   MiniWebServer server(fs_);
   server.start();
   HttpClient client(server.port());
-  client.get("/large.jpg");
+  static_cast<void>(client.get("/large.jpg"));
   wait_for_samples(server, 1);
   server.make_cold();
-  client.get("/large.jpg");  // cold again
+  static_cast<void>(client.get("/large.jpg"));  // cold again
   wait_for_samples(server, 2);
   const auto after_cold = fs_.pool().stats();
   EXPECT_GT(after_cold.misses + after_cold.prefetches, 0u);
-  client.get("/large.jpg");  // warm
+  static_cast<void>(client.get("/large.jpg"));  // warm
   wait_for_samples(server, 3);
   server.stop();
   const auto after_warm = fs_.pool().stats();

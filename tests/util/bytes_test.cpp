@@ -43,16 +43,16 @@ TEST(ParseBytes, CaseInsensitiveAndPadded) {
 }
 
 TEST(ParseBytes, RejectsGarbage) {
-  EXPECT_THROW(parse_bytes(""), ParseError);
-  EXPECT_THROW(parse_bytes("abc"), ParseError);
-  EXPECT_THROW(parse_bytes("12XB"), ParseError);
-  EXPECT_THROW(parse_bytes("12 KiB extra"), ParseError);
-  EXPECT_THROW(parse_bytes("-5"), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_bytes("")), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_bytes("abc")), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_bytes("12XB")), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_bytes("12 KiB extra")), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_bytes("-5")), ParseError);
 }
 
 TEST(ParseBytes, RejectsOverflow) {
-  EXPECT_THROW(parse_bytes("99999999999999999999999"), ParseError);
-  EXPECT_THROW(parse_bytes("18446744073709551615KiB"), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_bytes("99999999999999999999999")), ParseError);
+  EXPECT_THROW(static_cast<void>(parse_bytes("18446744073709551615KiB")), ParseError);
 }
 
 TEST(ParseBytes, RoundTripsFormatMultiples) {

@@ -38,7 +38,8 @@ TEST(Fs, FileSizeMatches) {
 
 TEST(Fs, FileSizeMissingThrows) {
   TempDir dir;
-  EXPECT_THROW(clio::util::file_size(dir.file("missing")), IoError);
+  EXPECT_THROW(static_cast<void>(clio::util::file_size(dir.file("missing"))),
+               IoError);
 }
 
 TEST(Fs, EmptyFileRoundTrips) {

@@ -60,8 +60,8 @@ TEST(Percentile, ExtremesReturnMinAndMax) {
 
 TEST(Percentile, RejectsOutOfRangeQ) {
   const std::vector<double> v{1.0};
-  EXPECT_THROW(percentile(v, -0.1), ConfigError);
-  EXPECT_THROW(percentile(v, 1.1), ConfigError);
+  EXPECT_THROW(static_cast<void>(percentile(v, -0.1)), ConfigError);
+  EXPECT_THROW(static_cast<void>(percentile(v, 1.1)), ConfigError);
 }
 
 TEST(Geomean, KnownValues) {
@@ -71,8 +71,8 @@ TEST(Geomean, KnownValues) {
 
 TEST(Geomean, RejectsNonPositive) {
   const std::vector<double> v{1.0, 0.0};
-  EXPECT_THROW(geomean(v), ConfigError);
-  EXPECT_THROW(geomean({}), ConfigError);
+  EXPECT_THROW(static_cast<void>(geomean(v)), ConfigError);
+  EXPECT_THROW(static_cast<void>(geomean({})), ConfigError);
 }
 
 TEST(RunningStats, MatchesBatchSummary) {

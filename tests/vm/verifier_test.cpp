@@ -24,17 +24,20 @@ TEST(Verifier, ComputesMaxStack) {
 
 TEST(Verifier, RejectsStackUnderflow) {
   auto module = assemble_one("add\nret");
-  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+  EXPECT_THROW(static_cast<void>(verify_method(module, module.method(0))),
+               util::VerifyError);
 }
 
 TEST(Verifier, RejectsResidualStackAtRet) {
   auto module = assemble_one("ldc 1\nldc 2\nret");
-  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+  EXPECT_THROW(static_cast<void>(verify_method(module, module.method(0))),
+               util::VerifyError);
 }
 
 TEST(Verifier, RejectsFallingOffTheEnd) {
   auto module = assemble_one("ldc 1\npop");
-  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+  EXPECT_THROW(static_cast<void>(verify_method(module, module.method(0))),
+               util::VerifyError);
 }
 
 TEST(Verifier, RejectsEmptyBody) {
@@ -42,7 +45,8 @@ TEST(Verifier, RejectsEmptyBody) {
   MethodDef m;
   m.name = "empty";
   module.add_method(std::move(m));
-  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+  EXPECT_THROW(static_cast<void>(verify_method(module, module.method(0))),
+               util::VerifyError);
 }
 
 TEST(Verifier, RejectsInconsistentJoinDepth) {
@@ -57,7 +61,8 @@ extra:
   ldc 8
 join:
   ret)");
-  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+  EXPECT_THROW(static_cast<void>(verify_method(module, module.method(0))),
+               util::VerifyError);
 }
 
 TEST(Verifier, AcceptsConsistentDiamond) {
@@ -70,17 +75,19 @@ left:
   ldc 20
 join:
   ret)");
-  EXPECT_NO_THROW(verify_method(module, module.method(0)));
+  EXPECT_NO_THROW(static_cast<void>(verify_method(module, module.method(0))));
 }
 
 TEST(Verifier, RejectsLocalIndexOutOfRange) {
   auto module = assemble_one("ldloc 5\nret");  // only 2 locals
-  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+  EXPECT_THROW(static_cast<void>(verify_method(module, module.method(0))),
+               util::VerifyError);
 }
 
 TEST(Verifier, RejectsArgIndexOutOfRange) {
   auto module = assemble_one("ldarg 0\nret");  // zero args
-  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+  EXPECT_THROW(static_cast<void>(verify_method(module, module.method(0))),
+               util::VerifyError);
 }
 
 TEST(Verifier, RejectsBranchIntoOperandBytes) {
@@ -91,7 +98,8 @@ TEST(Verifier, RejectsBranchIntoOperandBytes) {
   m.code = {static_cast<std::uint8_t>(Op::kBr), 1, 0, 0, 0,
             static_cast<std::uint8_t>(Op::kRet)};
   module.add_method(std::move(m));
-  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+  EXPECT_THROW(static_cast<void>(verify_method(module, module.method(0))),
+               util::VerifyError);
 }
 
 TEST(Verifier, RejectsTruncatedOperand) {
@@ -100,7 +108,8 @@ TEST(Verifier, RejectsTruncatedOperand) {
   m.name = "cut";
   m.code = {static_cast<std::uint8_t>(Op::kLdcI8), 1, 2};  // needs 8 bytes
   module.add_method(std::move(m));
-  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+  EXPECT_THROW(static_cast<void>(verify_method(module, module.method(0))),
+               util::VerifyError);
 }
 
 TEST(Verifier, RejectsUnknownOpcode) {
@@ -109,7 +118,8 @@ TEST(Verifier, RejectsUnknownOpcode) {
   m.name = "junk";
   m.code = {0xee};
   module.add_method(std::move(m));
-  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+  EXPECT_THROW(static_cast<void>(verify_method(module, module.method(0))),
+               util::VerifyError);
 }
 
 TEST(Verifier, RejectsCallArityUnderflow) {
@@ -124,7 +134,8 @@ TEST(Verifier, RejectsCallArityUnderflow) {
 .end
 )";
   auto module = assemble(source);
-  EXPECT_THROW(verify_method(module, module.method(0)), util::VerifyError);
+  EXPECT_THROW(static_cast<void>(verify_method(module, module.method(0))),
+               util::VerifyError);
 }
 
 TEST(Verifier, VerifyModuleStampsMaxStack) {
