@@ -15,12 +15,17 @@
 //                readv gather path (and, in async mode, the background
 //                prefetch workers), reporting pages/s plus the backing
 //                read-batching ratio.
+//   faults     — the miss/evict churn mix run against a FaultStore that
+//                injects EIOs, short reads, torn writes and latency spikes:
+//                the degraded mode.  Reports clean vs degraded throughput,
+//                injected-fault and surfaced-error counts, and checks pool
+//                invariants (debug_validate) after the storm.
 //
 // Each scenario runs at 1/2/4/8 threads and reports aggregate ops/sec plus
 // speedup vs 1 thread, for shards=1 (the pre-sharding structure) and the
 // default 16-way sharding.
 //
-// Usage: micro_bufferpool [all|warm|miss|flush|prefetch]  (default: all)
+// Usage: micro_bufferpool [all|warm|miss|flush|prefetch|faults]  (default: all)
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -30,7 +35,9 @@
 #include <vector>
 
 #include "io/buffer_pool.hpp"
+#include "io/fault_store.hpp"
 #include "io/file_store.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/temp_dir.hpp"
 
@@ -297,6 +304,82 @@ void bench_prefetch_churn(bool async) {
   }
 }
 
+/// Degraded-mode churn: the miss/evict mix with dirty pages and periodic
+/// flushes, against a fault-injecting store.  The interesting numbers are
+/// how much throughput the error paths cost (unwinds, retries, kept-dirty
+/// pages) and that the pool survives the storm with its invariants intact.
+void bench_fault_churn() {
+  constexpr std::uint64_t kOps = 20000;
+  for (const bool degraded : {false, true}) {
+    util::TempDir dir("clio-microbp");
+    io::RealFileStore real(dir.path());
+    io::FaultPlan plan;
+    plan.seed = 0xbadd15c;
+    if (degraded) {
+      plan.fail_prob = {0.01, 0.01, 0.01, 0.01};
+      plan.short_read_prob = 0.01;
+      plan.torn_write_prob = 0.01;
+      plan.torn_granularity = kPageSize;
+      plan.latency_prob = 0.005;
+      plan.latency_us = 30;
+    }
+    io::FaultStore store(real, plan);
+    store.arm(false);
+    const io::FileId file = store.open("data.bin", true);
+    std::vector<std::byte> chunk(kPageSize, std::byte{0x5a});
+    for (std::uint64_t p = 0; p < kFilePages; ++p) {
+      store.write(file, p * kPageSize, chunk);
+    }
+    io::BufferPool pool(store,
+                        io::BufferPoolConfig{.page_size = kPageSize,
+                                             .capacity_pages = 128,
+                                             .shards = 16});
+    store.arm(true);
+    for (int threads : {1, 8}) {
+      store.reset();  // per-iteration fault counters (keeps the same seed)
+      const std::uint64_t span = kFilePages / threads;
+      std::atomic<std::uint64_t> errors{0};
+      const RunResult r = run_threads(threads, kOps, [&](int t) {
+        util::Rng rng(4000 + t);
+        const std::uint64_t lo = t * span;
+        unsigned long long local = 0;
+        for (std::uint64_t i = 0; i < kOps; ++i) {
+          const std::uint64_t page = lo + rng.uniform_u64(span);
+          try {
+            if (i % 4 == 0) {
+              auto g = pool.pin(file, page);
+              g.data()[0] = static_cast<std::byte>(i);
+              g.mark_dirty(kPageSize);
+            } else if (i % 512 == 511) {
+              pool.flush_file(file);
+            } else {
+              auto g = pool.pin(file, page);
+              local += static_cast<unsigned char>(g.data()[0]);
+            }
+          } catch (const util::IoError&) {
+            errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        benchmark_sink = local;
+      });
+      const io::FaultStats fstats = store.stats();
+      std::printf(
+          "faults      %-8s   threads=%d  %12.0f ops/s  "
+          "(%llu injected, %llu surfaced)\n",
+          degraded ? "degraded" : "clean", threads, r.ops_per_sec,
+          static_cast<unsigned long long>(fstats.total_faults()),
+          static_cast<unsigned long long>(errors.load()));
+    }
+    store.arm(false);
+    pool.flush_all();
+    try {
+      pool.debug_validate();
+    } catch (const util::IoError& e) {
+      std::printf("faults      INVARIANT VIOLATION: %s\n", e.what());
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -331,6 +414,11 @@ int main(int argc, char** argv) {
     bench_prefetch_churn(/*async=*/false);
     std::printf("\n-- prefetch churn, async background workers --\n");
     bench_prefetch_churn(/*async=*/true);
+    std::printf("\n");
+  }
+  if (enabled("faults")) {
+    std::printf("-- degraded mode: seeded fault injection --\n");
+    bench_fault_churn();
   }
   return 0;
 }

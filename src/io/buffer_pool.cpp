@@ -300,6 +300,11 @@ std::size_t BufferPool::prefetch_range(FileId file, std::uint64_t first_page,
       std::lock_guard<std::mutex> lock(sh.mutex);
       f.valid_bytes = valid;
       f.io_busy = false;
+      if (k == i) {
+        // Credit the whole gather to the run's first shard; stats() sums.
+        sh.stats.gather_read_calls++;
+        sh.stats.gather_read_pages += j - i;
+      }
       sh.io_cv.notify_all();
     }
     loaded += j - i;
@@ -522,6 +527,7 @@ std::size_t BufferPool::try_evict_from(Shard& sh,
       // and wait, not race a fresh store read against this write.
       f.dirty = false;
       f.io_busy = true;
+      f.io_write = true;
       lru_remove(sh, idx);
       const FileId file = f.file;
       const std::uint64_t offset = f.page_no * config_.page_size;
@@ -536,6 +542,7 @@ std::size_t BufferPool::try_evict_from(Shard& sh,
       }
       lk.lock();
       f.io_busy = false;
+      f.io_write = false;
       if (error) {
         // Failed write-back: keep the page resident and dirty so a later
         // flush or eviction can retry — its data must not be lost just
@@ -624,7 +631,38 @@ void BufferPool::unpin(std::size_t shard, std::size_t frame) {
 
 void BufferPool::collect_dirty(Shard& sh, std::size_t shard_idx, FileId file,
                                bool match_all, std::vector<FlushEntry>& out) {
-  std::lock_guard<std::mutex> lock(sh.mutex);
+  std::unique_lock<std::mutex> lock(sh.mutex);
+  // Wait out in-flight write-backs on matching pages before scanning.  A
+  // dirty page mid-eviction (io_write) or mid-flush (flush_pins) is
+  // invisible to the dirty scan below — both clear `dirty` before their
+  // write runs — but if that write *fails* the page comes back dirty, and
+  // a flush that already returned success would have silently skipped it:
+  // a durability hole the fault-injection harness exposed (stress seed
+  // 1014 for the eviction case; the flush_pins case is its concurrent-
+  // flush twin).  Waiting until the in-flight write settles means every
+  // failed write-back has re-dirtied its page before we scan, so flush
+  // either persists the page or propagates an error — never neither.
+  // Clean loads (io_busy without io_write) are irrelevant to durability
+  // and are NOT waited on, so read storms cannot stall a flush.
+  //
+  // Deadlock-free: every flush collects shards in index order and only
+  // holds flush_pins in shards it has finished collecting, so a flush
+  // waiting here can only be waiting on a flush whose own wait (if any)
+  // is in a strictly higher shard — wait chains cannot cycle.  Eviction
+  // write-backs finish without taking further locks.
+  for (;;) {
+    bool busy = false;
+    for (const auto& [key, idx] : sh.page_table) {
+      if (!match_all && key.file != file) continue;
+      const Frame& f = frames_[idx];
+      if (f.io_write || f.flush_pins > 0) {
+        busy = true;
+        break;
+      }
+    }
+    if (!busy) break;
+    sh.io_cv.wait(lock);
+  }
   for (std::size_t i = sh.lru_head; i != kNoFrame; i = frames_[i].lru_next) {
     Frame& f = frames_[i];
     if (!f.in_use || !f.dirty || f.io_busy) continue;
@@ -659,20 +697,25 @@ void BufferPool::write_back_coalesced(std::vector<FlushEntry>& entries) {
     }
     try {
       const std::uint64_t offset = entries[i].page_no * config_.page_size;
-      if (j - i == 1) {
-        const FlushEntry& e = entries[i];
-        store_.write(e.file, offset,
-                     std::span<const std::byte>(frames_[e.frame].data.data(),
-                                                e.valid_bytes));
-      } else {
-        parts.clear();
-        for (std::size_t k = i; k < j; ++k) {
-          const FlushEntry& e = entries[k];
-          parts.emplace_back(frames_[e.frame].data.data(), e.valid_bytes);
-        }
-        store_.writev(entries[i].file, offset, parts);
+      // Single-page runs go through writev too (one-part gather): every
+      // flush backing call is then the same op class, so the coalescing
+      // ratio computed from vectored-op stats (PoolStats here, IoStats at
+      // the managed level) covers the whole flush path, not just the
+      // multi-page gathers.
+      parts.clear();
+      for (std::size_t k = i; k < j; ++k) {
+        const FlushEntry& e = entries[k];
+        parts.emplace_back(frames_[e.frame].data.data(), e.valid_bytes);
       }
+      store_.writev(entries[i].file, offset, parts);
       for (std::size_t k = i; k < j; ++k) written[k] = true;
+      {
+        // Credit the backing call to the run's first shard; stats() sums.
+        Shard& sh = shards_[entries[i].shard];
+        std::lock_guard<std::mutex> lock(sh.mutex);
+        sh.stats.flush_write_calls++;
+        sh.stats.flush_write_pages += j - i;
+      }
     } catch (...) {
       error = std::current_exception();
     }
@@ -768,17 +811,113 @@ void BufferPool::discard_file(FileId file) {
   }
 }
 
+namespace {
+
+void add_shard_stats(PoolStats& total, const PoolStats& s) {
+  total.hits += s.hits;
+  total.misses += s.misses;
+  total.evictions += s.evictions;
+  total.writebacks += s.writebacks;
+  total.prefetches += s.prefetches;
+  total.flush_write_calls += s.flush_write_calls;
+  total.flush_write_pages += s.flush_write_pages;
+  total.gather_read_calls += s.gather_read_calls;
+  total.gather_read_pages += s.gather_read_pages;
+}
+
+}  // namespace
+
 PoolStats BufferPool::stats() const {
   PoolStats total;
   for (const Shard& sh : shards_) {
     std::lock_guard<std::mutex> lock(sh.mutex);
-    total.hits += sh.stats.hits;
-    total.misses += sh.stats.misses;
-    total.evictions += sh.stats.evictions;
-    total.writebacks += sh.stats.writebacks;
-    total.prefetches += sh.stats.prefetches;
+    add_shard_stats(total, sh.stats);
   }
   return total;
+}
+
+void BufferPool::debug_validate(bool expect_unpinned) const {
+  const auto fail = [](const std::string& what) {
+    throw IoError("BufferPool::debug_validate: " + what);
+  };
+  // All shard locks (index order), then the free-list lock — the same
+  // shard-before-free order every other path uses, so this cannot deadlock
+  // against concurrent stragglers while it waits for quiescence.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const Shard& sh : shards_) locks.emplace_back(sh.mutex);
+  std::lock_guard<std::mutex> free_lock(free_mutex_);
+
+  std::vector<char> seen(frames_.size(), 0);  // reachable via some LRU list
+  PoolStats total;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& sh = shards_[s];
+    // Walk the LRU forward, checking link symmetry and per-frame state.
+    std::size_t count = 0;
+    std::size_t prev = kNoFrame;
+    for (std::size_t idx = sh.lru_head; idx != kNoFrame;
+         idx = frames_[idx].lru_next) {
+      if (idx >= frames_.size()) fail("LRU link out of range");
+      if (++count > frames_.size()) fail("LRU list contains a cycle");
+      const Frame& f = frames_[idx];
+      if (f.lru_prev != prev) fail("LRU back-link mismatch");
+      if (!f.in_use) fail("LRU frame not in_use");
+      if (seen[idx] != 0) fail("frame linked into two LRU lists");
+      seen[idx] = 1;
+      const PageKey key{f.file, f.page_no};
+      if (shard_of(key) != s) fail("frame resident in the wrong shard");
+      const auto it = sh.page_table.find(key);
+      if (it == sh.page_table.end()) fail("LRU frame missing from page table");
+      if (it->second != idx) fail("page table maps key to a different frame");
+      if (f.io_busy) fail("leaked io_busy latch on a quiescent pool");
+      if (f.io_write) fail("leaked io_write flag on a quiescent pool");
+      if (f.flush_pins != 0) fail("leaked flush_pin on a quiescent pool");
+      if (expect_unpinned && f.pins != 0) fail("leaked PageGuard pin");
+      if (f.data.size() != config_.page_size) fail("frame buffer not sized");
+      if (f.valid_bytes > config_.page_size) fail("valid_bytes > page_size");
+      prev = idx;
+    }
+    if (prev != sh.lru_tail) fail("LRU tail does not terminate the list");
+    // At quiescence no frame is detached mid-eviction, so the page table
+    // and the LRU list must index exactly the same frames.
+    if (count != sh.page_table.size()) {
+      fail("page table entry not linked into the LRU");
+    }
+    add_shard_stats(total, sh.stats);
+  }
+  // Global frame accounting: every frame is either reachable through
+  // exactly one LRU list (checked above) or parked on the free list.
+  std::size_t resident = 0;
+  for (std::size_t idx = 0; idx < frames_.size(); ++idx) {
+    if (frames_[idx].in_use) {
+      resident++;
+      if (seen[idx] == 0) fail("in_use frame unreachable from any LRU");
+    } else if (seen[idx] != 0) {
+      fail("free frame linked into an LRU");
+    }
+  }
+  std::vector<char> freed(frames_.size(), 0);
+  for (const std::size_t idx : free_frames_) {
+    if (idx >= frames_.size()) fail("free-list index out of range");
+    if (frames_[idx].in_use) fail("in_use frame on the free list");
+    if (freed[idx] != 0) fail("frame on the free list twice");
+    freed[idx] = 1;
+  }
+  if (resident + free_frames_.size() != config_.capacity_pages) {
+    fail("frames leaked: resident + free != capacity");
+  }
+  // Stats consistency.  Every resident or evicted page came from a
+  // successful load, and every load was counted as a miss or a prefetch
+  // (failed misses still count as misses, so this is an inequality).
+  if (resident + total.evictions > total.misses + total.prefetches) {
+    fail("stats: more residents+evictions than counted loads");
+  }
+  if (total.flush_write_pages > total.writebacks) {
+    fail("stats: flush wrote more pages than writebacks counted");
+  }
+  if (total.gather_read_pages > total.prefetches) {
+    fail("stats: gathers loaded more pages than prefetches counted");
+  }
 }
 
 std::size_t BufferPool::resident_pages() const {

@@ -53,6 +53,17 @@ struct PoolStats {
   std::uint64_t evictions = 0;
   std::uint64_t writebacks = 0;
   std::uint64_t prefetches = 0;  ///< pages loaded by prefetch (not in misses)
+  // Vectored-transfer accounting: how many backing calls the coalesced
+  // paths issued and how many pages rode them, so batching ratios
+  // (pages / call) are observable from stats instead of only from bench
+  // counters.  flush_write_* covers every flush_file/flush_all backing
+  // call (all runs go out as writev, single-page runs as a one-part
+  // gather); gather_read_* covers prefetch_range readv gathers.  Eviction
+  // write-backs are never coalesced and count only in `writebacks`.
+  std::uint64_t flush_write_calls = 0;
+  std::uint64_t flush_write_pages = 0;
+  std::uint64_t gather_read_calls = 0;
+  std::uint64_t gather_read_pages = 0;
 };
 
 /// Key of a cached page and its hash.  The hash feeds both the per-shard
@@ -202,6 +213,21 @@ class BufferPool {
   /// store's size extended by any dirty page not yet written back.
   [[nodiscard]] std::uint64_t logical_file_size(FileId file) const;
 
+  /// Exhaustively checks the pool's internal invariants, throwing
+  /// util::IoError with a description of the first violation found:
+  /// frame accounting (every frame is free xor resident in exactly one
+  /// shard's page table), LRU integrity (links consistent, every resident
+  /// frame reachable), no leaked io_busy latches or flush_pins, per-frame
+  /// sanity (valid_bytes <= page_size, buffers sized), and stats
+  /// consistency.  Requires quiescence: no other thread may be using the
+  /// pool, and callers of async prefetch should drain_prefetches() first
+  /// so no background gather is mid-flight.  With `expect_unpinned` (the
+  /// default) any surviving
+  /// PageGuard pin is reported too — pass false while guards are live.
+  /// This is the stress harness's post-run oracle; it is cheap enough to
+  /// call after every test.
+  void debug_validate(bool expect_unpinned = true) const;
+
   [[nodiscard]] PoolStats stats() const;
   [[nodiscard]] std::size_t page_size() const { return config_.page_size; }
   [[nodiscard]] std::size_t capacity_pages() const {
@@ -230,6 +256,11 @@ class BufferPool {
     /// Set while a miss load or eviction write-back runs outside the shard
     /// lock; such frames are skipped by eviction and waited on by faulters.
     bool io_busy = false;
+    /// Refines io_busy: set only while an eviction *write-back* is in
+    /// flight.  Flush waits on this (a failed write-back re-dirties the
+    /// page, which flush must then pick up) but not on plain io_busy, so
+    /// a stream of clean demand loads cannot stall a flush.
+    bool io_write = false;
     // Intrusive LRU links (indices into the shard's frame vector): no
     // allocator traffic on touch, unlike the former std::list.
     std::size_t lru_prev = kNoFrame;
@@ -307,7 +338,7 @@ class BufferPool {
   std::vector<Shard> shards_;
   std::vector<Frame> frames_;  ///< all capacity_pages frames, shard-agnostic
   std::vector<std::size_t> free_frames_;
-  std::mutex free_mutex_;
+  mutable std::mutex free_mutex_;  ///< mutable: debug_validate() is const
   /// Furthest byte ever dirtied per file; only grows, erased on discard.
   std::unordered_map<FileId, std::uint64_t> dirty_extent_;
   mutable std::mutex extent_mutex_;

@@ -19,6 +19,10 @@ std::string_view io_op_name(IoOp op) {
       return "write";
     case IoOp::kSeek:
       return "seek";
+    case IoOp::kReadv:
+      return "readv";
+    case IoOp::kWritev:
+      return "writev";
   }
   return "?";
 }
@@ -51,6 +55,11 @@ const util::RunningStats& IoStats::op_stats(IoOp op) const {
 
 const util::LatencyHistogram& IoStats::op_histogram(IoOp op) const {
   return histograms_.at(static_cast<std::size_t>(op));
+}
+
+std::uint64_t IoStats::op_bytes(IoOp op) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_.at(static_cast<std::size_t>(op));
 }
 
 double IoStats::total_ms() const {

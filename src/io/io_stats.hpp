@@ -12,17 +12,26 @@
 
 namespace clio::io {
 
-/// I/O operation classes.  The numeric values match the UMD trace format the
-/// paper uses (Open=0, Close=1, Read=2, Write=3, Seek=4).
+/// I/O operation classes.  The numeric values of the first five match the
+/// UMD trace format the paper uses (Open=0, Close=1, Read=2, Write=3,
+/// Seek=4); the vectored classes are internal — they account the backing
+/// gather/scatter calls the buffer pool's coalesced flush and prefetch
+/// paths issue, so batching ratios are observable from IoStats.  Traces
+/// never carry them (see kIoTraceOpCount).
 enum class IoOp : std::uint8_t {
   kOpen = 0,
   kClose = 1,
   kRead = 2,
   kWrite = 3,
   kSeek = 4,
+  kReadv = 5,   ///< coalesced backing gather read (pool-internal)
+  kWritev = 6,  ///< coalesced backing gather write (pool-internal)
 };
 
-inline constexpr std::size_t kIoOpCount = 5;
+/// Op codes a UMD trace record may carry (kOpen..kSeek).
+inline constexpr std::size_t kIoTraceOpCount = 5;
+/// All op classes IoStats accounts, including the vectored internals.
+inline constexpr std::size_t kIoOpCount = 7;
 
 [[nodiscard]] std::string_view io_op_name(IoOp op);
 
@@ -54,6 +63,12 @@ class IoStats {
 
   [[nodiscard]] const util::RunningStats& op_stats(IoOp op) const;
   [[nodiscard]] const util::LatencyHistogram& op_histogram(IoOp op) const;
+
+  /// Total bytes recorded against one op class.  With the vectored classes
+  /// this is what makes coalescing ratios observable from stats alone:
+  /// op_bytes(kWritev) / (op_stats(kWritev).count() * page_size) is the
+  /// pages-per-backing-call ratio of the flush path.
+  [[nodiscard]] std::uint64_t op_bytes(IoOp op) const;
   [[nodiscard]] const std::vector<OpRecord>& records() const {
     return records_;
   }

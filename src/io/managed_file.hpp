@@ -73,12 +73,19 @@ class ManagedFileSystem {
 
   [[nodiscard]] BufferPoolConfig pool_config() const;
 
+  // Declaration order is destruction-critical: the pool's destructor
+  // flushes through pool_store_ into stats_, so both must outlive pool_
+  // (i.e. be declared before it).
   std::unique_ptr<BackingStore> store_;
   ManagedFsOptions options_;
+  IoStats stats_;  ///< internally synchronized
+  /// The store the pool actually talks to: `store_` wrapped in a decorator
+  /// that times every vectored backing call into stats_ (IoOp::kReadv /
+  /// kWritev), so coalescing ratios show up in the op table.
+  std::unique_ptr<BackingStore> pool_store_;
   std::unique_ptr<BufferPool> pool_;
   SequentialPrefetcher prefetcher_;
   std::mutex prefetcher_mutex_;
-  IoStats stats_;  ///< internally synchronized
 };
 
 /// A position-tracking stream over one file, in the style of .NET

@@ -24,7 +24,7 @@ void validate(const TraceFile& trace) {
   std::size_t index = 0;
   for (const auto& r : trace.records) {
     util::check<ParseError>(
-        static_cast<std::uint8_t>(r.op) < io::kIoOpCount,
+        static_cast<std::uint8_t>(r.op) < io::kIoTraceOpCount,
         util::cat("trace: bad op code at record ", index));
     util::check<ParseError>(r.count >= 1,
                             util::cat("trace: zero count at record ", index));

@@ -96,6 +96,11 @@ ReplayResult TraceReplayer::replay(const TraceFile& trace) {
           ms = w.elapsed_ms();
           break;
         }
+        case TraceOp::kReadv:
+        case TraceOp::kWritev:
+          // Vectored classes are pool-internal accounting, never trace
+          // records; validate() rejects them (kIoTraceOpCount).
+          break;
       }
       result.per_op[static_cast<std::size_t>(r.op)].push(ms);
       if (options_.keep_rows) {

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "util/error.hpp"
 #include "util/temp_dir.hpp"
@@ -194,6 +197,217 @@ TYPED_TEST(BackingStoreContract, OperationsOnClosedIdFail) {
   store.close(id);
   std::vector<std::byte> buf(1);
   EXPECT_THROW(store.read(id, 0, buf), util::IoError);
+}
+
+TYPED_TEST(BackingStoreContract, ReadvWithEmptyVectorReturnsZero) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("abc"));
+  EXPECT_EQ(store.readv(id, 0, {}), 0u);
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, ReadvZeroLengthPartsDoNotStopTheScatter) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("01234567"));
+  std::vector<std::byte> a(4), c(4);
+  std::span<std::byte> empty;
+  // An empty part in the middle contributes zero bytes but must not be
+  // mistaken for a short read that ends the scatter.
+  std::vector<std::span<std::byte>> parts{a, empty, c};
+  EXPECT_EQ(store.readv(id, 0, parts), 8u);
+  EXPECT_EQ(to_string(a, 4), "0123");
+  EXPECT_EQ(to_string(c, 4), "4567");
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, ReadvPartEndingExactlyAtEof) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("abcdef"));
+  std::vector<std::byte> a(6), b(4, std::byte{'?'});
+  std::vector<std::span<std::byte>> parts{a, b};
+  // The first part consumes the whole file; the second sees clean EOF.
+  EXPECT_EQ(store.readv(id, 0, parts), 6u);
+  EXPECT_EQ(to_string(a, 6), "abcdef");
+  EXPECT_EQ(static_cast<char>(b[0]), '?');  // untouched
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, ReadvStraddlingEofStopsMidPart) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("0123456789"));
+  std::vector<std::byte> a(4), b(4), c(4, std::byte{'?'});
+  std::vector<std::span<std::byte>> parts{a, b, c};
+  // Offset 4: six bytes remain — part a fills, part b fills half, part c
+  // is never reached.
+  EXPECT_EQ(store.readv(id, 4, parts), 6u);
+  EXPECT_EQ(to_string(a, 4), "4567");
+  EXPECT_EQ(to_string(b, 2), "89");
+  EXPECT_EQ(static_cast<char>(c[0]), '?');
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, WritevGathersPartsContiguously) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  const std::string a = "head", b = "-", c = "tail";
+  std::vector<std::span<const std::byte>> parts{as_bytes(a), as_bytes(b),
+                                                as_bytes(c)};
+  store.writev(id, 2, parts);
+  EXPECT_EQ(store.size(id), 11u);  // 2-byte hole + 9 payload bytes
+  std::vector<std::byte> buf(11);
+  EXPECT_EQ(store.read(id, 0, buf), 11u);
+  EXPECT_EQ(to_string(buf, 11).substr(2), "head-tail");
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, WritevSkipsZeroLengthParts) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  const std::string a = "aa", c = "cc";
+  std::span<const std::byte> empty;
+  std::vector<std::span<const std::byte>> parts{as_bytes(a), empty,
+                                                as_bytes(c)};
+  store.writev(id, 0, parts);
+  EXPECT_EQ(store.size(id), 4u);
+  std::vector<std::byte> buf(4);
+  store.read(id, 0, buf);
+  EXPECT_EQ(to_string(buf, 4), "aacc");
+  store.close(id);
+}
+
+TYPED_TEST(BackingStoreContract, WritevWithEmptyVectorIsANoOp) {
+  auto& store = this->store_;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("keep"));
+  store.writev(id, 2, {});
+  EXPECT_EQ(store.size(id), 4u);
+  std::vector<std::byte> buf(4);
+  store.read(id, 0, buf);
+  EXPECT_EQ(to_string(buf, 4), "keep");
+  store.close(id);
+}
+
+// ------------------------------------------------- base-class fallbacks ----
+
+/// Implements only the pure-virtual surface, so readv/writev run the
+/// BackingStore base-class per-part fallbacks.  Counts scalar calls to
+/// prove the fallback decomposition.
+class MinimalStore final : public BackingStore {
+ public:
+  FileId open(const std::string& name, bool create) override {
+    if (auto it = by_name_.find(name); it != by_name_.end()) return it->second;
+    util::check<util::IoError>(create, "MinimalStore: no such file");
+    const auto id = static_cast<FileId>(files_.size());
+    files_.emplace_back();
+    by_name_.emplace(name, id);
+    return id;
+  }
+  void close(FileId) override {}
+  [[nodiscard]] std::uint64_t size(FileId id) const override {
+    return files_.at(id).size();
+  }
+  void truncate(FileId id, std::uint64_t n) override { files_.at(id).resize(n); }
+  std::size_t read(FileId id, std::uint64_t offset,
+                   std::span<std::byte> out) override {
+    read_calls++;
+    const auto& data = files_.at(id);
+    if (offset >= data.size()) return 0;
+    const std::size_t n =
+        std::min<std::size_t>(out.size(), data.size() - offset);
+    std::memcpy(out.data(), data.data() + offset, n);
+    return n;
+  }
+  void write(FileId id, std::uint64_t offset,
+             std::span<const std::byte> data) override {
+    write_calls++;
+    auto& file = files_.at(id);
+    if (offset + data.size() > file.size()) file.resize(offset + data.size());
+    std::memcpy(file.data() + offset, data.data(), data.size());
+  }
+  [[nodiscard]] bool exists(const std::string& name) const override {
+    return by_name_.contains(name);
+  }
+  [[nodiscard]] FileId lookup(const std::string& name) const override {
+    const auto it = by_name_.find(name);
+    return it == by_name_.end() ? kInvalidFile : it->second;
+  }
+  void remove(const std::string& name) override { by_name_.erase(name); }
+
+  std::uint64_t read_calls = 0;
+  std::uint64_t write_calls = 0;
+
+ private:
+  std::vector<std::vector<std::byte>> files_;
+  std::unordered_map<std::string, FileId> by_name_;
+};
+
+TEST(BackingStoreFallback, WritevFallsBackToOneWritePerPart) {
+  MinimalStore store;
+  const FileId id = store.open("f", true);
+  const std::string a = "12", b = "34", c = "56";
+  std::vector<std::span<const std::byte>> parts{as_bytes(a), as_bytes(b),
+                                                as_bytes(c)};
+  store.writev(id, 0, parts);
+  EXPECT_EQ(store.write_calls, 3u);
+  std::vector<std::byte> buf(6);
+  EXPECT_EQ(store.read(id, 0, buf), 6u);
+  EXPECT_EQ(to_string(buf, 6), "123456");
+}
+
+TEST(BackingStoreFallback, ReadvFallsBackToOneReadPerPart) {
+  MinimalStore store;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("abcdefgh"));
+  store.read_calls = 0;
+  std::vector<std::byte> a(3), b(3), c(2);
+  std::vector<std::span<std::byte>> parts{a, b, c};
+  EXPECT_EQ(store.readv(id, 0, parts), 8u);
+  EXPECT_EQ(store.read_calls, 3u);
+  EXPECT_EQ(to_string(a, 3), "abc");
+  EXPECT_EQ(to_string(b, 3), "def");
+  EXPECT_EQ(to_string(c, 2), "gh");
+}
+
+TEST(BackingStoreFallback, ReadvFallbackStopsAtTheFirstShortRead) {
+  MinimalStore store;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("abcde"));
+  store.read_calls = 0;
+  std::vector<std::byte> a(4), b(4), c(4, std::byte{'?'});
+  std::vector<std::span<std::byte>> parts{a, b, c};
+  // Part b comes back short (1 of 4 bytes): the fallback must stop there
+  // and never issue the read for part c.
+  EXPECT_EQ(store.readv(id, 0, parts), 5u);
+  EXPECT_EQ(store.read_calls, 2u);
+  EXPECT_EQ(static_cast<char>(c[0]), '?');
+}
+
+TEST(BackingStoreFallback, ReadvFallbackTreatsZeroLengthPartsAsProgress) {
+  MinimalStore store;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("wxyz"));
+  store.read_calls = 0;
+  std::vector<std::byte> a(2), c(2);
+  std::span<std::byte> empty;
+  // A zero-length part reads zero bytes, which must not register as a
+  // short read that ends the scatter early.
+  std::vector<std::span<std::byte>> parts{a, empty, c};
+  EXPECT_EQ(store.readv(id, 0, parts), 4u);
+  EXPECT_EQ(to_string(a, 2), "wx");
+  EXPECT_EQ(to_string(c, 2), "yz");
+}
+
+TEST(BackingStoreFallback, ReadvFallbackPastEofReturnsZero) {
+  MinimalStore store;
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("abc"));
+  std::vector<std::byte> a(4);
+  std::vector<std::span<std::byte>> parts{a};
+  EXPECT_EQ(store.readv(id, 100, parts), 0u);
 }
 
 TEST(RealFileStore, RefusesNestedNames) {

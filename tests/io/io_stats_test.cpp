@@ -18,6 +18,32 @@ TEST(IoStats, OpNamesMatchTraceEncoding) {
   EXPECT_EQ(static_cast<int>(IoOp::kRead), 2);
   EXPECT_EQ(static_cast<int>(IoOp::kWrite), 3);
   EXPECT_EQ(static_cast<int>(IoOp::kSeek), 4);
+  // The vectored classes extend the enum past the trace set; traces may
+  // only carry ops below kIoTraceOpCount.
+  EXPECT_EQ(io_op_name(IoOp::kReadv), "readv");
+  EXPECT_EQ(io_op_name(IoOp::kWritev), "writev");
+  EXPECT_EQ(static_cast<int>(IoOp::kReadv), 5);
+  EXPECT_EQ(static_cast<int>(IoOp::kWritev), 6);
+  EXPECT_EQ(kIoTraceOpCount, 5u);
+  EXPECT_EQ(kIoOpCount, 7u);
+}
+
+TEST(IoStats, VectoredOpsRecordCallsAndBytes) {
+  IoStats stats;
+  stats.record(IoOp::kReadv, 16 * 4096, 2.0);
+  stats.record(IoOp::kReadv, 4 * 4096, 1.0);
+  stats.record(IoOp::kWritev, 64 * 4096, 3.0);
+  EXPECT_EQ(stats.op_stats(IoOp::kReadv).count(), 2u);
+  EXPECT_EQ(stats.op_bytes(IoOp::kReadv), 20 * 4096u);
+  EXPECT_EQ(stats.op_stats(IoOp::kWritev).count(), 1u);
+  EXPECT_EQ(stats.op_bytes(IoOp::kWritev), 64 * 4096u);
+  // The coalescing ratio falls straight out of the two numbers.
+  EXPECT_DOUBLE_EQ(static_cast<double>(stats.op_bytes(IoOp::kWritev)) /
+                       (stats.op_stats(IoOp::kWritev).count() * 4096.0),
+                   64.0);
+  // Backing-level vectored bytes do not double into the user-level total
+  // (which sums managed kRead + kWrite only).
+  EXPECT_EQ(stats.total_bytes(), 0u);
 }
 
 TEST(IoStats, RecordsPerOpClass) {

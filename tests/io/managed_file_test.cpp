@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 
+#include "io/fault_store.hpp"
 #include "util/error.hpp"
 #include "util/fs.hpp"
 #include "util/temp_dir.hpp"
@@ -285,6 +286,69 @@ TEST_F(ManagedFileTest, RemoveDeletesClosedFile) {
   EXPECT_TRUE(fs_->exists("rm.bin"));
   fs_->remove("rm.bin");
   EXPECT_FALSE(fs_->exists("rm.bin"));
+}
+
+TEST_F(ManagedFileTest, VectoredBackingOpsAreObservableFromIoStats) {
+  // The coalescing ratio used to be visible only in bench output; now the
+  // backing gathers are recorded as IoOp::kWritev / kReadv in IoStats.
+  {
+    auto f = fs_->open("vec.bin", OpenMode::kCreate);
+    f.write(as_bytes(std::string(16 * 256, 'v')));
+  }  // close flushes: 16 adjacent dirty pages coalesce into one writev
+  const IoStats& stats = fs_->stats();
+  EXPECT_EQ(stats.op_stats(IoOp::kWritev).count(), 1u);
+  EXPECT_EQ(stats.op_bytes(IoOp::kWritev), 16 * 256u);
+  // The same numbers are visible pool-side; the two layers must agree.
+  const PoolStats pool_stats = fs_->pool().stats();
+  EXPECT_EQ(pool_stats.flush_write_calls, 1u);
+  EXPECT_EQ(pool_stats.flush_write_pages, 16u);
+
+  fs_->drop_caches();  // resets the pool (stats start fresh)
+  auto f = fs_->open("vec.bin", OpenMode::kRead);
+  std::vector<std::byte> page(256);
+  for (int p = 0; p < 16; ++p) f.read_exact(page);
+  fs_->pool().drain_prefetches();
+  // Sequential reads established a streak and the readahead went out as
+  // readv gathers; stats bytes must equal the pool's gathered pages.
+  const std::uint64_t readv_calls = stats.op_stats(IoOp::kReadv).count();
+  EXPECT_GE(readv_calls, 1u);
+  EXPECT_EQ(stats.op_bytes(IoOp::kReadv),
+            fs_->pool().stats().gather_read_pages * 256u);
+  // Batching: strictly fewer backing calls than pages moved through them.
+  EXPECT_LT(readv_calls, fs_->pool().stats().gather_read_pages);
+}
+
+TEST_F(ManagedFileTest, AsyncCloseDrainsDespiteInjectedWorkerFailures) {
+  // A failing backing store must not wedge the drain that close() performs:
+  // background readahead errors are swallowed, the demand path reports.
+  auto owned = std::make_unique<FaultStore>(
+      std::make_unique<RealFileStore>(dir_.path()));
+  FaultStore* faults = owned.get();
+  ManagedFsOptions options;
+  options.page_size = 256;
+  options.pool_pages = 16;
+  options.async_prefetch = true;
+  options.prefetch_threads = 2;
+  ManagedFileSystem fs(std::move(owned), options);
+  {
+    auto f = fs.open("drain.bin", OpenMode::kCreate);
+    f.write(as_bytes(std::string(12 * 256, 'x')));
+  }
+  fs.drop_caches();
+  auto f = fs.open("drain.bin", OpenMode::kRead);
+  std::vector<std::byte> page(256);
+  for (int p = 0; p < 3; ++p) f.read_exact(page);  // streak -> async hints
+  // Every backing gather the workers issue from here on fails.
+  faults->fail_next(FaultOp::kReadv, 1000);
+  for (int p = 3; p < 6; ++p) f.read_exact(page);  // more hints enqueued
+  f.close();  // must drain the failing readahead queue and return
+  faults->fail_next(FaultOp::kReadv, 0);
+  // The file reads back intact afterwards.
+  auto g = fs.open("drain.bin", OpenMode::kRead);
+  for (int p = 0; p < 12; ++p) {
+    g.read_exact(page);
+    EXPECT_EQ(static_cast<char>(page[0]), 'x') << p;
+  }
 }
 
 TEST_F(ManagedFileTest, WorksOverSimStoreToo) {

@@ -131,6 +131,10 @@ TEST(PrefetchReadv, SequentialWindowIssuesOneGatherRead) {
   // not one backing read per page, the pre-coalescing behaviour.
   EXPECT_EQ(store.readv_calls, 1u);
   EXPECT_EQ(store.read_calls, 0u);
+  // The batching ratio is observable from PoolStats alone now, not just
+  // from instrumented test stores: 16 pages over 1 backing call.
+  EXPECT_EQ(pool.stats().gather_read_calls, 1u);
+  EXPECT_EQ(pool.stats().gather_read_pages, kWindow);
   EXPECT_EQ(pool.resident_pages(), kWindow);
   EXPECT_EQ(pool.stats().prefetches, kWindow);
   for (std::uint64_t p = 0; p < kWindow; ++p) {
@@ -165,6 +169,8 @@ TEST(PrefetchReadv, CoalesceLimitBoundsRunLength) {
                                           .coalesce_pages = 4});
   EXPECT_EQ(pool.prefetch_range(file, 0, 16), 16u);
   EXPECT_EQ(store.readv_calls, 4u);  // 16 pages / 4 per gather
+  EXPECT_EQ(pool.stats().gather_read_calls, 4u);
+  EXPECT_EQ(pool.stats().gather_read_pages, 16u);
 }
 
 // ---------------------------------------------------------- EOF clamps ----
@@ -215,6 +221,7 @@ TEST(PrefetchReadv, FailedGatherLeavesNoHalfValidFramesResident) {
   EXPECT_EQ(pool.resident_pages(), 0u);
   // Stats stay exact: nothing was loaded, so nothing counts as prefetched.
   EXPECT_EQ(pool.stats().prefetches, 0u);
+  pool.debug_validate();  // the unwind left no leaked latch or frame
   // The frames were returned to the pool: a retry loads everything fresh.
   EXPECT_EQ(pool.prefetch_range(file, 0, 8), 8u);
   EXPECT_EQ(pool.stats().prefetches, 8u);
@@ -359,6 +366,77 @@ TEST(AsyncPrefetch, BackgroundFailureIsSwallowedAndLeavesPoolClean) {
   // The reader sees the file normally afterwards.
   auto g = pool.pin(file, 0);
   EXPECT_EQ(static_cast<char>(g.data()[0]), 'a');
+}
+
+TEST(AsyncPrefetch, FlushStillDrainsWhenEveryWorkerGatherFails) {
+  CountingReadStore store;
+  const FileId file = make_file(store, 256, 32);
+  BufferPool pool(store, BufferPoolConfig{.page_size = 256,
+                                          .capacity_pages = 64,
+                                          .shards = 4,
+                                          .async_prefetch = true,
+                                          .prefetch_threads = 2});
+  // Dirty a page, then queue readahead that will all fail in the workers.
+  {
+    auto g = pool.pin(file, 0);
+    g.data()[0] = static_cast<std::byte>('W');
+    g.mark_dirty(256);
+  }
+  store.fail_reads = 1000;
+  for (std::uint64_t p = 0; p < 32; p += 8) {
+    static_cast<void>(pool.prefetch_range_async(file, p, 8));
+  }
+  // flush_file must drain the failing queue (bounded, no hang) and still
+  // persist the dirty page; background failures never surface here.
+  pool.flush_file(file);
+  store.fail_reads = 0;
+  std::vector<std::byte> b(1);
+  store.read(file, 0, b);
+  EXPECT_EQ(static_cast<char>(b[0]), 'W');
+  pool.debug_validate();
+}
+
+TEST(AsyncPrefetch, FailedBackgroundReadLeavesPageColdAndDemandReports) {
+  CountingReadStore store;
+  const FileId file = make_file(store, 256, 8);
+  BufferPool pool(store, BufferPoolConfig{.page_size = 256,
+                                          .capacity_pages = 32,
+                                          .shards = 4,
+                                          .async_prefetch = true,
+                                          .prefetch_threads = 1});
+  // First failure hits the worker's gather: swallowed, pages stay cold —
+  // never half-valid.
+  store.fail_reads = 2;
+  static_cast<void>(pool.prefetch_range_async(file, 0, 8));
+  pool.drain_prefetches();
+  for (std::uint64_t p = 0; p < 8; ++p) EXPECT_FALSE(pool.contains(file, p));
+  pool.debug_validate();
+  // Second failure hits the demand fault, which *does* report the error.
+  EXPECT_THROW(static_cast<void>(pool.pin(file, 0)), util::IoError);
+  pool.debug_validate();
+  // With the fault gone the page loads normally — nothing was wedged.
+  auto g = pool.pin(file, 0);
+  EXPECT_EQ(static_cast<char>(g.data()[0]), 'a');
+}
+
+TEST(AsyncPrefetch, DestructorDrainsWithFailingWorkers) {
+  CountingReadStore store;
+  const FileId file = make_file(store, 256, 32);
+  {
+    BufferPool pool(store, BufferPoolConfig{.page_size = 256,
+                                            .capacity_pages = 64,
+                                            .shards = 4,
+                                            .async_prefetch = true,
+                                            .prefetch_threads = 2});
+    store.fail_reads = 1000;
+    for (std::uint64_t p = 0; p < 32; p += 4) {
+      static_cast<void>(pool.prefetch_range_async(file, p, 4));
+    }
+    // Destructor: quiesce workers mid-failure, then best-effort flush.
+    // Must join cleanly — ASan/TSan veto leaked threads or frames.
+  }
+  store.fail_reads = 0;
+  SUCCEED();
 }
 
 TEST(AsyncPrefetch, ConcurrentAsyncPrefetchAndPinsStayCoherent) {

@@ -1,0 +1,349 @@
+#pragma once
+
+// Seeded multi-threaded stress harness for the concurrent I/O path.
+//
+// The harness runs a random pin/dirty/flush/discard/prefetch mix on N
+// threads over one BufferPool whose BackingStore is wrapped in a FaultStore,
+// so every error and unwind path (failed miss loads, torn coalesced
+// flushes, failed eviction write-backs, aborted prefetch gathers, failing
+// async readahead workers) fires under real thread interleavings.  After
+// the run it disarms the faults, flushes cleanly, checks every pool
+// invariant via BufferPool::debug_validate(), and compares the backing
+// bytes of every touched page against a per-thread byte oracle.
+//
+// Every failure string carries the run's seed: re-running the same config
+// with that seed replays the same fault plan.
+//
+// Soundness rules the workload obeys (and why):
+//  - Each thread owns one file and is the only thread that reads or writes
+//    that file's bytes through PageGuards.  Cross-thread contention still
+//    happens where the bugs live — shared shards, the global frame pool,
+//    eviction stealing, async workers — but page bytes are never raced at
+//    the user level, which keeps TSan meaningful and the oracle exact.
+//  - Foreign files are touched only through prefetch_range (no user-level
+//    byte access, no pins), so a thread's discard_file never observes a
+//    foreign pin.
+//  - Writes always fill whole pages with one marker byte, and the fault
+//    plan's torn_granularity equals the page size, so a backing page is
+//    always uniformly one byte — the oracle reasons in single bytes.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/buffer_pool.hpp"
+#include "io/fault_store.hpp"
+#include "io/file_store.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace clio::test_support {
+
+struct StressConfig {
+  std::uint64_t seed = 1;
+  int threads = 8;
+  std::size_t shards = 4;
+  std::size_t page_size = 256;
+  /// Much smaller than threads * pages_per_file so eviction churns.
+  std::size_t capacity_pages = 64;
+  std::size_t pages_per_file = 48;
+  std::uint64_t ops_per_thread = 2000;
+  bool async_prefetch = false;
+  std::size_t prefetch_threads = 2;
+  /// Faults to inject; `seed` and `torn_granularity` are overridden by the
+  /// harness (granularity must equal page_size — see file comment).
+  io::FaultPlan faults{};
+};
+
+struct StressResult {
+  std::uint64_t ops = 0;              ///< pool-level operations attempted
+  std::uint64_t injected_faults = 0;  ///< faults the FaultStore threw
+  std::uint64_t backing_calls = 0;    ///< data ops that reached the store
+  std::uint64_t surfaced_errors = 0;  ///< IoErrors the workload caught
+  std::vector<std::string> failures;  ///< oracle/invariant violations
+
+  [[nodiscard]] bool passed() const { return failures.empty(); }
+};
+
+/// Byte oracle for one thread's file.  Tracks, per page, the set of values
+/// the backing store may legitimately hold given which writes were
+/// provably persisted, which may have been dropped by a discard, and which
+/// are still pending — see the state rules on each method.
+class PageOracle {
+ public:
+  explicit PageOracle(std::size_t pages) : pages_(pages) {}
+
+  /// A full-page write of value `v` went through the pool (pin +
+  /// mark_dirty succeeded).  The pool now holds v; the backing store may
+  /// later hold v (flush or eviction write-back) but also still holds
+  /// whatever it had — hence accumulate, don't replace.
+  void on_write(std::uint64_t page, std::uint8_t v) {
+    Page& p = at(page);
+    p.written = true;
+    p.last = v;
+    p.dirty = true;
+    p.pool_exact = true;
+    p.expect = v;
+    p.acceptable.insert(v);
+  }
+
+  /// flush_file returned without throwing: every dirty page of the file
+  /// was persisted with its current (= last written) bytes, so the backing
+  /// value is now known exactly.  Pages already clean (evicted and written
+  /// back earlier) also hold `last` — eviction persists current content.
+  void on_flush_ok() {
+    for (Page& p : pages_) {
+      if (p.dirty) {
+        p.acceptable.clear();
+        p.acceptable.insert(p.last);
+        p.dirty = false;
+      }
+    }
+  }
+
+  /// discard_file succeeded: pending writes are gone.  A page whose write
+  /// was never provably persisted now reloads from the backing store,
+  /// which holds *some* acceptable value — the pool is no longer exact.
+  void on_discard() {
+    for (Page& p : pages_) {
+      if (p.dirty) {
+        p.dirty = false;
+        p.pool_exact = false;
+      }
+    }
+  }
+
+  /// A pool read of `page` observed `data`.  Checks uniformity and the
+  /// expected value (exact or membership).  After a post-discard read the
+  /// pool and backing agree on the observed value and nothing is pending,
+  /// so the page snaps back to exact.  Returns a failure description or
+  /// empty.
+  std::string check_read(std::uint64_t page,
+                         std::span<const std::byte> data) {
+    Page& p = at(page);
+    const auto b = static_cast<std::uint8_t>(data[0]);
+    for (std::size_t i = 1; i < data.size(); ++i) {
+      if (static_cast<std::uint8_t>(data[i]) != b) {
+        return "page " + std::to_string(page) + " not uniform: byte " +
+               std::to_string(i) + " is " +
+               std::to_string(static_cast<int>(data[i])) + " vs " +
+               std::to_string(b);
+      }
+    }
+    if (p.pool_exact) {
+      if (b != p.expect) {
+        return "page " + std::to_string(page) + " read " +
+               std::to_string(b) + ", expected exactly " +
+               std::to_string(p.expect);
+      }
+      return {};
+    }
+    if (!p.acceptable.contains(b)) {
+      return "page " + std::to_string(page) + " read " + std::to_string(b) +
+             ", not in the acceptable set";
+    }
+    p.pool_exact = true;
+    p.expect = b;
+    p.last = b;
+    p.acceptable.clear();
+    p.acceptable.insert(b);
+    return {};
+  }
+
+  /// Final byte-exact comparison against the backing store, after faults
+  /// were disarmed and a clean flush_all persisted every pending write.
+  void final_check(io::BackingStore& store, io::FileId file,
+                   std::size_t page_size, const std::string& tag,
+                   std::vector<std::string>& failures) const {
+    std::vector<std::byte> buf(page_size);
+    for (std::uint64_t page = 0; page < pages_.size(); ++page) {
+      const Page& p = pages_[page];
+      if (!p.written) continue;
+      std::fill(buf.begin(), buf.end(), std::byte{0});
+      static_cast<void>(store.read(file, page * page_size, buf));
+      const auto b = static_cast<std::uint8_t>(buf[0]);
+      for (std::size_t i = 1; i < buf.size(); ++i) {
+        if (buf[i] != buf[0]) {
+          failures.push_back(tag + ": backing page " + std::to_string(page) +
+                             " not uniform after final flush");
+          break;
+        }
+      }
+      if (p.dirty || p.pool_exact) {
+        // Pending writes were persisted by the final clean flush; exact
+        // pages were already known — either way the value is pinned down.
+        const std::uint8_t want = p.dirty ? p.last : p.expect;
+        if (b != want) {
+          failures.push_back(tag + ": backing page " + std::to_string(page) +
+                             " holds " + std::to_string(b) + ", expected " +
+                             std::to_string(want));
+        }
+      } else if (!p.acceptable.contains(b)) {
+        failures.push_back(tag + ": backing page " + std::to_string(page) +
+                           " holds " + std::to_string(b) +
+                           ", outside the acceptable set");
+      }
+    }
+  }
+
+ private:
+  struct Page {
+    bool written = false;
+    bool dirty = false;       ///< a write may still be unflushed
+    bool pool_exact = true;   ///< pool reads must return `expect`
+    std::uint8_t last = 0;    ///< last value written through the pool
+    std::uint8_t expect = 0;  ///< expected pool byte while pool_exact
+    std::set<std::uint8_t> acceptable{0};  ///< possible backing values
+  };
+
+  Page& at(std::uint64_t page) { return pages_.at(page); }
+
+  std::vector<Page> pages_;
+};
+
+/// Runs one seeded stress round over the given backing store (the store is
+/// wrapped in a FaultStore internally).  The store must be empty/fresh.
+inline StressResult run_stress(io::BackingStore& backing,
+                               const StressConfig& config) {
+  using io::FaultOp;
+
+  StressResult result;
+  io::FaultPlan plan = config.faults;
+  plan.seed = config.seed;
+  plan.torn_granularity = config.page_size;
+  io::FaultStore faults(backing, plan);
+  faults.arm(false);  // setup must not fault
+
+  std::vector<io::FileId> files;
+  files.reserve(static_cast<std::size_t>(config.threads));
+  for (int t = 0; t < config.threads; ++t) {
+    files.push_back(
+        faults.open("stress-" + std::to_string(t) + ".bin", true));
+  }
+
+  io::BufferPool pool(
+      faults, io::BufferPoolConfig{.page_size = config.page_size,
+                                   .capacity_pages = config.capacity_pages,
+                                   .shards = config.shards,
+                                   .async_prefetch = config.async_prefetch,
+                                   .prefetch_threads =
+                                       config.prefetch_threads});
+  faults.arm(true);
+
+  std::mutex failure_mutex;
+  std::vector<std::string> failures;
+  std::atomic<std::uint64_t> surfaced{0};
+  std::vector<PageOracle> oracles(
+      static_cast<std::size_t>(config.threads),
+      PageOracle(config.pages_per_file));
+
+  auto worker = [&](int t) {
+    const std::string tag =
+        "seed=" + std::to_string(config.seed) + " thread=" +
+        std::to_string(t);
+    util::Rng rng(util::SplitMix64(config.seed * 0x9e37u + t).next());
+    PageOracle& oracle = oracles[static_cast<std::size_t>(t)];
+    const io::FileId file = files[static_cast<std::size_t>(t)];
+    std::vector<std::byte> copy(config.page_size);
+    std::uint32_t write_counter = 0;
+    for (std::uint64_t i = 0; i < config.ops_per_thread; ++i) {
+      const std::uint64_t dice = rng.uniform_u64(100);
+      const std::uint64_t page = rng.uniform_u64(config.pages_per_file);
+      try {
+        if (dice < 32) {
+          // Read + verify one of our own pages.
+          {
+            auto guard = pool.pin(file, page);
+            std::memcpy(copy.data(), guard.data().data(), config.page_size);
+          }
+          const std::string err = oracle.check_read(page, copy);
+          if (!err.empty()) {
+            std::lock_guard<std::mutex> lock(failure_mutex);
+            failures.push_back(tag + " op=" + std::to_string(i) + ": " +
+                               err);
+          }
+        } else if (dice < 64) {
+          // Full-page write of a fresh marker value (never 0 — zero is the
+          // hole/never-written marker).
+          const auto v = static_cast<std::uint8_t>(
+              1 + (static_cast<std::uint32_t>(t) * 37 + ++write_counter) %
+                      250);
+          auto guard = pool.pin(file, page);
+          std::memset(guard.data().data(), v, config.page_size);
+          guard.mark_dirty(config.page_size);
+          oracle.on_write(page, v);
+        } else if (dice < 74) {
+          pool.flush_file(file);
+          oracle.on_flush_ok();
+        } else if (dice < 79) {
+          pool.discard_file(file);
+          oracle.on_discard();
+        } else if (dice < 88) {
+          // Readahead over our own file (async when configured).
+          static_cast<void>(
+              pool.prefetch_range_async(file, page, 8));
+        } else if (dice < 97 && config.threads > 1) {
+          // Readahead over a foreign file: cross-shard and cross-file
+          // frame pressure without user-level byte access.
+          const auto other = static_cast<std::size_t>(
+              (static_cast<std::uint64_t>(t) + 1 +
+               rng.uniform_u64(static_cast<std::uint64_t>(config.threads) -
+                               1)) %
+              static_cast<std::uint64_t>(config.threads));
+          static_cast<void>(pool.prefetch_range_async(files[other], page, 8));
+        } else {
+          pool.drain_prefetches();
+        }
+      } catch (const util::IoError&) {
+        // An injected (or induced) failure surfaced through the pool API.
+        // That is the point of the exercise; the oracle state machine is
+        // exception-aware (a throwing op changes nothing it would track).
+        surfaced.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(config.threads));
+    for (int t = 0; t < config.threads; ++t) threads.emplace_back(worker, t);
+    for (auto& th : threads) th.join();
+  }
+
+  result.ops =
+      static_cast<std::uint64_t>(config.threads) * config.ops_per_thread;
+  const io::FaultStats fstats = faults.stats();
+  result.injected_faults = fstats.total_faults();
+  result.backing_calls = fstats.total_calls();
+  result.surfaced_errors = surfaced.load();
+  result.failures = std::move(failures);
+
+  // Quiesce, then validate: faults off, everything pending persisted.
+  faults.arm(false);
+  const std::string seed_tag = "seed=" + std::to_string(config.seed);
+  try {
+    pool.drain_prefetches();
+    pool.flush_all();
+  } catch (const util::IoError& e) {
+    result.failures.push_back(seed_tag +
+                              ": clean final flush threw: " + e.what());
+  }
+  try {
+    pool.debug_validate();
+  } catch (const util::IoError& e) {
+    result.failures.push_back(seed_tag + ": " + e.what());
+  }
+  for (int t = 0; t < config.threads; ++t) {
+    oracles[static_cast<std::size_t>(t)].final_check(
+        backing, files[static_cast<std::size_t>(t)], config.page_size,
+        seed_tag + " thread=" + std::to_string(t), result.failures);
+  }
+  return result;
+}
+
+}  // namespace clio::test_support
