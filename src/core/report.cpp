@@ -132,4 +132,21 @@ void render_table6(std::ostream& os, const std::vector<Table6Row>& rows) {
   table.render(os);
 }
 
+void render_throughput(std::ostream& os,
+                       const std::vector<ThroughputRow>& rows) {
+  TextTable table({"Connections", "Keep-alive", "Requests OK", "Errors",
+                   "503", "Req/s", "Mean (ms)", "p99 (ms)"});
+  for (const auto& row : rows) {
+    table.add_row({std::to_string(row.connections),
+                   row.keep_alive ? "on" : "off",
+                   std::to_string(row.requests_ok),
+                   std::to_string(row.errors),
+                   std::to_string(row.rejected_503),
+                   std::to_string(static_cast<std::uint64_t>(
+                       row.requests_per_sec)),
+                   format_ms(row.mean_ms), format_ms(row.p99_ms)});
+  }
+  table.render(os);
+}
+
 }  // namespace clio::core

@@ -36,4 +36,8 @@ void render_seek_read_rows(std::ostream& os,
 void render_table5(std::ostream& os, const std::vector<Table5Row>& rows);
 void render_table6(std::ostream& os, const std::vector<Table6Row>& rows);
 
+/// Serving-throughput rows from WebServerBench::run_throughput().
+void render_throughput(std::ostream& os,
+                       const std::vector<ThroughputRow>& rows);
+
 }  // namespace clio::core

@@ -26,7 +26,8 @@ WebServerBench::WebServerBench(WebBenchConfig config)
                                  "WebServerBench: workdir required");
   std::filesystem::create_directories(config_.workdir);
   fs_ = std::make_unique<io::ManagedFileSystem>(
-      std::make_unique<io::RealFileStore>(config_.workdir),
+      std::make_unique<io::RealFileStore>(config_.workdir,
+                                          /*idle_fd_cache=*/128),
       io::ManagedFsOptions{});
   make_file("small.jpg", kSmall);
   make_file("large.jpg", kLarge);
@@ -35,6 +36,8 @@ WebServerBench::WebServerBench(WebBenchConfig config)
   net::ServerOptions options;
   options.vm_dispatch = config_.vm_dispatch;
   options.vm_options.jit.compile_ns_per_byte = config_.jit_ns_per_byte;
+  options.worker_threads = config_.worker_threads;
+  options.fault_injector = config_.fault_injector;
   server_ = std::make_unique<net::MiniWebServer>(*fs_, options);
   server_->start();
 }
@@ -74,6 +77,46 @@ std::vector<Table5Row> WebServerBench::run_table5() {
     row.bytes = files[i].second;
     row.read_ms = samples[2 * i].file_ms;
     row.write_ms = samples[2 * i + 1].file_ms;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<ThroughputRow> WebServerBench::run_throughput(
+    std::vector<ThroughputScenario> scenarios,
+    std::size_t requests_per_connection, double post_fraction) {
+  std::vector<ThroughputRow> rows;
+  rows.reserve(scenarios.size());
+  // Throughput scenarios read aggregate counters, not the per-request
+  // sample log; recording it would put a lock + push on every request.
+  // Re-enabled on every exit path — a later run_table5/6 on this bench
+  // must not silently collect nothing.
+  struct RecordSamplesGuard {
+    net::MiniWebServer& server;
+    ~RecordSamplesGuard() { server.set_record_samples(true); }
+  } record_guard{*server_};
+  server_->set_record_samples(false);
+  std::uint64_t seed = 42;
+  for (const ThroughputScenario& scenario : scenarios) {
+    net::LoadGenOptions options;
+    options.connections = scenario.connections;
+    options.requests_per_connection = requests_per_connection;
+    options.keep_alive = scenario.keep_alive;
+    options.post_fraction = post_fraction;
+    options.post_bytes = 2048;
+    options.seed = seed++;
+    options.files = {"small.jpg", "large.jpg", "mid.jpg"};
+    const net::LoadReport report =
+        net::LoadGenerator(options).run(server_->port());
+    ThroughputRow row;
+    row.connections = scenario.connections;
+    row.keep_alive = scenario.keep_alive;
+    row.requests_ok = report.ok;
+    row.errors = report.errors;
+    row.rejected_503 = report.rejected_503;
+    row.requests_per_sec = report.requests_per_sec();
+    row.mean_ms = report.mean_ms();
+    row.p99_ms = report.quantile_ms(0.99);
     rows.push_back(row);
   }
   return rows;

@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "net/client.hpp"
+#include "net/load_gen.hpp"
 #include "net/server.hpp"
 
 namespace clio::core {
@@ -12,6 +13,10 @@ struct WebBenchConfig {
   std::filesystem::path workdir;
   bool vm_dispatch = true;  ///< managed handlers (JIT on first request)
   std::int64_t jit_ns_per_byte = 25000;
+  std::size_t worker_threads = 4;  ///< server worker pool size
+  /// Optional seeded net-layer fault plan (not owned); wired into the
+  /// server so throughput scenarios can run in degraded mode.
+  net::NetFaultInjector* fault_injector = nullptr;
 };
 
 /// Table 5 row: one file size, GET (read) and POST (write) response times.
@@ -26,6 +31,25 @@ struct Table6Row {
   std::size_t trial = 0;
   std::uint64_t bytes = 0;
   double read_ms = 0.0;
+};
+
+/// One serving-throughput scenario: connection count x keep-alive.
+struct ThroughputScenario {
+  std::size_t connections = 1;
+  bool keep_alive = false;
+};
+
+/// Result row of run_throughput(): what the paper's tables cannot show —
+/// aggregate requests/s and latency tail under concurrency.
+struct ThroughputRow {
+  std::size_t connections = 1;
+  bool keep_alive = false;
+  std::uint64_t requests_ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t rejected_503 = 0;
+  double requests_per_sec = 0.0;
+  double mean_ms = 0.0;
+  double p99_ms = 0.0;
 };
 
 /// Owns a server over a managed docroot populated with the paper's three
@@ -43,8 +67,29 @@ class WebServerBench {
   /// the same ~14 KB file.  The first read pays JIT + cold buffers.
   [[nodiscard]] std::vector<Table6Row> run_table6(std::size_t trials = 6);
 
+  /// Serving-throughput protocol (the worker-pool scenario): for each
+  /// (connections, keep_alive) scenario, drive a seeded GET/POST mix with
+  /// the LoadGenerator over the three paper files and report requests/s
+  /// plus the latency histogram's mean and p99.  The default scenario list
+  /// brackets the acceptance comparison: 1 connection without keep-alive
+  /// (the paper's model) vs 8 with it.
+  [[nodiscard]] std::vector<ThroughputRow> run_throughput(
+      std::vector<ThroughputScenario> scenarios = {{1, false},
+                                                   {1, true},
+                                                   {8, false},
+                                                   {8, true}},
+      std::size_t requests_per_connection = 200,
+      double post_fraction = 0.1);
+
   [[nodiscard]] net::MiniWebServer& server() { return *server_; }
   [[nodiscard]] io::ManagedFileSystem& fs() { return *fs_; }
+
+  /// Publishes an extra docroot file (deterministic content) — load
+  /// scenarios beyond the paper's three image sizes, e.g. the tiny object
+  /// the connection-overhead acceptance comparison serves.
+  void add_file(const std::string& name, std::uint64_t bytes) {
+    make_file(name, bytes);
+  }
 
   /// The paper's file sizes, in its Table 5 row order.
   static constexpr std::uint64_t kSmall = 7501;

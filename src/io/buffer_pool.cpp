@@ -128,6 +128,13 @@ std::size_t BufferPool::PageGuard::valid_bytes() const {
 void BufferPool::PageGuard::mark_dirty(std::size_t up_to) {
   check<IoError>(pool_ != nullptr, "PageGuard: empty guard");
   Shard& sh = pool_->shards_[shard_];
+  // The extent lock is held ACROSS the dirty-bit publication: flush_file's
+  // never-dirtied fast path reads dirty_extent_ alone, so any observer of
+  // f.dirty == true must already be able to see this file's extent entry.
+  // (Publishing the bit first and the entry second let the fast path skip
+  // a just-dirtied page.)  Lock order extent -> shard is safe: no path
+  // acquires extent_mutex_ while holding a shard mutex.
+  std::lock_guard<std::mutex> extent_lock(pool_->extent_mutex_);
   std::uint64_t new_extent = 0;
   FileId file = kInvalidFile;
   {
@@ -141,7 +148,6 @@ void BufferPool::PageGuard::mark_dirty(std::size_t up_to) {
     file = f.file;
     new_extent = f.page_no * pool_->config_.page_size + f.valid_bytes;
   }
-  std::lock_guard<std::mutex> lock(pool_->extent_mutex_);
   auto& extent = pool_->dirty_extent_[file];
   extent = std::max(extent, new_extent);
 }
@@ -740,7 +746,19 @@ void BufferPool::write_back_coalesced(std::vector<FlushEntry>& entries) {
 }
 
 void BufferPool::flush_file(FileId file) {
+  // Drain first even on the fast path below: ManagedFile::close relies on
+  // "flush_file drains on entry" before it releases the backing fd, and a
+  // read-only file can still have readahead in flight.  Free when async
+  // prefetch is off (no workers), which is the serving hot path.
   drain_prefetches();
+  {
+    // Fast path: no page of this file was ever dirtied since the last
+    // discard (mark_dirty is the only writer of dirty_extent_), so there
+    // is nothing to write back and no failing in-flight write-back to
+    // wait out.  Read-only streams close() through here on every request.
+    std::lock_guard<std::mutex> lock(extent_mutex_);
+    if (!dirty_extent_.contains(file)) return;
+  }
   std::vector<FlushEntry> dirty;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     collect_dirty(shards_[s], s, file, /*match_all=*/false, dirty);
@@ -809,6 +827,32 @@ void BufferPool::discard_file(FileId file) {
       it = sh.page_table.erase(it);
     }
   }
+}
+
+std::size_t BufferPool::evict_clean() {
+  // Let queued readahead land first so its frames are evictable too.
+  drain_prefetches();
+  std::size_t dropped = 0;
+  for (Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mutex);
+    for (auto it = sh.page_table.begin(); it != sh.page_table.end();) {
+      const std::size_t idx = it->second;
+      Frame& f = frames_[idx];
+      // Anything referenced, mid-I/O or dirty stays resident: this is a
+      // cache hint, not a correctness operation.
+      if (f.pins > 0 || f.flush_pins > 0 || f.io_busy || f.dirty) {
+        ++it;
+        continue;
+      }
+      f.in_use = false;
+      lru_remove(sh, idx);
+      release_frame(idx);
+      it = sh.page_table.erase(it);
+      sh.stats.evictions++;
+      ++dropped;
+    }
+  }
+  return dropped;
 }
 
 namespace {

@@ -209,6 +209,15 @@ class BufferPool {
   /// Drops all pages of `file` without write-back (used after remove).
   void discard_file(FileId file);
 
+  /// Best-effort cache drop: evicts every resident page that is clean and
+  /// unreferenced (no pins, no flush holds, no in-flight I/O).  Unlike
+  /// discard_file it never throws on a pinned page — pages in active use
+  /// simply stay resident — so it is safe to call while other threads are
+  /// serving requests (ManagedFileSystem::drop_caches / make_cold racing
+  /// live traffic).  Flush first for a fully cold cache.  Returns the
+  /// number of pages dropped.
+  std::size_t evict_clean();
+
   /// Logical size of the file as seen through the cache: the backing
   /// store's size extended by any dirty page not yet written back.
   [[nodiscard]] std::uint64_t logical_file_size(FileId file) const;

@@ -45,8 +45,9 @@ std::size_t BackingStore::readv(FileId id, std::uint64_t offset,
 
 // ---------------------------------------------------------------- Real ----
 
-RealFileStore::RealFileStore(std::filesystem::path root)
-    : root_(std::move(root)) {
+RealFileStore::RealFileStore(std::filesystem::path root,
+                             std::size_t idle_fd_cache)
+    : idle_fd_cache_(idle_fd_cache), root_(std::move(root)) {
   std::filesystem::create_directories(root_);
 }
 
@@ -74,6 +75,7 @@ FileId RealFileStore::open(const std::string& name, bool create) {
                       "') failed: " + std::strerror(errno));
       }
     }
+    e.idle = false;  // leaving the idle cache (stale queue entry is skipped)
     e.refs++;
     return it->second;
   }
@@ -94,9 +96,36 @@ void RealFileStore::close(FileId id) {
                  "RealFileStore: close of invalid id");
   Entry& e = entries_[id];
   if (--e.refs > 0) return;
-  ::close(e.fd);
-  e.fd = -1;
-  // The name->id binding survives so a reopen finds warm cache pages.
+  if (idle_fd_cache_ == 0) {
+    ::close(e.fd);
+    e.fd = -1;
+    // The name->id binding survives so a reopen finds warm cache pages.
+    return;
+  }
+  // Keep the descriptor in the idle cache instead of closing: the serving
+  // hot path reopens the same files every request, and an open(2)/close(2)
+  // pair per request is pure overhead.  The cache is capped so a stream of
+  // one-shot files (POST uploads) cannot exhaust descriptors.  The
+  // name->id binding survives either way, so a reopen finds warm pages.
+  e.idle = true;
+  ++e.idle_gen;
+  idle_fds_.emplace_back(id, e.idle_gen);
+  trim_idle();
+}
+
+void RealFileStore::trim_idle() {
+  while (idle_fds_.size() > idle_fd_cache_) {
+    const auto [id, gen] = idle_fds_.front();
+    idle_fds_.pop_front();
+    Entry& e = entries_[id];
+    // Stale entry: reopened (no longer idle) or re-idled since it was
+    // queued (a newer queue entry carries the current generation) — in
+    // either case this one must not evict the descriptor.
+    if (!e.idle || e.idle_gen != gen) continue;
+    ::close(e.fd);
+    e.fd = -1;
+    e.idle = false;
+  }
 }
 
 int RealFileStore::fd_of(FileId id) const {
@@ -107,14 +136,51 @@ int RealFileStore::fd_of(FileId id) const {
 }
 
 std::uint64_t RealFileStore::size(FileId id) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    check<IoError>(id < entries_.size() && entries_[id].fd >= 0,
+                   "RealFileStore: invalid file id");
+    if (entries_[id].size >= 0) {
+      return static_cast<std::uint64_t>(entries_[id].size);
+    }
+  }
   struct stat st {};
   check<IoError>(::fstat(fd_of(id), &st) == 0, "RealFileStore: fstat failed");
-  return static_cast<std::uint64_t>(st.st_size);
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A write may have extended the file between the fstat above and
+  // re-taking the lock — never let a stale stat shrink what is already
+  // known, whether the concurrent writer filled the cache (size >= 0) or
+  // only raised the floor (cache still unset).
+  const Entry& e = entries_[id];
+  if (e.size < 0) {
+    // `size` is mutable: filling the cache is the one write a const
+    // accessor performs.
+    e.size = std::max<std::int64_t>(st.st_size, e.size_floor);
+  }
+  return static_cast<std::uint64_t>(e.size);
 }
 
 void RealFileStore::truncate(FileId id, std::uint64_t new_size) {
   check<IoError>(::ftruncate(fd_of(id), static_cast<off_t>(new_size)) == 0,
                  "RealFileStore: ftruncate failed");
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[id].size = static_cast<std::int64_t>(new_size);
+  entries_[id].size_floor = static_cast<std::int64_t>(new_size);
+}
+
+/// Extends the cached size after bytes were written up to `end_offset`.
+/// While the cache is unset only the floor moves — the true size may be
+/// larger than any write seen through this store instance (pre-existing
+/// file), so the first size() still fstats and maxes with the floor.
+void RealFileStore::grow_cached_size(FileId id, std::uint64_t end_offset) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entries_[id];
+  const auto end = static_cast<std::int64_t>(end_offset);
+  if (e.size >= 0) {
+    e.size = std::max(e.size, end);
+  } else {
+    e.size_floor = std::max(e.size_floor, end);
+  }
 }
 
 std::size_t RealFileStore::read(FileId id, std::uint64_t offset,
@@ -149,6 +215,7 @@ void RealFileStore::write(FileId id, std::uint64_t offset,
     }
     total += static_cast<std::size_t>(n);
   }
+  grow_cached_size(id, offset + data.size());
 }
 
 void RealFileStore::writev(FileId id, std::uint64_t offset,
@@ -183,6 +250,8 @@ void RealFileStore::writev(FileId id, std::uint64_t offset,
       iov[next].iov_len -= done;
     }
   }
+  // `offset` has advanced past every byte written.
+  grow_cached_size(id, offset);
 }
 
 std::size_t RealFileStore::readv(FileId id, std::uint64_t offset,
@@ -225,6 +294,10 @@ std::size_t RealFileStore::readv(FileId id, std::uint64_t offset,
 
 bool RealFileStore::exists(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  // A live name->id binding proves existence without a stat: remove()
+  // erases the binding, and all mutations flow through this store.  This
+  // turns the per-GET existence probe into a hash lookup.
+  if (by_name_.contains(name)) return true;
   return std::filesystem::exists(root_ / name);
 }
 
@@ -237,8 +310,14 @@ FileId RealFileStore::lookup(const std::string& name) const {
 void RealFileStore::remove(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (auto it = by_name_.find(name); it != by_name_.end()) {
-    check<IoError>(entries_[it->second].refs == 0,
-                   "RealFileStore: cannot remove an open file");
+    Entry& e = entries_[it->second];
+    check<IoError>(e.refs == 0, "RealFileStore: cannot remove an open file");
+    if (e.fd >= 0) {
+      // Idle-cached descriptor: release it before unlinking.
+      ::close(e.fd);
+      e.fd = -1;
+      e.idle = false;
+    }
     by_name_.erase(it);  // retire the id; it is never reused
   }
   std::filesystem::remove(root_ / name);
@@ -317,7 +396,8 @@ std::size_t SimFileStore::read(FileId id, std::uint64_t offset,
   }
   const std::size_t n = std::min<std::size_t>(
       out.size(), e.data.size() - static_cast<std::size_t>(offset));
-  std::memcpy(out.data(), e.data.data() + offset, n);
+  // n == 0 leaves an empty span's null data() untouched (UB for memcpy).
+  if (n > 0) std::memcpy(out.data(), e.data.data() + offset, n);
   pending_model_ms_ += array_.access_ms(e.base_address + offset, n);
   return n;
 }
@@ -329,7 +409,9 @@ void SimFileStore::write(FileId id, std::uint64_t offset,
   check<IoError>(e.refs > 0, "SimFileStore: write of closed id");
   const std::uint64_t end = offset + data.size();
   if (end > e.data.size()) e.data.resize(static_cast<std::size_t>(end));
-  std::memcpy(e.data.data() + offset, data.data(), data.size());
+  if (!data.empty()) {
+    std::memcpy(e.data.data() + offset, data.data(), data.size());
+  }
   pending_model_ms_ += array_.access_ms(e.base_address + offset, data.size());
 }
 
@@ -344,6 +426,7 @@ void SimFileStore::writev(FileId id, std::uint64_t offset,
   if (end > e.data.size()) e.data.resize(static_cast<std::size_t>(end));
   std::uint64_t pos = offset;
   for (const auto& part : parts) {
+    if (part.empty()) continue;  // null data() is UB for memcpy
     std::memcpy(e.data.data() + pos, part.data(), part.size());
     pos += part.size();
   }
@@ -368,7 +451,7 @@ std::size_t SimFileStore::readv(FileId id, std::uint64_t offset,
     if (pos >= e.data.size()) break;
     const std::size_t n = std::min<std::size_t>(
         part.size(), e.data.size() - static_cast<std::size_t>(pos));
-    std::memcpy(part.data(), e.data.data() + pos, n);
+    if (n > 0) std::memcpy(part.data(), e.data.data() + pos, n);
     total += n;
     if (n < part.size()) break;
   }

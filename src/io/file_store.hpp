@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <memory>
 #include <mutex>
@@ -79,7 +80,13 @@ class BackingStore {
 /// safe.
 class RealFileStore final : public BackingStore {
  public:
-  explicit RealFileStore(std::filesystem::path root);
+  /// `idle_fd_cache` > 0 keeps up to that many descriptors open after
+  /// their last close (see trim_idle), so re-opening hot files costs a
+  /// hash lookup instead of an open(2)/close(2) pair — the serving layer
+  /// opts in.  0 (default) retires descriptors eagerly, preserving the
+  /// strict "operations on a closed id fail" contract.
+  explicit RealFileStore(std::filesystem::path root,
+                         std::size_t idle_fd_cache = 0);
   ~RealFileStore() override;
 
   RealFileStore(const RealFileStore&) = delete;
@@ -108,13 +115,35 @@ class RealFileStore final : public BackingStore {
     int fd = -1;
     std::string name;
     std::uint32_t refs = 0;
+    bool idle = false;  ///< refs == 0 but fd kept open in the idle cache
+    /// Bumped each time the entry enters the idle queue, so trim_idle can
+    /// tell a live queue entry from one left stale by an interleaved
+    /// reopen + re-close (which must not evict the freshly re-idled fd).
+    std::uint64_t idle_gen = 0;
+    /// Cached file size (-1 = unknown).  Every mutation flows through this
+    /// store, so write/writev/truncate keep it coherent; size() then costs
+    /// a map lookup instead of an fstat(2) per call — the serving path
+    /// asks for the size on every GET.  mutable: size() is const and may
+    /// fill the cache on first use (under mutex_).
+    mutable std::int64_t size = -1;
+    /// Lower bound on the size while the cache is unset: a write that
+    /// ended at byte E proves size >= E even before anyone fstats.  Lets
+    /// size() resist caching a stale fstat that raced an extending write
+    /// (the stat runs outside mutex_).
+    std::int64_t size_floor = 0;
   };
 
   int fd_of(FileId id) const;
+  void trim_idle();  ///< mutex held
+  void grow_cached_size(FileId id, std::uint64_t end_offset);
 
+  std::size_t idle_fd_cache_ = 0;
   std::filesystem::path root_;
   std::vector<Entry> entries_;
   std::unordered_map<std::string, FileId> by_name_;
+  /// FIFO of (id, idle_gen) pairs; entries whose generation no longer
+  /// matches are stale (reopened since queueing) and skipped by trim.
+  std::deque<std::pair<FileId, std::uint64_t>> idle_fds_;
   mutable std::mutex mutex_;
 };
 

@@ -127,9 +127,11 @@ void ManagedFileSystem::remove(const std::string& name) {
 }
 
 void ManagedFileSystem::drop_caches() {
+  // Flush, then evict in place.  The pool object must survive: replacing
+  // it (the old implementation) frees frames that concurrent requests may
+  // still hold PageGuards into — make_cold() races live traffic by design.
   pool_->flush_all();
-  // Rebuild the pool: cheapest way to guarantee cold frames.
-  pool_ = std::make_unique<BufferPool>(*pool_store_, pool_config());
+  pool_->evict_clean();
   std::lock_guard<std::mutex> lock(prefetcher_mutex_);
   prefetcher_.reset();
 }
@@ -181,14 +183,20 @@ std::uint64_t ManagedFile::size() const {
   return fs_->pool_->logical_file_size(id_);
 }
 
-void ManagedFile::run_prefetch(std::uint64_t page) {
+void ManagedFile::run_prefetch(std::uint64_t page, std::uint64_t file_size) {
+  // A file that fits in one page has nothing ahead to fetch: skip the
+  // shared prefetcher outright.  The serving hot path reads small objects
+  // at a high rate, and the prefetcher sits behind a global mutex.
+  if (file_size != kUnknownSize && file_size <= fs_->pool_->page_size()) {
+    return;
+  }
   PrefetchRange ahead;
   {
     std::lock_guard<std::mutex> lock(fs_->prefetcher_mutex_);
     ahead = fs_->prefetcher_.propose(id_, page);
   }
   if (ahead.empty()) return;
-  const std::uint64_t file_size = size();
+  if (file_size == kUnknownSize) file_size = size();
   if (file_size == 0) return;
   const std::uint64_t last_page = (file_size - 1) / fs_->pool_->page_size();
   if (ahead.first > last_page) return;
@@ -217,7 +225,7 @@ std::size_t ManagedFile::read(std::span<std::byte> out) {
         auto guard = fs_->pool_->pin(id_, page);
         std::memcpy(out.data() + total, guard.data().data() + within, take);
       }
-      run_prefetch(page);
+      run_prefetch(page, file_size);
       total += take;
     }
     position_ += total;

@@ -129,7 +129,11 @@ class ManagedFile {
   friend class ManagedFileSystem;
   ManagedFile(ManagedFileSystem* fs, FileId id, std::string name);
 
-  void run_prefetch(std::uint64_t page);
+  /// Sentinel for "caller has not computed the file size".
+  static constexpr std::uint64_t kUnknownSize = UINT64_MAX;
+
+  void run_prefetch(std::uint64_t page,
+                    std::uint64_t file_size = kUnknownSize);
 
   ManagedFileSystem* fs_ = nullptr;
   FileId id_ = kInvalidFile;

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace clio::net {
+
+/// Abstract bidirectional byte channel — the seam the serving layer is
+/// written against.  `Socket` is the real TCP implementation; `FaultChannel`
+/// decorates any Channel with seeded fault injection (the net-layer mirror
+/// of io::FaultStore), so every worker-pool code path can be aimed at
+/// deterministically without a flaky peer.
+class Channel {
+ public:
+  Channel() = default;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+  virtual ~Channel() = default;
+
+  /// Sends the whole buffer (throws util::IoError on failure).
+  virtual void send_all(const void* data, std::size_t n) = 0;
+
+  /// Receives up to n bytes; returns 0 at orderly shutdown.
+  [[nodiscard]] virtual std::size_t recv_some(void* out, std::size_t n) = 0;
+
+  virtual void close() = 0;
+  [[nodiscard]] virtual bool valid() const = 0;
+
+  /// Breaks the connection without releasing the underlying resource:
+  /// further sends fail, receives report orderly shutdown, but the
+  /// descriptor (and therefore its number) stays owned until close().
+  /// Decorators that sever a connection mid-use must call this, not
+  /// close() — the owner may still have the descriptor registered
+  /// elsewhere (e.g. the server's active-connection set), and closing
+  /// would let the OS reuse the number out from under that bookkeeping.
+  virtual void shutdown() { close(); }
+
+  /// Sends head then body.  The default forwards to send_all twice (so a
+  /// decorator's per-send fault decisions apply to each part); Socket
+  /// gathers both into one writev, sparing the serving hot path a
+  /// header+body concatenation copy per response.
+  virtual void send_parts(std::span<const std::byte> head,
+                          std::span<const std::byte> body) {
+    send_all(head.data(), head.size());
+    if (!body.empty()) send_all(body.data(), body.size());
+  }
+
+  /// Receives exactly n bytes; returns false if the peer closed early.
+  [[nodiscard]] bool recv_exact(void* out, std::size_t n) {
+    auto* p = static_cast<char*>(out);
+    std::size_t got = 0;
+    while (got < n) {
+      const std::size_t r = recv_some(p + got, n - got);
+      if (r == 0) return false;
+      got += r;
+    }
+    return true;
+  }
+
+ protected:
+  // Sockets are movable; the base carries no state, so moves are trivial.
+  Channel(Channel&&) = default;
+  Channel& operator=(Channel&&) = default;
+};
+
+}  // namespace clio::net

@@ -9,32 +9,57 @@
 
 namespace clio::net {
 
-ClientResult HttpClient::round_trip(const HttpRequest& request) const {
+void HttpClient::disconnect() {
+  reader_.reset();
+  socket_.close();
+}
+
+ClientResult HttpClient::round_trip(HttpRequest request) {
   util::Stopwatch watch;
-  Socket socket = connect_loopback(port_);
-  send_request(socket, request);
-  const HttpResponse response = read_response(socket);
+  request.keep_alive = keep_alive_;
   ClientResult result;
-  result.status = response.status;
-  result.body = response.body;
+  if (!keep_alive_) {
+    Socket socket = connect_loopback(port_);
+    send_request(socket, request);
+    const HttpResponse response = read_response(socket);
+    result.status = response.status;
+    result.body = response.body;
+  } else {
+    if (!socket_.valid()) {
+      socket_ = connect_loopback(port_);
+      reader_.emplace(socket_);
+    }
+    HttpResponse response;
+    try {
+      send_request(socket_, request);
+      response = reader_->read_response();
+    } catch (const std::exception&) {
+      // The server may have closed the idle connection; surface the error
+      // after dropping state so the next call reconnects cleanly.
+      disconnect();
+      throw;
+    }
+    if (!response.keep_alive) disconnect();
+    result.status = response.status;
+    result.body = std::move(response.body);
+  }
   result.latency_ms = watch.elapsed_ms();
   return result;
 }
 
-ClientResult HttpClient::get(const std::string& path) const {
+ClientResult HttpClient::get(const std::string& path) {
   HttpRequest request;
   request.method = "GET";
   request.path = path;
-  return round_trip(request);
+  return round_trip(std::move(request));
 }
 
-ClientResult HttpClient::post(const std::string& path,
-                              std::string body) const {
+ClientResult HttpClient::post(const std::string& path, std::string body) {
   HttpRequest request;
   request.method = "POST";
   request.path = path;
   request.body = std::move(body);
-  return round_trip(request);
+  return round_trip(std::move(request));
 }
 
 LoadResult run_get_load(std::uint16_t port,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -12,28 +13,39 @@ namespace clio::net {
 struct ClientResult {
   int status = 0;
   std::string body;
-  double latency_ms = 0.0;  ///< connect + request + full response
+  double latency_ms = 0.0;  ///< connect (if any) + request + full response
 };
 
-/// Blocking loopback HTTP client (one connection per request, matching the
-/// server's connection-per-request model).
+/// Blocking loopback HTTP client.  By default it opens one connection per
+/// request (the paper's model); with keep_alive it holds one persistent
+/// connection.  When that connection dies mid-call the failing call
+/// throws (after dropping the stale state) and the NEXT call reconnects —
+/// callers that must survive server restarts catch and retry.
 class HttpClient {
  public:
-  explicit HttpClient(std::uint16_t port) : port_(port) {}
+  explicit HttpClient(std::uint16_t port, bool keep_alive = false)
+      : port_(port), keep_alive_(keep_alive) {}
 
-  [[nodiscard]] ClientResult get(const std::string& path) const;
-  [[nodiscard]] ClientResult post(const std::string& path,
-                                  std::string body) const;
+  [[nodiscard]] ClientResult get(const std::string& path);
+  [[nodiscard]] ClientResult post(const std::string& path, std::string body);
+
+  /// Drops the persistent connection (no-op without keep_alive).
+  void disconnect();
 
  private:
-  [[nodiscard]] ClientResult round_trip(const HttpRequest& request) const;
+  [[nodiscard]] ClientResult round_trip(HttpRequest request);
 
   std::uint16_t port_;
+  bool keep_alive_;
+  Socket socket_;
+  std::optional<HttpReader> reader_;
 };
 
 /// Multi-threaded load generator: `clients` threads each issue `requests`
 /// GETs over the given file set with Zipf(1.0) popularity (scientists and
 /// web users alike revisit hot objects).  Returns every latency sample.
+/// Kept for the paper-table benches; the serving-layer benchmark uses the
+/// richer net::LoadGenerator (load_gen.hpp).
 struct LoadResult {
   std::vector<double> latencies_ms;
   std::uint64_t bytes_received = 0;

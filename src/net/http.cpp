@@ -12,60 +12,56 @@ using util::cat;
 using util::check;
 using util::ParseError;
 
-/// Reads until "\r\n\r\n"; returns header block + any body prefix already
-/// consumed.  Empty optional on a clean immediate close.
-std::optional<std::pair<std::string, std::string>> read_head(
-    const Socket& socket) {
-  std::string data;
-  char buf[4096];
-  while (true) {
-    const auto pos = data.find("\r\n\r\n");
-    if (pos != std::string::npos) {
-      return std::make_pair(data.substr(0, pos), data.substr(pos + 4));
-    }
-    check<ParseError>(data.size() < (1u << 20), "http: headers too large");
-    const std::size_t n = socket.recv_some(buf, sizeof(buf));
-    if (n == 0) {
-      if (data.empty()) return std::nullopt;
-      throw ParseError("http: connection closed mid-headers");
-    }
-    data.append(buf, n);
-  }
+char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
 }
 
-std::size_t content_length_of(const std::string& head) {
-  // Case-insensitive scan for the Content-Length header.
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  }
+  return true;
+}
+
+/// The two headers the serving layer cares about, pulled out in one pass
+/// over the header block (this parse runs once per request on both sides
+/// of every exchange).
+struct ParsedHeaders {
+  std::size_t content_length = 0;
+  /// Connection persistence: the version token set the default (HTTP/1.1
+  /// is persistent, anything else is not), an explicit header overrode it.
+  bool keep_alive = false;
+};
+
+ParsedHeaders parse_headers(std::string_view head, std::string_view version) {
+  ParsedHeaders parsed;
+  parsed.keep_alive = version == "HTTP/1.1";
   std::size_t at = 0;
   while (at < head.size()) {
     auto eol = head.find("\r\n", at);
-    if (eol == std::string::npos) eol = head.size();
-    const std::string_view line(head.data() + at, eol - at);
-    constexpr std::string_view kName = "content-length:";
-    if (line.size() > kName.size()) {
-      bool match = true;
-      for (std::size_t i = 0; i < kName.size(); ++i) {
-        const char c = line[i];
-        const char lower =
-            (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
-        if (lower != kName[i]) {
-          match = false;
-          break;
-        }
-      }
-      if (match) {
-        std::size_t value = 0;
-        std::size_t start = kName.size();
-        while (start < line.size() && line[start] == ' ') ++start;
-        const auto [ptr, ec] = std::from_chars(
-            line.data() + start, line.data() + line.size(), value);
-        check<ParseError>(ec == std::errc{} && ptr != line.data() + start,
-                          "http: bad Content-Length");
-        return value;
-      }
-    }
+    if (eol == std::string_view::npos) eol = head.size();
+    const std::string_view line = head.substr(at, eol - at);
     at = eol + 2;
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    const std::string_view name = line.substr(0, colon);
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    while (!value.empty() && value.back() == ' ') value.remove_suffix(1);
+    if (iequals(name, "content-length")) {
+      const auto [ptr, ec] = std::from_chars(
+          value.data(), value.data() + value.size(), parsed.content_length);
+      check<ParseError>(ec == std::errc{} && ptr == value.data() + value.size(),
+                        "http: bad Content-Length");
+      check<ParseError>(parsed.content_length <= kMaxBodyBytes,
+                        "http: body too large");
+    } else if (iequals(name, "connection")) {
+      if (iequals(value, "close")) parsed.keep_alive = false;
+      if (iequals(value, "keep-alive")) parsed.keep_alive = true;
+    }
   }
-  return 0;
+  return parsed;
 }
 
 }  // namespace
@@ -75,79 +71,124 @@ std::string HttpRequest::file_name() const {
   return path;
 }
 
-std::optional<HttpRequest> read_request(const Socket& socket) {
-  auto head = read_head(socket);
-  if (!head.has_value()) return std::nullopt;
-  auto& [header_block, body_prefix] = *head;
+std::optional<std::string> HttpReader::read_head() {
+  char buf[4096];
+  while (true) {
+    const auto pos = buffer_.find("\r\n\r\n");
+    if (pos != std::string::npos) {
+      std::string head = buffer_.substr(0, pos);
+      buffer_.erase(0, pos + 4);
+      return head;
+    }
+    check<ParseError>(buffer_.size() < kMaxHeaderBytes,
+                      "http: headers too large");
+    const std::size_t n = channel_->recv_some(buf, sizeof(buf));
+    if (n == 0) {
+      if (buffer_.empty()) return std::nullopt;
+      throw ParseError("http: connection closed mid-headers");
+    }
+    buffer_.append(buf, n);
+  }
+}
 
-  // Start line: METHOD SP PATH SP VERSION.
-  const auto line_end = header_block.find("\r\n");
-  const std::string start_line = header_block.substr(
-      0, line_end == std::string::npos ? header_block.size() : line_end);
-  const auto sp1 = start_line.find(' ');
-  check<ParseError>(sp1 != std::string::npos, "http: bad start line");
-  const auto sp2 = start_line.find(' ', sp1 + 1);
-  check<ParseError>(sp2 != std::string::npos, "http: bad start line");
-
-  HttpRequest request;
-  request.method = start_line.substr(0, sp1);
-  request.path = start_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  check<ParseError>(!request.path.empty() && request.path.front() == '/',
-                    "http: path must start with '/'");
-
-  const std::size_t length = content_length_of(header_block);
-  check<ParseError>(body_prefix.size() <= length,
-                    "http: body exceeds Content-Length");
-  request.body = std::move(body_prefix);
-  const std::size_t have = request.body.size();
-  request.body.resize(length);
-  if (length > have) {
+std::string HttpReader::take_body(std::size_t length) {
+  std::string body;
+  const std::size_t from_buffer = std::min(length, buffer_.size());
+  body = buffer_.substr(0, from_buffer);
+  buffer_.erase(0, from_buffer);
+  body.resize(length);
+  if (length > from_buffer) {
     check<ParseError>(
-        socket.recv_exact(request.body.data() + have, length - have),
+        channel_->recv_exact(body.data() + from_buffer, length - from_buffer),
         "http: connection closed mid-body");
   }
+  return body;
+}
+
+std::optional<HttpRequest> HttpReader::read_request() {
+  auto head = read_head();
+  if (!head.has_value()) return std::nullopt;
+
+  // Start line: METHOD SP PATH SP VERSION.
+  const auto line_end = head->find("\r\n");
+  const std::string_view start_line =
+      std::string_view(*head).substr(
+          0, line_end == std::string::npos ? head->size() : line_end);
+  const auto sp1 = start_line.find(' ');
+  check<ParseError>(sp1 != std::string_view::npos, "http: bad start line");
+  const auto sp2 = start_line.find(' ', sp1 + 1);
+  check<ParseError>(sp2 != std::string_view::npos, "http: bad start line");
+
+  HttpRequest request;
+  request.method = std::string(start_line.substr(0, sp1));
+  request.path = std::string(start_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  check<ParseError>(!request.path.empty() && request.path.front() == '/',
+                    "http: path must start with '/'");
+  const std::string_view version = start_line.substr(sp2 + 1);
+  check<ParseError>(version.substr(0, 5) == "HTTP/",
+                    "http: bad protocol version");
+  const ParsedHeaders headers = parse_headers(*head, version);
+  request.keep_alive = headers.keep_alive;
+  request.body = take_body(headers.content_length);
   return request;
 }
 
-void send_request(const Socket& socket, const HttpRequest& request) {
-  std::string wire = cat(request.method, " ", request.path, " HTTP/1.0\r\n",
-                         "Content-Length: ", request.body.size(),
-                         "\r\nConnection: close\r\n\r\n", request.body);
-  socket.send_all(wire.data(), wire.size());
-}
-
-HttpResponse read_response(const Socket& socket) {
-  auto head = read_head(socket);
+HttpResponse HttpReader::read_response() {
+  auto head = read_head();
   check<ParseError>(head.has_value(), "http: empty response");
-  auto& [header_block, body_prefix] = *head;
-  // Status line: HTTP/1.0 NNN Reason.
-  const auto sp1 = header_block.find(' ');
-  check<ParseError>(sp1 != std::string::npos, "http: bad status line");
-  HttpResponse response;
-  response.status = std::stoi(header_block.substr(sp1 + 1, 3));
 
-  const std::size_t length = content_length_of(header_block);
-  check<ParseError>(body_prefix.size() <= length,
-                    "http: body exceeds Content-Length");
-  response.body = std::move(body_prefix);
-  const std::size_t have = response.body.size();
-  response.body.resize(length);
-  if (length > have) {
-    check<ParseError>(
-        socket.recv_exact(response.body.data() + have, length - have),
-        "http: connection closed mid-body");
-  }
+  // Status line: HTTP/1.x NNN Reason.
+  const auto line_end = head->find("\r\n");
+  const std::string_view status_line =
+      std::string_view(*head).substr(
+          0, line_end == std::string::npos ? head->size() : line_end);
+  const auto sp1 = status_line.find(' ');
+  check<ParseError>(sp1 != std::string_view::npos, "http: bad status line");
+  const std::string_view code = status_line.substr(sp1 + 1, 3);
+  HttpResponse response;
+  const auto [ptr, ec] =
+      std::from_chars(code.data(), code.data() + code.size(), response.status);
+  check<ParseError>(ec == std::errc{} && ptr == code.data() + code.size(),
+                    "http: bad status code");
+  const ParsedHeaders headers =
+      parse_headers(*head, status_line.substr(0, sp1));
+  response.keep_alive = headers.keep_alive;
+  response.body = take_body(headers.content_length);
   return response;
 }
 
-void send_response(const Socket& socket, int status, std::string_view body) {
+std::optional<HttpRequest> read_request(Channel& channel) {
+  HttpReader reader(channel);
+  return reader.read_request();
+}
+
+HttpResponse read_response(Channel& channel) {
+  HttpReader reader(channel);
+  return reader.read_response();
+}
+
+void send_request(Channel& channel, const HttpRequest& request) {
   std::string wire =
-      cat("HTTP/1.0 ", status, " ", reason_phrase(status),
+      cat(request.method, " ", request.path,
+          request.keep_alive ? " HTTP/1.1\r\n" : " HTTP/1.0\r\n",
+          "Content-Length: ", request.body.size(), "\r\nConnection: ",
+          request.keep_alive ? "keep-alive" : "close", "\r\n\r\n",
+          request.body);
+  channel.send_all(wire.data(), wire.size());
+}
+
+void send_response(Channel& channel, int status, std::string_view body,
+                   bool keep_alive) {
+  // Headers and body go out as one gathered send: no concatenation copy
+  // of the payload on the serving hot path.
+  std::string head =
+      cat("HTTP/1.1 ", status, " ", reason_phrase(status),
           "\r\nContent-Length: ", body.size(),
-          "\r\nContent-Type: application/octet-stream\r\nConnection: "
-          "close\r\n\r\n",
-          body);
-  socket.send_all(wire.data(), wire.size());
+          "\r\nContent-Type: application/octet-stream\r\nConnection: ",
+          keep_alive ? "keep-alive" : "close", "\r\n\r\n");
+  channel.send_parts(
+      std::as_bytes(std::span<const char>(head.data(), head.size())),
+      std::as_bytes(std::span<const char>(body.data(), body.size())));
 }
 
 std::string_view reason_phrase(int status) {
@@ -164,6 +205,8 @@ std::string_view reason_phrase(int status) {
       return "Method Not Allowed";
     case 500:
       return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
     default:
       return "Unknown";
   }

@@ -4,17 +4,26 @@
 #include <optional>
 #include <string>
 
+#include "net/channel.hpp"
 #include "net/socket.hpp"
 
 namespace clio::net {
 
-/// Minimal HTTP/1.0-style request, enough for the paper's web server:
-/// "the incoming data is read into a buffer and parsed for request type and
-/// file name".
+/// Parser hard limits.  A peer that exceeds either gets a ParseError (the
+/// server answers 400 and closes) instead of unbounded buffering.
+inline constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+inline constexpr std::size_t kMaxBodyBytes = 64u * 1024 * 1024;
+
+/// Minimal HTTP request, enough for the paper's web server plus HTTP/1.1
+/// keep-alive: "the incoming data is read into a buffer and parsed for
+/// request type and file name".
 struct HttpRequest {
   std::string method;  ///< "GET" or "POST"
   std::string path;    ///< "/file.jpg"
   std::string body;    ///< POST payload
+  /// Negotiated connection persistence: HTTP/1.1 defaults to keep-alive,
+  /// HTTP/1.0 to close; a Connection header overrides either way.
+  bool keep_alive = false;
 
   /// File name: the path without its leading slash.
   [[nodiscard]] std::string file_name() const;
@@ -23,21 +32,50 @@ struct HttpRequest {
 struct HttpResponse {
   int status = 0;
   std::string body;
+  bool keep_alive = false;  ///< what the server's Connection header granted
 };
 
-/// Reads one request off the socket (start line + headers +
-/// Content-Length body).  Returns nullopt on a clean close before any
-/// bytes.  Throws ParseError on malformed input.
-[[nodiscard]] std::optional<HttpRequest> read_request(const Socket& socket);
+/// Buffered HTTP message reader over a Channel.  Owns the spill buffer, so
+/// bytes received past the current message (the next pipelined request, the
+/// next keep-alive response) are retained instead of dropped — one reader
+/// per connection is the contract for persistent connections.
+class HttpReader {
+ public:
+  explicit HttpReader(Channel& channel) : channel_(&channel) {}
 
-/// Serializes and sends a request.
-void send_request(const Socket& socket, const HttpRequest& request);
+  /// Reads one request (start line + headers + Content-Length body).
+  /// Returns nullopt on a clean close before any bytes of a new message.
+  /// Throws ParseError on malformed or truncated input.
+  [[nodiscard]] std::optional<HttpRequest> read_request();
 
-/// Reads one response (status line + headers + Content-Length body).
-[[nodiscard]] HttpResponse read_response(const Socket& socket);
+  /// Reads one response (status line + headers + Content-Length body).
+  [[nodiscard]] HttpResponse read_response();
 
-/// Serializes and sends a response.
-void send_response(const Socket& socket, int status, std::string_view body);
+  /// True if bytes of a further message are already buffered (a pipelined
+  /// request arrived together with the current one).
+  [[nodiscard]] bool has_buffered() const { return !buffer_.empty(); }
+
+ private:
+  [[nodiscard]] std::optional<std::string> read_head();
+  [[nodiscard]] std::string take_body(std::size_t length);
+
+  Channel* channel_;
+  std::string buffer_;
+};
+
+/// One-shot wrappers for single-message exchanges (tests, the 503
+/// backpressure reply).  Bytes beyond the first message are discarded —
+/// keep-alive connections must hold an HttpReader instead.
+[[nodiscard]] std::optional<HttpRequest> read_request(Channel& channel);
+[[nodiscard]] HttpResponse read_response(Channel& channel);
+
+/// Serializes and sends a request.  The wire version and Connection header
+/// follow request.keep_alive (HTTP/1.1 keep-alive vs close).
+void send_request(Channel& channel, const HttpRequest& request);
+
+/// Serializes and sends a response with the given Connection persistence.
+void send_response(Channel& channel, int status, std::string_view body,
+                   bool keep_alive = false);
 
 /// Standard reason phrase for the handful of statuses the server emits.
 [[nodiscard]] std::string_view reason_phrase(int status);

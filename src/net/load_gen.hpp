@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace clio::net {
+
+/// Configuration of one seeded load-generation run: N concurrent
+/// connections, each issuing a GET/POST request mix, with or without
+/// HTTP/1.1 keep-alive.  Deterministic given `seed` (request ordering
+/// across connections still depends on scheduling, but each connection's
+/// request sequence replays exactly).
+struct LoadGenOptions {
+  std::size_t connections = 8;            ///< concurrent connections (threads)
+  std::size_t requests_per_connection = 100;
+  bool keep_alive = true;     ///< one connection, many requests
+  double post_fraction = 0.0; ///< request mix: probability a request POSTs
+  std::size_t post_bytes = 1024;          ///< POST payload size
+  double zipf_exponent = 1.0;             ///< GET file popularity skew
+  std::uint64_t seed = 7;
+  std::vector<std::string> files;         ///< GET targets (no leading slash)
+};
+
+/// Aggregate result of a run.  The latency histogram holds one sample per
+/// successful request (full round trip, including the connect when
+/// keep-alive is off — connection setup is part of what keep-alive saves).
+struct LoadReport {
+  std::uint64_t requests_sent = 0;
+  std::uint64_t ok = 0;            ///< 200/201 responses, fully received
+  std::uint64_t errors = 0;        ///< transport failures + 4xx/5xx
+  std::uint64_t rejected_503 = 0;  ///< server backpressure (not an error)
+  std::uint64_t reconnects = 0;    ///< keep-alive connections re-opened
+  std::uint64_t bytes_received = 0;  ///< 200 GET body bytes (served-byte oracle)
+  std::uint64_t bytes_posted = 0;    ///< bytes carried by successful POSTs
+  util::LatencyHistogram latency;    ///< ns per successful round trip
+  double elapsed_s = 0.0;
+
+  [[nodiscard]] double requests_per_sec() const {
+    return elapsed_s > 0.0 ? static_cast<double>(ok) / elapsed_s : 0.0;
+  }
+  [[nodiscard]] double mean_ms() const { return latency.mean_ns() / 1e6; }
+  [[nodiscard]] double quantile_ms(double q) const {
+    return static_cast<double>(latency.quantile_ns(q)) / 1e6;
+  }
+};
+
+/// Seeded multi-threaded load generator for the worker-pool server: drives
+/// a configurable GET/POST mix over N concurrent connections and reports
+/// throughput plus a latency histogram.  Tolerates server-side faults (a
+/// failed request counts and the connection is re-opened), so it doubles
+/// as the client side of the net-layer stress soak.
+class LoadGenerator {
+ public:
+  explicit LoadGenerator(LoadGenOptions options);
+
+  /// Runs the configured load against 127.0.0.1:port and blocks until
+  /// every connection finished its request budget.
+  [[nodiscard]] LoadReport run(std::uint16_t port) const;
+
+ private:
+  LoadGenOptions options_;
+};
+
+}  // namespace clio::net

@@ -1,7 +1,8 @@
 #include "net/server.hpp"
 
+#include <optional>
+
 #include "util/error.hpp"
-#include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "vm/assembler.hpp"
 
@@ -61,7 +62,12 @@ constexpr const char* kHandlerSource = R"(
 
 MiniWebServer::MiniWebServer(io::ManagedFileSystem& fs, ServerOptions options)
     : fs_(fs), options_(options) {
+  util::check<util::ConfigError>(options_.worker_threads >= 1,
+                                 "MiniWebServer: need at least one worker");
+  util::check<util::ConfigError>(options_.max_pending >= 1,
+                                 "MiniWebServer: need a nonempty queue");
   listener_ = std::make_unique<TcpListener>(options_.port);
+  options_.port = listener_->port();  // keep the ephemeral pick across stop()
   if (options_.vm_dispatch) {
     engine_ = std::make_unique<vm::ExecutionEngine>(
         vm::assemble(kHandlerSource), options_.vm_options, &fs_);
@@ -74,50 +80,153 @@ std::uint16_t MiniWebServer::port() const { return listener_->port(); }
 
 void MiniWebServer::start() {
   if (running_.exchange(true)) return;
+  // stop() closes the listener so late connectors are refused instead of
+  // parked in a backlog nobody drains; a restart re-binds the same port.
+  if (!listener_->listening()) {
+    listener_ = std::make_unique<TcpListener>(options_.port);
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(options_.worker_threads);
+  for (std::size_t i = 0; i < options_.worker_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
 }
 
 void MiniWebServer::stop() {
   if (!running_.exchange(false)) return;
+  queue_cv_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard<std::mutex> lock(workers_mutex_);
+  // Refuse late connectors: closing the listener resets any connection
+  // still parked in the backlog, so their clients error out instead of
+  // blocking in recv against a server that will never accept them.
+  listener_->close();
+  {
+    // Unblock workers parked in recv on idle keep-alive connections: their
+    // read side reports orderly shutdown, in-flight responses still send.
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    for (const int fd : active_fds_) shutdown_receives(fd);
+  }
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // Connections accepted but never picked up: close them (the client sees
+  // a clean close and can retry against a restarted server).
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  pending_.clear();
 }
 
 void MiniWebServer::accept_loop() {
   while (running_.load()) {
     Socket client = listener_->accept(/*timeout_ms=*/20);
     if (!client.valid()) continue;
-    std::lock_guard<std::mutex> lock(workers_mutex_);
-    // The paper's design: "a separate thread to handle each client
-    // connection.  The main thread continues accepting new connections."
-    workers_.emplace_back(
-        [this, socket = std::move(client)]() mutable {
-          handle_connection(std::move(socket));
-        });
+    counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+    if (options_.fault_injector != nullptr &&
+        options_.fault_injector->should_drop_accept()) {
+      counters_.dropped_accepts.fetch_add(1, std::memory_order_relaxed);
+      continue;  // client sees an immediate close
+    }
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    if (pending_.size() >= options_.max_pending) {
+      lock.unlock();
+      // Backpressure: answer 503 from the accept thread rather than hang
+      // the accept loop or queue unboundedly.  Best effort — the reply is
+      // small enough to fit the socket buffer of a fresh connection.
+      counters_.rejected_503.fetch_add(1, std::memory_order_relaxed);
+      try {
+        send_response(client, 503, "server busy", /*keep_alive=*/false);
+      } catch (const std::exception&) {
+      }
+      continue;
+    }
+    pending_.push_back(std::move(client));
+    lock.unlock();
+    queue_cv_.notify_one();
+  }
+}
+
+void MiniWebServer::worker_loop() {
+  while (true) {
+    Socket socket;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] {
+        return !running_.load() || !pending_.empty();
+      });
+      if (!running_.load()) return;  // stop() closes whatever is queued
+      socket = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    handle_connection(std::move(socket));
   }
 }
 
 void MiniWebServer::handle_connection(Socket socket) {
+  const int fd = socket.fd();
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    active_fds_.insert(fd);
+  }
+  // Close the stop() race: if stop() swept the active set before this fd
+  // was registered, its receives must still be shut down — either stop()
+  // sees the fd under the lock above, or we see running_ == false here.
+  if (!running_.load()) shutdown_receives(fd);
+  Channel* channel = &socket;
+  std::optional<FaultChannel> faulted;
+  if (options_.fault_injector != nullptr) {
+    faulted.emplace(socket, *options_.fault_injector);
+    channel = &*faulted;
+  }
+  HttpReader reader(*channel);
+  std::size_t served = 0;
   try {
-    const auto request = read_request(socket);
-    if (!request.has_value()) return;
-    if (request->method == "GET") {
-      do_get(socket, *request);
-    } else if (request->method == "POST") {
-      do_post(socket, *request);
-    } else {
-      send_response(socket, 405, "method not allowed");
+    bool keep = true;
+    while (keep) {
+      auto request = reader.read_request();
+      if (!request.has_value()) break;  // clean close between requests
+      counters_.requests.fetch_add(1, std::memory_order_relaxed);
+      ++served;
+      keep = options_.keep_alive && request->keep_alive && running_.load();
+      if (options_.max_requests_per_connection != 0 &&
+          served >= options_.max_requests_per_connection) {
+        keep = false;
+      }
+      dispatch(*channel, *request, keep);
     }
-  } catch (const std::exception& e) {
-    util::log_warn("web server: request failed: ", e.what());
+  } catch (const util::ParseError&) {
+    counters_.parse_errors.fetch_add(1, std::memory_order_relaxed);
     try {
-      send_response(socket, 500, "internal error");
-    } catch (...) {
+      send_response(*channel, 400, "bad request", /*keep_alive=*/false);
+    } catch (const std::exception&) {
     }
+  } catch (const std::exception&) {
+    // Connection-level failure (real or injected EIO): tear the connection
+    // down; the request mix soak counts these against the injector stats.
+    counters_.io_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  counters_.connections.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    active_fds_.erase(fd);
+  }
+  // `socket` closes on scope exit, after the fd left the active set.
+}
+
+void MiniWebServer::dispatch(Channel& channel, const HttpRequest& request,
+                             bool keep) {
+  try {
+    if (request.method == "GET") {
+      do_get(channel, request, keep);
+    } else if (request.method == "POST") {
+      do_post(channel, request, keep);
+    } else {
+      send_response(channel, 405, "method not allowed", keep);
+    }
+  } catch (const util::IoError&) {
+    throw;  // socket-level: the connection is gone, abort it
+  } catch (const std::exception&) {
+    counters_.request_errors.fetch_add(1, std::memory_order_relaxed);
+    send_response(channel, 500, "internal error", keep);
   }
 }
 
@@ -132,13 +241,14 @@ std::string MiniWebServer::read_file_vm(const std::string& name) {
   return content;
 }
 
-void MiniWebServer::do_get(const Socket& socket, const HttpRequest& request) {
+void MiniWebServer::do_get(Channel& channel, const HttpRequest& request,
+                           bool keep) {
   RequestSample sample;
   sample.is_get = true;
   util::Stopwatch total;
   const std::string name = request.file_name();
   if (name.empty() || !fs_.exists(name)) {
-    send_response(socket, 404, "no such file");
+    send_response(channel, 404, "no such file", keep);
     return;
   }
   // Timed portion, as in the paper: open the stream, read the data,
@@ -162,10 +272,16 @@ void MiniWebServer::do_get(const Socket& socket, const HttpRequest& request) {
   // Record before transmitting so samples appear in request order even if
   // this worker is preempted mid-send.
   record(sample);
-  send_response(socket, 200, content);
+  send_response(channel, 200, content, keep);
+  // Served-byte accounting happens only after the whole response left:
+  // a torn send must not count.
+  counters_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+  counters_.get_body_bytes_sent.fetch_add(content.size(),
+                                          std::memory_order_relaxed);
 }
 
-void MiniWebServer::do_post(const Socket& socket, const HttpRequest& request) {
+void MiniWebServer::do_post(Channel& channel, const HttpRequest& request,
+                            bool keep) {
   RequestSample sample;
   sample.is_get = false;
   util::Stopwatch total;
@@ -197,10 +313,14 @@ void MiniWebServer::do_post(const Socket& socket, const HttpRequest& request) {
   sample.bytes = request.body.size();
   sample.total_ms = total.elapsed_ms();
   record(sample);
-  send_response(socket, 201, name);
+  send_response(channel, 201, name, keep);
+  counters_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+  counters_.post_body_bytes.fetch_add(request.body.size(),
+                                      std::memory_order_relaxed);
 }
 
 void MiniWebServer::record(RequestSample sample) {
+  if (!record_samples_.load(std::memory_order_relaxed)) return;
   std::lock_guard<std::mutex> lock(samples_mutex_);
   samples_.push_back(sample);
 }
@@ -213,6 +333,22 @@ std::vector<RequestSample> MiniWebServer::samples() const {
 void MiniWebServer::clear_samples() {
   std::lock_guard<std::mutex> lock(samples_mutex_);
   samples_.clear();
+}
+
+ServerStats MiniWebServer::stats() const {
+  ServerStats s;
+  s.accepted = counters_.accepted.load();
+  s.dropped_accepts = counters_.dropped_accepts.load();
+  s.rejected_503 = counters_.rejected_503.load();
+  s.connections = counters_.connections.load();
+  s.requests = counters_.requests.load();
+  s.responses_ok = counters_.responses_ok.load();
+  s.get_body_bytes_sent = counters_.get_body_bytes_sent.load();
+  s.post_body_bytes = counters_.post_body_bytes.load();
+  s.parse_errors = counters_.parse_errors.load();
+  s.request_errors = counters_.request_errors.load();
+  s.io_errors = counters_.io_errors.load();
+  return s;
 }
 
 void MiniWebServer::make_cold() {

@@ -1,11 +1,15 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "io/managed_file.hpp"
+#include "net/fault_channel.hpp"
 #include "net/http.hpp"
 #include "vm/runtime.hpp"
 
@@ -23,6 +27,24 @@ struct RequestSample {
                           ///< so samples stay in request order)
 };
 
+/// Aggregate serving counters (snapshot; the live counters are atomics).
+/// These are the server side of the stress harness's served-byte oracle:
+/// get_body_bytes_sent counts only 200 bodies whose send completed, so it
+/// must equal the bytes the clients actually received in full responses.
+struct ServerStats {
+  std::uint64_t accepted = 0;         ///< connections the accept loop took
+  std::uint64_t dropped_accepts = 0;  ///< injected accept drops
+  std::uint64_t rejected_503 = 0;     ///< backpressure: queue was full
+  std::uint64_t connections = 0;      ///< connections fully handled
+  std::uint64_t requests = 0;         ///< requests parsed off a connection
+  std::uint64_t responses_ok = 0;     ///< 2xx responses fully transmitted
+  std::uint64_t get_body_bytes_sent = 0;   ///< 200 GET body bytes, post-send
+  std::uint64_t post_body_bytes = 0;  ///< bytes stored by successful POSTs
+  std::uint64_t parse_errors = 0;     ///< malformed requests (answered 400)
+  std::uint64_t request_errors = 0;   ///< handler failures (answered 500)
+  std::uint64_t io_errors = 0;        ///< connections torn down mid-exchange
+};
+
 struct ServerOptions {
   std::uint16_t port = 0;  ///< 0 = pick an ephemeral port
   /// Route file operations through a mini-CLI method instead of calling
@@ -30,15 +52,32 @@ struct ServerOptions {
   /// JIT-compilation component of the first-request latency (Table 6).
   bool vm_dispatch = false;
   vm::EngineOptions vm_options{};
+  /// Fixed worker pool size: the accept loop only accepts, workers serve.
+  /// (The paper's spawn-per-connection design is worker_threads = N with an
+  /// unbounded queue; a fixed pool is what "heavy traffic" deployments run.)
+  std::size_t worker_threads = 4;
+  /// Bounded hand-off queue between the accept loop and the workers.  When
+  /// it is full the accept loop answers 503 and closes instead of queueing
+  /// unboundedly — backpressure, not collapse.
+  std::size_t max_pending = 64;
+  /// Honor HTTP/1.1 keep-alive: one connection carries many requests.  Off,
+  /// every response closes (the paper's one-request-per-connection model).
+  bool keep_alive = true;
+  /// Per-connection request cap when keep-alive is on (0 = unlimited).
+  std::size_t max_requests_per_connection = 0;
+  /// When set (not owned), every accepted connection is wrapped in a
+  /// FaultChannel and the accept path consults should_drop_accept() — the
+  /// seeded net-layer fault plan, mirroring FaultStore under the pool.
+  NetFaultInjector* fault_injector = nullptr;
 };
 
-/// The paper's micro benchmark (§4): a multi-threaded web server where the
-/// main thread accepts connections and spawns one worker thread per
-/// connection ("a separate thread to handle each client connection").
-/// GET reads the requested file from the managed file system and returns
-/// it; POST writes the body to a new file named by a random number
-/// generator ("hence, no synchronization is required for write
-/// operations").  One request per connection, HTTP/1.0-style.
+/// The paper's §4 web-server micro benchmark, grown into a fixed-pool
+/// concurrent server: the main thread accepts connections into a bounded
+/// queue, `worker_threads` workers drain it, and each connection serves
+/// many requests via HTTP/1.1 keep-alive.  GET reads the requested file
+/// from the managed file system and returns it; POST writes the body to a
+/// new file named by a counter-derived random number ("hence, no
+/// synchronization is required for write operations").
 class MiniWebServer {
  public:
   MiniWebServer(io::ManagedFileSystem& fs, ServerOptions options = {});
@@ -47,10 +86,12 @@ class MiniWebServer {
   MiniWebServer(const MiniWebServer&) = delete;
   MiniWebServer& operator=(const MiniWebServer&) = delete;
 
-  /// Starts the accept loop.  Idempotent.
+  /// Starts the accept loop and the worker pool.  Idempotent.
   void start();
 
-  /// Stops accepting, joins every worker.  Idempotent.
+  /// Stops accepting, unblocks workers parked on idle keep-alive
+  /// connections (their receives are shut down; in-flight responses still
+  /// transmit), joins everything and closes queued connections.  Idempotent.
   void stop();
 
   [[nodiscard]] std::uint16_t port() const;
@@ -60,8 +101,17 @@ class MiniWebServer {
   [[nodiscard]] std::vector<RequestSample> samples() const;
   void clear_samples();
 
+  /// Toggles per-request sample recording (on by default).  Throughput
+  /// runs switch it off: they read aggregate stats() only, and the sample
+  /// log is a lock + push on every request.
+  void set_record_samples(bool on) { record_samples_.store(on); }
+
+  [[nodiscard]] ServerStats stats() const;
+
   /// Simulates an engine restart: flushes the VM's JIT cache and the
   /// buffer pool, so the next request is fully cold (Table 6 setup).
+  /// Safe to call while requests are in flight — pages a worker still
+  /// holds pinned simply stay resident.
   void make_cold();
 
   [[nodiscard]] const vm::ExecutionEngine* engine() const {
@@ -70,9 +120,11 @@ class MiniWebServer {
 
  private:
   void accept_loop();
+  void worker_loop();
   void handle_connection(Socket socket);
-  void do_get(const Socket& socket, const HttpRequest& request);
-  void do_post(const Socket& socket, const HttpRequest& request);
+  void dispatch(Channel& channel, const HttpRequest& request, bool keep);
+  void do_get(Channel& channel, const HttpRequest& request, bool keep);
+  void do_post(Channel& channel, const HttpRequest& request, bool keep);
   std::string read_file_vm(const std::string& name);
   void record(RequestSample sample);
 
@@ -82,11 +134,37 @@ class MiniWebServer {
   std::unique_ptr<vm::ExecutionEngine> engine_;
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
-  std::mutex workers_mutex_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> record_samples_{true};
   std::atomic<std::uint64_t> post_counter_{0};
+
+  // Accept-to-worker hand-off.
+  std::deque<Socket> pending_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+
+  // Descriptors of connections currently inside a worker, so stop() can
+  // shut their receives down and unblock idle keep-alive reads.
+  std::unordered_set<int> active_fds_;
+  std::mutex active_mutex_;
+
   std::vector<RequestSample> samples_;
   mutable std::mutex samples_mutex_;
+
+  struct Counters {
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> dropped_accepts{0};
+    std::atomic<std::uint64_t> rejected_503{0};
+    std::atomic<std::uint64_t> connections{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> responses_ok{0};
+    std::atomic<std::uint64_t> get_body_bytes_sent{0};
+    std::atomic<std::uint64_t> post_body_bytes{0};
+    std::atomic<std::uint64_t> parse_errors{0};
+    std::atomic<std::uint64_t> request_errors{0};
+    std::atomic<std::uint64_t> io_errors{0};
+  };
+  Counters counters_;
 };
 
 }  // namespace clio::net

@@ -5,6 +5,8 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -26,8 +28,6 @@ Socket& Socket::operator=(Socket&& other) noexcept {
   return *this;
 }
 
-Socket::~Socket() { close(); }
-
 void Socket::close() {
   if (fd_ >= 0) {
     ::close(fd_);
@@ -35,7 +35,11 @@ void Socket::close() {
   }
 }
 
-void Socket::send_all(const void* data, std::size_t n) const {
+void Socket::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::send_all(const void* data, std::size_t n) {
   check<IoError>(valid(), "Socket: send on closed socket");
   const auto* p = static_cast<const char*>(data);
   std::size_t sent = 0;
@@ -48,7 +52,39 @@ void Socket::send_all(const void* data, std::size_t n) const {
   }
 }
 
-std::size_t Socket::recv_some(void* out, std::size_t n) const {
+void Socket::send_parts(std::span<const std::byte> head,
+                        std::span<const std::byte> body) {
+  check<IoError>(valid(), "Socket: send on closed socket");
+  std::size_t sent = 0;
+  const std::size_t total = head.size() + body.size();
+  while (sent < total) {
+    iovec iov[2];
+    int iovcnt = 0;
+    if (sent < head.size()) {
+      iov[iovcnt++] = {const_cast<std::byte*>(head.data()) + sent,
+                       head.size() - sent};
+      if (!body.empty()) {
+        iov[iovcnt++] = {const_cast<std::byte*>(body.data()), body.size()};
+      }
+    } else {
+      const std::size_t into_body = sent - head.size();
+      iov[iovcnt++] = {const_cast<std::byte*>(body.data()) + into_body,
+                       body.size() - into_body};
+    }
+    // MSG_NOSIGNAL (as in send_all): a dead peer surfaces as EPIPE,
+    // not a process-killing SIGPIPE.
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t r = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (r < 0 && errno == EINTR) continue;
+    check<IoError>(r > 0, std::string("Socket: sendmsg failed: ") +
+                              std::strerror(errno));
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+std::size_t Socket::recv_some(void* out, std::size_t n) {
   check<IoError>(valid(), "Socket: recv on closed socket");
   while (true) {
     const ssize_t r = ::recv(fd_, out, n, 0);
@@ -59,15 +95,8 @@ std::size_t Socket::recv_some(void* out, std::size_t n) const {
   }
 }
 
-bool Socket::recv_exact(void* out, std::size_t n) const {
-  auto* p = static_cast<char*>(out);
-  std::size_t got = 0;
-  while (got < n) {
-    const std::size_t r = recv_some(p + got, n - got);
-    if (r == 0) return false;
-    got += r;
-  }
-  return true;
+void shutdown_receives(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RD);
 }
 
 TcpListener::TcpListener(std::uint16_t port) {
@@ -85,7 +114,7 @@ TcpListener::TcpListener(std::uint16_t port) {
                         sizeof(addr)) == 0,
                  std::string("TcpListener: bind failed: ") +
                      std::strerror(errno));
-  check<IoError>(::listen(fd, 64) == 0, "TcpListener: listen failed");
+  check<IoError>(::listen(fd, 128) == 0, "TcpListener: listen failed");
 
   socklen_t len = sizeof(addr);
   check<IoError>(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),
@@ -108,6 +137,14 @@ Socket TcpListener::accept(int timeout_ms) {
                                   std::strerror(errno));
   const int one = 1;
   ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Bound blocked sends: a peer that stops reading (malicious or gone)
+  // must not park a server worker in send() forever — after the timeout
+  // the send fails with EAGAIN, surfaces as IoError, and the connection
+  // is torn down.  This is also what keeps stop() joinable against
+  // non-reading clients (its SHUT_RD sweep cannot interrupt a send).
+  timeval send_timeout{/*tv_sec=*/5, /*tv_usec=*/0};
+  ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+               sizeof(send_timeout));
   return Socket(client);
 }
 

@@ -3,10 +3,12 @@
 #include <cstdint>
 #include <string>
 
+#include "net/channel.hpp"
+
 namespace clio::net {
 
-/// RAII POSIX socket descriptor.
-class Socket {
+/// RAII POSIX socket descriptor; the real-TCP Channel implementation.
+class Socket final : public Channel {
  public:
   Socket() = default;
   explicit Socket(int fd) : fd_(fd) {}
@@ -14,22 +16,31 @@ class Socket {
   Socket& operator=(Socket&& other) noexcept;
   Socket(const Socket&) = delete;
   Socket& operator=(const Socket&) = delete;
-  ~Socket();
+  ~Socket() override { close(); }
 
-  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] bool valid() const override { return fd_ >= 0; }
   [[nodiscard]] int fd() const { return fd_; }
-  void close();
+  void close() override;
+  /// shutdown(2) both directions; the fd stays open (and reserved).
+  void shutdown() override;
 
   /// Sends the whole buffer (throws IoError on failure).
-  void send_all(const void* data, std::size_t n) const;
+  void send_all(const void* data, std::size_t n) override;
   /// Receives up to n bytes; returns 0 at orderly shutdown.
-  [[nodiscard]] std::size_t recv_some(void* out, std::size_t n) const;
-  /// Receives exactly n bytes; returns false if the peer closed early.
-  [[nodiscard]] bool recv_exact(void* out, std::size_t n) const;
+  [[nodiscard]] std::size_t recv_some(void* out, std::size_t n) override;
+  /// Gathers head + body into one writev(2) instead of copying them into
+  /// a contiguous buffer first.
+  void send_parts(std::span<const std::byte> head,
+                  std::span<const std::byte> body) override;
 
  private:
   int fd_ = -1;
 };
+
+/// Disables further receives on a descriptor owned elsewhere: a blocked
+/// recv returns 0 as if the peer had closed.  Used by the server to unblock
+/// workers parked on idle keep-alive connections during stop().
+void shutdown_receives(int fd);
 
 /// Loopback TCP listener.  Binding port 0 picks an ephemeral port,
 /// retrievable via port() — tests and benches never collide.
@@ -37,6 +48,7 @@ class TcpListener {
  public:
   explicit TcpListener(std::uint16_t port);
   [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool listening() const { return socket_.valid(); }
 
   /// Blocks up to timeout_ms for a connection; returns an invalid Socket on
   /// timeout.  Throws IoError if the listener broke.

@@ -886,6 +886,32 @@ TEST_F(BufferPoolTest, DebugValidateSeesHeldPins) {
   pool_.debug_validate(/*expect_unpinned=*/false);
 }
 
+TEST_F(BufferPoolTest, EvictCleanDropsOnlyUnreferencedCleanPages) {
+  auto pinned = pool_.pin(file_, 0);
+  {
+    auto dirty = pool_.pin(file_, 1);
+    dirty.mark_dirty(256);
+  }
+  static_cast<void>(pool_.pin(file_, 2));  // clean, unpinned
+  EXPECT_EQ(pool_.resident_pages(), 3u);
+  // Unlike discard_file, evict_clean must tolerate the live pin and keep
+  // the dirty page; only the clean unreferenced page may go.
+  EXPECT_EQ(pool_.evict_clean(), 1u);
+  EXPECT_EQ(pool_.resident_pages(), 2u);
+  EXPECT_TRUE(pool_.contains(file_, 0));
+  EXPECT_TRUE(pool_.contains(file_, 1));
+  EXPECT_FALSE(pool_.contains(file_, 2));
+  pool_.debug_validate(/*expect_unpinned=*/false);
+  // After a flush everything unpinned is evictable.
+  pool_.flush_all();
+  EXPECT_EQ(pool_.evict_clean(), 1u);
+  EXPECT_TRUE(pool_.contains(file_, 0));  // still pinned, still resident
+  pinned = BufferPool::PageGuard{};  // drop the pin
+  EXPECT_EQ(pool_.evict_clean(), 1u);
+  EXPECT_EQ(pool_.resident_pages(), 0u);
+  pool_.debug_validate();
+}
+
 TEST_F(BufferPoolTest, StressEvictionKeepsContentsCoherent) {
   // Write a distinct marker into each of 8 pages through a 4-frame pool,
   // then read everything back: LRU thrash must not lose updates.

@@ -318,7 +318,7 @@ class MinimalStore final : public BackingStore {
     if (offset >= data.size()) return 0;
     const std::size_t n =
         std::min<std::size_t>(out.size(), data.size() - offset);
-    std::memcpy(out.data(), data.data() + offset, n);
+    if (n > 0) std::memcpy(out.data(), data.data() + offset, n);
     return n;
   }
   void write(FileId id, std::uint64_t offset,
@@ -326,7 +326,9 @@ class MinimalStore final : public BackingStore {
     write_calls++;
     auto& file = files_.at(id);
     if (offset + data.size() > file.size()) file.resize(offset + data.size());
-    std::memcpy(file.data() + offset, data.data(), data.size());
+    if (!data.empty()) {
+      std::memcpy(file.data() + offset, data.data(), data.size());
+    }
   }
   [[nodiscard]] bool exists(const std::string& name) const override {
     return by_name_.contains(name);
@@ -424,6 +426,89 @@ TEST(RealFileStore, FilesAppearUnderRoot) {
   store.write(id, 0, as_bytes("x"));
   store.close(id);
   EXPECT_TRUE(std::filesystem::exists(dir.path() / "visible.bin"));
+}
+
+TEST(RealFileStore, IdleFdCacheKeepsDescriptorsUsableAcrossReopen) {
+  util::TempDir dir;
+  RealFileStore store(dir.path(), /*idle_fd_cache=*/4);
+  const FileId id = store.open("hot.bin", true);
+  store.write(id, 0, as_bytes("abc"));
+  store.close(id);
+  // With the cache, the id stays usable after close (the descriptor is
+  // parked, not retired) and a reopen is a pure hash hit.
+  std::vector<std::byte> buf(3);
+  EXPECT_EQ(store.read(id, 0, buf), 3u);
+  EXPECT_EQ(to_string(buf, 3), "abc");
+  const FileId again = store.open("hot.bin", false);
+  EXPECT_EQ(again, id);
+  store.close(again);
+}
+
+TEST(RealFileStore, IdleFdCacheEvictsBeyondCap) {
+  util::TempDir dir;
+  RealFileStore store(dir.path(), /*idle_fd_cache=*/2);
+  // Three one-shot files cycle through a cache of two: the oldest idle
+  // descriptor is really closed, and its id goes back to strict
+  // operations-fail-after-close semantics until reopened.
+  const FileId a = store.open("a.bin", true);
+  const FileId b = store.open("b.bin", true);
+  const FileId c = store.open("c.bin", true);
+  store.write(a, 0, as_bytes("A"));
+  store.close(a);
+  store.close(b);
+  store.close(c);  // cache holds {b, c}; a was trimmed
+  std::vector<std::byte> buf(1);
+  EXPECT_THROW(static_cast<void>(store.read(a, 0, buf)), util::IoError);
+  // Reopening a revives the same id over the same bytes.
+  EXPECT_EQ(store.open("a.bin", false), a);
+  EXPECT_EQ(store.read(a, 0, buf), 1u);
+  EXPECT_EQ(to_string(buf, 1), "A");
+  store.close(a);
+}
+
+TEST(RealFileStore, IdleCachedFileCanBeRemoved) {
+  util::TempDir dir;
+  RealFileStore store(dir.path(), /*idle_fd_cache=*/4);
+  const FileId id = store.open("gone.bin", true);
+  store.write(id, 0, as_bytes("x"));
+  store.close(id);  // descriptor parked in the cache
+  store.remove("gone.bin");
+  EXPECT_FALSE(store.exists("gone.bin"));
+  EXPECT_FALSE(std::filesystem::exists(dir.path() / "gone.bin"));
+}
+
+TEST(RealFileStore, SizeCacheTracksWritesWritevAndTruncate) {
+  util::TempDir dir;
+  RealFileStore store(dir.path());
+  const FileId id = store.open("sz.bin", true);
+  EXPECT_EQ(store.size(id), 0u);  // first query fstats and caches
+  store.write(id, 0, as_bytes("0123456789"));
+  EXPECT_EQ(store.size(id), 10u);
+  store.write(id, 4, as_bytes("abc"));  // overwrite inside: no growth
+  EXPECT_EQ(store.size(id), 10u);
+  const std::string tail = "TAIL";
+  std::vector<std::span<const std::byte>> parts{as_bytes(tail)};
+  store.writev(id, 20, parts);  // gather extends past a hole
+  EXPECT_EQ(store.size(id), 24u);
+  store.truncate(id, 7);
+  EXPECT_EQ(store.size(id), 7u);
+  // The cached value matches what a fresh stat of the real file says.
+  EXPECT_EQ(std::filesystem::file_size(dir.path() / "sz.bin"), 7u);
+  store.close(id);
+}
+
+TEST(RealFileStore, ExistsAnswersFromTheNameTable) {
+  util::TempDir dir;
+  RealFileStore store(dir.path());
+  EXPECT_FALSE(store.exists("k.bin"));
+  const FileId id = store.open("k.bin", true);
+  EXPECT_TRUE(store.exists("k.bin"));
+  store.close(id);
+  // Closed (and with no idle cache, retired): the binding still proves
+  // existence without a stat.
+  EXPECT_TRUE(store.exists("k.bin"));
+  store.remove("k.bin");
+  EXPECT_FALSE(store.exists("k.bin"));
 }
 
 TEST(SimFileStore, AccumulatesModelTime) {

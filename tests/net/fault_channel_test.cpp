@@ -1,0 +1,191 @@
+#include "net/fault_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "io/file_store.hpp"
+#include "net/client.hpp"
+#include "net/http.hpp"
+#include "net/load_gen.hpp"
+#include "net/server.hpp"
+#include "util/error.hpp"
+#include "util/temp_dir.hpp"
+
+namespace clio::net {
+namespace {
+
+/// In-memory Channel double so injector behaviour is testable without a
+/// real peer: records sends, serves a scripted recv payload.
+class ScriptedChannel final : public Channel {
+ public:
+  explicit ScriptedChannel(std::string incoming)
+      : incoming_(std::move(incoming)) {}
+
+  void send_all(const void* data, std::size_t n) override {
+    sent_.append(static_cast<const char*>(data), n);
+  }
+  std::size_t recv_some(void* out, std::size_t n) override {
+    const std::size_t take = std::min(n, incoming_.size() - cursor_);
+    std::memcpy(out, incoming_.data() + cursor_, take);
+    cursor_ += take;
+    return take;
+  }
+  void close() override { closed_ = true; }
+  [[nodiscard]] bool valid() const override { return !closed_; }
+
+  std::string sent_;
+  std::string incoming_;
+  std::size_t cursor_ = 0;
+  bool closed_ = false;
+};
+
+TEST(NetFaultInjector, DisarmedForwardsEverythingUncounted) {
+  NetFaultPlan plan;
+  plan.recv_fail_prob = 1.0;
+  plan.send_fail_prob = 1.0;
+  plan.accept_drop_prob = 1.0;
+  NetFaultInjector injector(plan);
+  injector.arm(false);
+  ScriptedChannel inner("hello");
+  FaultChannel channel(inner, injector);
+  char buf[8];
+  EXPECT_EQ(channel.recv_some(buf, sizeof(buf)), 5u);
+  channel.send_all("out", 3);
+  EXPECT_EQ(inner.sent_, "out");
+  EXPECT_FALSE(injector.should_drop_accept());
+  EXPECT_EQ(injector.stats().total_faults(), 0u);
+  EXPECT_EQ(injector.stats().recv_calls, 0u);
+}
+
+TEST(NetFaultInjector, CertainFaultsFire) {
+  NetFaultPlan plan;
+  plan.recv_fail_prob = 1.0;
+  NetFaultInjector injector(plan);
+  ScriptedChannel inner("hello");
+  FaultChannel channel(inner, injector);
+  char buf[8];
+  EXPECT_THROW(static_cast<void>(channel.recv_some(buf, sizeof(buf))),
+               util::IoError);
+  EXPECT_EQ(injector.stats().recv_failures, 1u);
+
+  plan = NetFaultPlan{};
+  plan.send_fail_prob = 1.0;
+  injector.set_plan(plan);
+  EXPECT_THROW(channel.send_all("x", 1), util::IoError);
+  EXPECT_TRUE(inner.sent_.empty());  // clean EIO: nothing left the channel
+
+  plan = NetFaultPlan{};
+  plan.accept_drop_prob = 1.0;
+  injector.set_plan(plan);
+  EXPECT_TRUE(injector.should_drop_accept());
+}
+
+TEST(NetFaultInjector, RecvDisconnectReportsOrderlyShutdown) {
+  NetFaultPlan plan;
+  plan.recv_disconnect_prob = 1.0;
+  NetFaultInjector injector(plan);
+  ScriptedChannel inner("pending bytes");
+  FaultChannel channel(inner, injector);
+  char buf[8];
+  EXPECT_EQ(channel.recv_some(buf, sizeof(buf)), 0u);
+  EXPECT_TRUE(inner.closed_);
+  EXPECT_EQ(injector.stats().recv_disconnects, 1u);
+}
+
+TEST(NetFaultInjector, ShortSendTearsAndCloses) {
+  NetFaultPlan plan;
+  plan.short_send_prob = 1.0;
+  NetFaultInjector injector(plan);
+  ScriptedChannel inner("");
+  FaultChannel channel(inner, injector);
+  const std::string payload(1000, 'z');
+  EXPECT_THROW(channel.send_all(payload.data(), payload.size()),
+               util::IoError);
+  // A strict prefix reached the peer, then the connection broke.
+  EXPECT_LT(inner.sent_.size(), payload.size());
+  EXPECT_TRUE(inner.closed_);
+  EXPECT_EQ(injector.stats().short_sends, 1u);
+}
+
+TEST(NetFaultInjector, SameSeedReplaysSameDecisions) {
+  NetFaultPlan plan;
+  plan.seed = 1234;
+  plan.recv_fail_prob = 0.3;
+  plan.recv_disconnect_prob = 0.2;
+  const auto trace_of = [&] {
+    NetFaultInjector injector(plan);
+    ScriptedChannel inner(std::string(1, 'x'));
+    FaultChannel channel(inner, injector);
+    std::string trace;
+    for (int i = 0; i < 64; ++i) {
+      inner.closed_ = false;
+      inner.cursor_ = 0;
+      char buf[4];
+      try {
+        trace.push_back(channel.recv_some(buf, sizeof(buf)) == 0 ? 'd' : '.');
+      } catch (const util::IoError&) {
+        trace.push_back('f');
+      }
+    }
+    return trace;
+  };
+  const std::string a = trace_of();
+  const std::string b = trace_of();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find('f'), std::string::npos);
+  EXPECT_NE(a.find('d'), std::string::npos);
+}
+
+TEST(FaultChannelServer, ServerSurvivesAFaultStormAndServesCleanAfter) {
+  util::TempDir dir("clio-faultchan");
+  io::ManagedFileSystem fs(
+      std::make_unique<io::RealFileStore>(dir.path()),
+      io::ManagedFsOptions{});
+  {
+    auto file = fs.open("doc.bin", io::OpenMode::kTruncate);
+    std::vector<std::byte> content(8192, std::byte{0x42});
+    file.write(content);
+    file.close();
+  }
+
+  NetFaultPlan plan;
+  plan.seed = 77;
+  plan.accept_drop_prob = 0.05;
+  plan.recv_fail_prob = 0.05;
+  plan.recv_disconnect_prob = 0.05;
+  plan.send_fail_prob = 0.05;
+  plan.short_send_prob = 0.05;
+  NetFaultInjector injector(plan);
+
+  ServerOptions options;
+  options.worker_threads = 2;
+  options.fault_injector = &injector;
+  MiniWebServer server(fs, options);
+  server.start();
+
+  LoadGenOptions load;
+  load.connections = 4;
+  load.requests_per_connection = 50;
+  load.keep_alive = true;
+  load.seed = 77;
+  load.files = {"doc.bin"};
+  const LoadReport report = LoadGenerator(load).run(server.port());
+  // The storm must actually have fired, and some requests still succeed.
+  EXPECT_GT(injector.stats().total_faults(), 0u);
+  EXPECT_GT(report.ok, 0u);
+  EXPECT_GT(report.errors, 0u);
+
+  // Disarmed, the server serves exactly again.
+  injector.arm(false);
+  HttpClient client(server.port());
+  const auto response = client.get("/doc.bin");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body.size(), 8192u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace clio::net

@@ -25,7 +25,7 @@ void with_pair(ServerFn&& server_side, ClientFn&& client_side) {
 
 TEST(Http, RequestRoundTrip) {
   with_pair(
-      [](const Socket& socket) {
+      [](Socket& socket) {
         const auto request = read_request(socket);
         ASSERT_TRUE(request.has_value());
         EXPECT_EQ(request->method, "GET");
@@ -34,7 +34,7 @@ TEST(Http, RequestRoundTrip) {
         EXPECT_TRUE(request->body.empty());
         send_response(socket, 200, "payload");
       },
-      [](const Socket& socket) {
+      [](Socket& socket) {
         HttpRequest request;
         request.method = "GET";
         request.path = "/image.jpg";
@@ -48,7 +48,7 @@ TEST(Http, RequestRoundTrip) {
 TEST(Http, PostBodyRoundTrip) {
   const std::string body(10000, 'B');
   with_pair(
-      [&](const Socket& socket) {
+      [&](Socket& socket) {
         const auto request = read_request(socket);
         ASSERT_TRUE(request.has_value());
         EXPECT_EQ(request->method, "POST");
@@ -56,7 +56,7 @@ TEST(Http, PostBodyRoundTrip) {
         EXPECT_EQ(request->body, body);
         send_response(socket, 201, "created");
       },
-      [&](const Socket& socket) {
+      [&](Socket& socket) {
         HttpRequest request;
         request.method = "POST";
         request.path = "/upload";
@@ -70,13 +70,13 @@ TEST(Http, BinaryBodySurvives) {
   std::string body;
   for (int i = 0; i < 256; ++i) body.push_back(static_cast<char>(i));
   with_pair(
-      [&](const Socket& socket) {
+      [&](Socket& socket) {
         const auto request = read_request(socket);
         ASSERT_TRUE(request.has_value());
         EXPECT_EQ(request->body, body);
         send_response(socket, 200, request->body);
       },
-      [&](const Socket& socket) {
+      [&](Socket& socket) {
         HttpRequest request;
         request.method = "POST";
         request.path = "/bin";
@@ -88,7 +88,7 @@ TEST(Http, BinaryBodySurvives) {
 
 TEST(Http, CleanCloseYieldsNullopt) {
   with_pair(
-      [](const Socket& socket) {
+      [](Socket& socket) {
         EXPECT_FALSE(read_request(socket).has_value());
       },
       [](Socket& socket) { socket.close(); });
@@ -96,10 +96,11 @@ TEST(Http, CleanCloseYieldsNullopt) {
 
 TEST(Http, MalformedStartLineThrows) {
   with_pair(
-      [](const Socket& socket) {
-        EXPECT_THROW(read_request(socket), util::ParseError);
+      [](Socket& socket) {
+        EXPECT_THROW(static_cast<void>(read_request(socket)),
+                     util::ParseError);
       },
-      [](const Socket& socket) {
+      [](Socket& socket) {
         const std::string junk = "NONSENSE\r\n\r\n";
         socket.send_all(junk.data(), junk.size());
       });
@@ -107,18 +108,213 @@ TEST(Http, MalformedStartLineThrows) {
 
 TEST(Http, PathMustBeAbsolute) {
   with_pair(
-      [](const Socket& socket) {
-        EXPECT_THROW(read_request(socket), util::ParseError);
+      [](Socket& socket) {
+        EXPECT_THROW(static_cast<void>(read_request(socket)),
+                     util::ParseError);
       },
-      [](const Socket& socket) {
+      [](Socket& socket) {
         const std::string junk = "GET relative HTTP/1.0\r\n\r\n";
         socket.send_all(junk.data(), junk.size());
+      });
+}
+
+TEST(Http, TruncatedRequestLineThrows) {
+  // The peer dies mid start-line: bytes arrived but no header terminator
+  // ever will — that is a parse error, not a clean close.
+  with_pair(
+      [](Socket& socket) {
+        EXPECT_THROW(static_cast<void>(read_request(socket)),
+                     util::ParseError);
+      },
+      [](Socket& socket) {
+        const std::string partial = "GET /image.j";
+        socket.send_all(partial.data(), partial.size());
+        socket.close();
+      });
+}
+
+TEST(Http, TruncatedHeadersThrow) {
+  with_pair(
+      [](Socket& socket) {
+        EXPECT_THROW(static_cast<void>(read_request(socket)),
+                     util::ParseError);
+      },
+      [](Socket& socket) {
+        const std::string partial =
+            "GET /a HTTP/1.1\r\nContent-Length: 0\r\n";  // missing blank line
+        socket.send_all(partial.data(), partial.size());
+        socket.close();
+      });
+}
+
+TEST(Http, OversizedHeadersRejected) {
+  // A header block that never terminates must be refused at the cap, not
+  // buffered without bound.
+  with_pair(
+      [](Socket& socket) {
+        EXPECT_THROW(static_cast<void>(read_request(socket)),
+                     util::ParseError);
+      },
+      [](Socket& socket) {
+        std::string wire = "GET /a HTTP/1.1\r\nX-Padding: ";
+        wire.append(kMaxHeaderBytes + 4096, 'x');
+        try {
+          socket.send_all(wire.data(), wire.size());
+        } catch (const util::IoError&) {
+          // The server may close on us before the whole flood is written.
+        }
+      });
+}
+
+TEST(Http, MissingContentLengthMeansEmptyBody) {
+  with_pair(
+      [](Socket& socket) {
+        const auto request = read_request(socket);
+        ASSERT_TRUE(request.has_value());
+        EXPECT_EQ(request->method, "POST");
+        EXPECT_TRUE(request->body.empty());
+      },
+      [](Socket& socket) {
+        const std::string wire = "POST /upload HTTP/1.1\r\n\r\n";
+        socket.send_all(wire.data(), wire.size());
+        socket.close();
+      });
+}
+
+TEST(Http, ContentLengthLargerThanBodyThrows) {
+  // A lying Content-Length promising more bytes than the peer ever sends
+  // surfaces as a truncation error once the connection closes.
+  with_pair(
+      [](Socket& socket) {
+        EXPECT_THROW(static_cast<void>(read_request(socket)),
+                     util::ParseError);
+      },
+      [](Socket& socket) {
+        const std::string wire =
+            "POST /upload HTTP/1.0\r\nContent-Length: 100\r\n\r\nshort";
+        socket.send_all(wire.data(), wire.size());
+        socket.close();
+      });
+}
+
+TEST(Http, GarbageContentLengthThrows) {
+  with_pair(
+      [](Socket& socket) {
+        EXPECT_THROW(static_cast<void>(read_request(socket)),
+                     util::ParseError);
+      },
+      [](Socket& socket) {
+        const std::string wire =
+            "POST /upload HTTP/1.0\r\nContent-Length: 12abc\r\n\r\n";
+        socket.send_all(wire.data(), wire.size());
+      });
+}
+
+TEST(Http, AbsurdContentLengthRejectedBeforeBuffering) {
+  with_pair(
+      [](Socket& socket) {
+        EXPECT_THROW(static_cast<void>(read_request(socket)),
+                     util::ParseError);
+      },
+      [](Socket& socket) {
+        const std::string wire = "POST /upload HTTP/1.0\r\nContent-Length: " +
+                                 std::to_string(kMaxBodyBytes + 1) +
+                                 "\r\n\r\n";
+        socket.send_all(wire.data(), wire.size());
+      });
+}
+
+TEST(Http, ContentLengthSmallerThanSentLeavesPipelinedBytes) {
+  // A Content-Length shorter than what was sent is not an error: the
+  // surplus is the next pipelined message.  (The pre-keep-alive parser
+  // rejected this as "body exceeds Content-Length".)
+  with_pair(
+      [](Socket& socket) {
+        HttpReader reader(socket);
+        const auto first = reader.read_request();
+        ASSERT_TRUE(first.has_value());
+        EXPECT_EQ(first->body, "12345");
+        EXPECT_TRUE(reader.has_buffered());
+        const auto second = reader.read_request();
+        ASSERT_TRUE(second.has_value());
+        EXPECT_EQ(second->method, "GET");
+        EXPECT_EQ(second->path, "/next");
+      },
+      [](Socket& socket) {
+        const std::string wire =
+            "POST /upload HTTP/1.1\r\nContent-Length: 5\r\n\r\n"
+            "12345GET /next HTTP/1.1\r\n\r\n";
+        socket.send_all(wire.data(), wire.size());
+        socket.close();
+      });
+}
+
+TEST(Http, PipelinedRequestsParseFromOneBuffer) {
+  // Both requests land in one TCP segment; the reader must serve the
+  // second from its buffer instead of blocking on the socket.
+  with_pair(
+      [](Socket& socket) {
+        HttpReader reader(socket);
+        const auto a = reader.read_request();
+        ASSERT_TRUE(a.has_value());
+        EXPECT_EQ(a->path, "/a.jpg");
+        send_response(socket, 200, "A", /*keep_alive=*/true);
+        const auto b = reader.read_request();
+        ASSERT_TRUE(b.has_value());
+        EXPECT_EQ(b->path, "/b.jpg");
+        send_response(socket, 200, "B", /*keep_alive=*/false);
+      },
+      [](Socket& socket) {
+        const std::string wire =
+            "GET /a.jpg HTTP/1.1\r\n\r\nGET /b.jpg HTTP/1.1\r\n\r\n";
+        socket.send_all(wire.data(), wire.size());
+        HttpReader reader(socket);
+        EXPECT_EQ(reader.read_response().body, "A");
+        EXPECT_EQ(reader.read_response().body, "B");
+      });
+}
+
+TEST(Http, KeepAliveNegotiation) {
+  // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an explicit
+  // Connection header overrides either default.
+  const std::vector<std::pair<std::string, bool>> cases = {
+      {"GET /a HTTP/1.1\r\n\r\n", true},
+      {"GET /a HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+      {"GET /a HTTP/1.1\r\nConnection: Keep-Alive\r\n\r\n", true},
+      {"GET /a HTTP/1.0\r\n\r\n", false},
+      {"GET /a HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+  };
+  for (const auto& [wire, expected] : cases) {
+    SCOPED_TRACE(wire);
+    with_pair(
+        [&](Socket& socket) {
+          const auto request = read_request(socket);
+          ASSERT_TRUE(request.has_value());
+          EXPECT_EQ(request->keep_alive, expected);
+        },
+        [&](Socket& socket) { socket.send_all(wire.data(), wire.size()); });
+  }
+}
+
+TEST(Http, ResponseCarriesKeepAliveFlag) {
+  with_pair(
+      [](Socket& socket) {
+        send_response(socket, 200, "first", /*keep_alive=*/true);
+        send_response(socket, 200, "last", /*keep_alive=*/false);
+      },
+      [](Socket& socket) {
+        HttpReader reader(socket);
+        const auto first = reader.read_response();
+        EXPECT_TRUE(first.keep_alive);
+        const auto last = reader.read_response();
+        EXPECT_FALSE(last.keep_alive);
       });
 }
 
 TEST(Http, ReasonPhrases) {
   EXPECT_EQ(reason_phrase(200), "OK");
   EXPECT_EQ(reason_phrase(404), "Not Found");
+  EXPECT_EQ(reason_phrase(503), "Service Unavailable");
   EXPECT_EQ(reason_phrase(599), "Unknown");
 }
 

@@ -167,6 +167,52 @@ TEST(FaultStress, DiskFullMidRun) {
   }
 }
 
+TEST(FaultStress, SharedFileTokenedAccessUnderFaults) {
+  // ROADMAP open item: one file shared by every thread, per-page tokens
+  // arbitrating byte access, so cross-thread same-page pin interleavings
+  // (pin after foreign pin, prefetch racing a pin, discard observing a
+  // foreign pin and unwinding) run under the full fault mix.  The oracle
+  // checks uniformity + membership of every value ever written.
+  for (const std::uint64_t seed : seeds_under_test()) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    util::TempDir dir("clio-stress");
+    io::RealFileStore store(dir.path());
+    StressConfig config;
+    config.seed = seed;
+    config.threads = 6;
+    config.shards = 4;
+    config.capacity_pages = 24;  // < pages_per_file: eviction churn too
+    config.pages_per_file = 40;
+    config.ops_per_thread = ops_per_thread();
+    config.shared_file = true;
+    config.faults = mixed_plan();
+    const StressResult result = run_stress(store, config);
+    expect_clean(result, seed);
+  }
+}
+
+TEST(FaultStress, SharedFileWithAsyncPrefetchWorkers) {
+  // The same shared-file contention with background readahead workers in
+  // the mix: worker gathers target pages other threads hold tokens for.
+  for (const std::uint64_t seed : seeds_under_test()) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    io::SimFileStore store(4, 64 * 1024);
+    StressConfig config;
+    config.seed = seed;
+    config.threads = 4;
+    config.shards = 4;
+    config.capacity_pages = 32;
+    config.pages_per_file = 40;
+    config.ops_per_thread = ops_per_thread();
+    config.shared_file = true;
+    config.async_prefetch = true;
+    config.prefetch_threads = 2;
+    config.faults = mixed_plan();
+    const StressResult result = run_stress(store, config);
+    expect_clean(result, seed);
+  }
+}
+
 TEST(FaultStress, ShardSweepStaysCoherent) {
   // The shard count changes which locks protect which pages but must never
   // change observable behaviour.

@@ -32,6 +32,7 @@
 #include <cstring>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +56,15 @@ struct StressConfig {
   std::uint64_t ops_per_thread = 2000;
   bool async_prefetch = false;
   std::size_t prefetch_threads = 2;
+  /// Shared-file mode: every thread works on ONE file, with a per-page
+  /// try-lock token deciding who may touch a page's bytes.  This exercises
+  /// cross-thread same-page pin interleavings (two threads pinning the
+  /// same page back-to-back, prefetch racing a pin, discard racing a
+  /// foreign pin) that the per-thread-file mode cannot reach.  The oracle
+  /// is necessarily weaker — flush/discard interleave with other threads'
+  /// writes, so pages are checked for uniformity + membership in the set
+  /// of values ever written, never exactness.
+  bool shared_file = false;
   /// Faults to inject; `seed` and `torn_granularity` are overridden by the
   /// harness (granularity must equal page_size — see file comment).
   io::FaultPlan faults{};
@@ -206,6 +216,79 @@ class PageOracle {
   std::vector<Page> pages_;
 };
 
+/// Oracle for the shared-file mode: per page, the set of byte values any
+/// thread ever wrote (plus 0, the never-written hole value).  Exactness is
+/// impossible when flush/discard interleave with other threads' writes, so
+/// reads and the final backing scan check uniformity + set membership —
+/// still strong enough to catch torn intra-page writes, cross-page mixing
+/// and resurrected garbage.  Byte access is token-guarded by the caller;
+/// this class only guards its own bookkeeping.
+class SharedPageOracle {
+ public:
+  explicit SharedPageOracle(std::size_t pages) : pages_(pages) {}
+
+  void on_write(std::uint64_t page, std::uint8_t v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Page& p = pages_.at(page);
+    p.written = true;
+    p.values.insert(v);
+  }
+
+  std::string check_read(std::uint64_t page, std::span<const std::byte> data) {
+    const auto b = static_cast<std::uint8_t>(data[0]);
+    for (std::size_t i = 1; i < data.size(); ++i) {
+      if (static_cast<std::uint8_t>(data[i]) != b) {
+        return "shared page " + std::to_string(page) +
+               " not uniform: byte " + std::to_string(i) + " is " +
+               std::to_string(static_cast<int>(data[i])) + " vs " +
+               std::to_string(b);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!pages_.at(page).values.contains(b)) {
+      return "shared page " + std::to_string(page) + " read " +
+             std::to_string(b) + ", never written by any thread";
+    }
+    return {};
+  }
+
+  void final_check(io::BackingStore& store, io::FileId file,
+                   std::size_t page_size, const std::string& tag,
+                   std::vector<std::string>& failures) const {
+    std::vector<std::byte> buf(page_size);
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::uint64_t page = 0; page < pages_.size(); ++page) {
+      if (!pages_[page].written) continue;
+      std::fill(buf.begin(), buf.end(), std::byte{0});
+      static_cast<void>(store.read(file, page * page_size, buf));
+      const auto b = static_cast<std::uint8_t>(buf[0]);
+      for (std::size_t i = 1; i < buf.size(); ++i) {
+        if (buf[i] != buf[0]) {
+          failures.push_back(tag + ": shared backing page " +
+                             std::to_string(page) +
+                             " not uniform after final flush");
+          break;
+        }
+      }
+      if (!pages_[page].values.contains(b)) {
+        failures.push_back(tag + ": shared backing page " +
+                           std::to_string(page) + " holds " +
+                           std::to_string(b) +
+                           ", never written by any thread");
+      }
+    }
+  }
+
+ private:
+  struct Page {
+    bool written = false;
+    std::set<std::uint8_t> values{0};
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Page> pages_;
+};
+
 /// Runs one seeded stress round over the given backing store (the store is
 /// wrapped in a FaultStore internally).  The store must be empty/fresh.
 inline StressResult run_stress(io::BackingStore& backing,
@@ -220,10 +303,14 @@ inline StressResult run_stress(io::BackingStore& backing,
   faults.arm(false);  // setup must not fault
 
   std::vector<io::FileId> files;
-  files.reserve(static_cast<std::size_t>(config.threads));
-  for (int t = 0; t < config.threads; ++t) {
-    files.push_back(
-        faults.open("stress-" + std::to_string(t) + ".bin", true));
+  if (config.shared_file) {
+    files.push_back(faults.open("stress-shared.bin", true));
+  } else {
+    files.reserve(static_cast<std::size_t>(config.threads));
+    for (int t = 0; t < config.threads; ++t) {
+      files.push_back(
+          faults.open("stress-" + std::to_string(t) + ".bin", true));
+    }
   }
 
   io::BufferPool pool(
@@ -241,6 +328,83 @@ inline StressResult run_stress(io::BackingStore& backing,
   std::vector<PageOracle> oracles(
       static_cast<std::size_t>(config.threads),
       PageOracle(config.pages_per_file));
+  SharedPageOracle shared_oracle(config.pages_per_file);
+  // Shared mode: per-page try-lock tokens arbitrate byte access, so page
+  // bytes are never raced at the user level (TSan stays meaningful) while
+  // pins, prefetches, flushes and discards of the same page interleave
+  // freely across threads.  Additionally, byte WRITERS take `file_rw`
+  // shared and flush/discard take it exclusive: a flush write-back reads
+  // page bytes outside any pool lock, so overlapping it with a guard
+  // writer's mutation of a captured dirty page would be a genuine data
+  // race — the reader/writer arrangement the ROADMAP item called for.
+  // Pure readers need neither (they race nobody: writers hold the page
+  // token, eviction/flush only read alongside them).
+  std::vector<std::mutex> page_tokens(
+      config.shared_file ? config.pages_per_file : 0);
+  std::shared_mutex file_rw;
+
+  auto shared_worker = [&](int t) {
+    const std::string tag =
+        "seed=" + std::to_string(config.seed) + " thread=" +
+        std::to_string(t) + " (shared)";
+    util::Rng rng(util::SplitMix64(config.seed * 0x9e37u + t).next());
+    const io::FileId file = files[0];
+    std::vector<std::byte> copy(config.page_size);
+    std::uint32_t write_counter = 0;
+    for (std::uint64_t i = 0; i < config.ops_per_thread; ++i) {
+      const std::uint64_t dice = rng.uniform_u64(100);
+      const std::uint64_t page = rng.uniform_u64(config.pages_per_file);
+      try {
+        if (dice < 60) {
+          // Byte access needs the page token; when another thread holds
+          // it, turn the op into pin pressure on that very page instead.
+          if (page_tokens[page].try_lock()) {
+            std::lock_guard<std::mutex> token(page_tokens[page],
+                                              std::adopt_lock);
+            if (dice < 30) {
+              {
+                auto guard = pool.pin(file, page);
+                std::memcpy(copy.data(), guard.data().data(),
+                            config.page_size);
+              }
+              const std::string err = shared_oracle.check_read(page, copy);
+              if (!err.empty()) {
+                std::lock_guard<std::mutex> lock(failure_mutex);
+                failures.push_back(tag + " op=" + std::to_string(i) + ": " +
+                                   err);
+              }
+            } else {
+              const auto v = static_cast<std::uint8_t>(
+                  1 + (static_cast<std::uint32_t>(t) * 37 +
+                       ++write_counter) %
+                          250);
+              std::shared_lock<std::shared_mutex> rw(file_rw);
+              auto guard = pool.pin(file, page);
+              std::memset(guard.data().data(), v, config.page_size);
+              guard.mark_dirty(config.page_size);
+              shared_oracle.on_write(page, v);
+            }
+          } else {
+            static_cast<void>(pool.prefetch_range_async(file, page, 4));
+          }
+        } else if (dice < 72) {
+          std::unique_lock<std::shared_mutex> rw(file_rw);
+          pool.flush_file(file);
+        } else if (dice < 76) {
+          // May observe a peer's pinned page and throw — that unwinding
+          // path is exactly what this mode adds.
+          std::unique_lock<std::shared_mutex> rw(file_rw);
+          pool.discard_file(file);
+        } else if (dice < 92) {
+          static_cast<void>(pool.prefetch_range_async(file, page, 8));
+        } else {
+          pool.drain_prefetches();
+        }
+      } catch (const util::IoError&) {
+        surfaced.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
 
   auto worker = [&](int t) {
     const std::string tag =
@@ -311,7 +475,13 @@ inline StressResult run_stress(io::BackingStore& backing,
   {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<std::size_t>(config.threads));
-    for (int t = 0; t < config.threads; ++t) threads.emplace_back(worker, t);
+    for (int t = 0; t < config.threads; ++t) {
+      if (config.shared_file) {
+        threads.emplace_back(shared_worker, t);
+      } else {
+        threads.emplace_back(worker, t);
+      }
+    }
     for (auto& th : threads) th.join();
   }
 
@@ -338,10 +508,15 @@ inline StressResult run_stress(io::BackingStore& backing,
   } catch (const util::IoError& e) {
     result.failures.push_back(seed_tag + ": " + e.what());
   }
-  for (int t = 0; t < config.threads; ++t) {
-    oracles[static_cast<std::size_t>(t)].final_check(
-        backing, files[static_cast<std::size_t>(t)], config.page_size,
-        seed_tag + " thread=" + std::to_string(t), result.failures);
+  if (config.shared_file) {
+    shared_oracle.final_check(backing, files[0], config.page_size,
+                              seed_tag + " (shared)", result.failures);
+  } else {
+    for (int t = 0; t < config.threads; ++t) {
+      oracles[static_cast<std::size_t>(t)].final_check(
+          backing, files[static_cast<std::size_t>(t)], config.page_size,
+          seed_tag + " thread=" + std::to_string(t), result.failures);
+    }
   }
   return result;
 }
