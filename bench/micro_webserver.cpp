@@ -15,15 +15,29 @@
 //                latency): degraded-mode serving.  After the storm the
 //                injector is disarmed and one clean request plus a pool
 //                invariant check prove the server survived intact.
+//   resilience — the storage-side resilience chain (RealFileStore <-
+//                FaultStore <- RetryingStore + circuit breaker) under the
+//                server: clean throughput through the retry wrapper (its
+//                overhead), throughput during a transient-EIO burst
+//                (degraded mode: absorbed retries, breaker trips, 503s),
+//                and the recovery timeline once the faults stop.
 //
-// Usage: micro_webserver [all|throughput|faults]  (default: all)
+// Usage: micro_webserver [all|throughput|faults|resilience]  (default: all)
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "core/webserver_benchmark.hpp"
+#include "io/fault_store.hpp"
+#include "io/file_store.hpp"
+#include "io/retrying_store.hpp"
+#include "net/client.hpp"
 #include "net/load_gen.hpp"
+#include "net/server.hpp"
+#include "util/resilience.hpp"
 #include "util/temp_dir.hpp"
 
 namespace {
@@ -152,6 +166,123 @@ void bench_faults() {
   }
 }
 
+void bench_resilience() {
+  util::TempDir dir("clio-microweb");
+
+  auto real = std::make_unique<io::RealFileStore>(dir.path());
+  auto faulty = std::make_unique<io::FaultStore>(std::move(real));
+  io::FaultStore* fault = faulty.get();
+  fault->arm(false);
+
+  util::CircuitBreakerConfig breaker_cfg;
+  breaker_cfg.failure_threshold = 8;
+  breaker_cfg.open_cooldown_ms = 100;
+  util::CircuitBreaker breaker(breaker_cfg);
+
+  io::RetryPolicy policy;
+  policy.backoff.max_retries = 3;
+  policy.backoff.base_delay_us = 50;
+  policy.backoff.max_delay_us = 2000;
+  auto retrying = std::make_unique<io::RetryingStore>(std::move(faulty),
+                                                      policy, &breaker);
+  io::RetryingStore* retry = retrying.get();
+
+  // A pool smaller than the working set so the load keeps reaching the
+  // (faulty, retried) store instead of soaking in cache.
+  io::ManagedFsOptions fs_options;
+  fs_options.pool_pages = 64;
+  io::ManagedFileSystem fs(std::move(retrying), fs_options);
+  retry->bind_stats(&fs.stats());
+
+  std::vector<std::string> files;
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::string name = "doc" + std::to_string(i) + ".bin";
+    std::vector<std::byte> content(30000 + i * 25000, std::byte{0x42});
+    auto file = fs.open(name, io::OpenMode::kTruncate);
+    file.write(content);
+    file.close();
+    files.push_back(name);
+  }
+
+  net::ServerOptions options;
+  options.worker_threads = 4;
+  options.breaker = &breaker;
+  options.request_deadline_ms = 2000;
+  net::MiniWebServer server(fs, options);
+  server.start();
+
+  net::LoadGenOptions load;
+  load.connections = 4;
+  load.requests_per_connection = 400;
+  load.keep_alive = true;
+  load.seed = 17;
+  load.files = files;
+  load.recv_timeout_ms = 30'000;
+
+  io::FaultPlan burst;
+  burst.seed = 0xbadd15c;
+  for (auto& p : burst.fail_prob) p = 0.25;
+  burst.short_read_prob = 0.05;
+
+  for (const bool degraded : {false, true}) {
+    fault->set_plan(degraded ? burst : io::FaultPlan{});
+    fault->arm(degraded);
+    retry->reset_stats();
+    breaker.reset();
+    fs.drop_caches();
+    const net::LoadReport report = net::LoadGenerator(load).run(server.port());
+    const io::RetryStats rstats = retry->stats();
+    const util::CircuitBreaker::Stats bstats = breaker.stats();
+    std::printf(
+        "resilience  %-8s  conns=4  %9.0f req/s  (%llu ok, %llu 503, "
+        "%llu err)  retries: %llu absorbed %llu exhausted  breaker: "
+        "%llu trips %llu fast-fails\n",
+        degraded ? "degraded" : "clean", report.requests_per_sec(),
+        static_cast<unsigned long long>(report.ok),
+        static_cast<unsigned long long>(report.rejected_503),
+        static_cast<unsigned long long>(report.errors),
+        static_cast<unsigned long long>(rstats.absorbed),
+        static_cast<unsigned long long>(rstats.exhausted),
+        static_cast<unsigned long long>(bstats.trips),
+        static_cast<unsigned long long>(bstats.fast_fails));
+  }
+
+  // Recovery timeline: faults off, measure how long until the breaker is
+  // closed again and a clean GET round-trips.
+  fault->arm(false);
+  const auto start = std::chrono::steady_clock::now();
+  bool recovered = false;
+  net::HttpClient probe(server.port(), /*keep_alive=*/true);
+  for (int i = 0; i < 500 && !recovered; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    try {
+      // Inside the try: flushing pages left dirty during the burst
+      // fast-fails while the breaker is still open.
+      fs.drop_caches();
+      recovered = probe.get("/" + files[0]).status == 200 &&
+                  breaker.state() == util::CircuitBreaker::State::kClosed;
+    } catch (const std::exception&) {
+    }
+  }
+  const auto recovery_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  server.stop();
+  fs.pool().drain_prefetches();
+  try {
+    fs.pool().debug_validate();
+    std::printf(
+        "resilience  recovery: %s in %lld ms (breaker %s), pool invariants "
+        "OK\n",
+        recovered ? "recovered" : "NOT RECOVERED",
+        static_cast<long long>(recovery_ms),
+        util::circuit_state_name(breaker.state()).data());
+  } catch (const std::exception& e) {
+    std::printf("resilience  INVARIANT VIOLATION: %s\n", e.what());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -170,6 +301,12 @@ int main(int argc, char** argv) {
   if (enabled("faults")) {
     std::printf("-- degraded mode: seeded net-layer fault injection --\n");
     bench_faults();
+    std::printf("\n");
+  }
+  if (enabled("resilience")) {
+    std::printf(
+        "-- resilience: retry + circuit breaker over storage faults --\n");
+    bench_resilience();
   }
   return 0;
 }

@@ -206,9 +206,17 @@ FaultStore::Decision FaultStore::decide(FaultOp op,
 }
 
 void FaultStore::throw_injected(FaultOp op, const Decision& d) const {
-  throw IoError("FaultStore: injected " + std::string(d.reason) + " on " +
-                std::string(fault_op_name(op)) + " (call #" +
-                std::to_string(d.call_index) + ")");
+  const std::string what = "FaultStore: injected " + std::string(d.reason) +
+                           " on " + std::string(fault_op_name(op)) +
+                           " (call #" + std::to_string(d.call_index) + ")";
+  // Clean EIOs and short reads are transient: nothing durable changed, a
+  // retry may succeed.  Torn writes and disk-full are permanent: bytes (or
+  // a quota) are gone, so blind re-issue would corrupt — plain IoError.
+  const bool is_write = op == FaultOp::kWrite || op == FaultOp::kWritev;
+  if (d.fail_clean || (d.tear && !is_write)) {
+    throw util::TransientIoError(what);
+  }
+  throw IoError(what);
 }
 
 // ------------------------------------------------------------- data ops ----

@@ -18,6 +18,23 @@ namespace clio::io {
 using util::check;
 using util::IoError;
 
+namespace {
+
+/// Throws for a failed data-path syscall, classified by errno: a flaky
+/// medium (EIO) or a transiently unready descriptor (EAGAIN/EWOULDBLOCK)
+/// is retryable — TransientIoError — while anything else (EBADF, EFBIG,
+/// ENOSPC...) is a definitive answer and stays a plain IoError.
+[[noreturn]] void throw_syscall_error(const char* what, int err) {
+  const std::string msg =
+      std::string("RealFileStore: ") + what + " failed: " + std::strerror(err);
+  if (err == EIO || err == EAGAIN || err == EWOULDBLOCK) {
+    throw util::TransientIoError(msg);
+  }
+  throw IoError(msg);
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------- base ----
 
 void BackingStore::writev(FileId id, std::uint64_t offset,
@@ -192,8 +209,7 @@ std::size_t RealFileStore::read(FileId id, std::uint64_t offset,
                 static_cast<off_t>(offset + total));
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw IoError(std::string("RealFileStore: pread failed: ") +
-                    std::strerror(errno));
+      throw_syscall_error("pread", errno);
     }
     if (n == 0) break;  // EOF
     total += static_cast<std::size_t>(n);
@@ -210,8 +226,7 @@ void RealFileStore::write(FileId id, std::uint64_t offset,
                  static_cast<off_t>(offset + total));
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw IoError(std::string("RealFileStore: pwrite failed: ") +
-                    std::strerror(errno));
+      throw_syscall_error("pwrite", errno);
     }
     total += static_cast<std::size_t>(n);
   }
@@ -235,8 +250,7 @@ void RealFileStore::writev(FileId id, std::uint64_t offset,
         ::pwritev(fd, iov.data() + next, cnt, static_cast<off_t>(offset));
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw IoError(std::string("RealFileStore: pwritev failed: ") +
-                    std::strerror(errno));
+      throw_syscall_error("pwritev", errno);
     }
     offset += static_cast<std::uint64_t>(n);
     // Consume fully-written iovecs; trim a partially-written one.
@@ -272,8 +286,7 @@ std::size_t RealFileStore::readv(FileId id, std::uint64_t offset,
         ::preadv(fd, iov.data() + next, cnt, static_cast<off_t>(offset));
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw IoError(std::string("RealFileStore: preadv failed: ") +
-                    std::strerror(errno));
+      throw_syscall_error("preadv", errno);
     }
     if (n == 0) break;  // EOF
     offset += static_cast<std::uint64_t>(n);

@@ -45,6 +45,37 @@ void IoStats::reset() {
   for (auto& h : histograms_) h.reset();
   bytes_.fill(0);
   records_.clear();
+  resilience_ = ResilienceCounters{};
+}
+
+void IoStats::record_retry() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  resilience_.retries++;
+}
+
+void IoStats::record_absorbed_fault() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  resilience_.absorbed_faults++;
+}
+
+void IoStats::record_breaker_trip() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  resilience_.breaker_trips++;
+}
+
+void IoStats::record_breaker_fast_fail() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  resilience_.breaker_fast_fails++;
+}
+
+void IoStats::record_deadline_expiry() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  resilience_.deadline_expiries++;
+}
+
+ResilienceCounters IoStats::resilience() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resilience_;
 }
 
 const util::RunningStats& IoStats::op_stats(IoOp op) const {
@@ -88,6 +119,14 @@ void IoStats::render(std::ostream& os) const {
                    std::to_string(bytes_[i])});
   }
   table.render(os);
+  const auto& r = resilience_;
+  if (r.retries != 0 || r.absorbed_faults != 0 || r.breaker_trips != 0 ||
+      r.breaker_fast_fails != 0 || r.deadline_expiries != 0) {
+    os << "resilience: retries=" << r.retries
+       << " absorbed=" << r.absorbed_faults << " trips=" << r.breaker_trips
+       << " fast_fails=" << r.breaker_fast_fails
+       << " deadline_expiries=" << r.deadline_expiries << "\n";
+  }
 }
 
 }  // namespace clio::io

@@ -43,6 +43,17 @@ struct OpRecord {
   double ms;            ///< measured latency in milliseconds
 };
 
+/// Resilience-layer counters: what the retry/breaker machinery did on top
+/// of the raw op latencies.  Snapshot value returned by
+/// IoStats::resilience().
+struct ResilienceCounters {
+  std::uint64_t retries = 0;            ///< transient failures re-issued
+  std::uint64_t absorbed_faults = 0;    ///< ops that failed, retried, succeeded
+  std::uint64_t breaker_trips = 0;      ///< circuit-breaker open transitions
+  std::uint64_t breaker_fast_fails = 0; ///< calls refused by an open breaker
+  std::uint64_t deadline_expiries = 0;  ///< retry loops cut short by deadlines
+};
+
 /// Per-operation-class latency accounting for a managed file system.
 ///
 /// Always keeps streaming statistics and a log2 histogram per op class;
@@ -79,7 +90,16 @@ class IoStats {
   /// Total bytes moved by read+write.
   [[nodiscard]] std::uint64_t total_bytes() const;
 
-  /// Renders a per-op-class summary table (count, mean ms, min, max, bytes).
+  /// Resilience counters, fed by io::RetryingStore::bind_stats().
+  void record_retry();
+  void record_absorbed_fault();
+  void record_breaker_trip();
+  void record_breaker_fast_fail();
+  void record_deadline_expiry();
+  [[nodiscard]] ResilienceCounters resilience() const;
+
+  /// Renders a per-op-class summary table (count, mean ms, min, max, bytes),
+  /// followed by a resilience line when any retry/breaker activity occurred.
   void render(std::ostream& os) const;
 
  private:
@@ -87,6 +107,7 @@ class IoStats {
   std::array<util::LatencyHistogram, kIoOpCount> histograms_{};
   std::array<std::uint64_t, kIoOpCount> bytes_{};
   std::vector<OpRecord> records_;
+  ResilienceCounters resilience_{};
   bool keep_records_;
   mutable std::mutex mutex_;
 };

@@ -85,7 +85,7 @@ std::optional<std::string> HttpReader::read_head() {
     const std::size_t n = channel_->recv_some(buf, sizeof(buf));
     if (n == 0) {
       if (buffer_.empty()) return std::nullopt;
-      throw ParseError("http: connection closed mid-headers");
+      throw util::PeerClosedError("http: connection closed mid-headers");
     }
     buffer_.append(buf, n);
   }
@@ -98,7 +98,7 @@ std::string HttpReader::take_body(std::size_t length) {
   buffer_.erase(0, from_buffer);
   body.resize(length);
   if (length > from_buffer) {
-    check<ParseError>(
+    check<util::PeerClosedError>(
         channel_->recv_exact(body.data() + from_buffer, length - from_buffer),
         "http: connection closed mid-body");
   }
@@ -106,7 +106,17 @@ std::string HttpReader::take_body(std::size_t length) {
 }
 
 std::optional<HttpRequest> HttpReader::read_request() {
-  auto head = read_head();
+  std::optional<std::string> head;
+  try {
+    head = read_head();
+  } catch (const util::TimeoutError&) {
+    // A receive timeout at a message boundary is an idle keep-alive
+    // connection aging out: a non-event, reported exactly like a clean
+    // close.  Mid-message (bytes already buffered) it is the peer stalling
+    // and propagates so the server can answer 408.
+    if (buffer_.empty()) return std::nullopt;
+    throw;
+  }
   if (!head.has_value()) return std::nullopt;
 
   // Start line: METHOD SP PATH SP VERSION.
@@ -178,14 +188,14 @@ void send_request(Channel& channel, const HttpRequest& request) {
 }
 
 void send_response(Channel& channel, int status, std::string_view body,
-                   bool keep_alive) {
+                   bool keep_alive, std::string_view extra_headers) {
   // Headers and body go out as one gathered send: no concatenation copy
   // of the payload on the serving hot path.
   std::string head =
       cat("HTTP/1.1 ", status, " ", reason_phrase(status),
           "\r\nContent-Length: ", body.size(),
           "\r\nContent-Type: application/octet-stream\r\nConnection: ",
-          keep_alive ? "keep-alive" : "close", "\r\n\r\n");
+          keep_alive ? "keep-alive" : "close", "\r\n", extra_headers, "\r\n");
   channel.send_parts(
       std::as_bytes(std::span<const char>(head.data(), head.size())),
       std::as_bytes(std::span<const char>(body.data(), body.size())));
@@ -203,6 +213,8 @@ std::string_view reason_phrase(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
     case 500:
       return "Internal Server Error";
     case 503:

@@ -44,8 +44,11 @@ class HttpReader {
   explicit HttpReader(Channel& channel) : channel_(&channel) {}
 
   /// Reads one request (start line + headers + Content-Length body).
-  /// Returns nullopt on a clean close before any bytes of a new message.
-  /// Throws ParseError on malformed or truncated input.
+  /// Returns nullopt on a clean close — or a receive timeout — before any
+  /// bytes of a new message (an idle keep-alive connection aging out is a
+  /// non-event, not an error).  Throws ParseError on malformed input,
+  /// PeerClosedError on a close mid-message, and TimeoutError on a peer
+  /// stalling mid-message (the server answers 408 for those).
   [[nodiscard]] std::optional<HttpRequest> read_request();
 
   /// Reads one response (status line + headers + Content-Length body).
@@ -74,8 +77,11 @@ class HttpReader {
 void send_request(Channel& channel, const HttpRequest& request);
 
 /// Serializes and sends a response with the given Connection persistence.
+/// `extra_headers` is spliced verbatim into the header block — every line
+/// must be "Name: value\r\n" (e.g. the Retry-After hint of a degraded-mode
+/// 503).
 void send_response(Channel& channel, int status, std::string_view body,
-                   bool keep_alive = false);
+                   bool keep_alive = false, std::string_view extra_headers = {});
 
 /// Standard reason phrase for the handful of statuses the server emits.
 [[nodiscard]] std::string_view reason_phrase(int status);

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <mutex>
 #include <optional>
+#include <ostream>
 #include <thread>
 
 #include "net/http.hpp"
@@ -79,6 +80,9 @@ LoadReport LoadGenerator::run(std::uint16_t port) const {
       try {
         if (!socket.valid()) {
           socket = connect_loopback(port);
+          if (options_.recv_timeout_ms > 0) {
+            set_recv_timeout(socket.fd(), options_.recv_timeout_ms);
+          }
           reader.emplace(socket);
           if (r != 0) ++local.reconnects;
         }
@@ -101,15 +105,29 @@ LoadReport LoadGenerator::run(std::uint16_t port) const {
           ++local.rejected_503;
         } else {
           ++local.errors;
+          ++local.failures.http_errors;
         }
         if (!options_.keep_alive || !response.keep_alive) {
           reader.reset();
           socket.close();
         }
-      } catch (const std::exception&) {
-        // Transport failure (injected or real): drop the connection and
-        // carry on — the next request reconnects.
+      } catch (const std::exception& e) {
+        // Transport failure (injected or real): classify it, drop the
+        // connection and carry on — the next request reconnects.
         ++local.errors;
+        if (dynamic_cast<const util::TimeoutError*>(&e) != nullptr) {
+          ++local.failures.timeouts;
+        } else if (dynamic_cast<const util::ConnectError*>(&e) != nullptr) {
+          ++local.failures.connect_refused;
+        } else if (dynamic_cast<const util::PeerClosedError*>(&e) != nullptr) {
+          ++local.failures.disconnects;
+        } else if (dynamic_cast<const util::IoError*>(&e) != nullptr) {
+          ++local.failures.disconnects;  // send/recv failed: peer vanished
+        } else if (dynamic_cast<const util::ParseError*>(&e) != nullptr) {
+          ++local.failures.malformed;
+        } else {
+          ++local.failures.other;
+        }
         reader.reset();
         socket.close();
       }
@@ -122,6 +140,7 @@ LoadReport LoadGenerator::run(std::uint16_t port) const {
     report.reconnects += local.reconnects;
     report.bytes_received += local.bytes_received;
     report.bytes_posted += local.bytes_posted;
+    report.failures.merge(local.failures);
     report.latency.merge(local.latency);
   };
 
@@ -138,6 +157,21 @@ LoadReport LoadGenerator::run(std::uint16_t port) const {
   for (auto& t : threads) t.join();
   report.elapsed_s = wall.elapsed_ms() / 1e3;
   return report;
+}
+
+void LoadReport::render(std::ostream& os) const {
+  os << "load: sent=" << requests_sent << " ok=" << ok
+     << " errors=" << errors << " 503=" << rejected_503
+     << " reconnects=" << reconnects << " rps=" << requests_per_sec()
+     << " mean_ms=" << mean_ms() << " p99_ms=" << quantile_ms(0.99) << "\n";
+  if (errors != 0) {
+    os << "failures: timeouts=" << failures.timeouts
+       << " connect_refused=" << failures.connect_refused
+       << " disconnects=" << failures.disconnects
+       << " malformed=" << failures.malformed
+       << " http_errors=" << failures.http_errors
+       << " other=" << failures.other << "\n";
+  }
 }
 
 }  // namespace clio::net

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,35 @@ struct LoadGenOptions {
   double zipf_exponent = 1.0;             ///< GET file popularity skew
   std::uint64_t seed = 7;
   std::vector<std::string> files;         ///< GET targets (no leading slash)
+  /// SO_RCVTIMEO armed on every client socket (0 = none): a wedged or
+  /// drained server surfaces as a counted timeout instead of hanging the
+  /// run.  The resilience soak's liveness assertions depend on this.
+  int recv_timeout_ms = 0;
+};
+
+/// Why failed requests failed, one counter per class — "the run had 14
+/// errors" is not actionable, "12 disconnects + 2 timeouts" is.
+struct FailureBreakdown {
+  std::uint64_t timeouts = 0;        ///< receive timed out mid-exchange
+  std::uint64_t connect_refused = 0; ///< could not reach the server at all
+  std::uint64_t disconnects = 0;     ///< connection lost mid-exchange
+  std::uint64_t malformed = 0;       ///< response bytes failed to parse
+  std::uint64_t http_errors = 0;     ///< well-formed non-2xx, non-503 status
+  std::uint64_t other = 0;           ///< anything else (should stay 0)
+
+  [[nodiscard]] std::uint64_t total() const {
+    return timeouts + connect_refused + disconnects + malformed +
+           http_errors + other;
+  }
+
+  void merge(const FailureBreakdown& rhs) {
+    timeouts += rhs.timeouts;
+    connect_refused += rhs.connect_refused;
+    disconnects += rhs.disconnects;
+    malformed += rhs.malformed;
+    http_errors += rhs.http_errors;
+    other += rhs.other;
+  }
 };
 
 /// Aggregate result of a run.  The latency histogram holds one sample per
@@ -35,6 +65,7 @@ struct LoadReport {
   std::uint64_t reconnects = 0;    ///< keep-alive connections re-opened
   std::uint64_t bytes_received = 0;  ///< 200 GET body bytes (served-byte oracle)
   std::uint64_t bytes_posted = 0;    ///< bytes carried by successful POSTs
+  FailureBreakdown failures;         ///< errors, classified (sums to errors)
   util::LatencyHistogram latency;    ///< ns per successful round trip
   double elapsed_s = 0.0;
 
@@ -45,6 +76,10 @@ struct LoadReport {
   [[nodiscard]] double quantile_ms(double q) const {
     return static_cast<double>(latency.quantile_ns(q)) / 1e6;
   }
+
+  /// One-paragraph run summary: totals, throughput, latency quantiles and
+  /// the per-class failure breakdown (omitted when the run was clean).
+  void render(std::ostream& os) const;
 };
 
 /// Seeded multi-threaded load generator for the worker-pool server: drives

@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "util/error.hpp"
+#include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "vm/assembler.hpp"
 
@@ -58,6 +59,10 @@ constexpr const char* kHandlerSource = R"(
 .end
 )";
 
+/// The in-request receive budget TcpListener::accept arms (SO_RCVTIMEO);
+/// handle_connection restores it after an idle wait used a tighter one.
+constexpr int kInRequestRecvTimeoutMs = 5000;
+
 }  // namespace
 
 MiniWebServer::MiniWebServer(io::ManagedFileSystem& fs, ServerOptions options)
@@ -100,20 +105,48 @@ void MiniWebServer::stop() {
   // still parked in the backlog, so their clients error out instead of
   // blocking in recv against a server that will never accept them.
   listener_->close();
+  // Connections accepted but never picked up are exclusively ours now
+  // (workers stop popping once running_ is false): answer each with a
+  // clean 503 instead of silently dropping it, so their clients see a
+  // well-formed "retry elsewhere" rather than a reset mid-wait.
+  {
+    std::deque<Socket> backlog;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      backlog.swap(pending_);
+    }
+    for (auto& queued : backlog) {
+      counters_.drained_503.fetch_add(1, std::memory_order_relaxed);
+      try {
+        send_response(queued, 503, "server shutting down",
+                      /*keep_alive=*/false, "Retry-After: 1\r\n");
+      } catch (const std::exception&) {
+      }
+    }
+  }
   {
     // Unblock workers parked in recv on idle keep-alive connections: their
     // read side reports orderly shutdown, in-flight responses still send.
     std::lock_guard<std::mutex> lock(active_mutex_);
     for (const int fd : active_fds_) shutdown_receives(fd);
   }
+  // Graceful drain: give in-flight requests drain_deadline_ms to finish
+  // transmitting, then escalate to a full shutdown of the stragglers so
+  // the joins below cannot hang on a peer that stopped reading.
+  {
+    std::unique_lock<std::mutex> lock(active_mutex_);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.drain_deadline_ms);
+    if (!active_cv_.wait_until(lock, deadline,
+                               [this] { return active_fds_.empty(); })) {
+      for (const int fd : active_fds_) shutdown_connection(fd);
+    }
+  }
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
-  // Connections accepted but never picked up: close them (the client sees
-  // a clean close and can retry against a restarted server).
-  std::lock_guard<std::mutex> lock(queue_mutex_);
-  pending_.clear();
 }
 
 void MiniWebServer::accept_loop() {
@@ -182,8 +215,17 @@ void MiniWebServer::handle_connection(Socket socket) {
   try {
     bool keep = true;
     while (keep) {
+      // A connection waiting for its next message is idle: give it the
+      // (typically tighter) idle budget, and restore the in-request one
+      // once a request actually arrived.
+      if (options_.idle_timeout_ms > 0) {
+        set_recv_timeout(fd, options_.idle_timeout_ms);
+      }
       auto request = reader.read_request();
-      if (!request.has_value()) break;  // clean close between requests
+      if (!request.has_value()) break;  // clean close / idle timeout
+      if (options_.idle_timeout_ms > 0) {
+        set_recv_timeout(fd, kInRequestRecvTimeoutMs);
+      }
       counters_.requests.fetch_add(1, std::memory_order_relaxed);
       ++served;
       keep = options_.keep_alive && request->keep_alive && running_.load();
@@ -192,6 +234,15 @@ void MiniWebServer::handle_connection(Socket socket) {
         keep = false;
       }
       dispatch(*channel, *request, keep);
+    }
+  } catch (const util::TimeoutError&) {
+    // The peer stalled mid-request (SO_RCVTIMEO expired with bytes of a
+    // message already read): answer 408 and close — the worker is free
+    // again, not wedged behind a dribbling client.
+    counters_.timeouts_408.fetch_add(1, std::memory_order_relaxed);
+    try {
+      send_response(*channel, 408, "request timeout", /*keep_alive=*/false);
+    } catch (const std::exception&) {
     }
   } catch (const util::ParseError&) {
     counters_.parse_errors.fetch_add(1, std::memory_order_relaxed);
@@ -209,12 +260,34 @@ void MiniWebServer::handle_connection(Socket socket) {
     std::lock_guard<std::mutex> lock(active_mutex_);
     active_fds_.erase(fd);
   }
+  active_cv_.notify_all();  // stop()'s drain waits on the active set
   // `socket` closes on scope exit, after the fd left the active set.
 }
 
 void MiniWebServer::dispatch(Channel& channel, const HttpRequest& request,
                              bool keep) {
+  // Arm the per-request budget as this thread's ambient deadline: every
+  // storage call below it — pool miss loads, RetryingStore backoff sleeps —
+  // honors it without signature plumbing.
+  std::optional<util::DeadlineScope> budget;
+  if (options_.request_deadline_ms > 0) {
+    budget.emplace(util::Deadline::after_ms(options_.request_deadline_ms));
+  }
   try {
+    if (request.method == "GET" && request.path == "/healthz") {
+      do_healthz(channel, keep);
+      return;
+    }
+    // Degraded mode: while the storage breaker is open, answer file
+    // requests immediately with 503 + Retry-After instead of queueing
+    // work against a store known to be sick.
+    if (options_.breaker != nullptr &&
+        options_.breaker->state() == util::CircuitBreaker::State::kOpen) {
+      counters_.degraded_503.fetch_add(1, std::memory_order_relaxed);
+      send_response(channel, 503, "storage degraded", keep,
+                    retry_after_header());
+      return;
+    }
     if (request.method == "GET") {
       do_get(channel, request, keep);
     } else if (request.method == "POST") {
@@ -228,6 +301,32 @@ void MiniWebServer::dispatch(Channel& channel, const HttpRequest& request,
     counters_.request_errors.fetch_add(1, std::memory_order_relaxed);
     send_response(channel, 500, "internal error", keep);
   }
+}
+
+void MiniWebServer::do_healthz(Channel& channel, bool keep) {
+  using State = util::CircuitBreaker::State;
+  const State state = options_.breaker != nullptr ? options_.breaker->state()
+                                                  : State::kClosed;
+  const bool ready = state != State::kOpen;
+  const std::string body =
+      util::cat("status=", ready ? "ok" : "degraded",
+                " breaker=", util::circuit_state_name(state), "\n");
+  if (ready) {
+    send_response(channel, 200, body, keep);
+    counters_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.degraded_503.fetch_add(1, std::memory_order_relaxed);
+    send_response(channel, 503, body, keep, retry_after_header());
+  }
+}
+
+std::string MiniWebServer::retry_after_header() const {
+  if (options_.breaker == nullptr) return {};
+  // Whole seconds, rounded up: Retry-After's wire granularity — a breaker
+  // half a cooldown from probing still tells clients "at least 1 s".
+  const double ms = options_.breaker->retry_after_ms();
+  const auto secs = static_cast<std::uint64_t>((ms + 999.0) / 1000.0);
+  return util::cat("Retry-After: ", secs > 0 ? secs : 1, "\r\n");
 }
 
 std::string MiniWebServer::read_file_vm(const std::string& name) {
@@ -252,9 +351,11 @@ void MiniWebServer::do_get(Channel& channel, const HttpRequest& request,
     return;
   }
   // Timed portion, as in the paper: open the stream, read the data,
-  // close the stream.
+  // close the stream.  Storage failures convert to responses here — the
+  // connection is healthy, the store is not — so only socket-level errors
+  // escape to the connection teardown path.
   std::string content;
-  {
+  try {
     util::Stopwatch file_watch;
     if (options_.vm_dispatch) {
       content = read_file_vm(name);
@@ -266,6 +367,16 @@ void MiniWebServer::do_get(Channel& channel, const HttpRequest& request,
       file.close();
     }
     sample.file_ms = file_watch.elapsed_ms();
+  } catch (const util::TransientIoError&) {
+    // Retries exhausted, breaker fast-fail or deadline blown: degrade.
+    counters_.degraded_503.fetch_add(1, std::memory_order_relaxed);
+    send_response(channel, 503, "storage unavailable", keep,
+                  retry_after_header());
+    return;
+  } catch (const util::IoError&) {
+    counters_.request_errors.fetch_add(1, std::memory_order_relaxed);
+    send_response(channel, 500, "storage error", keep);
+    return;
   }
   sample.bytes = content.size();
   sample.total_ms = total.elapsed_ms();
@@ -290,7 +401,7 @@ void MiniWebServer::do_post(Channel& channel, const HttpRequest& request,
   const std::uint64_t id =
       post_counter_.fetch_add(1, std::memory_order_relaxed) * 2654435761u;
   const std::string name = "post_" + std::to_string(id % 100000000) + ".dat";
-  {
+  try {
     util::Stopwatch file_watch;
     if (options_.vm_dispatch) {
       std::vector<vm::Value> bytes(request.body.size());
@@ -309,6 +420,17 @@ void MiniWebServer::do_post(Channel& channel, const HttpRequest& request,
       file.close();
     }
     sample.file_ms = file_watch.elapsed_ms();
+  } catch (const util::TransientIoError&) {
+    counters_.degraded_503.fetch_add(1, std::memory_order_relaxed);
+    send_response(channel, 503, "storage unavailable", keep,
+                  retry_after_header());
+    return;
+  } catch (const util::IoError&) {
+    // Torn write / disk full: the store answered definitively, the
+    // client's payload did not land — a 500, not a teardown.
+    counters_.request_errors.fetch_add(1, std::memory_order_relaxed);
+    send_response(channel, 500, "storage error", keep);
+    return;
   }
   sample.bytes = request.body.size();
   sample.total_ms = total.elapsed_ms();
@@ -348,6 +470,9 @@ ServerStats MiniWebServer::stats() const {
   s.parse_errors = counters_.parse_errors.load();
   s.request_errors = counters_.request_errors.load();
   s.io_errors = counters_.io_errors.load();
+  s.timeouts_408 = counters_.timeouts_408.load();
+  s.degraded_503 = counters_.degraded_503.load();
+  s.drained_503 = counters_.drained_503.load();
   return s;
 }
 

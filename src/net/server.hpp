@@ -11,6 +11,7 @@
 #include "io/managed_file.hpp"
 #include "net/fault_channel.hpp"
 #include "net/http.hpp"
+#include "util/resilience.hpp"
 #include "vm/runtime.hpp"
 
 namespace clio::net {
@@ -43,6 +44,9 @@ struct ServerStats {
   std::uint64_t parse_errors = 0;     ///< malformed requests (answered 400)
   std::uint64_t request_errors = 0;   ///< handler failures (answered 500)
   std::uint64_t io_errors = 0;        ///< connections torn down mid-exchange
+  std::uint64_t timeouts_408 = 0;     ///< peers stalling mid-request (408)
+  std::uint64_t degraded_503 = 0;     ///< storage-unavailable 503 responses
+  std::uint64_t drained_503 = 0;      ///< queued backlog 503'd during stop()
 };
 
 struct ServerOptions {
@@ -69,6 +73,23 @@ struct ServerOptions {
   /// FaultChannel and the accept path consults should_drop_accept() — the
   /// seeded net-layer fault plan, mirroring FaultStore under the pool.
   NetFaultInjector* fault_injector = nullptr;
+  /// Per-request wall-clock budget (0 = none).  Armed as the worker
+  /// thread's ambient util::DeadlineScope around each dispatch, so every
+  /// storage call the handler makes — including RetryingStore backoff
+  /// sleeps — honors it without any signature plumbing.
+  std::uint32_t request_deadline_ms = 0;
+  /// Receive budget for a keep-alive connection parked *between* requests
+  /// (0 = keep the 5 s in-request SO_RCVTIMEO).  An idle connection aging
+  /// out is closed cleanly; a peer stalling mid-request still gets 408.
+  int idle_timeout_ms = 0;
+  /// The storage circuit breaker (not owned; typically shared with the
+  /// RetryingStore under fs).  Read for /healthz and for degraded mode:
+  /// while it is open, file requests answer 503 + Retry-After without
+  /// touching storage.
+  util::CircuitBreaker* breaker = nullptr;
+  /// How long stop() waits for in-flight requests to finish before
+  /// escalating to a full shutdown of the stragglers' connections.
+  std::uint32_t drain_deadline_ms = 1000;
 };
 
 /// The paper's §4 web-server micro benchmark, grown into a fixed-pool
@@ -89,9 +110,13 @@ class MiniWebServer {
   /// Starts the accept loop and the worker pool.  Idempotent.
   void start();
 
-  /// Stops accepting, unblocks workers parked on idle keep-alive
-  /// connections (their receives are shut down; in-flight responses still
-  /// transmit), joins everything and closes queued connections.  Idempotent.
+  /// Graceful drain, then stop.  Stops accepting, answers the queued
+  /// backlog with a clean 503 (instead of silently dropping it), unblocks
+  /// workers parked on idle keep-alive connections (their receives are
+  /// shut down; in-flight responses still transmit), waits up to
+  /// drain_deadline_ms for in-flight requests to finish — escalating to a
+  /// full connection shutdown on stragglers — and joins everything.
+  /// Idempotent.
   void stop();
 
   [[nodiscard]] std::uint16_t port() const;
@@ -123,6 +148,10 @@ class MiniWebServer {
   void worker_loop();
   void handle_connection(Socket socket);
   void dispatch(Channel& channel, const HttpRequest& request, bool keep);
+  void do_healthz(Channel& channel, bool keep);
+  /// "Retry-After: N\r\n" derived from the breaker's remaining cooldown
+  /// (empty when no breaker is armed).
+  [[nodiscard]] std::string retry_after_header() const;
   void do_get(Channel& channel, const HttpRequest& request, bool keep);
   void do_post(Channel& channel, const HttpRequest& request, bool keep);
   std::string read_file_vm(const std::string& name);
@@ -144,9 +173,11 @@ class MiniWebServer {
   std::condition_variable queue_cv_;
 
   // Descriptors of connections currently inside a worker, so stop() can
-  // shut their receives down and unblock idle keep-alive reads.
+  // shut their receives down and unblock idle keep-alive reads.  Workers
+  // signal active_cv_ as they retire fds; stop()'s drain waits on it.
   std::unordered_set<int> active_fds_;
   std::mutex active_mutex_;
+  std::condition_variable active_cv_;
 
   std::vector<RequestSample> samples_;
   mutable std::mutex samples_mutex_;
@@ -163,6 +194,9 @@ class MiniWebServer {
     std::atomic<std::uint64_t> parse_errors{0};
     std::atomic<std::uint64_t> request_errors{0};
     std::atomic<std::uint64_t> io_errors{0};
+    std::atomic<std::uint64_t> timeouts_408{0};
+    std::atomic<std::uint64_t> degraded_503{0};
+    std::atomic<std::uint64_t> drained_503{0};
   };
   Counters counters_;
 };

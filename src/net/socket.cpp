@@ -89,6 +89,11 @@ std::size_t Socket::recv_some(void* out, std::size_t n) {
   while (true) {
     const ssize_t r = ::recv(fd_, out, n, 0);
     if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO expired: the peer is stalling, not gone.  Typed so the
+      // server can answer 408 (mid-request) or close cleanly (idle).
+      throw util::TimeoutError("Socket: recv timed out");
+    }
     check<IoError>(r >= 0, std::string("Socket: recv failed: ") +
                                std::strerror(errno));
     return static_cast<std::size_t>(r);
@@ -97,6 +102,18 @@ std::size_t Socket::recv_some(void* out, std::size_t n) {
 
 void shutdown_receives(int fd) {
   if (fd >= 0) ::shutdown(fd, SHUT_RD);
+}
+
+void shutdown_connection(int fd) {
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void set_recv_timeout(int fd, int timeout_ms) {
+  if (fd < 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 TcpListener::TcpListener(std::uint16_t port) {
@@ -145,6 +162,13 @@ Socket TcpListener::accept(int timeout_ms) {
   timeval send_timeout{/*tv_sec=*/5, /*tv_usec=*/0};
   ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
                sizeof(send_timeout));
+  // Mirror it on the receive side: a peer that opens a connection and then
+  // stalls mid-request must not park a worker in recv() forever.  The
+  // timeout surfaces as util::TimeoutError from recv_some; the server
+  // answers 408 or, between requests, treats it as an idle disconnect.
+  timeval recv_timeout{/*tv_sec=*/5, /*tv_usec=*/0};
+  ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &recv_timeout,
+               sizeof(recv_timeout));
   return Socket(client);
 }
 
@@ -158,10 +182,10 @@ Socket connect_loopback(std::uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  check<IoError>(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
-                           sizeof(addr)) == 0,
-                 std::string("connect_loopback: connect failed: ") +
-                     std::strerror(errno));
+  check<util::ConnectError>(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                                      sizeof(addr)) == 0,
+                            std::string("connect_loopback: connect failed: ") +
+                                std::strerror(errno));
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return socket;

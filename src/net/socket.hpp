@@ -42,6 +42,18 @@ class Socket final : public Channel {
 /// workers parked on idle keep-alive connections during stop().
 void shutdown_receives(int fd);
 
+/// Full SHUT_RDWR on a descriptor owned elsewhere: both directions stop,
+/// in-flight sends are abandoned.  stop()'s escalation path for
+/// connections that blew through the drain deadline.
+void shutdown_connection(int fd);
+
+/// (Re)arms SO_RCVTIMEO on a descriptor owned elsewhere: a recv blocked
+/// longer than timeout_ms fails with EAGAIN, which Socket::recv_some
+/// surfaces as util::TimeoutError.  timeout_ms = 0 disables the timeout.
+/// The server uses this to give idle keep-alive connections a tighter
+/// budget than the in-request read timeout.
+void set_recv_timeout(int fd, int timeout_ms);
+
 /// Loopback TCP listener.  Binding port 0 picks an ephemeral port,
 /// retrievable via port() — tests and benches never collide.
 class TcpListener {

@@ -18,10 +18,45 @@ class IoError : public ClioError {
   explicit IoError(const std::string& what) : ClioError(what) {}
 };
 
+/// Transient I/O failures: the operation had no lasting side effect and a
+/// retry may succeed (a clean EIO, an injected short read, a flaky medium).
+/// The resilience layer (io::RetryingStore) retries exactly this class;
+/// plain IoError means the store answered definitively (torn write, disk
+/// full, bad handle) and MUST NOT be retried blindly.
+class TransientIoError : public IoError {
+ public:
+  explicit TransientIoError(const std::string& what) : IoError(what) {}
+};
+
+/// An operation ran out of its deadline budget (a socket recv timeout, a
+/// retry loop whose remaining budget cannot cover the next backoff).
+/// Transient by nature: the same call with a fresh budget may succeed.
+class TimeoutError : public TransientIoError {
+ public:
+  explicit TimeoutError(const std::string& what) : TransientIoError(what) {}
+};
+
+/// Could not reach the peer at all (connection refused / reset during
+/// setup) — load generators count these separately from mid-exchange
+/// failures because they indicate an unreachable server, not a flaky one.
+class ConnectError : public IoError {
+ public:
+  explicit ConnectError(const std::string& what) : IoError(what) {}
+};
+
 /// Failures while parsing textual inputs (IL assembly, trace dumps, configs).
 class ParseError : public ClioError {
  public:
   explicit ParseError(const std::string& what) : ClioError(what) {}
+};
+
+/// The peer vanished mid-message: bytes of a request/response arrived and
+/// the connection closed before the message completed.  A ParseError (the
+/// message is unparseable), but distinguishable so clients can report
+/// "server disconnected" apart from "server sent garbage".
+class PeerClosedError : public ParseError {
+ public:
+  explicit PeerClosedError(const std::string& what) : ParseError(what) {}
 };
 
 /// Bytecode verification failures (bad stack depth, wild branch, etc.).

@@ -1,0 +1,148 @@
+#include "util/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace clio::util {
+
+namespace {
+/// The ambient per-thread deadline DeadlineScope maintains.
+thread_local Deadline t_ambient_deadline;
+}  // namespace
+
+DeadlineScope::DeadlineScope(Deadline deadline)
+    : previous_(t_ambient_deadline) {
+  t_ambient_deadline = Deadline::earlier(previous_, deadline);
+}
+
+DeadlineScope::~DeadlineScope() { t_ambient_deadline = previous_; }
+
+Deadline DeadlineScope::current() { return t_ambient_deadline; }
+
+std::chrono::microseconds Backoff::next_delay() {
+  const std::uint32_t attempt = used_++;
+  double delay = static_cast<double>(policy_.base_delay_us) *
+                 std::pow(policy_.multiplier, static_cast<double>(attempt));
+  delay = std::min(delay, static_cast<double>(policy_.max_delay_us));
+  // Equal jitter: uniform in [delay/2, delay].
+  const double u = static_cast<double>(rng_.next() >> 11) * 0x1.0p-53;
+  const double jittered = delay / 2.0 + (delay / 2.0) * u;
+  return std::chrono::microseconds(
+      static_cast<std::uint64_t>(std::llround(jittered)));
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_(config) {}
+
+void CircuitBreaker::refresh_state_locked() const {
+  if (state_ == State::kOpen &&
+      Clock::now() - opened_at_ >=
+          std::chrono::milliseconds(config_.open_cooldown_ms)) {
+    state_ = State::kHalfOpen;
+    probe_in_flight_ = false;
+  }
+}
+
+bool CircuitBreaker::try_acquire() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  refresh_state_locked();
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      stats_.fast_fails++;
+      return false;
+    case State::kHalfOpen:
+      if (probe_in_flight_) {
+        stats_.fast_fails++;
+        return false;
+      }
+      probe_in_flight_ = true;
+      stats_.probes++;
+      return true;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  refresh_state_locked();
+  stats_.successes++;
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    probe_in_flight_ = false;
+    if (++half_open_successes_ >= config_.half_open_successes) {
+      state_ = State::kClosed;
+      half_open_successes_ = 0;
+    }
+  }
+}
+
+bool CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  refresh_state_locked();
+  stats_.failures++;
+  bool tripped = false;
+  if (state_ == State::kHalfOpen) {
+    // A failed probe re-opens immediately: the cooldown starts over.
+    probe_in_flight_ = false;
+    tripped = true;
+  } else if (state_ == State::kClosed) {
+    if (++consecutive_failures_ >= config_.failure_threshold) {
+      tripped = true;
+    }
+  }
+  if (tripped) {
+    state_ = State::kOpen;
+    opened_at_ = Clock::now();
+    consecutive_failures_ = 0;
+    half_open_successes_ = 0;
+    stats_.trips++;
+  }
+  return tripped;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  refresh_state_locked();
+  return state_;
+}
+
+double CircuitBreaker::retry_after_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  refresh_state_locked();
+  if (state_ != State::kOpen) return 0.0;
+  const auto elapsed = Clock::now() - opened_at_;
+  const auto cooldown = std::chrono::milliseconds(config_.open_cooldown_ms);
+  const auto left =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(cooldown - elapsed);
+  return left.count() > 0 ? static_cast<double>(left.count()) / 1e6 : 0.0;
+}
+
+CircuitBreaker::Stats CircuitBreaker::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void CircuitBreaker::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = State::kClosed;
+  probe_in_flight_ = false;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  stats_ = Stats{};
+}
+
+std::string_view circuit_state_name(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace clio::util

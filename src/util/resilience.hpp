@@ -1,0 +1,199 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace clio::util {
+
+/// A wall-clock budget for an operation or a request.  Default-constructed
+/// deadlines are *unset* and never expire, so call sites can thread a
+/// Deadline through unconditionally and only pay attention when one was
+/// armed.  steady_clock-based: immune to wall-clock adjustments.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;  ///< unset: never expires
+
+  [[nodiscard]] static Deadline after(std::chrono::nanoseconds budget) {
+    Deadline d;
+    d.at_ = Clock::now() + budget;
+    d.set_ = true;
+    return d;
+  }
+
+  [[nodiscard]] static Deadline after_ms(std::uint64_t ms) {
+    return after(std::chrono::milliseconds(ms));
+  }
+
+  [[nodiscard]] bool set() const { return set_; }
+
+  [[nodiscard]] bool expired() const {
+    return set_ && Clock::now() >= at_;
+  }
+
+  /// Time left before expiry (0 when expired).  Unset deadlines report the
+  /// maximum representable duration — "effectively forever".
+  [[nodiscard]] std::chrono::nanoseconds remaining() const {
+    if (!set_) return std::chrono::nanoseconds::max();
+    const auto left = at_ - Clock::now();
+    return left.count() > 0
+               ? std::chrono::duration_cast<std::chrono::nanoseconds>(left)
+               : std::chrono::nanoseconds::zero();
+  }
+
+  [[nodiscard]] double remaining_ms() const {
+    if (!set_) return 1e300;
+    return static_cast<double>(remaining().count()) / 1e6;
+  }
+
+  /// The earlier of two deadlines; an unset deadline always loses.
+  [[nodiscard]] static Deadline earlier(Deadline a, Deadline b) {
+    if (!a.set_) return b;
+    if (!b.set_) return a;
+    return a.at_ <= b.at_ ? a : b;
+  }
+
+ private:
+  Clock::time_point at_{};
+  bool set_ = false;
+};
+
+/// RAII scope installing an *ambient* per-thread deadline: the serving
+/// layer arms one per request, and every storage call the handler makes on
+/// that thread (pool miss loads, retry loops, backoff sleeps) can consult
+/// it via current() without any signature changes down the stack.  Scopes
+/// nest; an inner scope never extends an outer budget (the effective
+/// deadline is the earlier of the two).
+class DeadlineScope {
+ public:
+  explicit DeadlineScope(Deadline deadline);
+  ~DeadlineScope();
+
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+  /// The calling thread's ambient deadline (unset when no scope is active).
+  [[nodiscard]] static Deadline current();
+
+ private:
+  Deadline previous_;
+};
+
+/// Policy for bounded exponential backoff between retries of a transient
+/// failure.  Delay before retry k (1-based) is
+///   min(max_delay_us, base_delay_us * multiplier^(k-1))
+/// jittered uniformly into [delay/2, delay] ("equal jitter") so concurrent
+/// retriers decorrelate instead of stampeding in lockstep.
+struct BackoffPolicy {
+  std::uint32_t max_retries = 3;       ///< retries after the first attempt
+  std::uint32_t base_delay_us = 50;    ///< first retry delay (pre-jitter)
+  std::uint32_t max_delay_us = 5000;   ///< exponential growth cap
+  double multiplier = 2.0;
+};
+
+/// One seeded backoff sequence for one operation: deterministic given the
+/// seed, so a seeded test replays the exact same sleep schedule.
+class Backoff {
+ public:
+  Backoff(const BackoffPolicy& policy, std::uint64_t seed)
+      : policy_(policy), rng_(seed) {}
+
+  /// True once every allowed retry has been handed out.
+  [[nodiscard]] bool exhausted() const { return used_ >= policy_.max_retries; }
+
+  [[nodiscard]] std::uint32_t retries_used() const { return used_; }
+
+  /// The jittered delay to sleep before the next retry; advances the
+  /// attempt counter.  Call only while !exhausted().
+  [[nodiscard]] std::chrono::microseconds next_delay();
+
+ private:
+  BackoffPolicy policy_;
+  SplitMix64 rng_;
+  std::uint32_t used_ = 0;
+};
+
+/// Circuit-breaker tuning.  Defaults are sized for the test/bench storm
+/// plans: a handful of consecutive failures trips it, and recovery probes
+/// start after a short cooldown.
+struct CircuitBreakerConfig {
+  std::uint32_t failure_threshold = 8;   ///< consecutive failures to trip
+  std::uint32_t open_cooldown_ms = 250;  ///< open -> half-open delay
+  std::uint32_t half_open_successes = 2; ///< probe successes to close
+};
+
+/// Classic three-state circuit breaker, shared between the storage retry
+/// layer (which feeds it outcomes and fast-fails when it is open) and the
+/// serving layer (which reads its state for /healthz and degraded-mode
+/// 503s).  Thread-safe; time is steady_clock.
+///
+/// State machine:
+///  - kClosed: calls flow; `failure_threshold` *consecutive* failures trip
+///    it open (a success resets the streak).
+///  - kOpen: try_acquire() fast-fails until `open_cooldown_ms` elapses,
+///    then the next try_acquire() admits a single half-open probe.
+///  - kHalfOpen: one probe in flight at a time; `half_open_successes`
+///    successes close the breaker, any failure re-opens it (a fresh trip).
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  struct Stats {
+    std::uint64_t successes = 0;   ///< outcomes recorded as success
+    std::uint64_t failures = 0;    ///< outcomes recorded as failure
+    std::uint64_t trips = 0;       ///< transitions into kOpen
+    std::uint64_t fast_fails = 0;  ///< try_acquire() refusals
+    std::uint64_t probes = 0;      ///< half-open probes admitted
+  };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config = {});
+
+  /// Asks permission to issue a call.  false = fast-fail (the circuit is
+  /// open, or a half-open probe is already in flight).  A true return MUST
+  /// be paired with exactly one record_success()/record_failure().
+  [[nodiscard]] bool try_acquire();
+
+  void record_success();
+
+  /// Records a failed call.  Returns true if this failure tripped the
+  /// breaker open (so callers can account trips without re-reading state).
+  bool record_failure();
+
+  /// Logical state right now, cooldown expiry included (an open breaker
+  /// whose cooldown has elapsed reads as kHalfOpen).
+  [[nodiscard]] State state() const;
+
+  /// Remaining cooldown in ms while open, 0 otherwise — the Retry-After
+  /// hint the serving layer hands to clients in degraded mode.
+  [[nodiscard]] double retry_after_ms() const;
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] CircuitBreakerConfig config() const { return config_; }
+
+  /// Back to closed with counters cleared.
+  void reset();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Applies cooldown expiry (open -> half-open); mutex held.
+  void refresh_state_locked() const;
+
+  CircuitBreakerConfig config_;
+  mutable std::mutex mutex_;
+  mutable State state_ = State::kClosed;
+  mutable bool probe_in_flight_ = false;
+  Clock::time_point opened_at_{};
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint32_t half_open_successes_ = 0;
+  Stats stats_;
+};
+
+[[nodiscard]] std::string_view circuit_state_name(CircuitBreaker::State s);
+
+}  // namespace clio::util

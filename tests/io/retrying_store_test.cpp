@@ -1,0 +1,332 @@
+// Unit coverage for the RetryingStore decorator: seeded fail_nth transient
+// faults absorbed invisibly, retry budgets exhausted on persistent storms,
+// permanent errors surfaced immediately (never retried), deadline budgets
+// cutting retry loops short, and circuit-breaker integration (trip on
+// repeated failure, fast-fail while open, recovery through probes).
+#include "io/retrying_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/fault_store.hpp"
+#include "io/file_store.hpp"
+#include "io/io_stats.hpp"
+#include "io/managed_file.hpp"
+#include "util/error.hpp"
+#include "util/resilience.hpp"
+
+namespace clio::io {
+namespace {
+
+std::span<const std::byte> as_bytes(const std::string& s) {
+  return std::as_bytes(std::span<const char>(s.data(), s.size()));
+}
+
+/// Fast retry schedule so tests spend microseconds, not milliseconds.
+RetryPolicy fast_policy(std::uint32_t max_retries = 3) {
+  RetryPolicy policy;
+  policy.backoff.max_retries = max_retries;
+  policy.backoff.base_delay_us = 10;
+  policy.backoff.max_delay_us = 100;
+  return policy;
+}
+
+TEST(RetryingStore, ForwardsVerbatimWithoutFaults) {
+  SimFileStore inner(2, 64 * 1024);
+  RetryingStore store(inner, fast_policy());
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("hello"));
+  std::vector<std::byte> buf(5);
+  EXPECT_EQ(store.read(id, 0, buf), 5u);
+  EXPECT_EQ(store.size(id), 5u);
+  EXPECT_TRUE(store.exists("f"));
+  EXPECT_EQ(store.lookup("f"), id);
+  const RetryStats stats = store.stats();
+  EXPECT_EQ(stats.attempts, 2u);  // one write + one read, no re-issues
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.absorbed, 0u);
+  store.close(id);
+}
+
+TEST(RetryingStore, AbsorbsSeededFailNthTransientError) {
+  SimFileStore inner(2, 64 * 1024);
+  FaultPlan plan;
+  plan.fail_nth[static_cast<std::size_t>(FaultOp::kRead)] = 2;
+  FaultStore faulty(inner, plan);
+  RetryingStore store(faulty, fast_policy());
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("abcdef"));
+  std::vector<std::byte> buf(6);
+  EXPECT_EQ(store.read(id, 0, buf), 6u);  // inner call 1: clean
+  EXPECT_EQ(store.read(id, 0, buf), 6u);  // inner call 2 faults, 3 retries
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(buf.data()), 6),
+            "abcdef");
+  const RetryStats stats = store.stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.absorbed, 1u);
+  EXPECT_EQ(stats.exhausted, 0u);
+  EXPECT_EQ(stats.permanent, 0u);
+  // The fault genuinely fired underneath.
+  EXPECT_EQ(faulty.stats().faults[static_cast<std::size_t>(FaultOp::kRead)],
+            1u);
+}
+
+TEST(RetryingStore, AbsorbsForcedTransientBurstsOnEveryDataOp) {
+  SimFileStore inner(2, 64 * 1024);
+  FaultStore faulty(inner);
+  RetryingStore store(faulty, fast_policy());
+  const FileId id = store.open("f", true);
+
+  faulty.fail_next(FaultOp::kWrite, 2);
+  store.write(id, 0, as_bytes("payload!"));  // 2 faults absorbed
+
+  faulty.fail_next(FaultOp::kRead, 1);
+  std::vector<std::byte> buf(8);
+  EXPECT_EQ(store.read(id, 0, buf), 8u);
+
+  faulty.fail_next(FaultOp::kWritev, 1);
+  const std::string a = "1234", b = "5678";
+  const std::span<const std::byte> parts[] = {as_bytes(a), as_bytes(b)};
+  store.writev(id, 0, parts);
+
+  faulty.fail_next(FaultOp::kReadv, 1);
+  std::vector<std::byte> p1(4), p2(4);
+  std::span<std::byte> rparts[] = {p1, p2};
+  EXPECT_EQ(store.readv(id, 0, rparts), 8u);
+
+  const RetryStats stats = store.stats();
+  EXPECT_EQ(stats.retries, 5u);
+  EXPECT_EQ(stats.absorbed, 4u);  // one per op class
+  EXPECT_EQ(stats.exhausted, 0u);
+}
+
+TEST(RetryingStore, SurfacesTransientErrorOnceRetriesAreExhausted) {
+  SimFileStore inner(2, 64 * 1024);
+  FaultStore faulty(inner);
+  RetryingStore store(faulty, fast_policy(/*max_retries=*/2));
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("x"));
+  faulty.fail_next(FaultOp::kRead, 100);  // storm outlasts the budget
+  std::vector<std::byte> buf(1);
+  EXPECT_THROW(static_cast<void>(store.read(id, 0, buf)),
+               util::TransientIoError);
+  const RetryStats stats = store.stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.exhausted, 1u);
+  EXPECT_EQ(stats.absorbed, 0u);
+}
+
+TEST(RetryingStore, NeverRetriesPermanentErrors) {
+  SimFileStore inner(2, 64 * 1024);
+  FaultPlan plan;
+  plan.torn_write_prob = 1.0;  // every write tears: permanent by contract
+  FaultStore faulty(inner, plan);
+  RetryingStore store(faulty, fast_policy());
+  const FileId id = store.open("f", true);
+  EXPECT_THROW(store.write(id, 0, as_bytes("doomed")), util::IoError);
+  const RetryStats stats = store.stats();
+  EXPECT_EQ(stats.attempts, 1u);  // exactly one inner call — no blind re-issue
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.permanent, 1u);
+  EXPECT_EQ(faulty.stats().torn_writes, 1u);
+}
+
+TEST(RetryingStore, SameSeedReplaysTheSameOutcomes) {
+  for (int round = 0; round < 2; ++round) {
+    SimFileStore inner(2, 64 * 1024);
+    FaultPlan plan;
+    plan.seed = 77;
+    plan.fail_prob[static_cast<std::size_t>(FaultOp::kRead)] = 0.3;
+    FaultStore faulty(inner, plan);
+    RetryPolicy policy = fast_policy();
+    policy.seed = 99;
+    RetryingStore store(faulty, policy);
+    const FileId id = store.open("f", true);
+    store.write(id, 0, as_bytes("r"));
+    std::vector<std::byte> buf(1);
+    std::uint64_t served = 0;
+    for (int i = 0; i < 50; ++i) {
+      try {
+        served += store.read(id, 0, buf);
+      } catch (const util::TransientIoError&) {
+      }
+    }
+    static std::uint64_t first_served = 0;
+    static RetryStats first_stats;
+    if (round == 0) {
+      first_served = served;
+      first_stats = store.stats();
+      EXPECT_GT(store.stats().retries, 0u);
+    } else {
+      EXPECT_EQ(served, first_served);
+      EXPECT_EQ(store.stats().retries, first_stats.retries);
+      EXPECT_EQ(store.stats().absorbed, first_stats.absorbed);
+      EXPECT_EQ(store.stats().exhausted, first_stats.exhausted);
+    }
+  }
+}
+
+TEST(RetryingStore, AmbientDeadlineCutsTheRetryLoopShort) {
+  SimFileStore inner(2, 64 * 1024);
+  FaultStore faulty(inner);
+  RetryPolicy policy;
+  policy.backoff.max_retries = 100;
+  policy.backoff.base_delay_us = 50'000;  // 50ms per retry: never fits
+  policy.backoff.max_delay_us = 50'000;
+  RetryingStore store(faulty, policy);
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("x"));
+  faulty.fail_next(FaultOp::kRead, 100);
+  std::vector<std::byte> buf(1);
+  util::DeadlineScope scope(util::Deadline::after_ms(5));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(static_cast<void>(store.read(id, 0, buf)), util::TimeoutError);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(500));  // gave up, not slept
+  EXPECT_EQ(store.stats().deadline_expiries, 1u);
+}
+
+TEST(RetryingStore, PerOpDeadlineAppliesWithoutAnAmbientScope) {
+  SimFileStore inner(2, 64 * 1024);
+  FaultStore faulty(inner);
+  RetryPolicy policy;
+  policy.backoff.max_retries = 100;
+  policy.backoff.base_delay_us = 50'000;
+  policy.backoff.max_delay_us = 50'000;
+  policy.op_deadline_ms = 5;
+  RetryingStore store(faulty, policy);
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("x"));
+  faulty.fail_next(FaultOp::kRead, 100);
+  std::vector<std::byte> buf(1);
+  EXPECT_THROW(static_cast<void>(store.read(id, 0, buf)), util::TimeoutError);
+  EXPECT_EQ(store.stats().deadline_expiries, 1u);
+}
+
+TEST(RetryingStore, TripsTheBreakerAndFastFailsWhileOpen) {
+  SimFileStore inner(2, 64 * 1024);
+  FaultStore faulty(inner);
+  util::CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 4;
+  cfg.open_cooldown_ms = 60'000;  // stays open for the whole test
+  util::CircuitBreaker breaker(cfg);
+  RetryingStore store(faulty, fast_policy(/*max_retries=*/1), &breaker);
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("x"));
+  faulty.fail_next(FaultOp::kRead, 1000);
+  std::vector<std::byte> buf(1);
+  // Each read issues 2 attempts (1 + 1 retry); the 2nd read's retry is the
+  // 4th consecutive failure and trips the breaker.
+  EXPECT_THROW(static_cast<void>(store.read(id, 0, buf)),
+               util::TransientIoError);
+  EXPECT_THROW(static_cast<void>(store.read(id, 0, buf)),
+               util::TransientIoError);
+  EXPECT_EQ(breaker.state(), util::CircuitBreaker::State::kOpen);
+  // Open: the next call fast-fails without touching the store.
+  const std::uint64_t calls_before = faulty.stats().total_calls();
+  EXPECT_THROW(static_cast<void>(store.read(id, 0, buf)),
+               util::TransientIoError);
+  EXPECT_EQ(faulty.stats().total_calls(), calls_before);
+  const RetryStats stats = store.stats();
+  EXPECT_EQ(stats.fast_fails, 1u);
+  EXPECT_EQ(breaker.stats().trips, 1u);
+}
+
+TEST(RetryingStore, BreakerRecoversThroughHalfOpenProbes) {
+  SimFileStore inner(2, 64 * 1024);
+  FaultStore faulty(inner);
+  util::CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 2;
+  cfg.open_cooldown_ms = 10;
+  cfg.half_open_successes = 1;
+  util::CircuitBreaker breaker(cfg);
+  RetryingStore store(faulty, fast_policy(/*max_retries=*/0), &breaker);
+  const FileId id = store.open("f", true);
+  store.write(id, 0, as_bytes("x"));
+  faulty.fail_next(FaultOp::kRead, 2);
+  std::vector<std::byte> buf(1);
+  EXPECT_THROW(static_cast<void>(store.read(id, 0, buf)),
+               util::TransientIoError);
+  EXPECT_THROW(static_cast<void>(store.read(id, 0, buf)),
+               util::TransientIoError);
+  EXPECT_EQ(breaker.state(), util::CircuitBreaker::State::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Cooldown elapsed; the fault burst is spent, so the probe succeeds and
+  // closes the breaker.
+  EXPECT_EQ(store.read(id, 0, buf), 1u);
+  EXPECT_EQ(breaker.state(), util::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.stats().probes, 1u);
+}
+
+TEST(RetryingStore, PermanentErrorsCountAsBreakerSuccesses) {
+  SimFileStore inner(2, 64 * 1024);
+  FaultPlan plan;
+  plan.torn_write_prob = 1.0;
+  FaultStore faulty(inner, plan);
+  util::CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 2;
+  util::CircuitBreaker breaker(cfg);
+  RetryingStore store(faulty, fast_policy(), &breaker);
+  const FileId id = store.open("f", true);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_THROW(store.write(id, 0, as_bytes("doomed")), util::IoError);
+  }
+  // The store answered definitively every time: infrastructure healthy.
+  EXPECT_EQ(breaker.state(), util::CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.stats().trips, 0u);
+}
+
+TEST(RetryingStore, MirrorsResilienceCountersIntoIoStats) {
+  SimFileStore inner(2, 64 * 1024);
+  FaultStore faulty(inner);
+  RetryingStore store(faulty, fast_policy());
+  IoStats io_stats;
+  store.bind_stats(&io_stats);
+  const FileId id = store.open("f", true);
+  faulty.fail_next(FaultOp::kWrite, 1);
+  store.write(id, 0, as_bytes("x"));
+  const ResilienceCounters r = io_stats.resilience();
+  EXPECT_EQ(r.retries, 1u);
+  EXPECT_EQ(r.absorbed_faults, 1u);
+  EXPECT_EQ(r.breaker_trips, 0u);
+}
+
+TEST(RetryingStore, ComposesUnderManagedFileSystem) {
+  // The end-to-end decorator chain the server uses:
+  //   SimFileStore <- FaultStore <- RetryingStore <- ManagedFileSystem.
+  auto sim = std::make_unique<SimFileStore>(2, 64 * 1024);
+  auto faulty = std::make_unique<FaultStore>(std::move(sim));
+  FaultStore* fault_handle = faulty.get();
+  auto retrying =
+      std::make_unique<RetryingStore>(std::move(faulty), fast_policy());
+  RetryingStore* retry_handle = retrying.get();
+  ManagedFsOptions opts;
+  ManagedFileSystem fs(std::move(retrying), opts);
+  retry_handle->bind_stats(&fs.stats());
+
+  const std::string body(3 * 4096, 'Q');
+  {
+    ManagedFile f = fs.open("doc", OpenMode::kCreate);
+    f.write(as_bytes(body));
+    f.close();
+  }
+  fs.drop_caches();
+
+  fault_handle->fail_next(FaultOp::kRead, 1);
+  fault_handle->fail_next(FaultOp::kReadv, 1);
+  ManagedFile f = fs.open("doc", OpenMode::kRead);
+  std::vector<std::byte> buf(body.size());
+  f.read_exact(buf);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(buf.data()), buf.size()),
+            body);
+  f.close();
+  EXPECT_GE(retry_handle->stats().absorbed, 1u);
+  EXPECT_GE(fs.stats().resilience().retries, 1u);
+}
+
+}  // namespace
+}  // namespace clio::io

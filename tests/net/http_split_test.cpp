@@ -1,0 +1,152 @@
+// HttpReader against every possible TCP fragmentation: the same wire
+// bytes split at every byte boundary, and dripped one byte per recv.
+// recv_some returning short counts is not an error path, it is the normal
+// case on a real network — the parser must reassemble identically no
+// matter where the kernel happened to cut the stream.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "net/channel.hpp"
+#include "net/http.hpp"
+#include "util/error.hpp"
+
+namespace clio::net {
+namespace {
+
+/// A Channel that replays a scripted byte stream, never serving bytes
+/// across the `split` offset in one recv, and never more than `cap`
+/// bytes at a time.  Sends are discarded (these tests only parse).
+class ScriptChannel final : public Channel {
+ public:
+  ScriptChannel(std::string wire, std::size_t split,
+                std::size_t cap = static_cast<std::size_t>(-1))
+      : wire_(std::move(wire)), split_(split), cap_(cap) {}
+
+  void send_all(const void*, std::size_t) override {}
+
+  std::size_t recv_some(void* out, std::size_t n) override {
+    ++recv_calls_;
+    if (pos_ >= wire_.size()) return 0;  // orderly shutdown
+    std::size_t limit = wire_.size() - pos_;
+    if (pos_ < split_) limit = std::min(limit, split_ - pos_);
+    const std::size_t take = std::min({n, limit, cap_});
+    std::memcpy(out, wire_.data() + pos_, take);
+    pos_ += take;
+    return take;
+  }
+
+  void close() override { pos_ = wire_.size(); }
+  [[nodiscard]] bool valid() const override { return true; }
+  [[nodiscard]] std::size_t recv_calls() const { return recv_calls_; }
+
+ private:
+  std::string wire_;
+  std::size_t split_;
+  std::size_t cap_;
+  std::size_t pos_ = 0;
+  std::size_t recv_calls_ = 0;
+};
+
+TEST(HttpSplit, GetRequestParsesAcrossEverySplitBoundary) {
+  const std::string wire =
+      "GET /image.jpg HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    SCOPED_TRACE("split=" + std::to_string(split));
+    ScriptChannel channel(wire, split);
+    HttpReader reader(channel);
+    const auto request = reader.read_request();
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->method, "GET");
+    EXPECT_EQ(request->path, "/image.jpg");
+    EXPECT_TRUE(request->keep_alive);
+    EXPECT_TRUE(request->body.empty());
+    EXPECT_FALSE(reader.read_request().has_value());  // then clean close
+  }
+}
+
+TEST(HttpSplit, PostBodyReassemblesAcrossEverySplitBoundary) {
+  // The split sweep covers the start line, each header, the blank line,
+  // and every offset inside the body.
+  const std::string body = "the quick brown fox";
+  const std::string wire = "POST /upload HTTP/1.1\r\nContent-Length: " +
+                           std::to_string(body.size()) + "\r\n\r\n" + body;
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    SCOPED_TRACE("split=" + std::to_string(split));
+    ScriptChannel channel(wire, split);
+    HttpReader reader(channel);
+    const auto request = reader.read_request();
+    ASSERT_TRUE(request.has_value());
+    EXPECT_EQ(request->method, "POST");
+    EXPECT_EQ(request->body, body);
+  }
+}
+
+TEST(HttpSplit, ResponseParsesAcrossEverySplitBoundary) {
+  const std::string wire =
+      "HTTP/1.1 200 OK\r\nContent-Length: 7\r\nConnection: close\r\n\r\n"
+      "payload";
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    SCOPED_TRACE("split=" + std::to_string(split));
+    ScriptChannel channel(wire, split);
+    HttpReader reader(channel);
+    const HttpResponse response = reader.read_response();
+    EXPECT_EQ(response.status, 200);
+    EXPECT_EQ(response.body, "payload");
+    EXPECT_FALSE(response.keep_alive);
+  }
+}
+
+TEST(HttpSplit, PipelinedPairSurvivesEverySplitBoundary) {
+  // The split can land inside message one, exactly between the two, or
+  // inside message two — the reader's spill buffer must hand the second
+  // request over intact in all three regimes.
+  const std::string wire =
+      "POST /upload HTTP/1.1\r\nContent-Length: 5\r\n\r\n"
+      "12345GET /next.bin HTTP/1.1\r\n\r\n";
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    SCOPED_TRACE("split=" + std::to_string(split));
+    ScriptChannel channel(wire, split);
+    HttpReader reader(channel);
+    const auto first = reader.read_request();
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->method, "POST");
+    EXPECT_EQ(first->body, "12345");
+    const auto second = reader.read_request();
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->method, "GET");
+    EXPECT_EQ(second->path, "/next.bin");
+  }
+}
+
+TEST(HttpSplit, OneBytePerRecvIsTheWorstCaseAndStillParses) {
+  const std::string body(300, 'z');
+  const std::string wire = "POST /upload HTTP/1.0\r\nContent-Length: " +
+                           std::to_string(body.size()) + "\r\n\r\n" + body;
+  ScriptChannel channel(wire, /*split=*/0, /*cap=*/1);
+  HttpReader reader(channel);
+  const auto request = reader.read_request();
+  ASSERT_TRUE(request.has_value());
+  EXPECT_EQ(request->body, body);
+  // Dripping one byte per call really did exercise one recv per byte.
+  EXPECT_GE(channel.recv_calls(), wire.size());
+}
+
+TEST(HttpSplit, TruncationAtEverySplitBoundaryStillThrows) {
+  // However the stream fragments, a peer that dies before the header
+  // terminator is a parse error at every fragmentation, never a hang or
+  // a phantom request.
+  const std::string wire = "GET /image.jpg HTTP/1.1\r\nConnection: clo";
+  for (std::size_t split = 1; split <= wire.size(); ++split) {
+    SCOPED_TRACE("split=" + std::to_string(split));
+    ScriptChannel channel(wire, split);
+    HttpReader reader(channel);
+    EXPECT_THROW(static_cast<void>(reader.read_request()),
+                 util::ParseError);
+  }
+}
+
+}  // namespace
+}  // namespace clio::net

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "io/file_store.hpp"
 #include "net/server.hpp"
+#include "net/socket.hpp"
 #include "util/error.hpp"
 #include "util/temp_dir.hpp"
 
@@ -106,6 +109,89 @@ TEST_F(LoadGenTest, WithoutKeepAliveEveryRequestReconnects) {
   server.stop();
   EXPECT_EQ(report.ok, 20u);
   EXPECT_EQ(server.stats().accepted, 20u);  // one connection per request
+}
+
+TEST(FailureBreakdown, TotalsAndMerges) {
+  FailureBreakdown a;
+  a.timeouts = 2;
+  a.disconnects = 3;
+  FailureBreakdown b;
+  b.connect_refused = 1;
+  b.malformed = 4;
+  b.http_errors = 5;
+  b.other = 6;
+  a.merge(b);
+  EXPECT_EQ(a.timeouts, 2u);
+  EXPECT_EQ(a.connect_refused, 1u);
+  EXPECT_EQ(a.disconnects, 3u);
+  EXPECT_EQ(a.malformed, 4u);
+  EXPECT_EQ(a.http_errors, 5u);
+  EXPECT_EQ(a.other, 6u);
+  EXPECT_EQ(a.total(), 21u);
+}
+
+TEST_F(LoadGenTest, ClassifiesConnectRefused) {
+  // Grab an ephemeral port with a listener, then close it: every connect
+  // to it is refused, and the report must say so by name.
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+  }
+  LoadGenOptions options;
+  options.connections = 1;
+  options.requests_per_connection = 3;
+  options.keep_alive = false;
+  options.files = {"a.bin"};
+  const LoadReport report = LoadGenerator(options).run(dead_port);
+  EXPECT_EQ(report.ok, 0u);
+  EXPECT_EQ(report.errors, 3u);
+  EXPECT_EQ(report.failures.connect_refused, 3u);
+  EXPECT_EQ(report.failures.total(), report.errors);
+}
+
+TEST_F(LoadGenTest, ClassifiesHttpErrorStatuses) {
+  MiniWebServer server(fs_);
+  server.start();
+  LoadGenOptions options;
+  options.connections = 1;
+  options.requests_per_connection = 4;
+  options.keep_alive = true;
+  options.files = {"no-such-file.bin"};  // every GET answers 404
+  const LoadReport report = LoadGenerator(options).run(server.port());
+  server.stop();
+  EXPECT_EQ(report.ok, 0u);
+  EXPECT_EQ(report.errors, 4u);
+  EXPECT_EQ(report.failures.http_errors, 4u);
+  EXPECT_EQ(report.failures.total(), report.errors);
+}
+
+TEST_F(LoadGenTest, RenderSummarizesCleanAndFailedRuns) {
+  MiniWebServer server(fs_);
+  server.start();
+  LoadGenOptions options;
+  options.connections = 1;
+  options.requests_per_connection = 5;
+  options.files = {"a.bin"};
+  const LoadReport clean = LoadGenerator(options).run(server.port());
+  server.stop();
+
+  std::ostringstream clean_out;
+  clean.render(clean_out);
+  EXPECT_NE(clean_out.str().find("ok=5"), std::string::npos);
+  // A clean run does not print the failure breakdown line.
+  EXPECT_EQ(clean_out.str().find("failures:"), std::string::npos);
+
+  std::uint16_t dead_port;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+  }
+  const LoadReport failed = LoadGenerator(options).run(dead_port);
+  std::ostringstream failed_out;
+  failed.render(failed_out);
+  EXPECT_NE(failed_out.str().find("failures:"), std::string::npos);
+  EXPECT_NE(failed_out.str().find("connect_refused=5"), std::string::npos);
 }
 
 }  // namespace

@@ -171,5 +171,45 @@ TEST_F(ServerLifecycleTest, QueueFullBackpressureReturns503) {
   server.stop();
 }
 
+TEST_F(ServerLifecycleTest, StopAnswersQueuedBacklogWith503) {
+  // A connection sitting in the pending queue when stop() begins used to
+  // be silently dropped — the fd was closed without a byte ever sent.
+  // The drain must answer it with an explicit 503 instead.
+  ServerOptions options;
+  options.worker_threads = 1;
+  options.max_pending = 4;
+  MiniWebServer server(fs_, options);
+  server.start();
+
+  // Park the only worker: one completed keep-alive request proves the
+  // worker owns this connection, then the client goes silent.
+  Socket busy = connect_loopback(server.port());
+  HttpReader busy_reader(busy);
+  const std::string first = "GET /doc.bin HTTP/1.1\r\n\r\n";
+  busy.send_all(first.data(), first.size());
+  ASSERT_EQ(busy_reader.read_response().status, 200);
+
+  // Two further connections land in the queue behind the parked worker.
+  Socket queued_a = connect_loopback(server.port());
+  Socket queued_b = connect_loopback(server.port());
+  const std::string q = "GET /doc.bin HTTP/1.1\r\nConnection: close\r\n\r\n";
+  queued_a.send_all(q.data(), q.size());
+  queued_b.send_all(q.data(), q.size());
+  for (int i = 0; i < 2000 && server.stats().accepted < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  server.stop();
+
+  // Every queued connection got a complete, well-formed rejection.
+  for (Socket* queued : {&queued_a, &queued_b}) {
+    const auto response = read_response(*queued);
+    EXPECT_EQ(response.status, 503);
+    EXPECT_FALSE(response.keep_alive);
+  }
+  EXPECT_EQ(server.stats().drained_503, 2u);
+  EXPECT_FALSE(server.running());
+}
+
 }  // namespace
 }  // namespace clio::net

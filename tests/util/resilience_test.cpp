@@ -1,0 +1,209 @@
+// Unit coverage for the resilience primitives: deadlines (unset semantics,
+// ambient scoping, nesting), seeded backoff (determinism, jitter bounds,
+// exhaustion) and the circuit breaker state machine (trip, cooldown,
+// half-open probes, re-trip, close).
+#include "util/resilience.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace clio::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Deadline, DefaultIsUnsetAndNeverExpires) {
+  Deadline d;
+  EXPECT_FALSE(d.set());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining(), std::chrono::nanoseconds::max());
+}
+
+TEST(Deadline, AfterExpiresOnceElapsed) {
+  const Deadline d = Deadline::after(1ms);
+  EXPECT_TRUE(d.set());
+  EXPECT_FALSE(d.expired());
+  std::this_thread::sleep_for(3ms);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining(), std::chrono::nanoseconds::zero());
+}
+
+TEST(Deadline, EarlierPicksTheTighterBudget) {
+  const Deadline never;
+  const Deadline soon = Deadline::after_ms(1);
+  const Deadline late = Deadline::after_ms(10'000);
+  EXPECT_FALSE(Deadline::earlier(never, never).set());
+  // An unset deadline always loses.
+  EXPECT_LE(Deadline::earlier(never, soon).remaining(), 2ms);
+  EXPECT_LE(Deadline::earlier(soon, never).remaining(), 2ms);
+  EXPECT_LE(Deadline::earlier(soon, late).remaining(), 2ms);
+  EXPECT_GT(Deadline::earlier(late, never).remaining(), 1s);
+}
+
+TEST(DeadlineScope, InstallsAndRestoresTheAmbientDeadline) {
+  EXPECT_FALSE(DeadlineScope::current().set());
+  {
+    DeadlineScope scope(Deadline::after_ms(10'000));
+    EXPECT_TRUE(DeadlineScope::current().set());
+  }
+  EXPECT_FALSE(DeadlineScope::current().set());
+}
+
+TEST(DeadlineScope, InnerScopeNeverExtendsTheOuterBudget) {
+  DeadlineScope outer(Deadline::after_ms(5));
+  {
+    // Looser inner budget: the outer one must still win.
+    DeadlineScope inner(Deadline::after_ms(60'000));
+    EXPECT_LT(DeadlineScope::current().remaining(), 1s);
+  }
+  {
+    // Tighter inner budget wins while active.
+    DeadlineScope inner(Deadline::after(1ms));
+    EXPECT_LE(DeadlineScope::current().remaining(), 2ms);
+  }
+}
+
+TEST(DeadlineScope, IsPerThread) {
+  DeadlineScope scope(Deadline::after_ms(10'000));
+  bool other_thread_set = true;
+  std::thread probe([&] { other_thread_set = DeadlineScope::current().set(); });
+  probe.join();
+  EXPECT_FALSE(other_thread_set);
+  EXPECT_TRUE(DeadlineScope::current().set());
+}
+
+TEST(Backoff, SameSeedReplaysTheSameSchedule) {
+  BackoffPolicy policy;
+  policy.max_retries = 5;
+  Backoff a(policy, 42);
+  Backoff b(policy, 42);
+  Backoff c(policy, 43);
+  bool any_differs = false;
+  while (!a.exhausted()) {
+    const auto da = a.next_delay();
+    EXPECT_EQ(da, b.next_delay());
+    if (da != c.next_delay()) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);  // different seed, different jitter
+}
+
+TEST(Backoff, DelaysAreEqualJitteredAndCapped) {
+  BackoffPolicy policy;
+  policy.max_retries = 10;
+  policy.base_delay_us = 100;
+  policy.max_delay_us = 800;
+  policy.multiplier = 2.0;
+  Backoff backoff(policy, 7);
+  for (std::uint32_t k = 1; !backoff.exhausted(); ++k) {
+    const double ceiling =
+        std::min<double>(policy.max_delay_us,
+                         policy.base_delay_us * std::pow(2.0, k - 1));
+    const auto delay = backoff.next_delay().count();
+    EXPECT_GE(delay, static_cast<long>(ceiling / 2.0));
+    EXPECT_LE(delay, static_cast<long>(ceiling));
+  }
+  EXPECT_EQ(backoff.retries_used(), 10u);
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailuresOnly) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  CircuitBreaker breaker(cfg);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  // A success in between resets the streak.
+  ASSERT_TRUE(breaker.try_acquire());
+  EXPECT_FALSE(breaker.record_failure());
+  ASSERT_TRUE(breaker.try_acquire());
+  EXPECT_FALSE(breaker.record_failure());
+  ASSERT_TRUE(breaker.try_acquire());
+  breaker.record_success();
+  ASSERT_TRUE(breaker.try_acquire());
+  EXPECT_FALSE(breaker.record_failure());
+  ASSERT_TRUE(breaker.try_acquire());
+  EXPECT_FALSE(breaker.record_failure());
+  ASSERT_TRUE(breaker.try_acquire());
+  EXPECT_TRUE(breaker.record_failure());  // third consecutive: trips
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 1u);
+  EXPECT_GT(breaker.retry_after_ms(), 0.0);
+}
+
+TEST(CircuitBreaker, OpenFastFailsUntilCooldownThenAdmitsOneProbe) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_cooldown_ms = 20;
+  cfg.half_open_successes = 1;
+  CircuitBreaker breaker(cfg);
+  ASSERT_TRUE(breaker.try_acquire());
+  EXPECT_TRUE(breaker.record_failure());
+  EXPECT_FALSE(breaker.try_acquire());  // open: fast-fail
+  EXPECT_FALSE(breaker.try_acquire());
+  EXPECT_EQ(breaker.stats().fast_fails, 2u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.open_cooldown_ms) +
+                              5ms);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.try_acquire());   // the single probe
+  EXPECT_FALSE(breaker.try_acquire());  // a second concurrent probe: refused
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.stats().probes, 1u);
+  EXPECT_EQ(breaker.retry_after_ms(), 0.0);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensWithAFreshTrip) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_cooldown_ms = 10;
+  CircuitBreaker breaker(cfg);
+  ASSERT_TRUE(breaker.try_acquire());
+  EXPECT_TRUE(breaker.record_failure());
+  std::this_thread::sleep_for(20ms);
+  ASSERT_TRUE(breaker.try_acquire());
+  EXPECT_TRUE(breaker.record_failure());  // probe fails: re-trip
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 2u);
+  EXPECT_FALSE(breaker.try_acquire());
+}
+
+TEST(CircuitBreaker, HalfOpenRequiresConfiguredSuccessesToClose) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_cooldown_ms = 10;
+  cfg.half_open_successes = 2;
+  CircuitBreaker breaker(cfg);
+  ASSERT_TRUE(breaker.try_acquire());
+  EXPECT_TRUE(breaker.record_failure());
+  std::this_thread::sleep_for(20ms);
+  ASSERT_TRUE(breaker.try_acquire());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);  // 1 of 2
+  ASSERT_TRUE(breaker.try_acquire());
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreaker, ResetReturnsToClosedWithClearedCounters) {
+  CircuitBreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  CircuitBreaker breaker(cfg);
+  ASSERT_TRUE(breaker.try_acquire());
+  EXPECT_TRUE(breaker.record_failure());
+  breaker.reset();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.stats().trips, 0u);
+  EXPECT_TRUE(breaker.try_acquire());
+  breaker.record_success();
+}
+
+TEST(CircuitBreaker, StateNamesAreStable) {
+  EXPECT_EQ(circuit_state_name(CircuitBreaker::State::kClosed), "closed");
+  EXPECT_EQ(circuit_state_name(CircuitBreaker::State::kOpen), "open");
+  EXPECT_EQ(circuit_state_name(CircuitBreaker::State::kHalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace clio::util
