@@ -37,8 +37,11 @@
 #include "io/buffer_pool.hpp"
 #include "io/fault_store.hpp"
 #include "io/file_store.hpp"
+#include "obs/bench_report.hpp"
 #include "util/error.hpp"
+#include "util/histogram.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 #include "util/temp_dir.hpp"
 
 namespace {
@@ -139,7 +142,12 @@ void print_row(const char* scenario, std::size_t shards, int threads,
               r.ops_per_sec / base_ops);
 }
 
-void bench_warm_hits(std::size_t shards) {
+std::string bp_scenario(const char* base, std::size_t shards, int threads) {
+  return std::string(base) + "_shards" + std::to_string(shards) + "_t" +
+         std::to_string(threads);
+}
+
+void bench_warm_hits(obs::BenchReport& report, std::size_t shards) {
   util::TempDir dir("clio-microbp");
   io::RealFileStore store(dir.path());
   const io::FileId file = store.open("data.bin", true);
@@ -170,10 +178,13 @@ void bench_warm_hits(std::size_t shards) {
     });
     if (threads == 1) base = r.ops_per_sec;
     print_row("warm-hit", pool.shard_count(), threads, r, base);
+    report.scenario(bp_scenario("warm", pool.shard_count(), threads));
+    report.metric("ops_per_sec", r.ops_per_sec);
+    report.metric("speedup", r.ops_per_sec / base);
   }
 }
 
-void bench_miss_churn(std::size_t shards) {
+void bench_miss_churn(obs::BenchReport& report, std::size_t shards) {
   util::TempDir dir("clio-microbp");
   io::RealFileStore store(dir.path());
   const io::FileId file = store.open("data.bin", true);
@@ -189,22 +200,37 @@ void bench_miss_churn(std::size_t shards) {
   double base = 0.0;
   for (int threads : {1, 2, 4, 8}) {
     const std::uint64_t span = kFilePages / threads;
+    // Per-thread pin-latency histograms: lock-free push on the hot path,
+    // merged after the workers quiesce — the LatencyHistogram aggregation
+    // contract.  Cheap enough here because every op reaches the store.
+    std::vector<util::LatencyHistogram> pin_latency(
+        static_cast<std::size_t>(threads));
     const RunResult r = run_threads(threads, kOps, [&](int t) {
       util::Rng rng(2000 + t);
       const std::uint64_t lo = t * span;
       unsigned long long local = 0;
+      util::LatencyHistogram& hist =
+          pin_latency[static_cast<std::size_t>(t)];
       for (std::uint64_t i = 0; i < kOps; ++i) {
+        util::Stopwatch pin_watch;
         auto g = pool.pin(file, lo + rng.uniform_u64(span));
+        hist.push(static_cast<std::uint64_t>(pin_watch.elapsed_ns()));
         local += static_cast<unsigned char>(g.data()[0]);
       }
       benchmark_sink = local;
     });
+    util::LatencyHistogram merged;
+    for (const auto& h : pin_latency) merged.merge(h);
     if (threads == 1) base = r.ops_per_sec;
     print_row("miss-churn", pool.shard_count(), threads, r, base);
+    report.scenario(bp_scenario("miss", pool.shard_count(), threads));
+    report.metric("ops_per_sec", r.ops_per_sec);
+    report.metric("speedup", r.ops_per_sec / base);
+    report.distribution("pin_latency_ns", merged);
   }
 }
 
-void bench_flush_coalescing() {
+void bench_flush_coalescing(obs::BenchReport& report) {
   util::TempDir dir("clio-microbp");
   io::RealFileStore real(dir.path());
   CountingStore store(real);
@@ -232,12 +258,18 @@ void bench_flush_coalescing() {
       static_cast<unsigned long long>(kDirty),
       static_cast<unsigned long long>(calls),
       static_cast<double>(kDirty) / static_cast<double>(calls), ms);
+  report.scenario("flush_coalescing");
+  report.metric("dirty_pages", static_cast<double>(kDirty));
+  report.metric("backing_write_calls", static_cast<double>(calls));
+  report.metric("pages_per_call",
+                static_cast<double>(kDirty) / static_cast<double>(calls));
+  report.metric("flush_ms", ms);
 }
 
 /// Sequential scans driven by readahead windows, through a pool much
 /// smaller than the file so every pass is cold: this is the prefetch-churn
 /// path the coalesced readv gather (and the async workers) accelerate.
-void bench_prefetch_churn(bool async) {
+void bench_prefetch_churn(obs::BenchReport& report, bool async) {
   util::TempDir dir("clio-microbp");
   io::RealFileStore real(dir.path());
   CountingStore store(real);
@@ -285,6 +317,12 @@ void bench_prefetch_churn(bool async) {
     });
     pool.drain_prefetches();
     if (threads == 1) base = r.ops_per_sec;
+    report.scenario(std::string("prefetch_") + (async ? "async" : "sync") +
+                    "_t" + std::to_string(threads));
+    report.metric("pages_per_sec", r.ops_per_sec);
+    report.metric("speedup", r.ops_per_sec / base);
+    report.metric("readv_calls", static_cast<double>(store.readv_calls));
+    report.metric("read_calls", static_cast<double>(store.read_calls));
     std::printf(
         "%-10s  %-5s      threads=%d  %12.0f pages/s  speedup %.2fx  "
         "(%llu readv + %llu read calls)\n",
@@ -308,7 +346,7 @@ void bench_prefetch_churn(bool async) {
 /// flushes, against a fault-injecting store.  The interesting numbers are
 /// how much throughput the error paths cost (unwinds, retries, kept-dirty
 /// pages) and that the pool survives the storm with its invariants intact.
-void bench_fault_churn() {
+void bench_fault_churn(obs::BenchReport& report) {
   constexpr std::uint64_t kOps = 20000;
   for (const bool degraded : {false, true}) {
     util::TempDir dir("clio-microbp");
@@ -339,12 +377,17 @@ void bench_fault_churn() {
       store.reset();  // per-iteration fault counters (keeps the same seed)
       const std::uint64_t span = kFilePages / threads;
       std::atomic<std::uint64_t> errors{0};
+      std::vector<util::LatencyHistogram> op_latency(
+          static_cast<std::size_t>(threads));
       const RunResult r = run_threads(threads, kOps, [&](int t) {
         util::Rng rng(4000 + t);
         const std::uint64_t lo = t * span;
         unsigned long long local = 0;
+        util::LatencyHistogram& hist =
+            op_latency[static_cast<std::size_t>(t)];
         for (std::uint64_t i = 0; i < kOps; ++i) {
           const std::uint64_t page = lo + rng.uniform_u64(span);
+          util::Stopwatch op_watch;
           try {
             if (i % 4 == 0) {
               auto g = pool.pin(file, page);
@@ -359,10 +402,21 @@ void bench_fault_churn() {
           } catch (const util::IoError&) {
             errors.fetch_add(1, std::memory_order_relaxed);
           }
+          hist.push(static_cast<std::uint64_t>(op_watch.elapsed_ns()));
         }
         benchmark_sink = local;
       });
+      util::LatencyHistogram merged;
+      for (const auto& h : op_latency) merged.merge(h);
       const io::FaultStats fstats = store.stats();
+      report.scenario(std::string("faults_") +
+                      (degraded ? "degraded" : "clean") + "_t" +
+                      std::to_string(threads));
+      report.metric("ops_per_sec", r.ops_per_sec);
+      report.metric("injected_faults",
+                    static_cast<double>(fstats.total_faults()));
+      report.metric("surfaced_errors", static_cast<double>(errors.load()));
+      report.distribution("op_latency_ns", merged);
       std::printf(
           "faults      %-8s   threads=%d  %12.0f ops/s  "
           "(%llu injected, %llu surfaced)\n",
@@ -390,35 +444,40 @@ int main(int argc, char** argv) {
   std::printf("micro_bufferpool — hot-path concurrency microbenchmark\n");
   std::printf("hardware threads: %u\n\n", std::thread::hardware_concurrency());
 
+  obs::BenchReport report("micro_bufferpool");
   if (enabled("warm")) {
     std::printf("-- warm hits, single global stripe (pre-sharding layout) --\n");
-    bench_warm_hits(1);
+    bench_warm_hits(report, 1);
     std::printf("\n-- warm hits, 16-way sharding --\n");
-    bench_warm_hits(16);
+    bench_warm_hits(report, 16);
     std::printf("\n");
   }
   if (enabled("miss")) {
     std::printf("-- miss/evict churn, single stripe --\n");
-    bench_miss_churn(1);
+    bench_miss_churn(report, 1);
     std::printf("\n-- miss/evict churn, 16-way sharding --\n");
-    bench_miss_churn(16);
+    bench_miss_churn(report, 16);
     std::printf("\n");
   }
   if (enabled("flush")) {
     std::printf("-- coalesced write-back --\n");
-    bench_flush_coalescing();
+    bench_flush_coalescing(report);
     std::printf("\n");
   }
   if (enabled("prefetch")) {
     std::printf("-- prefetch churn, coalesced readv (inline) --\n");
-    bench_prefetch_churn(/*async=*/false);
+    bench_prefetch_churn(report, /*async=*/false);
     std::printf("\n-- prefetch churn, async background workers --\n");
-    bench_prefetch_churn(/*async=*/true);
+    bench_prefetch_churn(report, /*async=*/true);
     std::printf("\n");
   }
   if (enabled("faults")) {
     std::printf("-- degraded mode: seeded fault injection --\n");
-    bench_fault_churn();
+    bench_fault_churn(report);
+  }
+  const std::string json_path = report.write_default();
+  if (!json_path.empty()) {
+    std::printf("\nmachine-readable report: %s\n", json_path.c_str());
   }
   return 0;
 }

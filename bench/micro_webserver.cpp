@@ -37,12 +37,31 @@
 #include "net/client.hpp"
 #include "net/load_gen.hpp"
 #include "net/server.hpp"
+#include "obs/bench_report.hpp"
 #include "util/resilience.hpp"
 #include "util/temp_dir.hpp"
 
 namespace {
 
 using namespace clio;
+
+std::string scenario_name(const core::ThroughputRow& row) {
+  return "throughput_c" + std::to_string(row.connections) +
+         (row.keep_alive ? "_ka" : "_noka");
+}
+
+void report_rows(obs::BenchReport& report,
+                 const std::vector<core::ThroughputRow>& rows,
+                 const std::string& prefix) {
+  for (const auto& row : rows) {
+    report.scenario(prefix + scenario_name(row));
+    report.metric("requests_per_sec", row.requests_per_sec);
+    report.metric("requests_ok", static_cast<double>(row.requests_ok));
+    report.metric("errors", static_cast<double>(row.errors));
+    report.metric("rejected_503", static_cast<double>(row.rejected_503));
+    report.distribution("latency_ns", row.latency);
+  }
+}
 
 void print_rows(const std::vector<core::ThroughputRow>& rows,
                 double base_rps) {
@@ -59,7 +78,7 @@ void print_rows(const std::vector<core::ThroughputRow>& rows,
   }
 }
 
-void bench_throughput() {
+void bench_throughput(obs::BenchReport& report) {
   util::TempDir dir("clio-microweb");
   core::WebBenchConfig config;
   config.workdir = dir.path() / "docroot";
@@ -73,6 +92,7 @@ void bench_throughput() {
       bench.run_throughput(scenarios, /*requests_per_connection=*/400,
                            /*post_fraction=*/0.1);
   print_rows(rows, rows.front().requests_per_sec);
+  report_rows(report, rows, "");
 
   // The acceptance comparison the ROADMAP records: 8 keep-alive
   // connections vs the paper's 1-connection connect-per-request model, on
@@ -110,9 +130,13 @@ void bench_throughput() {
       "throughput  acceptance (GET /tiny.bin, 512 B, best of 5 paired "
       "rounds): 1xno-KA %.0f req/s, 8xKA %.0f req/s -> %.2fx (bar: >= 2x)\n",
       best_base, best_ka, best_ratio);
+  report.scenario("acceptance_keepalive");
+  report.metric("base_rps", best_base);
+  report.metric("keepalive_rps", best_ka);
+  report.metric("speedup", best_ratio);
 }
 
-void bench_faults() {
+void bench_faults(obs::BenchReport& report) {
   util::TempDir dir("clio-microweb");
   net::NetFaultPlan plan;
   plan.seed = 0xbadd15c;
@@ -138,6 +162,18 @@ void bench_faults() {
     const auto rows = bench.run_throughput(
         {{4, true}}, /*requests_per_connection=*/400, /*post_fraction=*/0.1);
     const auto stats = injector.stats();
+    report.scenario(degraded ? "faults_degraded" : "faults_clean");
+    report.metric("requests_per_sec", rows.front().requests_per_sec);
+    report.metric("requests_ok",
+                  static_cast<double>(rows.front().requests_ok));
+    report.metric("errors", static_cast<double>(rows.front().errors));
+    report.metric("injected_accept_drops",
+                  static_cast<double>(stats.accept_drops));
+    report.metric("injected_recv_failures",
+                  static_cast<double>(stats.recv_failures));
+    report.metric("injected_send_failures",
+                  static_cast<double>(stats.send_failures));
+    report.distribution("latency_ns", rows.front().latency);
     std::printf(
         "faults      %-8s  conns=4  %9.0f req/s  (%llu ok, %llu err)  "
         "injected: %llu drops, %llu recv, %llu disc, %llu send, %llu short\n",
@@ -166,7 +202,7 @@ void bench_faults() {
   }
 }
 
-void bench_resilience() {
+void bench_resilience(obs::BenchReport& report) {
   util::TempDir dir("clio-microweb");
 
   auto real = std::make_unique<io::RealFileStore>(dir.path());
@@ -230,17 +266,29 @@ void bench_resilience() {
     retry->reset_stats();
     breaker.reset();
     fs.drop_caches();
-    const net::LoadReport report = net::LoadGenerator(load).run(server.port());
+    const net::LoadReport run = net::LoadGenerator(load).run(server.port());
     const io::RetryStats rstats = retry->stats();
     const util::CircuitBreaker::Stats bstats = breaker.stats();
+    report.scenario(degraded ? "resilience_degraded" : "resilience_clean");
+    report.metric("requests_per_sec", run.requests_per_sec());
+    report.metric("requests_ok", static_cast<double>(run.ok));
+    report.metric("rejected_503", static_cast<double>(run.rejected_503));
+    report.metric("errors", static_cast<double>(run.errors));
+    report.metric("retries_absorbed", static_cast<double>(rstats.absorbed));
+    report.metric("retries_exhausted",
+                  static_cast<double>(rstats.exhausted));
+    report.metric("breaker_trips", static_cast<double>(bstats.trips));
+    report.metric("breaker_fast_fails",
+                  static_cast<double>(bstats.fast_fails));
+    report.distribution("latency_ns", run.latency);
     std::printf(
         "resilience  %-8s  conns=4  %9.0f req/s  (%llu ok, %llu 503, "
         "%llu err)  retries: %llu absorbed %llu exhausted  breaker: "
         "%llu trips %llu fast-fails\n",
-        degraded ? "degraded" : "clean", report.requests_per_sec(),
-        static_cast<unsigned long long>(report.ok),
-        static_cast<unsigned long long>(report.rejected_503),
-        static_cast<unsigned long long>(report.errors),
+        degraded ? "degraded" : "clean", run.requests_per_sec(),
+        static_cast<unsigned long long>(run.ok),
+        static_cast<unsigned long long>(run.rejected_503),
+        static_cast<unsigned long long>(run.errors),
         static_cast<unsigned long long>(rstats.absorbed),
         static_cast<unsigned long long>(rstats.exhausted),
         static_cast<unsigned long long>(bstats.trips),
@@ -268,6 +316,9 @@ void bench_resilience() {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - start)
           .count();
+  report.scenario("resilience_recovery");
+  report.metric("recovered", recovered ? 1.0 : 0.0);
+  report.metric("recovery_ms", static_cast<double>(recovery_ms));
   server.stop();
   fs.pool().drain_prefetches();
   try {
@@ -293,20 +344,25 @@ int main(int argc, char** argv) {
   std::printf("micro_webserver — worker-pool serving microbenchmark\n");
   std::printf("hardware threads: %u\n\n",
               std::thread::hardware_concurrency());
+  obs::BenchReport report("micro_webserver");
   if (enabled("throughput")) {
     std::printf("-- throughput: connections x keep-alive --\n");
-    bench_throughput();
+    bench_throughput(report);
     std::printf("\n");
   }
   if (enabled("faults")) {
     std::printf("-- degraded mode: seeded net-layer fault injection --\n");
-    bench_faults();
+    bench_faults(report);
     std::printf("\n");
   }
   if (enabled("resilience")) {
     std::printf(
         "-- resilience: retry + circuit breaker over storage faults --\n");
-    bench_resilience();
+    bench_resilience(report);
+  }
+  const std::string json_path = report.write_default();
+  if (!json_path.empty()) {
+    std::printf("\nmachine-readable report: %s\n", json_path.c_str());
   }
   return 0;
 }

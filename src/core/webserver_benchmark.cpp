@@ -117,6 +117,7 @@ std::vector<ThroughputRow> WebServerBench::run_throughput(
     row.requests_per_sec = report.requests_per_sec();
     row.mean_ms = report.mean_ms();
     row.p99_ms = report.quantile_ms(0.99);
+    row.latency = report.latency.snapshot();
     rows.push_back(row);
   }
   return rows;

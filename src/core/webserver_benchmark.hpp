@@ -50,6 +50,10 @@ struct ThroughputRow {
   double requests_per_sec = 0.0;
   double mean_ms = 0.0;
   double p99_ms = 0.0;
+  /// Full request-latency distribution of the scenario's run, so bench
+  /// emitters can serialize quantiles + buckets (BENCH_*.json), not just
+  /// the two columns the human table prints.
+  util::LatencyHistogram::Snapshot latency;
 };
 
 /// Owns a server over a managed docroot populated with the paper's three

@@ -93,6 +93,22 @@ std::uint64_t IoStats::op_bytes(IoOp op) const {
   return bytes_.at(static_cast<std::size_t>(op));
 }
 
+OpSnapshot IoStats::op_snapshot(IoOp op) const {
+  const auto idx = static_cast<std::size_t>(op);
+  util::check<util::ConfigError>(idx < kIoOpCount, "IoStats: bad op");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto& s = stats_[idx];
+  OpSnapshot snap;
+  snap.count = s.count();
+  if (snap.count > 0) {
+    snap.mean_ms = s.mean();
+    snap.min_ms = s.min();
+    snap.max_ms = s.max();
+  }
+  snap.bytes = bytes_[idx];
+  return snap;
+}
+
 double IoStats::total_ms() const {
   std::lock_guard<std::mutex> lock(mutex_);
   double total = 0.0;

@@ -54,6 +54,18 @@ struct ResilienceCounters {
   std::uint64_t deadline_expiries = 0;  ///< retry loops cut short by deadlines
 };
 
+/// Thread-safe point-in-time summary of one op class, returned by
+/// IoStats::op_snapshot() — the live-observability counterpart of the
+/// reference-returning op_stats()/op_histogram() accessors, safe to call
+/// while worker threads are still recording.
+struct OpSnapshot {
+  std::uint64_t count = 0;
+  double mean_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  std::uint64_t bytes = 0;
+};
+
 /// Per-operation-class latency accounting for a managed file system.
 ///
 /// Always keeps streaming statistics and a log2 histogram per op class;
@@ -80,6 +92,11 @@ class IoStats {
   /// op_bytes(kWritev) / (op_stats(kWritev).count() * page_size) is the
   /// pages-per-backing-call ratio of the flush path.
   [[nodiscard]] std::uint64_t op_bytes(IoOp op) const;
+
+  /// Locked value copy of one op class — unlike op_stats/op_histogram this
+  /// is safe while recording threads are live, which is what the /statz
+  /// endpoint and the metric gauges scrape.
+  [[nodiscard]] OpSnapshot op_snapshot(IoOp op) const;
   [[nodiscard]] const std::vector<OpRecord>& records() const {
     return records_;
   }

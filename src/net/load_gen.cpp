@@ -9,6 +9,8 @@
 
 #include "net/http.hpp"
 #include "net/socket.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -172,6 +174,31 @@ void LoadReport::render(std::ostream& os) const {
        << " http_errors=" << failures.http_errors
        << " other=" << failures.other << "\n";
   }
+}
+
+void LoadReport::append_json(obs::JsonWriter& w) const {
+  w.begin_object();
+  w.kv("requests_sent", requests_sent);
+  w.kv("ok", ok);
+  w.kv("errors", errors);
+  w.kv("rejected_503", rejected_503);
+  w.kv("reconnects", reconnects);
+  w.kv("bytes_received", bytes_received);
+  w.kv("bytes_posted", bytes_posted);
+  w.kv("elapsed_s", elapsed_s);
+  w.kv("requests_per_sec", requests_per_sec());
+  w.key("failures");
+  w.begin_object();
+  w.kv("timeouts", failures.timeouts);
+  w.kv("connect_refused", failures.connect_refused);
+  w.kv("disconnects", failures.disconnects);
+  w.kv("malformed", failures.malformed);
+  w.kv("http_errors", failures.http_errors);
+  w.kv("other", failures.other);
+  w.end_object();
+  w.key("latency_ns");
+  obs::write_histogram_json(w, latency.snapshot());
+  w.end_object();
 }
 
 }  // namespace clio::net

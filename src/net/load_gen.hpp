@@ -7,6 +7,10 @@
 
 #include "util/histogram.hpp"
 
+namespace clio::obs {
+class JsonWriter;
+}  // namespace clio::obs
+
 namespace clio::net {
 
 /// Configuration of one seeded load-generation run: N concurrent
@@ -80,6 +84,12 @@ struct LoadReport {
   /// One-paragraph run summary: totals, throughput, latency quantiles and
   /// the per-class failure breakdown (omitted when the run was clean).
   void render(std::ostream& os) const;
+
+  /// Appends the run as one JSON object (counts, throughput, failure
+  /// classes and the full latency distribution) at the writer's current
+  /// position — the machine-readable twin of render(), used by the benches'
+  /// BENCH_*.json emission.
+  void append_json(obs::JsonWriter& w) const;
 };
 
 /// Seeded multi-threaded load generator for the worker-pool server: drives

@@ -1,7 +1,9 @@
 #include "net/server.hpp"
 
 #include <optional>
+#include <sstream>
 
+#include "obs/json.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
@@ -77,6 +79,15 @@ MiniWebServer::MiniWebServer(io::ManagedFileSystem& fs, ServerOptions options)
     engine_ = std::make_unique<vm::ExecutionEngine>(
         vm::assemble(kHandlerSource), options_.vm_options, &fs_);
   }
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  tracer_ = std::make_unique<obs::RequestTracer>(*metrics_,
+                                                 options_.trace_seed);
+  register_metrics();
 }
 
 MiniWebServer::~MiniWebServer() { stop(); }
@@ -85,6 +96,10 @@ std::uint16_t MiniWebServer::port() const { return listener_->port(); }
 
 void MiniWebServer::start() {
   if (running_.exchange(true)) return;
+  // A (re)started server reports this run only: stop() snapshotted the
+  // previous run into last_run_stats_, so zeroing here loses nothing and
+  // fixes the stale-counter carry-over across stop()/start() cycles.
+  reset_stats();
   // stop() closes the listener so late connectors are refused instead of
   // parked in a backlog nobody drains; a restart re-binds the same port.
   if (!listener_->listening()) {
@@ -110,7 +125,7 @@ void MiniWebServer::stop() {
   // clean 503 instead of silently dropping it, so their clients see a
   // well-formed "retry elsewhere" rather than a reset mid-wait.
   {
-    std::deque<Socket> backlog;
+    std::deque<PendingConn> backlog;
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       backlog.swap(pending_);
@@ -118,7 +133,7 @@ void MiniWebServer::stop() {
     for (auto& queued : backlog) {
       counters_.drained_503.fetch_add(1, std::memory_order_relaxed);
       try {
-        send_response(queued, 503, "server shutting down",
+        send_response(queued.socket, 503, "server shutting down",
                       /*keep_alive=*/false, "Retry-After: 1\r\n");
       } catch (const std::exception&) {
       }
@@ -147,12 +162,19 @@ void MiniWebServer::stop() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // The run is over and the counters are quiesced: snapshot them so the
+  // run's totals survive the reset a future start() performs.
+  {
+    std::lock_guard<std::mutex> lock(last_run_mutex_);
+    last_run_stats_ = stats();
+  }
 }
 
 void MiniWebServer::accept_loop() {
   while (running_.load()) {
     Socket client = listener_->accept(/*timeout_ms=*/20);
     if (!client.valid()) continue;
+    util::Stopwatch accept_watch;  // accept return -> enqueued
     counters_.accepted.fetch_add(1, std::memory_order_relaxed);
     if (options_.fault_injector != nullptr &&
         options_.fault_injector->should_drop_accept()) {
@@ -172,9 +194,13 @@ void MiniWebServer::accept_loop() {
       }
       continue;
     }
-    pending_.push_back(std::move(client));
+    pending_.push_back(PendingConn{std::move(client),
+                                   util::Stopwatch::now_ns()});
     lock.unlock();
     queue_cv_.notify_one();
+    tracer_->record_stage(obs::Stage::kAccept,
+                          static_cast<std::uint64_t>(
+                              accept_watch.elapsed_ns()));
   }
 }
 
@@ -187,8 +213,15 @@ void MiniWebServer::worker_loop() {
         return !running_.load() || !pending_.empty();
       });
       if (!running_.load()) return;  // stop() closes whatever is queued
-      socket = std::move(pending_.front());
+      PendingConn conn = std::move(pending_.front());
       pending_.pop_front();
+      lock.unlock();
+      const std::int64_t waited =
+          util::Stopwatch::now_ns() - conn.enqueued_ns;
+      tracer_->record_stage(obs::Stage::kQueueWait,
+                            waited > 0 ? static_cast<std::uint64_t>(waited)
+                                       : 0);
+      socket = std::move(conn.socket);
     }
     handle_connection(std::move(socket));
   }
@@ -221,6 +254,7 @@ void MiniWebServer::handle_connection(Socket socket) {
       if (options_.idle_timeout_ms > 0) {
         set_recv_timeout(fd, options_.idle_timeout_ms);
       }
+      util::Stopwatch parse_watch;
       auto request = reader.read_request();
       if (!request.has_value()) break;  // clean close / idle timeout
       if (options_.idle_timeout_ms > 0) {
@@ -233,6 +267,15 @@ void MiniWebServer::handle_connection(Socket socket) {
           served >= options_.max_requests_per_connection) {
         keep = false;
       }
+      // The request exists: open its trace.  Parse happened before the
+      // trace could (the bytes define the request), so its duration is
+      // recorded directly; note it includes waiting for the first byte —
+      // on a keep-alive connection that is the peer's think time.
+      obs::TraceScope trace(*tracer_);
+      tracer_->record_stage(obs::Stage::kParse,
+                            static_cast<std::uint64_t>(
+                                parse_watch.elapsed_ns()));
+      obs::SpanScope handler_span(obs::Stage::kHandler);
       dispatch(*channel, *request, keep);
     }
   } catch (const util::TimeoutError&) {
@@ -274,8 +317,19 @@ void MiniWebServer::dispatch(Channel& channel, const HttpRequest& request,
     budget.emplace(util::Deadline::after_ms(options_.request_deadline_ms));
   }
   try {
+    // Introspection endpoints route before the degraded-mode short-circuit:
+    // an operator diagnosing an open breaker needs /metrics and /statz to
+    // answer precisely while file traffic is being 503'd.
     if (request.method == "GET" && request.path == "/healthz") {
       do_healthz(channel, keep);
+      return;
+    }
+    if (request.method == "GET" && request.path == "/metrics") {
+      do_metrics(channel, keep);
+      return;
+    }
+    if (request.method == "GET" && request.path == "/statz") {
+      do_statz(channel, keep);
       return;
     }
     // Degraded mode: while the storage breaker is open, answer file
@@ -320,6 +374,247 @@ void MiniWebServer::do_healthz(Channel& channel, bool keep) {
   }
 }
 
+void MiniWebServer::do_metrics(Channel& channel, bool keep) {
+  std::ostringstream body;
+  metrics_->render_prometheus(body);
+  send_response(channel, 200, body.str(), keep);
+  // Introspection responses are 2xx but never count into
+  // get_body_bytes_sent: that counter is the served-byte oracle for file
+  // bodies, and scrapes must not perturb it.
+  counters_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MiniWebServer::do_statz(Channel& channel, bool keep) {
+  send_response(channel, 200, render_statz(), keep);
+  counters_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+void write_server_stats_json(obs::JsonWriter& w, const ServerStats& s) {
+  w.begin_object();
+  w.kv("accepted", s.accepted);
+  w.kv("dropped_accepts", s.dropped_accepts);
+  w.kv("rejected_503", s.rejected_503);
+  w.kv("connections", s.connections);
+  w.kv("requests", s.requests);
+  w.kv("responses_ok", s.responses_ok);
+  w.kv("get_body_bytes_sent", s.get_body_bytes_sent);
+  w.kv("post_body_bytes", s.post_body_bytes);
+  w.kv("parse_errors", s.parse_errors);
+  w.kv("request_errors", s.request_errors);
+  w.kv("io_errors", s.io_errors);
+  w.kv("timeouts_408", s.timeouts_408);
+  w.kv("degraded_503", s.degraded_503);
+  w.kv("drained_503", s.drained_503);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string MiniWebServer::render_statz() const {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.kv("running", running_.load());
+  w.kv("port", static_cast<std::uint64_t>(options_.port));
+
+  w.key("server");
+  write_server_stats_json(w, stats());
+  w.key("last_run");
+  write_server_stats_json(w, last_run_stats());
+
+  {
+    const io::BufferPool& pool = fs_.pool();
+    const io::PoolStats ps = pool.stats();
+    const auto resident = static_cast<std::uint64_t>(pool.resident_pages());
+    const auto capacity = static_cast<std::uint64_t>(pool.capacity_pages());
+    w.key("pool");
+    w.begin_object();
+    w.kv("resident_pages", resident);
+    w.kv("capacity_pages", capacity);
+    w.kv("occupancy",
+         capacity > 0 ? static_cast<double>(resident) /
+                            static_cast<double>(capacity)
+                      : 0.0);
+    w.kv("hits", ps.hits);
+    w.kv("misses", ps.misses);
+    w.kv("evictions", ps.evictions);
+    w.kv("writebacks", ps.writebacks);
+    w.kv("prefetches", ps.prefetches);
+    w.kv("flush_write_calls", ps.flush_write_calls);
+    w.kv("flush_write_pages", ps.flush_write_pages);
+    w.kv("gather_read_calls", ps.gather_read_calls);
+    w.kv("gather_read_pages", ps.gather_read_pages);
+    w.end_object();
+  }
+
+  w.key("breaker");
+  if (options_.breaker != nullptr) {
+    const auto state = options_.breaker->state();
+    const auto bs = options_.breaker->stats();
+    w.begin_object();
+    w.kv("state", util::circuit_state_name(state));
+    w.kv("successes", bs.successes);
+    w.kv("failures", bs.failures);
+    w.kv("trips", bs.trips);
+    w.kv("fast_fails", bs.fast_fails);
+    w.kv("probes", bs.probes);
+    w.kv("retry_after_ms", options_.breaker->retry_after_ms());
+    w.end_object();
+  } else {
+    w.null();
+  }
+
+  {
+    const io::IoStats& io_stats = fs_.stats();
+    w.key("io");
+    w.begin_object();
+    w.key("ops");
+    w.begin_object();
+    for (std::size_t i = 0; i < io::kIoOpCount; ++i) {
+      const auto op = static_cast<io::IoOp>(i);
+      const io::OpSnapshot snap = io_stats.op_snapshot(op);
+      if (snap.count == 0 && snap.bytes == 0) continue;
+      w.key(io::io_op_name(op));
+      w.begin_object();
+      w.kv("count", snap.count);
+      w.kv("mean_ms", snap.mean_ms);
+      w.kv("min_ms", snap.min_ms);
+      w.kv("max_ms", snap.max_ms);
+      w.kv("bytes", snap.bytes);
+      w.end_object();
+    }
+    w.end_object();
+    const io::ResilienceCounters rc = io_stats.resilience();
+    w.key("resilience");
+    w.begin_object();
+    w.kv("retries", rc.retries);
+    w.kv("absorbed_faults", rc.absorbed_faults);
+    w.kv("breaker_trips", rc.breaker_trips);
+    w.kv("breaker_fast_fails", rc.breaker_fast_fails);
+    w.kv("deadline_expiries", rc.deadline_expiries);
+    w.end_object();
+    w.end_object();
+  }
+
+  {
+    // Per-stage latency quantiles straight from the tracer's timers.
+    w.key("stages");
+    w.begin_object();
+    for (std::size_t i = 0; i < obs::kStageCount; ++i) {
+      const auto stage = static_cast<obs::Stage>(i);
+      const std::string timer_name =
+          "clio_request_stage_" + std::string(obs::stage_name(stage)) +
+          "_ns";
+      w.key(obs::stage_name(stage));
+      obs::write_histogram_json(w, metrics_->timer(timer_name).snapshot());
+    }
+    w.end_object();
+  }
+
+  w.key("traces");
+  w.begin_object();
+  w.kv("started", tracer_->traces_started());
+  w.kv("spans_opened", tracer_->spans_opened());
+  w.kv("spans_closed", tracer_->spans_closed());
+  w.end_object();
+
+  w.end_object();
+  return out.str();
+}
+
+void MiniWebServer::register_metrics() {
+  auto reg = [this](const char* name, obs::MetricKind kind,
+                    std::function<double()> fn) {
+    gauge_regs_.push_back(
+        metrics_->register_callback(name, kind, std::move(fn)));
+  };
+  auto counter = [&](const char* name,
+                     const std::atomic<std::uint64_t>& slot) {
+    reg(name, obs::MetricKind::kCounter, [&slot] {
+      return static_cast<double>(slot.load(std::memory_order_relaxed));
+    });
+  };
+
+  counter("clio_server_accepted_total", counters_.accepted);
+  counter("clio_server_dropped_accepts_total", counters_.dropped_accepts);
+  counter("clio_server_rejected_503_total", counters_.rejected_503);
+  counter("clio_server_connections_total", counters_.connections);
+  counter("clio_server_requests_total", counters_.requests);
+  counter("clio_server_responses_ok_total", counters_.responses_ok);
+  counter("clio_server_get_body_bytes_sent_total",
+          counters_.get_body_bytes_sent);
+  counter("clio_server_post_body_bytes_total", counters_.post_body_bytes);
+  counter("clio_server_parse_errors_total", counters_.parse_errors);
+  counter("clio_server_request_errors_total", counters_.request_errors);
+  counter("clio_server_io_errors_total", counters_.io_errors);
+  counter("clio_server_timeouts_408_total", counters_.timeouts_408);
+  counter("clio_server_degraded_503_total", counters_.degraded_503);
+  counter("clio_server_drained_503_total", counters_.drained_503);
+
+  io::BufferPool& pool = fs_.pool();
+  reg("clio_pool_resident_pages", obs::MetricKind::kGauge,
+      [&pool] { return static_cast<double>(pool.resident_pages()); });
+  reg("clio_pool_capacity_pages", obs::MetricKind::kGauge,
+      [&pool] { return static_cast<double>(pool.capacity_pages()); });
+  reg("clio_pool_occupancy_ratio", obs::MetricKind::kGauge, [&pool] {
+    const auto capacity = pool.capacity_pages();
+    if (capacity == 0) return 0.0;
+    return static_cast<double>(pool.resident_pages()) /
+           static_cast<double>(capacity);
+  });
+  reg("clio_pool_hits_total", obs::MetricKind::kCounter,
+      [&pool] { return static_cast<double>(pool.stats().hits); });
+  reg("clio_pool_misses_total", obs::MetricKind::kCounter,
+      [&pool] { return static_cast<double>(pool.stats().misses); });
+  reg("clio_pool_evictions_total", obs::MetricKind::kCounter,
+      [&pool] { return static_cast<double>(pool.stats().evictions); });
+  reg("clio_pool_writebacks_total", obs::MetricKind::kCounter,
+      [&pool] { return static_cast<double>(pool.stats().writebacks); });
+  reg("clio_pool_prefetches_total", obs::MetricKind::kCounter,
+      [&pool] { return static_cast<double>(pool.stats().prefetches); });
+
+  const io::IoStats& io_stats = fs_.stats();
+  reg("clio_io_read_ops_total", obs::MetricKind::kCounter, [&io_stats] {
+    return static_cast<double>(io_stats.op_snapshot(io::IoOp::kRead).count);
+  });
+  reg("clio_io_read_bytes_total", obs::MetricKind::kCounter, [&io_stats] {
+    return static_cast<double>(io_stats.op_snapshot(io::IoOp::kRead).bytes);
+  });
+  reg("clio_io_write_ops_total", obs::MetricKind::kCounter, [&io_stats] {
+    return static_cast<double>(io_stats.op_snapshot(io::IoOp::kWrite).count);
+  });
+  reg("clio_io_write_bytes_total", obs::MetricKind::kCounter, [&io_stats] {
+    return static_cast<double>(io_stats.op_snapshot(io::IoOp::kWrite).bytes);
+  });
+  reg("clio_io_retries_total", obs::MetricKind::kCounter,
+      [&io_stats] {
+        return static_cast<double>(io_stats.resilience().retries);
+      });
+  reg("clio_io_absorbed_faults_total", obs::MetricKind::kCounter,
+      [&io_stats] {
+        return static_cast<double>(io_stats.resilience().absorbed_faults);
+      });
+  reg("clio_io_deadline_expiries_total", obs::MetricKind::kCounter,
+      [&io_stats] {
+        return static_cast<double>(io_stats.resilience().deadline_expiries);
+      });
+
+  if (options_.breaker != nullptr) {
+    util::CircuitBreaker* breaker = options_.breaker;
+    reg("clio_breaker_state", obs::MetricKind::kGauge, [breaker] {
+      return static_cast<double>(breaker->state());
+    });
+    reg("clio_breaker_trips_total", obs::MetricKind::kCounter,
+        [breaker] { return static_cast<double>(breaker->stats().trips); });
+    reg("clio_breaker_fast_fails_total", obs::MetricKind::kCounter,
+        [breaker] {
+          return static_cast<double>(breaker->stats().fast_fails);
+        });
+  }
+}
+
 std::string MiniWebServer::retry_after_header() const {
   if (options_.breaker == nullptr) return {};
   // Whole seconds, rounded up: Retry-After's wire granularity — a breaker
@@ -356,6 +651,7 @@ void MiniWebServer::do_get(Channel& channel, const HttpRequest& request,
   // escape to the connection teardown path.
   std::string content;
   try {
+    obs::SpanScope storage_span(obs::Stage::kStorageOp);
     util::Stopwatch file_watch;
     if (options_.vm_dispatch) {
       content = read_file_vm(name);
@@ -383,7 +679,10 @@ void MiniWebServer::do_get(Channel& channel, const HttpRequest& request,
   // Record before transmitting so samples appear in request order even if
   // this worker is preempted mid-send.
   record(sample);
-  send_response(channel, 200, content, keep);
+  {
+    obs::SpanScope send_span(obs::Stage::kSend);
+    send_response(channel, 200, content, keep);
+  }
   // Served-byte accounting happens only after the whole response left:
   // a torn send must not count.
   counters_.responses_ok.fetch_add(1, std::memory_order_relaxed);
@@ -402,6 +701,7 @@ void MiniWebServer::do_post(Channel& channel, const HttpRequest& request,
       post_counter_.fetch_add(1, std::memory_order_relaxed) * 2654435761u;
   const std::string name = "post_" + std::to_string(id % 100000000) + ".dat";
   try {
+    obs::SpanScope storage_span(obs::Stage::kStorageOp);
     util::Stopwatch file_watch;
     if (options_.vm_dispatch) {
       std::vector<vm::Value> bytes(request.body.size());
@@ -435,7 +735,10 @@ void MiniWebServer::do_post(Channel& channel, const HttpRequest& request,
   sample.bytes = request.body.size();
   sample.total_ms = total.elapsed_ms();
   record(sample);
-  send_response(channel, 201, name, keep);
+  {
+    obs::SpanScope send_span(obs::Stage::kSend);
+    send_response(channel, 201, name, keep);
+  }
   counters_.responses_ok.fetch_add(1, std::memory_order_relaxed);
   counters_.post_body_bytes.fetch_add(request.body.size(),
                                       std::memory_order_relaxed);
@@ -474,6 +777,29 @@ ServerStats MiniWebServer::stats() const {
   s.degraded_503 = counters_.degraded_503.load();
   s.drained_503 = counters_.drained_503.load();
   return s;
+}
+
+void MiniWebServer::reset_stats() {
+  counters_.accepted.store(0, std::memory_order_relaxed);
+  counters_.dropped_accepts.store(0, std::memory_order_relaxed);
+  counters_.rejected_503.store(0, std::memory_order_relaxed);
+  counters_.connections.store(0, std::memory_order_relaxed);
+  counters_.requests.store(0, std::memory_order_relaxed);
+  counters_.responses_ok.store(0, std::memory_order_relaxed);
+  counters_.get_body_bytes_sent.store(0, std::memory_order_relaxed);
+  counters_.post_body_bytes.store(0, std::memory_order_relaxed);
+  counters_.parse_errors.store(0, std::memory_order_relaxed);
+  counters_.request_errors.store(0, std::memory_order_relaxed);
+  counters_.io_errors.store(0, std::memory_order_relaxed);
+  counters_.timeouts_408.store(0, std::memory_order_relaxed);
+  counters_.degraded_503.store(0, std::memory_order_relaxed);
+  counters_.drained_503.store(0, std::memory_order_relaxed);
+  clear_samples();
+}
+
+ServerStats MiniWebServer::last_run_stats() const {
+  std::lock_guard<std::mutex> lock(last_run_mutex_);
+  return last_run_stats_;
 }
 
 void MiniWebServer::make_cold() {

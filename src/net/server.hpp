@@ -11,6 +11,8 @@
 #include "io/managed_file.hpp"
 #include "net/fault_channel.hpp"
 #include "net/http.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/resilience.hpp"
 #include "vm/runtime.hpp"
 
@@ -90,6 +92,16 @@ struct ServerOptions {
   /// How long stop() waits for in-flight requests to finish before
   /// escalating to a full shutdown of the stragglers' connections.
   std::uint32_t drain_deadline_ms = 1000;
+  /// Metrics registry the server publishes into (not owned).  nullptr (the
+  /// default) gives the server a private registry — the safe choice when
+  /// tests run several servers in one process, since metric names are
+  /// unique per registry.  Point it at obs::MetricsRegistry::global() (or a
+  /// shared instance) to aggregate across components; the server
+  /// deregisters its callback metrics on destruction.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Seed for deterministic trace IDs (obs::RequestTracer): a fixed seed
+  /// yields a fixed ID sequence, so traces are reproducible run-to-run.
+  std::uint64_t trace_seed = 0x7ace5eedULL;
 };
 
 /// The paper's §4 web-server micro benchmark, grown into a fixed-pool
@@ -133,6 +145,23 @@ class MiniWebServer {
 
   [[nodiscard]] ServerStats stats() const;
 
+  /// Zeroes the live serving counters and the sample log.  start() calls
+  /// this, so a restarted server's stats() describe the current run only —
+  /// stale counters no longer leak across stop()/start() cycles.  The
+  /// metrics registry is NOT reset: its counters are cumulative across the
+  /// server's whole lifetime, which is what a Prometheus scraper expects.
+  void reset_stats();
+
+  /// The stats snapshot stop() captured when the previous run ended (all
+  /// zeros before the first stop).  This is how callers account a finished
+  /// run after a restart wiped the live counters.
+  [[nodiscard]] ServerStats last_run_stats() const;
+
+  /// The registry this server publishes into (its private one unless
+  /// ServerOptions::metrics pointed elsewhere).
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return *metrics_; }
+  [[nodiscard]] const obs::RequestTracer& tracer() const { return *tracer_; }
+
   /// Simulates an engine restart: flushes the VM's JIT cache and the
   /// buffer pool, so the next request is fully cold (Table 6 setup).
   /// Safe to call while requests are in flight — pages a worker still
@@ -149,6 +178,12 @@ class MiniWebServer {
   void handle_connection(Socket socket);
   void dispatch(Channel& channel, const HttpRequest& request, bool keep);
   void do_healthz(Channel& channel, bool keep);
+  void do_metrics(Channel& channel, bool keep);
+  void do_statz(Channel& channel, bool keep);
+  /// Registers the callback gauges that mirror ServerStats, PoolStats,
+  /// breaker and IoStats into the metrics registry (constructor helper).
+  void register_metrics();
+  [[nodiscard]] std::string render_statz() const;
   /// "Retry-After: N\r\n" derived from the breaker's remaining cooldown
   /// (empty when no breaker is armed).
   [[nodiscard]] std::string retry_after_header() const;
@@ -167,8 +202,13 @@ class MiniWebServer {
   std::atomic<bool> record_samples_{true};
   std::atomic<std::uint64_t> post_counter_{0};
 
-  // Accept-to-worker hand-off.
-  std::deque<Socket> pending_;
+  // Accept-to-worker hand-off.  Each entry carries its enqueue timestamp
+  // so the worker that pops it can record the queue-wait stage span.
+  struct PendingConn {
+    Socket socket;
+    std::int64_t enqueued_ns = 0;
+  };
+  std::deque<PendingConn> pending_;
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
 
@@ -199,6 +239,17 @@ class MiniWebServer {
     std::atomic<std::uint64_t> drained_503{0};
   };
   Counters counters_;
+
+  // Observability.  owned_metrics_ must be declared before the members
+  // that reference it (tracer_, gauge_regs_) so destruction unregisters
+  // callbacks before the registry dies.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<obs::RequestTracer> tracer_;
+  std::vector<obs::MetricsRegistry::Registration> gauge_regs_;
+
+  ServerStats last_run_stats_{};
+  mutable std::mutex last_run_mutex_;
 };
 
 }  // namespace clio::net

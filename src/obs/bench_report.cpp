@@ -1,0 +1,97 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace clio::obs {
+
+BenchReport::BenchReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {
+  util::check<util::ConfigError>(!bench_name_.empty(),
+                                 "BenchReport: bench name must be non-empty");
+}
+
+void BenchReport::scenario(std::string_view name) {
+  for (auto& s : scenarios_) {
+    if (s.name == name) {
+      // Reopen: move it to the back so current() keeps appending to it.
+      Scenario reopened = std::move(s);
+      std::swap(s, scenarios_.back());
+      scenarios_.back() = std::move(reopened);
+      return;
+    }
+  }
+  scenarios_.push_back(Scenario{std::string(name), {}, {}});
+}
+
+BenchReport::Scenario& BenchReport::current() {
+  util::check<util::ConfigError>(
+      !scenarios_.empty(),
+      "BenchReport: call scenario() before metric()/distribution()");
+  return scenarios_.back();
+}
+
+void BenchReport::metric(std::string_view name, double value) {
+  current().metrics.emplace_back(std::string(name), value);
+}
+
+void BenchReport::distribution(std::string_view name,
+                               const util::LatencyHistogram& h) {
+  distribution(name, h.snapshot());
+}
+
+void BenchReport::distribution(std::string_view name,
+                               const util::LatencyHistogram::Snapshot& s) {
+  current().distributions.emplace_back(std::string(name), s);
+}
+
+void BenchReport::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("bench", bench_name_);
+  w.kv("schema", 1);
+  w.key("scenarios");
+  w.begin_array();
+  for (const Scenario& s : scenarios_) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.key("metrics");
+    w.begin_object();
+    for (const auto& [name, value] : s.metrics) w.kv(name, value);
+    w.end_object();
+    w.key("distributions");
+    w.begin_object();
+    for (const auto& [name, snap] : s.distributions) {
+      w.key(name);
+      write_histogram_json(w, snap);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string BenchReport::write_default() const {
+  const char* toggle = std::getenv("CLIO_BENCH_JSON");
+  if (toggle != nullptr && std::string_view(toggle) == "0") return "";
+  const char* dir = std::getenv("CLIO_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && *dir != '\0') ? dir : ".";
+  if (path.back() != '/') path += '/';
+  path += "BENCH_" + bench_name_ + ".json";
+  std::ofstream out(path);
+  util::check<util::IoError>(out.good(),
+                             "BenchReport: cannot open " + path);
+  write_json(out);
+  out.flush();
+  util::check<util::IoError>(out.good(),
+                             "BenchReport: write failed for " + path);
+  return path;
+}
+
+}  // namespace clio::obs

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace clio::obs {
+
+/// Machine-readable benchmark result: named scenarios, each carrying scalar
+/// metrics and full latency distributions.  Every bench (and the load
+/// generator) builds one of these alongside its human-readable tables, then
+/// calls write_default() to drop `BENCH_<name>.json` for the CI perf
+/// trajectory and `tools/bench_compare.py`.
+///
+/// Schema (version 1):
+///   {"bench": "<name>", "schema": 1,
+///    "scenarios": [
+///      {"name": "...",
+///       "metrics": {"<metric>": <double>, ...},
+///       "distributions": {"<dist>": {count, total_ns, min_ns, max_ns,
+///                                    mean_ns, p50_ns, p90_ns, p99_ns,
+///                                    p999_ns, buckets: [...]}}}]}
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  /// Starts (or reopens) a scenario; subsequent metric()/distribution()
+  /// calls attach to it.
+  void scenario(std::string_view name);
+
+  /// Scalar result in the current scenario (ops/s, MB/s, hit-rate, ...).
+  void metric(std::string_view name, double value);
+
+  /// Full latency distribution in the current scenario; captured as a
+  /// Snapshot immediately, so the histogram may keep evolving afterwards.
+  void distribution(std::string_view name, const util::LatencyHistogram& h);
+  void distribution(std::string_view name,
+                    const util::LatencyHistogram::Snapshot& s);
+
+  [[nodiscard]] const std::string& bench_name() const { return bench_name_; }
+  [[nodiscard]] std::size_t scenario_count() const { return scenarios_.size(); }
+
+  void write_json(std::ostream& os) const;
+
+  /// Writes `BENCH_<name>.json` into $CLIO_BENCH_JSON_DIR (default: the
+  /// current directory) and returns the path; returns "" without writing
+  /// when CLIO_BENCH_JSON=0 disables emission.  Throws IoError if the file
+  /// cannot be written.
+  std::string write_default() const;
+
+ private:
+  struct Scenario {
+    std::string name;
+    // Insertion-ordered: comparisons read nicer when order matches the
+    // human tables.
+    std::vector<std::pair<std::string, double>> metrics;
+    std::vector<std::pair<std::string, util::LatencyHistogram::Snapshot>>
+        distributions;
+  };
+
+  Scenario& current();
+
+  std::string bench_name_;
+  std::vector<Scenario> scenarios_;
+};
+
+}  // namespace clio::obs

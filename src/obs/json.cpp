@@ -1,0 +1,169 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace clio::obs {
+
+JsonWriter::JsonWriter(std::ostream& os, bool pretty)
+    : os_(os), pretty_(pretty) {}
+
+JsonWriter::~JsonWriter() = default;
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < scopes_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  util::check<util::ConfigError>(!complete_,
+                                 "JsonWriter: document already complete");
+  if (scopes_.empty()) return;  // top-level value
+  Scope& top = scopes_.back();
+  if (top.kind == ScopeKind::kObject) {
+    util::check<util::ConfigError>(
+        top.key_pending, "JsonWriter: value inside an object needs a key");
+    top.key_pending = false;
+    return;  // key() already wrote the separator and indent
+  }
+  if (top.has_items) os_ << ',';
+  newline_indent();
+  top.has_items = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  scopes_.push_back(Scope{ScopeKind::kObject});
+}
+
+void JsonWriter::end_object() {
+  util::check<util::ConfigError>(
+      !scopes_.empty() && scopes_.back().kind == ScopeKind::kObject &&
+          !scopes_.back().key_pending,
+      "JsonWriter: end_object outside an object (or a key awaits its value)");
+  const bool had_items = scopes_.back().has_items;
+  scopes_.pop_back();
+  if (had_items) newline_indent();
+  os_ << '}';
+  if (scopes_.empty()) {
+    complete_ = true;
+    if (pretty_) os_ << '\n';
+  }
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  scopes_.push_back(Scope{ScopeKind::kArray});
+}
+
+void JsonWriter::end_array() {
+  util::check<util::ConfigError>(
+      !scopes_.empty() && scopes_.back().kind == ScopeKind::kArray,
+      "JsonWriter: end_array outside an array");
+  const bool had_items = scopes_.back().has_items;
+  scopes_.pop_back();
+  if (had_items) newline_indent();
+  os_ << ']';
+  if (scopes_.empty()) {
+    complete_ = true;
+    if (pretty_) os_ << '\n';
+  }
+}
+
+void JsonWriter::key(std::string_view k) {
+  util::check<util::ConfigError>(
+      !scopes_.empty() && scopes_.back().kind == ScopeKind::kObject &&
+          !scopes_.back().key_pending,
+      "JsonWriter: key() is only valid inside an object, once per value");
+  Scope& top = scopes_.back();
+  if (top.has_items) os_ << ',';
+  newline_indent();
+  top.has_items = true;
+  top.key_pending = true;
+  write_escaped(k);
+  os_ << (pretty_ ? ": " : ":");
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  os_ << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os_ << "\\\"";
+        break;
+      case '\\':
+        os_ << "\\\\";
+        break;
+      case '\n':
+        os_ << "\\n";
+        break;
+      case '\r':
+        os_ << "\\r";
+        break;
+      case '\t':
+        os_ << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os_ << buf;
+        } else {
+          os_ << c;
+        }
+    }
+  }
+  os_ << '"';
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  write_escaped(s);
+}
+
+void JsonWriter::value(double d) {
+  before_value();
+  if (!std::isfinite(d)) {
+    os_ << "null";  // NaN/Inf are not JSON; null keeps the document valid
+    return;
+  }
+  // Shortest round-trippable form; integral doubles print without ".0",
+  // which JSON permits (every number is a double to a JSON parser anyway).
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  // Trim to a friendlier precision when it round-trips.
+  char shorter[32];
+  std::snprintf(shorter, sizeof(shorter), "%.6g", d);
+  double reparsed = 0.0;
+  std::sscanf(shorter, "%lf", &reparsed);
+  os_ << (reparsed == d ? shorter : buf);
+}
+
+void JsonWriter::value(std::uint64_t u) {
+  before_value();
+  os_ << u;
+}
+
+void JsonWriter::value(std::int64_t i) {
+  before_value();
+  os_ << i;
+}
+
+void JsonWriter::value(bool b) {
+  before_value();
+  os_ << (b ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value();
+  os_ << "null";
+}
+
+}  // namespace clio::obs

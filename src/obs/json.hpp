@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace clio::obs {
+
+/// Minimal streaming JSON writer — the single serializer behind every
+/// machine-readable surface (`/statz`, `BENCH_*.json`).  Emits strictly
+/// valid JSON: strings are escaped, numbers are finite (NaN/Inf degrade to
+/// null), and object/array nesting is tracked so a structural misuse (a
+/// value without a key inside an object, an unclosed scope at the end)
+/// throws ConfigError instead of producing garbage a parser chokes on.
+///
+/// Usage is push-style:
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("name"); w.value("micro_webserver");
+///   w.key("rows"); w.begin_array(); w.value(1.0); w.end_array();
+///   w.end_object();   // top-level scope closed: the document is complete
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, bool pretty = true);
+  ~JsonWriter();
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Key of the next value inside an object.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double d);
+  void value(std::uint64_t u);
+  void value(std::int64_t i);
+  void value(int i) { value(static_cast<std::int64_t>(i)); }
+  void value(bool b);
+  void null();
+
+  // Key + value in one call — the common case.
+  template <typename T>
+  void kv(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+  /// True once the top-level scope has been closed.
+  [[nodiscard]] bool complete() const { return complete_; }
+
+ private:
+  enum class ScopeKind : std::uint8_t { kObject, kArray };
+  struct Scope {
+    ScopeKind kind;
+    bool has_items = false;
+    bool key_pending = false;  ///< object: key() emitted, value expected
+  };
+
+  void before_value();
+  void write_escaped(std::string_view s);
+  void newline_indent();
+
+  std::ostream& os_;
+  bool pretty_;
+  bool complete_ = false;
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace clio::obs

@@ -1,0 +1,309 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "util/error.hpp"
+
+namespace clio::obs {
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  auto tail = [&](char c) { return head(c) || (c >= '0' && c <= '9'); };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin() + 1, name.end(), tail);
+}
+
+void check_valid_name(std::string_view name) {
+  util::check<util::ConfigError>(
+      valid_metric_name(name),
+      "metric name must match [a-zA-Z_:][a-zA-Z0-9_:]*: '" +
+          std::string(name) + "'");
+}
+
+}  // namespace
+
+std::string_view metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kTimer:
+      return "timer";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- Timer
+
+void Timer::record_ns(std::uint64_t ns) {
+  std::lock_guard lock(mutex_);
+  hist_.push(ns);
+}
+
+void Timer::merge(const util::LatencyHistogram& batch) {
+  std::lock_guard lock(mutex_);
+  hist_.merge(batch);
+}
+
+util::LatencyHistogram::Snapshot Timer::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return hist_.snapshot();
+}
+
+void Timer::reset() {
+  std::lock_guard lock(mutex_);
+  hist_.reset();
+}
+
+// ------------------------------------------------------- MetricsSnapshot
+
+std::optional<double> MetricsSnapshot::value(std::string_view name) const {
+  for (const Scalar& s : scalars) {
+    if (s.name == name) return s.value;
+  }
+  return std::nullopt;
+}
+
+const MetricsSnapshot::Distribution* MetricsSnapshot::distribution(
+    std::string_view name) const {
+  for (const Distribution& d : distributions) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::render_prometheus(std::ostream& os) const {
+  for (const Scalar& s : scalars) {
+    const char* type =
+        s.kind == MetricKind::kCounter ? "counter" : "gauge";
+    os << "# TYPE " << s.name << ' ' << type << '\n';
+    // Counters are integral by construction; print them without the
+    // scientific-notation wobble a double stream would introduce.
+    const auto integral = static_cast<long long>(s.value);
+    if (static_cast<double>(integral) == s.value) {
+      os << s.name << ' ' << integral << '\n';
+    } else {
+      os << s.name << ' ' << s.value << '\n';
+    }
+  }
+  for (const Distribution& d : distributions) {
+    os << "# TYPE " << d.name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& b : d.hist.buckets) {
+      cumulative += b.count;
+      os << d.name << "_bucket{le=\"" << b.hi_ns << "\"} " << cumulative
+         << '\n';
+    }
+    os << d.name << "_bucket{le=\"+Inf\"} " << d.hist.count << '\n';
+    os << d.name << "_sum " << d.hist.total_ns << '\n';
+    os << d.name << "_count " << d.hist.count << '\n';
+  }
+}
+
+void MetricsSnapshot::render_json(std::ostream& os) const {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("scalars");
+  w.begin_object();
+  for (const Scalar& s : scalars) w.kv(s.name, s.value);
+  w.end_object();
+  w.key("timers");
+  w.begin_object();
+  for (const Distribution& d : distributions) {
+    w.key(d.name);
+    write_histogram_json(w, d.hist);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+// ------------------------------------------------------- MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+void MetricsRegistry::check_name_free(const std::string& name) const {
+  util::check<util::ConfigError>(
+      counters_.find(name) == counters_.end() &&
+          gauges_.find(name) == gauges_.end() &&
+          timers_.find(name) == timers_.end() &&
+          callbacks_.find(name) == callbacks_.end(),
+      "metric name already registered under a different kind: " + name);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  check_valid_name(name);
+  std::string key(name);
+  std::lock_guard lock(mutex_);
+  auto it = counters_.find(key);
+  if (it != counters_.end()) return *it->second;
+  check_name_free(key);
+  counter_slots_.emplace_back();
+  Counter& slot = counter_slots_.back();
+  counters_.emplace(std::move(key), &slot);
+  return slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  check_valid_name(name);
+  std::string key(name);
+  std::lock_guard lock(mutex_);
+  auto it = gauges_.find(key);
+  if (it != gauges_.end()) return *it->second;
+  check_name_free(key);
+  gauge_slots_.emplace_back();
+  Gauge& slot = gauge_slots_.back();
+  gauges_.emplace(std::move(key), &slot);
+  return slot;
+}
+
+Timer& MetricsRegistry::timer(std::string_view name) {
+  check_valid_name(name);
+  std::string key(name);
+  std::lock_guard lock(mutex_);
+  auto it = timers_.find(key);
+  if (it != timers_.end()) return *it->second;
+  check_name_free(key);
+  timer_slots_.emplace_back();
+  Timer& slot = timer_slots_.back();
+  timers_.emplace(std::move(key), &slot);
+  return slot;
+}
+
+MetricsRegistry::Registration MetricsRegistry::register_callback(
+    std::string_view name, MetricKind kind, std::function<double()> fn) {
+  check_valid_name(name);
+  util::check<util::ConfigError>(kind != MetricKind::kTimer,
+                                 "callback metrics must be counter or gauge");
+  util::check<util::ConfigError>(static_cast<bool>(fn),
+                                 "callback metric needs a callable");
+  std::string key(name);
+  std::lock_guard lock(mutex_);
+  util::check<util::ConfigError>(
+      callbacks_.find(key) == callbacks_.end(),
+      "callback metric name already registered: " + key);
+  check_name_free(key);
+  const std::uint64_t id = next_callback_id_++;
+  callbacks_.emplace(std::move(key), CallbackEntry{kind, std::move(fn), id});
+  return Registration(this, id);
+}
+
+void MetricsRegistry::unregister_callback(std::uint64_t id) {
+  std::lock_guard lock(mutex_);
+  for (auto it = callbacks_.begin(); it != callbacks_.end(); ++it) {
+    if (it->second.id == id) {
+      callbacks_.erase(it);
+      return;
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard lock(mutex_);
+  out.scalars.reserve(counters_.size() + gauges_.size() + callbacks_.size());
+  for (const auto& [name, c] : counters_) {
+    out.scalars.push_back({name, MetricKind::kCounter,
+                           static_cast<double>(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.scalars.push_back(
+        {name, MetricKind::kGauge, static_cast<double>(g->value())});
+  }
+  for (const auto& [name, cb] : callbacks_) {
+    out.scalars.push_back({name, cb.kind, cb.fn()});
+  }
+  std::sort(out.scalars.begin(), out.scalars.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  out.distributions.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) {
+    out.distributions.push_back({name, t->snapshot()});
+  }
+  return out;
+}
+
+void MetricsRegistry::render_prometheus(std::ostream& os) const {
+  snapshot().render_prometheus(os);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& c : counter_slots_) c.reset();
+  for (auto& g : gauge_slots_) g.reset();
+  for (auto& t : timer_slots_) t.reset();
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return counters_.size() + gauges_.size() + timers_.size() +
+         callbacks_.size();
+}
+
+// ----------------------------------------------------------- Registration
+
+MetricsRegistry::Registration::Registration(Registration&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+MetricsRegistry::Registration& MetricsRegistry::Registration::operator=(
+    Registration&& other) noexcept {
+  if (this != &other) {
+    release();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+MetricsRegistry::Registration::~Registration() { release(); }
+
+void MetricsRegistry::Registration::release() {
+  if (registry_ != nullptr) {
+    registry_->unregister_callback(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+// --------------------------------------------------------------- helpers
+
+void write_histogram_json(JsonWriter& w,
+                          const util::LatencyHistogram::Snapshot& s) {
+  w.begin_object();
+  w.kv("count", s.count);
+  w.kv("total_ns", s.total_ns);
+  w.kv("min_ns", s.min_ns);
+  w.kv("max_ns", s.max_ns);
+  w.kv("mean_ns", s.mean_ns);
+  w.kv("p50_ns", s.p50_ns);
+  w.kv("p90_ns", s.p90_ns);
+  w.kv("p99_ns", s.p99_ns);
+  w.kv("p999_ns", s.p999_ns);
+  w.key("buckets");
+  w.begin_array();
+  for (const auto& b : s.buckets) {
+    w.begin_object();
+    w.kv("lo_ns", b.lo_ns);
+    w.kv("hi_ns", b.hi_ns);
+    w.kv("count", b.count);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace clio::obs

@@ -1,0 +1,203 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace clio::obs {
+
+class JsonWriter;
+
+/// Serializes a histogram snapshot as the canonical JSON shape shared by
+/// `/statz` and `BENCH_*.json`:
+/// {count, total_ns, min_ns, max_ns, mean_ns, p50_ns, p90_ns, p99_ns,
+///  p999_ns, buckets: [{lo_ns, hi_ns, count}, ...]}.
+void write_histogram_json(JsonWriter& w,
+                          const util::LatencyHistogram::Snapshot& s);
+
+/// What a metric means to a scraper.  kCounter values only ever grow
+/// (Prometheus `counter`), kGauge values move both ways (`gauge`), kTimer
+/// is a latency distribution (`histogram` in the exposition).
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kTimer };
+
+[[nodiscard]] std::string_view metric_kind_name(MetricKind kind);
+
+/// Monotonic counter.  Lock-free increments; safe from any thread.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Level that moves both ways (queue depth, resident pages).  Lock-free.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Histogram-backed duration recorder.  record_ns takes a short mutex (the
+/// histogram's 64 buckets are not atomic); for genuinely hot paths keep a
+/// thread-local util::LatencyHistogram and merge() it in batches — that is
+/// the aggregation contract the histogram documents.
+class Timer {
+ public:
+  void record_ns(std::uint64_t ns);
+  /// Merges a whole per-thread histogram in one lock acquisition.
+  void merge(const util::LatencyHistogram& batch);
+  [[nodiscard]] util::LatencyHistogram::Snapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  util::LatencyHistogram hist_;
+};
+
+/// Point-in-time copy of a registry: plain data, safe to serialize long
+/// after the registry (or the objects behind its callbacks) changed.
+struct MetricsSnapshot {
+  struct Scalar {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    double value = 0.0;
+  };
+  struct Distribution {
+    std::string name;
+    util::LatencyHistogram::Snapshot hist;
+  };
+
+  std::vector<Scalar> scalars;            ///< sorted by name
+  std::vector<Distribution> distributions;  ///< sorted by name
+
+  /// Value of a scalar by exact name (nullopt when absent) — test helper.
+  [[nodiscard]] std::optional<double> value(std::string_view name) const;
+  [[nodiscard]] const Distribution* distribution(std::string_view name) const;
+
+  /// Prometheus text exposition format, version 0.0.4: counters/gauges as
+  /// single samples, timers as cumulative `histogram` series with
+  /// `_bucket{le=...}`, `_sum` and `_count`.
+  void render_prometheus(std::ostream& os) const;
+
+  /// The same snapshot as a JSON object: {"scalars": {...}, "timers": {...}}.
+  void render_json(std::ostream& os) const;
+};
+
+/// Process-wide metrics registry: named counters, gauges and timers,
+/// registered once (re-requesting a name returns the same instance), plus
+/// callback metrics that read a value owned elsewhere at snapshot time —
+/// how the existing stats structs (ServerStats, PoolStats, IoStats,
+/// breaker Stats) publish without moving their hot-path counters.
+///
+/// Thread-safety: registration and snapshot take the registry mutex;
+/// Counter/Gauge updates are lock-free on the returned objects, whose
+/// addresses are stable for the registry's lifetime.  snapshot() reads
+/// every metric under one lock acquisition, so a single snapshot is
+/// consistent with respect to registrations (individual atomic reads are
+/// racy by nature — a snapshot is a statistical cut, not a barrier).
+///
+/// Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]* (the Prometheus
+/// grammar); anything else throws util::ConfigError, as does re-requesting
+/// a name under a different kind.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide instance.
+  [[nodiscard]] static MetricsRegistry& global();
+
+  /// Find-or-create.  The returned reference is stable until the registry
+  /// is destroyed.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  /// RAII deregistration handle for a callback metric.  The callback reads
+  /// state owned by its registrant, so it MUST be dropped before that
+  /// state dies; default-constructed handles are empty.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept;
+    Registration& operator=(Registration&& other) noexcept;
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+    ~Registration();
+
+    void release();  ///< deregister now (idempotent)
+
+   private:
+    friend class MetricsRegistry;
+    Registration(MetricsRegistry* registry, std::uint64_t id)
+        : registry_(registry), id_(id) {}
+    MetricsRegistry* registry_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  /// Registers a callback evaluated at snapshot time.  Throws ConfigError
+  /// if the name is taken (by any metric) — callbacks proxy one specific
+  /// owner, so a collision is a bug, not sharing.
+  [[nodiscard]] Registration register_callback(std::string_view name,
+                                               MetricKind kind,
+                                               std::function<double()> fn);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  void render_prometheus(std::ostream& os) const;
+
+  /// Zeroes every owned counter, gauge and timer (callbacks are skipped:
+  /// their state belongs to the registrant).  Test/bench helper.
+  void reset();
+
+  /// Number of registered metrics of every kind (tests).
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  friend class Registration;
+
+  struct CallbackEntry {
+    MetricKind kind;
+    std::function<double()> fn;
+    std::uint64_t id;
+  };
+
+  void unregister_callback(std::uint64_t id);
+  void check_name_free(const std::string& name) const;  ///< mutex held
+
+  mutable std::mutex mutex_;
+  // Deques: stable addresses for the references handed out.
+  std::deque<Counter> counter_slots_;
+  std::deque<Gauge> gauge_slots_;
+  std::deque<Timer> timer_slots_;
+  std::map<std::string, Counter*> counters_;
+  std::map<std::string, Gauge*> gauges_;
+  std::map<std::string, Timer*> timers_;
+  std::map<std::string, CallbackEntry> callbacks_;
+  std::uint64_t next_callback_id_ = 1;
+};
+
+}  // namespace clio::obs

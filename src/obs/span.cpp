@@ -1,0 +1,106 @@
+#include "obs/span.hpp"
+
+#include <string>
+
+namespace clio::obs {
+namespace {
+
+// Innermost active trace / span on this thread (the DeadlineScope ambient
+// pattern: plain thread_local pointers, saved and restored by each scope).
+thread_local TraceScope* t_ambient_trace = nullptr;
+thread_local SpanScope* t_ambient_span = nullptr;
+
+constexpr std::array<std::string_view, kStageCount> kStageNames = {
+    "accept", "queue_wait", "parse", "handler", "storage_op", "send"};
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string_view stage_name(Stage s) {
+  return kStageNames.at(static_cast<std::size_t>(s));
+}
+
+RequestTracer::RequestTracer(MetricsRegistry& registry, std::uint64_t seed)
+    : registry_(registry), seed_(seed) {
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    const std::string name =
+        "clio_request_stage_" +
+        std::string(kStageNames[i]) + "_ns";
+    stage_timers_[i] = &registry_.timer(name);
+  }
+  traces_started_ = &registry_.counter("clio_request_traces_started_total");
+  spans_opened_ = &registry_.counter("clio_request_spans_opened_total");
+  spans_closed_ = &registry_.counter("clio_request_spans_closed_total");
+}
+
+std::uint64_t RequestTracer::next_trace_id() {
+  const std::uint64_t n = next_n_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return mix64(seed_ + n * 0x9e3779b97f4a7c15ULL);
+}
+
+void RequestTracer::record_stage(Stage stage, std::uint64_t ns) {
+  stage_timers_[static_cast<std::size_t>(stage)]->record_ns(ns);
+}
+
+std::uint64_t RequestTracer::traces_started() const {
+  return traces_started_->value();
+}
+std::uint64_t RequestTracer::spans_opened() const {
+  return spans_opened_->value();
+}
+std::uint64_t RequestTracer::spans_closed() const {
+  return spans_closed_->value();
+}
+
+TraceScope::TraceScope(RequestTracer& tracer)
+    : tracer_(tracer),
+      trace_id_(tracer.next_trace_id()),
+      prev_trace_(t_ambient_trace),
+      prev_span_(t_ambient_span) {
+  t_ambient_trace = this;
+  // Spans of an outer trace must not become parents of this trace's spans.
+  t_ambient_span = nullptr;
+  tracer_.traces_started_->inc();
+}
+
+TraceScope::~TraceScope() {
+  t_ambient_trace = prev_trace_;
+  t_ambient_span = prev_span_;
+}
+
+RequestTracer* TraceScope::ambient_tracer() {
+  return t_ambient_trace != nullptr ? &t_ambient_trace->tracer_ : nullptr;
+}
+
+std::uint64_t TraceScope::ambient_trace_id() {
+  return t_ambient_trace != nullptr ? t_ambient_trace->trace_id_ : 0;
+}
+
+SpanScope::SpanScope(Stage stage)
+    : stage_(stage), tracer_(TraceScope::ambient_tracer()), parent_(nullptr) {
+  if (tracer_ == nullptr) return;  // no ambient trace: inert span
+  parent_ = t_ambient_span;
+  t_ambient_span = this;
+  tracer_->spans_opened_->inc();
+}
+
+SpanScope::~SpanScope() {
+  if (tracer_ == nullptr) return;
+  tracer_->record_stage(stage_,
+                        static_cast<std::uint64_t>(watch_.elapsed_ns()));
+  tracer_->spans_closed_->inc();
+  t_ambient_span = parent_;
+}
+
+std::size_t SpanScope::depth() {
+  std::size_t d = 0;
+  for (SpanScope* s = t_ambient_span; s != nullptr; s = s->parent_) ++d;
+  return d;
+}
+
+}  // namespace clio::obs

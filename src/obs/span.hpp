@@ -1,0 +1,127 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace clio::obs {
+
+/// Pipeline stages of one request's life through the web-serving path, in
+/// pipeline order.  Each stage gets its own registry timer, so per-stage
+/// latency quantiles fall out of the metrics snapshot.
+enum class Stage : std::uint8_t {
+  kAccept,      ///< accept(2) return → connection enqueued
+  kQueueWait,   ///< enqueued → popped by a worker
+  kParse,       ///< request bytes read + parsed
+  kHandler,     ///< dispatch: routing + handler body (encloses the next two)
+  kStorageOp,   ///< buffer-pool / storage work inside the handler
+  kSend,        ///< response serialization + send
+};
+
+inline constexpr std::size_t kStageCount = 6;
+
+[[nodiscard]] std::string_view stage_name(Stage s);
+
+/// Per-server trace factory: owns the six stage timers plus the span
+/// accounting counters, and mints deterministic trace IDs.
+///
+/// Determinism: trace id n (1-based) is the SplitMix64 finalizer mix of
+/// `seed + n * golden_gamma`, i.e. the sequence of IDs for a given seed is
+/// fixed regardless of threading — only the *assignment* of IDs to requests
+/// varies with scheduling.  Under a single-connection deterministic load,
+/// the full ID sequence is reproducible, which is what the tests pin down.
+class RequestTracer {
+ public:
+  RequestTracer(MetricsRegistry& registry, std::uint64_t seed);
+
+  RequestTracer(const RequestTracer&) = delete;
+  RequestTracer& operator=(const RequestTracer&) = delete;
+
+  /// Mints the next deterministic trace ID (thread-safe).
+  std::uint64_t next_trace_id();
+
+  /// Records a stage duration directly — for stages measured outside an
+  /// ambient TraceScope (accept and queue-wait happen before the request
+  /// exists).
+  void record_stage(Stage stage, std::uint64_t ns);
+
+  [[nodiscard]] MetricsRegistry& registry() { return registry_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Span accounting — opened must equal closed once traffic quiesces.
+  [[nodiscard]] std::uint64_t traces_started() const;
+  [[nodiscard]] std::uint64_t spans_opened() const;
+  [[nodiscard]] std::uint64_t spans_closed() const;
+
+ private:
+  friend class TraceScope;
+  friend class SpanScope;
+
+  MetricsRegistry& registry_;
+  std::uint64_t seed_;
+  std::atomic<std::uint64_t> next_n_{0};
+  std::array<Timer*, kStageCount> stage_timers_{};
+  Counter* traces_started_ = nullptr;
+  Counter* spans_opened_ = nullptr;
+  Counter* spans_closed_ = nullptr;
+};
+
+/// Ambient per-request trace, riding the same thread-local pattern as
+/// util::DeadlineScope: constructing one makes `tracer` and a fresh trace
+/// ID ambient on this thread; SpanScopes opened below it record into that
+/// tracer.  Nests (save/restore), so a request handled inside another
+/// traced context keeps both traces intact.
+class TraceScope {
+ public:
+  explicit TraceScope(RequestTracer& tracer);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  [[nodiscard]] std::uint64_t trace_id() const { return trace_id_; }
+
+  /// The tracer of the innermost active TraceScope on this thread, or
+  /// nullptr when none — what SpanScope consults.
+  [[nodiscard]] static RequestTracer* ambient_tracer();
+  [[nodiscard]] static std::uint64_t ambient_trace_id();
+
+ private:
+  RequestTracer& tracer_;
+  std::uint64_t trace_id_;
+  TraceScope* prev_trace_;
+  class SpanScope* prev_span_;
+};
+
+/// RAII stage span: times its scope and records the duration into the
+/// ambient tracer's timer for `stage`.  A no-op when no TraceScope is
+/// active on the thread (so library code can open spans unconditionally).
+/// Spans nest; depth() reports the current nesting level for tests.
+class SpanScope {
+ public:
+  explicit SpanScope(Stage stage);
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  [[nodiscard]] Stage stage() const { return stage_; }
+  [[nodiscard]] bool active() const { return tracer_ != nullptr; }
+
+  /// Nesting depth of active spans on this thread (0 = none).
+  [[nodiscard]] static std::size_t depth();
+
+ private:
+  friend class TraceScope;
+
+  Stage stage_;
+  RequestTracer* tracer_;  ///< nullptr: inactive (no ambient trace)
+  SpanScope* parent_;
+  util::Stopwatch watch_;
+};
+
+}  // namespace clio::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <ostream>
 
 #include "util/error.hpp"
@@ -14,16 +15,37 @@ std::size_t bucket_of(std::uint64_t nanos) {
   return static_cast<std::size_t>(63 - std::countl_zero(nanos));
 }
 
+std::uint64_t bucket_lo(std::size_t b) { return b == 0 ? 0 : (1ULL << b); }
+
+std::uint64_t bucket_hi(std::size_t b) {
+  return b >= 63 ? UINT64_MAX : (2ULL << b);
+}
+
 }  // namespace
 
 void LatencyHistogram::push(std::uint64_t nanos) {
   buckets_[bucket_of(nanos)]++;
+  if (count_ == 0) {
+    min_ns_ = nanos;
+    max_ns_ = nanos;
+  } else {
+    min_ns_ = std::min(min_ns_, nanos);
+    max_ns_ = std::max(max_ns_, nanos);
+  }
   ++count_;
   total_ns_ += nanos;
 }
 
 void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
   for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+  if (count_ == 0) {
+    min_ns_ = other.min_ns_;
+    max_ns_ = other.max_ns_;
+  } else {
+    min_ns_ = std::min(min_ns_, other.min_ns_);
+    max_ns_ = std::max(max_ns_, other.max_ns_);
+  }
   count_ += other.count_;
   total_ns_ += other.total_ns_;
 }
@@ -38,17 +60,53 @@ double LatencyHistogram::mean_ns() const {
 std::uint64_t LatencyHistogram::quantile_ns(double q) const {
   check<ConfigError>(q >= 0.0 && q <= 1.0, "quantile_ns: q must be in [0,1]");
   if (count_ == 0) return 0;
-  const auto rank = static_cast<std::uint64_t>(
-      q * static_cast<double>(count_ - 1));
+  // The extreme quantiles are tracked exactly; interpolation would land
+  // strictly inside the crossing bucket and miss them.
+  if (q == 0.0) return min_ns_;
+  if (q == 1.0) return max_ns_;
+  const double rank = q * static_cast<double>(count_ - 1);
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b];
-    if (seen > rank) {
-      // Upper bound of bucket b.
-      return b >= 63 ? UINT64_MAX : (2ULL << b);
+    const std::uint64_t here = buckets_[b];
+    if (here == 0) continue;
+    if (static_cast<double>(seen + here) > rank) {
+      // The rank falls in bucket b: interpolate linearly between its
+      // bounds by the rank's position among the bucket's samples, then
+      // clamp to the observed range — without the clamp, a single-bucket
+      // distribution mis-reports its edges (and the last bucket's upper
+      // bound is UINT64_MAX, which no sample ever hit).
+      const double lo = static_cast<double>(bucket_lo(b));
+      const double hi = static_cast<double>(bucket_hi(b));
+      const double frac =
+          (rank - static_cast<double>(seen)) / static_cast<double>(here);
+      const double interpolated = lo + frac * (hi - lo);
+      const auto value = static_cast<std::uint64_t>(
+          std::min(interpolated, static_cast<double>(UINT64_MAX)));
+      return std::clamp(value, min_ns_, max_ns_);
     }
+    seen += here;
   }
-  return UINT64_MAX;
+  return max_ns_;
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot s;
+  s.count = count_;
+  s.total_ns = total_ns_;
+  s.min_ns = min_ns();
+  s.max_ns = max_ns();
+  s.mean_ns = mean_ns();
+  if (count_ > 0) {
+    s.p50_ns = quantile_ns(0.50);
+    s.p90_ns = quantile_ns(0.90);
+    s.p99_ns = quantile_ns(0.99);
+    s.p999_ns = quantile_ns(0.999);
+  }
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    s.buckets.push_back(Bucket{bucket_lo(b), bucket_hi(b), buckets_[b]});
+  }
+  return s;
 }
 
 void LatencyHistogram::render(std::ostream& os) const {
@@ -60,9 +118,8 @@ void LatencyHistogram::render(std::ostream& os) const {
   }
   for (std::size_t b = 0; b < kBuckets; ++b) {
     if (buckets_[b] == 0) continue;
-    const std::uint64_t lo = (b == 0) ? 0 : (1ULL << b);
-    const std::uint64_t hi = 2ULL << b;
-    os << "[" << lo << ", " << hi << ") ns: " << buckets_[b] << "  ";
+    os << "[" << bucket_lo(b) << ", " << bucket_hi(b)
+       << ") ns: " << buckets_[b] << "  ";
     const auto bar = static_cast<std::size_t>(
         40.0 * static_cast<double>(buckets_[b]) /
         static_cast<double>(max_count));

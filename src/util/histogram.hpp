@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace clio::util {
 
@@ -12,25 +13,69 @@ namespace clio::util {
 /// Bucket b holds samples in [2^b, 2^(b+1)) ns; bucket 0 also holds 0-ns
 /// samples.  64 buckets cover the full uint64 range, so push never drops.
 /// Cheap enough to keep on every I/O operation class during replay.
+///
+/// Not internally synchronized: the aggregation idiom is one histogram per
+/// worker thread, lock-free push on the hot path, then merge() into a
+/// shared instance (or a Snapshot) after the workers quiesce — exactly what
+/// the load generator and the metrics timers do.
 class LatencyHistogram {
  public:
   static constexpr std::size_t kBuckets = 64;
 
+  /// One non-empty bucket of a Snapshot: samples in [lo_ns, hi_ns).
+  struct Bucket {
+    std::uint64_t lo_ns = 0;
+    std::uint64_t hi_ns = 0;
+    std::uint64_t count = 0;
+  };
+
+  /// Immutable copy of the distribution, cheap to pass across threads and
+  /// the unit every machine-readable emitter (BENCH_*.json, /statz,
+  /// /metrics) serializes.  Quantiles are precomputed at capture time so
+  /// consumers need no histogram arithmetic.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t min_ns = 0;
+    std::uint64_t max_ns = 0;
+    double mean_ns = 0.0;
+    std::uint64_t p50_ns = 0;
+    std::uint64_t p90_ns = 0;
+    std::uint64_t p99_ns = 0;
+    std::uint64_t p999_ns = 0;
+    std::vector<Bucket> buckets;  ///< non-empty buckets, ascending
+  };
+
   void push(std::uint64_t nanos);
+
+  /// Adds another histogram's buckets, counts and min/max into this one.
+  /// This is the lock-free aggregation path: per-thread histograms merge
+  /// after their threads quiesce, so the hot path never takes a lock.
   void merge(const LatencyHistogram& other);
   void reset();
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] std::uint64_t total_ns() const { return total_ns_; }
   [[nodiscard]] double mean_ns() const;
+  /// Smallest / largest sample seen (0 when empty).  Tracked exactly, so
+  /// quantiles can clamp to the observed range instead of reporting bucket
+  /// edges that no sample ever reached.
+  [[nodiscard]] std::uint64_t min_ns() const { return count_ ? min_ns_ : 0; }
+  [[nodiscard]] std::uint64_t max_ns() const { return count_ ? max_ns_ : 0; }
 
-  /// Approximate quantile from bucket boundaries (upper bound of the bucket
-  /// that crosses the rank).  q in [0, 1].
+  /// Approximate quantile, linearly interpolated inside the bucket that
+  /// crosses the rank and clamped to [min_ns, max_ns].  The clamp fixes
+  /// the former first/last-bucket edge error: a distribution living
+  /// entirely in one bucket used to report that bucket's upper bound
+  /// (and the last bucket reported UINT64_MAX); now q=0 reports min and
+  /// q=1 reports max exactly.  q in [0, 1].
   [[nodiscard]] std::uint64_t quantile_ns(double q) const;
 
   [[nodiscard]] std::uint64_t bucket_count(std::size_t b) const {
     return buckets_.at(b);
   }
+
+  [[nodiscard]] Snapshot snapshot() const;
 
   /// Renders non-empty buckets as "[lo_ns, hi_ns): count" lines with a bar.
   void render(std::ostream& os) const;
@@ -39,6 +84,8 @@ class LatencyHistogram {
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
   std::uint64_t total_ns_ = 0;
+  std::uint64_t min_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
 };
 
 }  // namespace clio::util

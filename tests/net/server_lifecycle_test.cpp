@@ -211,5 +211,47 @@ TEST_F(ServerLifecycleTest, StopAnswersQueuedBacklogWith503) {
   EXPECT_FALSE(server.running());
 }
 
+TEST_F(ServerLifecycleTest, RestartResetsStatsAndSnapshotsPreviousRun) {
+  // Regression: a restarted server used to carry the previous run's
+  // counters, so the second run's stats() double-counted.  start() now
+  // zeroes the live counters and stop() snapshots the finished run into
+  // last_run_stats().
+  MiniWebServer server(fs_, ServerOptions{});
+  EXPECT_EQ(server.last_run_stats().requests, 0u);  // nothing ran yet
+
+  server.start();
+  HttpClient first(server.port(), /*keep_alive=*/true);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(first.get("/doc.bin").status, 200);
+  }
+  server.stop();
+  const ServerStats run1 = server.stats();
+  EXPECT_EQ(run1.requests, 3u);
+  EXPECT_EQ(run1.get_body_bytes_sent, 3u * content_.size());
+  EXPECT_EQ(server.last_run_stats().requests, 3u);
+
+  server.start();
+  // The live counters describe the current run only.
+  EXPECT_EQ(server.stats().requests, 0u);
+  EXPECT_EQ(server.stats().get_body_bytes_sent, 0u);
+  EXPECT_TRUE(server.samples().empty());
+  // ...while the previous run stays accounted.
+  EXPECT_EQ(server.last_run_stats().requests, 3u);
+
+  HttpClient second(server.port());
+  ASSERT_EQ(second.get("/doc.bin").status, 200);
+  server.stop();
+  EXPECT_EQ(server.stats().requests, 1u);
+  EXPECT_EQ(server.stats().get_body_bytes_sent, content_.size());
+  EXPECT_EQ(server.last_run_stats().requests, 1u);  // snapshot rolled over
+
+  // The metrics registry is deliberately NOT reset across restarts: its
+  // counters are cumulative over the server's lifetime, as a Prometheus
+  // scraper expects.
+  EXPECT_EQ(server.metrics().snapshot().value("clio_server_requests_total"),
+            1.0);  // callback reads the live (reset) counter...
+  EXPECT_EQ(server.tracer().traces_started(), 4u);  // ...but traces accrue
+}
+
 }  // namespace
 }  // namespace clio::net

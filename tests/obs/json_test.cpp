@@ -1,0 +1,159 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace clio::obs {
+namespace {
+
+std::string compact(const std::function<void(JsonWriter&)>& fill) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  fill(w);
+  EXPECT_TRUE(w.complete());
+  return os.str();
+}
+
+TEST(JsonWriter, EmptyObjectAndArray) {
+  EXPECT_EQ(compact([](JsonWriter& w) {
+              w.begin_object();
+              w.end_object();
+            }),
+            "{}");
+  EXPECT_EQ(compact([](JsonWriter& w) {
+              w.begin_array();
+              w.end_array();
+            }),
+            "[]");
+}
+
+TEST(JsonWriter, ObjectWithMixedValues) {
+  const std::string doc = compact([](JsonWriter& w) {
+    w.begin_object();
+    w.kv("name", "clio");
+    w.kv("port", std::uint64_t{8080});
+    w.kv("ratio", 0.5);
+    w.kv("running", true);
+    w.key("extra");
+    w.null();
+    w.end_object();
+  });
+  EXPECT_EQ(doc,
+            "{\"name\":\"clio\",\"port\":8080,\"ratio\":0.5,"
+            "\"running\":true,\"extra\":null}");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects) {
+  const std::string doc = compact([](JsonWriter& w) {
+    w.begin_object();
+    w.key("rows");
+    w.begin_array();
+    w.begin_object();
+    w.kv("n", 1);
+    w.end_object();
+    w.begin_object();
+    w.kv("n", 2);
+    w.end_object();
+    w.end_array();
+    w.end_object();
+  });
+  EXPECT_EQ(doc, "{\"rows\":[{\"n\":1},{\"n\":2}]}");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  const std::string doc = compact([](JsonWriter& w) {
+    w.begin_array();
+    w.value("a\"b\\c\n\t\x01");
+    w.end_array();
+  });
+  EXPECT_EQ(doc, "[\"a\\\"b\\\\c\\n\\t\\u0001\"]");
+}
+
+TEST(JsonWriter, NonFiniteDoublesDegradeToNull) {
+  const std::string doc = compact([](JsonWriter& w) {
+    w.begin_array();
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(1.5);
+    w.end_array();
+  });
+  EXPECT_EQ(doc, "[null,null,1.5]");
+}
+
+TEST(JsonWriter, NegativeIntegers) {
+  const std::string doc = compact([](JsonWriter& w) {
+    w.begin_array();
+    w.value(std::int64_t{-42});
+    w.end_array();
+  });
+  EXPECT_EQ(doc, "[-42]");
+}
+
+TEST(JsonWriter, PrettyModeIndentsAndStaysParseable) {
+  std::ostringstream os;
+  JsonWriter w(os);  // pretty by default
+  w.begin_object();
+  w.kv("a", 1);
+  w.key("b");
+  w.begin_array();
+  w.value(2);
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find('\n'), std::string::npos);
+  EXPECT_NE(doc.find("\"a\": 1"), std::string::npos);
+}
+
+TEST(JsonWriter, RejectsValueWithoutKeyInObject) {
+  std::ostringstream os;
+  JsonWriter w(os, false);
+  w.begin_object();
+  EXPECT_THROW(w.value(1), util::ConfigError);
+}
+
+TEST(JsonWriter, RejectsKeyInsideArray) {
+  std::ostringstream os;
+  JsonWriter w(os, false);
+  w.begin_array();
+  EXPECT_THROW(w.key("nope"), util::ConfigError);
+}
+
+TEST(JsonWriter, RejectsMismatchedScopeClose) {
+  std::ostringstream os;
+  JsonWriter w(os, false);
+  w.begin_object();
+  EXPECT_THROW(w.end_array(), util::ConfigError);
+}
+
+TEST(JsonWriter, RejectsSecondTopLevelValue) {
+  std::ostringstream os;
+  JsonWriter w(os, false);
+  w.begin_object();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_THROW(w.begin_object(), util::ConfigError);
+}
+
+TEST(JsonWriter, CompleteIsFalseWhileScopesOpen) {
+  std::ostringstream os;
+  JsonWriter w(os, false);
+  EXPECT_FALSE(w.complete());
+  w.begin_object();
+  w.key("inner");
+  w.begin_array();
+  EXPECT_FALSE(w.complete());
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+}
+
+}  // namespace
+}  // namespace clio::obs

@@ -1,0 +1,244 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/histogram.hpp"
+
+namespace clio::obs {
+namespace {
+
+TEST(MetricKindName, CoversAllKinds) {
+  EXPECT_EQ(metric_kind_name(MetricKind::kCounter), "counter");
+  EXPECT_EQ(metric_kind_name(MetricKind::kGauge), "gauge");
+  EXPECT_EQ(metric_kind_name(MetricKind::kTimer), "timer");
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsSameInstance) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("clio_test_total");
+  Counter& b = reg.counter("clio_test_total");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  Gauge& g1 = reg.gauge("clio_test_gauge");
+  Gauge& g2 = reg.gauge("clio_test_gauge");
+  EXPECT_EQ(&g1, &g2);
+  Timer& t1 = reg.timer("clio_test_ns");
+  Timer& t2 = reg.timer("clio_test_ns");
+  EXPECT_EQ(&t1, &t2);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, ReferencesSurviveManyRegistrations) {
+  MetricsRegistry reg;
+  Counter& first = reg.counter("clio_first_total");
+  first.inc();
+  // Force plenty of slot growth; the deque must not move `first`.
+  for (int i = 0; i < 200; ++i) {
+    reg.counter("clio_growth_" + std::to_string(i) + "_total").inc();
+  }
+  EXPECT_EQ(&first, &reg.counter("clio_first_total"));
+  EXPECT_EQ(first.value(), 1u);
+}
+
+TEST(MetricsRegistry, RejectsKindMismatch) {
+  MetricsRegistry reg;
+  reg.counter("clio_mismatch");
+  EXPECT_THROW(reg.gauge("clio_mismatch"), util::ConfigError);
+  EXPECT_THROW(reg.timer("clio_mismatch"), util::ConfigError);
+}
+
+TEST(MetricsRegistry, RejectsInvalidPrometheusNames) {
+  MetricsRegistry reg;
+  EXPECT_THROW(reg.counter(""), util::ConfigError);
+  EXPECT_THROW(reg.counter("9starts_with_digit"), util::ConfigError);
+  EXPECT_THROW(reg.counter("has-dash"), util::ConfigError);
+  EXPECT_THROW(reg.counter("has space"), util::ConfigError);
+  // Colons and underscores are legal per the Prometheus grammar.
+  EXPECT_NO_THROW(reg.counter("clio:colon_name_total"));
+  EXPECT_NO_THROW(reg.counter("_leading_underscore"));
+}
+
+TEST(MetricsRegistry, CallbackReportsLiveValue) {
+  MetricsRegistry reg;
+  double level = 1.0;
+  auto handle = reg.register_callback("clio_cb_gauge", MetricKind::kGauge,
+                                      [&level] { return level; });
+  EXPECT_EQ(reg.snapshot().value("clio_cb_gauge"), 1.0);
+  level = 7.5;
+  EXPECT_EQ(reg.snapshot().value("clio_cb_gauge"), 7.5);
+}
+
+TEST(MetricsRegistry, CallbackUnregistersViaRaii) {
+  MetricsRegistry reg;
+  {
+    auto handle = reg.register_callback("clio_cb_total", MetricKind::kCounter,
+                                        [] { return 1.0; });
+    EXPECT_TRUE(reg.snapshot().value("clio_cb_total").has_value());
+  }
+  EXPECT_FALSE(reg.snapshot().value("clio_cb_total").has_value());
+  // The name is free again after deregistration.
+  auto again = reg.register_callback("clio_cb_total", MetricKind::kCounter,
+                                     [] { return 2.0; });
+  EXPECT_EQ(reg.snapshot().value("clio_cb_total"), 2.0);
+  again.release();
+  again.release();  // idempotent
+  EXPECT_FALSE(reg.snapshot().value("clio_cb_total").has_value());
+}
+
+TEST(MetricsRegistry, CallbackMoveTransfersOwnership) {
+  MetricsRegistry reg;
+  auto a = reg.register_callback("clio_cb_moved", MetricKind::kGauge,
+                                 [] { return 3.0; });
+  MetricsRegistry::Registration b = std::move(a);
+  a.release();  // moved-from handle is empty; must be a no-op
+  EXPECT_TRUE(reg.snapshot().value("clio_cb_moved").has_value());
+  b.release();
+  EXPECT_FALSE(reg.snapshot().value("clio_cb_moved").has_value());
+}
+
+TEST(MetricsRegistry, CallbackNameCollisionThrows) {
+  MetricsRegistry reg;
+  reg.counter("clio_taken");
+  EXPECT_THROW(static_cast<void>(reg.register_callback(
+                   "clio_taken", MetricKind::kCounter, [] { return 0.0; })),
+               util::ConfigError);
+  auto cb = reg.register_callback("clio_cb_dup", MetricKind::kGauge,
+                                  [] { return 0.0; });
+  EXPECT_THROW(static_cast<void>(reg.register_callback(
+                   "clio_cb_dup", MetricKind::kGauge, [] { return 0.0; })),
+               util::ConfigError);
+  // Owned metrics also may not shadow a callback name.
+  EXPECT_THROW(reg.counter("clio_cb_dup"), util::ConfigError);
+}
+
+TEST(MetricsRegistry, CallbacksMayNotBeTimers) {
+  MetricsRegistry reg;
+  EXPECT_THROW(static_cast<void>(reg.register_callback(
+                   "clio_cb_timer", MetricKind::kTimer, [] { return 0.0; })),
+               util::ConfigError);
+}
+
+TEST(MetricsRegistry, SnapshotSortedAndLooksUp) {
+  MetricsRegistry reg;
+  reg.counter("clio_zzz_total").inc(5);
+  reg.gauge("clio_aaa_gauge").set(-2);
+  reg.timer("clio_mid_ns").record_ns(1000);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.scalars.size(), 2u);
+  EXPECT_EQ(snap.scalars[0].name, "clio_aaa_gauge");
+  EXPECT_EQ(snap.scalars[1].name, "clio_zzz_total");
+  EXPECT_EQ(snap.value("clio_zzz_total"), 5.0);
+  EXPECT_EQ(snap.value("clio_aaa_gauge"), -2.0);
+  EXPECT_FALSE(snap.value("clio_absent").has_value());
+  ASSERT_NE(snap.distribution("clio_mid_ns"), nullptr);
+  EXPECT_EQ(snap.distribution("clio_mid_ns")->hist.count, 1u);
+  EXPECT_EQ(snap.distribution("clio_absent"), nullptr);
+}
+
+TEST(MetricsRegistry, PrometheusRenderShape) {
+  MetricsRegistry reg;
+  reg.counter("clio_reqs_total").inc(7);
+  reg.gauge("clio_depth").set(3);
+  Timer& t = reg.timer("clio_lat_ns");
+  t.record_ns(100);   // bucket [64, 128)
+  t.record_ns(100);
+  t.record_ns(5000);  // bucket [4096, 8192)
+  std::ostringstream os;
+  reg.render_prometheus(os);
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("# TYPE clio_reqs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("clio_reqs_total 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE clio_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("clio_depth 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE clio_lat_ns histogram"), std::string::npos);
+  // Buckets are CUMULATIVE: the second bucket already contains the first
+  // two samples, and +Inf carries the total count.
+  EXPECT_NE(text.find("clio_lat_ns_bucket{le=\"128\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("clio_lat_ns_bucket{le=\"8192\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("clio_lat_ns_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("clio_lat_ns_sum 5200"), std::string::npos);
+  EXPECT_NE(text.find("clio_lat_ns_count 3"), std::string::npos);
+}
+
+TEST(MetricsRegistry, TimerMergeBatches) {
+  MetricsRegistry reg;
+  Timer& t = reg.timer("clio_batch_ns");
+  util::LatencyHistogram local;
+  local.push(10);
+  local.push(20);
+  t.merge(local);
+  t.record_ns(30);
+  EXPECT_EQ(t.snapshot().count, 3u);
+  EXPECT_EQ(t.snapshot().total_ns, 60u);
+}
+
+TEST(MetricsRegistry, ResetZeroesOwnedButSkipsCallbacks) {
+  MetricsRegistry reg;
+  reg.counter("clio_r_total").inc(9);
+  reg.gauge("clio_r_gauge").set(4);
+  reg.timer("clio_r_ns").record_ns(100);
+  auto cb = reg.register_callback("clio_r_cb", MetricKind::kGauge,
+                                  [] { return 42.0; });
+  reg.reset();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value("clio_r_total"), 0.0);
+  EXPECT_EQ(snap.value("clio_r_gauge"), 0.0);
+  EXPECT_EQ(snap.distribution("clio_r_ns")->hist.count, 0u);
+  EXPECT_EQ(snap.value("clio_r_cb"), 42.0);  // callback state untouched
+}
+
+TEST(MetricsRegistry, GlobalIsASingleton) {
+  MetricsRegistry& a = MetricsRegistry::global();
+  MetricsRegistry& b = MetricsRegistry::global();
+  EXPECT_EQ(&a, &b);
+}
+
+// TSan target: concurrent find-or-create, increments, timer records and
+// snapshots across threads must be race-free.
+TEST(MetricsRegistry, ConcurrentMutationIsRaceFree) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int tid = 0; tid < kThreads; ++tid) {
+    threads.emplace_back([&reg, tid] {
+      // Everyone races on the shared name; each thread also owns one.
+      Counter& shared = reg.counter("clio_conc_shared_total");
+      Counter& mine =
+          reg.counter("clio_conc_t" + std::to_string(tid) + "_total");
+      Timer& timer = reg.timer("clio_conc_ns");
+      Gauge& depth = reg.gauge("clio_conc_depth");
+      for (int i = 0; i < kIters; ++i) {
+        shared.inc();
+        mine.inc();
+        depth.add(1);
+        timer.record_ns(static_cast<std::uint64_t>(i % 1000) + 1);
+        depth.sub(1);
+        if (i % 500 == 0) {
+          const MetricsSnapshot snap = reg.snapshot();
+          EXPECT_TRUE(snap.value("clio_conc_shared_total").has_value());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.value("clio_conc_shared_total"),
+            static_cast<double>(kThreads * kIters));
+  EXPECT_EQ(snap.distribution("clio_conc_ns")->hist.count,
+            static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_EQ(snap.value("clio_conc_depth"), 0.0);
+}
+
+}  // namespace
+}  // namespace clio::obs

@@ -1,0 +1,179 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace clio::obs {
+namespace {
+
+TEST(StageName, CoversPipelineOrder) {
+  EXPECT_EQ(stage_name(Stage::kAccept), "accept");
+  EXPECT_EQ(stage_name(Stage::kQueueWait), "queue_wait");
+  EXPECT_EQ(stage_name(Stage::kParse), "parse");
+  EXPECT_EQ(stage_name(Stage::kHandler), "handler");
+  EXPECT_EQ(stage_name(Stage::kStorageOp), "storage_op");
+  EXPECT_EQ(stage_name(Stage::kSend), "send");
+}
+
+TEST(RequestTracer, TraceIdsAreDeterministicPerSeed) {
+  MetricsRegistry reg_a;
+  MetricsRegistry reg_b;
+  RequestTracer a(reg_a, 42);
+  RequestTracer b(reg_b, 42);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.next_trace_id(), b.next_trace_id()) << "diverged at id " << i;
+  }
+  MetricsRegistry reg_c;
+  RequestTracer c(reg_c, 43);  // different seed → different sequence
+  RequestTracer fresh_a(reg_b, 42);
+  EXPECT_NE(fresh_a.next_trace_id(), c.next_trace_id());
+}
+
+TEST(RequestTracer, TraceIdsAreUniqueWithinASequence) {
+  MetricsRegistry reg;
+  RequestTracer tracer(reg, 7);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(tracer.next_trace_id());
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+  EXPECT_NE(ids.front(), 0u);  // IDs are mixed, never the raw counter
+}
+
+TEST(RequestTracer, RecordStageFeedsTheStageTimer) {
+  MetricsRegistry reg;
+  RequestTracer tracer(reg, 1);
+  tracer.record_stage(Stage::kAccept, 500);
+  tracer.record_stage(Stage::kAccept, 700);
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* dist = snap.distribution("clio_request_stage_accept_ns");
+  ASSERT_NE(dist, nullptr);
+  EXPECT_EQ(dist->hist.count, 2u);
+  EXPECT_EQ(dist->hist.total_ns, 1200u);
+}
+
+TEST(SpanScope, NoOpWithoutAmbientTrace) {
+  MetricsRegistry reg;
+  RequestTracer tracer(reg, 1);  // registers the timers, but stays inactive
+  {
+    SpanScope span(Stage::kHandler);
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(SpanScope::depth(), 0u);
+  }
+  EXPECT_EQ(tracer.spans_opened(), 0u);
+  EXPECT_EQ(tracer.spans_closed(), 0u);
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto* dist = snap.distribution("clio_request_stage_handler_ns");
+  ASSERT_NE(dist, nullptr);
+  EXPECT_EQ(dist->hist.count, 0u);
+}
+
+TEST(SpanScope, RecordsIntoAmbientTracerAndBalances) {
+  MetricsRegistry reg;
+  RequestTracer tracer(reg, 9);
+  EXPECT_EQ(TraceScope::ambient_tracer(), nullptr);
+  {
+    TraceScope trace(tracer);
+    EXPECT_EQ(TraceScope::ambient_tracer(), &tracer);
+    EXPECT_EQ(TraceScope::ambient_trace_id(), trace.trace_id());
+    {
+      SpanScope handler(Stage::kHandler);
+      EXPECT_TRUE(handler.active());
+      EXPECT_EQ(SpanScope::depth(), 1u);
+      {
+        SpanScope storage(Stage::kStorageOp);
+        EXPECT_EQ(SpanScope::depth(), 2u);
+      }
+      SpanScope send(Stage::kSend);
+      EXPECT_EQ(SpanScope::depth(), 2u);
+    }
+    EXPECT_EQ(SpanScope::depth(), 0u);
+  }
+  EXPECT_EQ(TraceScope::ambient_tracer(), nullptr);
+  EXPECT_EQ(TraceScope::ambient_trace_id(), 0u);
+  EXPECT_EQ(tracer.traces_started(), 1u);
+  EXPECT_EQ(tracer.spans_opened(), 3u);
+  EXPECT_EQ(tracer.spans_closed(), 3u);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.distribution("clio_request_stage_handler_ns")->hist.count,
+            1u);
+  EXPECT_EQ(snap.distribution("clio_request_stage_storage_op_ns")->hist.count,
+            1u);
+  EXPECT_EQ(snap.distribution("clio_request_stage_send_ns")->hist.count, 1u);
+}
+
+TEST(TraceScope, NestedTracesSaveAndRestore) {
+  MetricsRegistry reg_outer;
+  MetricsRegistry reg_inner;
+  RequestTracer outer(reg_outer, 1);
+  RequestTracer inner(reg_inner, 2);
+  TraceScope outer_trace(outer);
+  const std::uint64_t outer_id = TraceScope::ambient_trace_id();
+  SpanScope outer_span(Stage::kHandler);
+  EXPECT_EQ(SpanScope::depth(), 1u);
+  {
+    // An inner trace hides the outer one completely: its spans must not
+    // parent onto the outer trace's open span.
+    TraceScope inner_trace(inner);
+    EXPECT_EQ(TraceScope::ambient_tracer(), &inner);
+    EXPECT_NE(TraceScope::ambient_trace_id(), outer_id);
+    EXPECT_EQ(SpanScope::depth(), 0u);
+    SpanScope inner_span(Stage::kStorageOp);
+    EXPECT_EQ(SpanScope::depth(), 1u);
+  }
+  // Outer ambient state restored, including the still-open span.
+  EXPECT_EQ(TraceScope::ambient_tracer(), &outer);
+  EXPECT_EQ(TraceScope::ambient_trace_id(), outer_id);
+  EXPECT_EQ(SpanScope::depth(), 1u);
+  EXPECT_EQ(inner.spans_opened(), 1u);
+  EXPECT_EQ(inner.spans_closed(), 1u);
+  EXPECT_EQ(outer.spans_opened(), 1u);
+  EXPECT_EQ(outer.spans_closed(), 0u);  // outer_span still open here
+}
+
+TEST(TraceScope, AmbientStateIsPerThread) {
+  MetricsRegistry reg;
+  RequestTracer tracer(reg, 5);
+  TraceScope trace(tracer);
+  EXPECT_EQ(TraceScope::ambient_tracer(), &tracer);
+  std::thread other([] {
+    // A sibling thread sees no ambient trace; its spans are no-ops.
+    EXPECT_EQ(TraceScope::ambient_tracer(), nullptr);
+    SpanScope span(Stage::kParse);
+    EXPECT_FALSE(span.active());
+  });
+  other.join();
+}
+
+// Span accounting balances under concurrent traced work (TSan target).
+TEST(RequestTracer, ConcurrentSpansBalance) {
+  MetricsRegistry reg;
+  RequestTracer tracer(reg, 11);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kIters; ++i) {
+        TraceScope trace(tracer);
+        SpanScope handler(Stage::kHandler);
+        SpanScope storage(Stage::kStorageOp);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(tracer.traces_started(),
+            static_cast<std::uint64_t>(kThreads * kIters));
+  EXPECT_EQ(tracer.spans_opened(),
+            static_cast<std::uint64_t>(2 * kThreads * kIters));
+  EXPECT_EQ(tracer.spans_opened(), tracer.spans_closed());
+}
+
+}  // namespace
+}  // namespace clio::obs

@@ -24,6 +24,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
@@ -177,6 +178,21 @@ TEST(ResilienceStress, StorageFaultBurstDegradesGracefullyAndRecovers) {
     EXPECT_GT(retry->stats().retries, 0u) << seed_hint;
     EXPECT_GT(retry->stats().absorbed, 0u) << seed_hint;
 
+    // The observability surface answers while service is degraded: /statz
+    // straight after the burst, while the breaker is still settling.  Its
+    // body goes to stdout so degraded mode is observable in CI soak logs.
+    {
+      HttpClient statz_client(server.port());
+      const auto statz = statz_client.get("/statz");
+      EXPECT_EQ(statz.status, 200) << seed_hint;
+      EXPECT_NE(statz.body.find("\"breaker\""), std::string::npos)
+          << seed_hint;
+      EXPECT_NE(statz.body.find("\"stages\""), std::string::npos)
+          << seed_hint;
+      std::cout << "post-burst /statz (seed " << seed << "):\n"
+                << statz.body << "\n";
+    }
+
     // Phase 2 — recovery.  Faults off; wait out the breaker (half-open
     // probes need a few clean storage calls to close it again).
     fault->arm(false);
@@ -223,6 +239,12 @@ TEST(ResilienceStress, StorageFaultBurstDegradesGracefullyAndRecovers) {
     // parked workers in retry backoff and 503'd half the load — is the
     // no-wedged-workers assertion.
     server.stop();
+
+    // Span accounting balances across the whole soak: every span opened
+    // by any request — absorbed, degraded, retried or drained — closed.
+    EXPECT_EQ(server.tracer().spans_opened(), server.tracer().spans_closed())
+        << seed_hint;
+    EXPECT_GT(server.tracer().traces_started(), 0u) << seed_hint;
     fs.pool().drain_prefetches();
     ASSERT_NO_THROW(fs.pool().debug_validate()) << seed_hint;
 
@@ -353,6 +375,10 @@ TEST(ResilienceStress, DualLayerBurstStaysDiagnosableAndRecovers) {
     server.stop();
     fs.pool().drain_prefetches();
     ASSERT_NO_THROW(fs.pool().debug_validate()) << seed_hint;
+    // Even with connections severed mid-request by the net injector, RAII
+    // unwinding must close every span it opened.
+    EXPECT_EQ(server.tracer().spans_opened(), server.tracer().spans_closed())
+        << seed_hint;
   }
 }
 

@@ -52,8 +52,80 @@ TEST(LatencyHistogram, HandlesHugeSamples) {
 TEST(LatencyHistogram, QuantileBracketsTrueValue) {
   LatencyHistogram h;
   for (std::uint64_t i = 0; i < 1000; ++i) h.push(1000);  // all in [512,1024)
-  EXPECT_EQ(h.quantile_ns(0.5), 1024u);
-  EXPECT_EQ(h.quantile_ns(0.99), 1024u);
+  // A single-valued distribution reports that value exactly at every
+  // quantile: interpolation inside the [512, 1024) bucket is clamped to
+  // the observed [min, max] range (the former behaviour reported the
+  // bucket's upper bound, 1024, which no sample ever reached).
+  EXPECT_EQ(h.quantile_ns(0.0), 1000u);
+  EXPECT_EQ(h.quantile_ns(0.5), 1000u);
+  EXPECT_EQ(h.quantile_ns(0.99), 1000u);
+  EXPECT_EQ(h.quantile_ns(1.0), 1000u);
+}
+
+TEST(LatencyHistogram, QuantileClampsToObservedEdges) {
+  LatencyHistogram h;
+  h.push(700);
+  h.push(800);
+  h.push(900);  // all three share bucket [512, 1024)
+  EXPECT_EQ(h.quantile_ns(0.0), 700u);   // q=0 is the min, not 512
+  EXPECT_EQ(h.quantile_ns(1.0), 900u);   // q=1 is the max, not 1024
+  const std::uint64_t mid = h.quantile_ns(0.5);
+  EXPECT_GE(mid, 700u);
+  EXPECT_LE(mid, 900u);
+}
+
+TEST(LatencyHistogram, TracksMinMax) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.min_ns(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  h.push(500);
+  h.push(20);
+  h.push(9000);
+  EXPECT_EQ(h.min_ns(), 20u);
+  EXPECT_EQ(h.max_ns(), 9000u);
+}
+
+TEST(LatencyHistogram, MergeCombinesMinMax) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.push(100);
+  b.push(7);
+  b.push(5000);
+  a.merge(b);
+  EXPECT_EQ(a.min_ns(), 7u);
+  EXPECT_EQ(a.max_ns(), 5000u);
+  LatencyHistogram empty;
+  a.merge(empty);  // merging an empty histogram must not disturb min/max
+  EXPECT_EQ(a.min_ns(), 7u);
+  EXPECT_EQ(a.max_ns(), 5000u);
+  empty.merge(a);  // merging INTO an empty one adopts the other's range
+  EXPECT_EQ(empty.min_ns(), 7u);
+  EXPECT_EQ(empty.max_ns(), 5000u);
+}
+
+TEST(LatencyHistogram, SnapshotCarriesQuantilesAndBuckets) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.push(100);      // bucket [64, 128)
+  for (int i = 0; i < 10; ++i) h.push(1 << 20);  // bucket [2^20, 2^21)
+  const LatencyHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.min_ns, 100u);
+  EXPECT_EQ(s.max_ns, 1u << 20);
+  EXPECT_DOUBLE_EQ(s.mean_ns, h.mean_ns());
+  EXPECT_LE(s.p50_ns, 128u);
+  EXPECT_GE(s.p99_ns, 1u << 20);
+  ASSERT_EQ(s.buckets.size(), 2u);  // only the two non-empty buckets
+  EXPECT_EQ(s.buckets[0].lo_ns, 64u);
+  EXPECT_EQ(s.buckets[0].hi_ns, 128u);
+  EXPECT_EQ(s.buckets[0].count, 90u);
+  EXPECT_EQ(s.buckets[1].count, 10u);
+}
+
+TEST(LatencyHistogram, SnapshotOfEmptyIsZeroed) {
+  const LatencyHistogram::Snapshot s = LatencyHistogram{}.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p99_ns, 0u);
+  EXPECT_TRUE(s.buckets.empty());
 }
 
 TEST(LatencyHistogram, QuantileSeparatesModes) {
