@@ -1,0 +1,250 @@
+#include "io/async_store.hpp"
+
+#include "util/error.hpp"
+#include "util/stopwatch.hpp"
+
+namespace clio::io {
+
+using util::check;
+using util::ConfigError;
+using util::Stopwatch;
+
+std::string_view async_op_name(AsyncOpKind kind) {
+  switch (kind) {
+    case AsyncOpKind::kRead:
+      return "read";
+    case AsyncOpKind::kWrite:
+      return "write";
+    case AsyncOpKind::kReadv:
+      return "readv";
+    case AsyncOpKind::kWritev:
+      return "writev";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------- AsyncOp ----
+
+AsyncOp AsyncOp::make_read(FileId file, std::uint64_t offset,
+                           std::span<std::byte> out, std::uint64_t user_data) {
+  AsyncOp op;
+  op.kind = AsyncOpKind::kRead;
+  op.file = file;
+  op.offset = offset;
+  op.out = out;
+  op.user_data = user_data;
+  return op;
+}
+
+AsyncOp AsyncOp::make_write(FileId file, std::uint64_t offset,
+                            std::span<const std::byte> data,
+                            std::uint64_t user_data) {
+  AsyncOp op;
+  op.kind = AsyncOpKind::kWrite;
+  op.file = file;
+  op.offset = offset;
+  op.data = data;
+  op.user_data = user_data;
+  return op;
+}
+
+AsyncOp AsyncOp::make_readv(FileId file, std::uint64_t offset,
+                            std::vector<std::span<std::byte>> parts,
+                            std::uint64_t user_data) {
+  AsyncOp op;
+  op.kind = AsyncOpKind::kReadv;
+  op.file = file;
+  op.offset = offset;
+  op.read_parts = std::move(parts);
+  op.user_data = user_data;
+  return op;
+}
+
+AsyncOp AsyncOp::make_writev(FileId file, std::uint64_t offset,
+                             std::vector<std::span<const std::byte>> parts,
+                             std::uint64_t user_data) {
+  AsyncOp op;
+  op.kind = AsyncOpKind::kWritev;
+  op.file = file;
+  op.offset = offset;
+  op.write_parts = std::move(parts);
+  op.user_data = user_data;
+  return op;
+}
+
+std::uint64_t AsyncOp::payload_bytes() const {
+  switch (kind) {
+    case AsyncOpKind::kRead:
+      return out.size();
+    case AsyncOpKind::kWrite:
+      return data.size();
+    case AsyncOpKind::kReadv: {
+      std::uint64_t total = 0;
+      for (const auto& part : read_parts) total += part.size();
+      return total;
+    }
+    case AsyncOpKind::kWritev: {
+      std::uint64_t total = 0;
+      for (const auto& part : write_parts) total += part.size();
+      return total;
+    }
+  }
+  return 0;
+}
+
+// ------------------------------------------------------ sync execution ----
+
+AsyncCompletion execute_sync_op(BackingStore& store, const AsyncOp& op) {
+  AsyncCompletion c;
+  c.user_data = op.user_data;
+  c.kind = op.kind;
+  Stopwatch watch;
+  try {
+    switch (op.kind) {
+      case AsyncOpKind::kRead:
+        c.bytes = store.read(op.file, op.offset, op.out);
+        break;
+      case AsyncOpKind::kWrite:
+        store.write(op.file, op.offset, op.data);
+        c.bytes = op.data.size();
+        break;
+      case AsyncOpKind::kReadv:
+        c.bytes = store.readv(op.file, op.offset, op.read_parts);
+        break;
+      case AsyncOpKind::kWritev: {
+        store.writev(op.file, op.offset, op.write_parts);
+        for (const auto& part : op.write_parts) c.bytes += part.size();
+        break;
+      }
+    }
+  } catch (...) {
+    c.bytes = 0;
+    c.error = std::current_exception();
+  }
+  c.ms = watch.elapsed_ms();
+  return c;
+}
+
+// -------------------------------------------------- ThreadPoolAsyncStore ----
+
+ThreadPoolAsyncStore::ThreadPoolAsyncStore(BackingStore& inner,
+                                           std::size_t threads)
+    : inner_(inner) {
+  check<ConfigError>(threads >= 1, "ThreadPoolAsyncStore: threads must be >= 1");
+  workers_.reserve(threads);
+  try {
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker(); });
+    }
+  } catch (...) {
+    // Unwind any workers that did start before rethrowing.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+    throw;
+  }
+}
+
+ThreadPoolAsyncStore::~ThreadPoolAsyncStore() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  // Workers drain the remaining queue before exiting: every submitted op
+  // was accepted, so every submitted op completes.
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPoolAsyncStore::bind_stats(IoStats* stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = stats;
+}
+
+AsyncTicket ThreadPoolAsyncStore::submit(std::vector<AsyncOp> batch) {
+  check<ConfigError>(!batch.empty(), "ThreadPoolAsyncStore: empty batch");
+  AsyncTicket ticket = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    check<ConfigError>(!stop_, "ThreadPoolAsyncStore: submit after shutdown");
+    ticket = next_ticket_++;
+    tickets_[ticket].expected = batch.size();
+    if (stats_ != nullptr) stats_->record_async_submission(batch.size());
+    for (auto& op : batch) {
+      queue_.push_back(QueuedOp{std::move(op), ticket});
+    }
+  }
+  if (batch.size() > 1) {
+    work_cv_.notify_all();
+  } else {
+    work_cv_.notify_one();
+  }
+  return ticket;
+}
+
+void ThreadPoolAsyncStore::worker() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping and fully drained
+    QueuedOp item = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    AsyncCompletion c = execute_sync_op(inner_, item.op);
+    lock.lock();
+    // The fallback pays one kernel round-trip (one sync store call) per op;
+    // account it so syscalls-per-page contrasts with uring's batched enter.
+    if (stats_ != nullptr) {
+      stats_->record_submit_syscalls(1);
+      stats_->record_async_completion(c.bytes, !c.ok());
+    }
+    complete_locked(item.ticket, std::move(c));
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPoolAsyncStore::complete_locked(AsyncTicket ticket,
+                                           AsyncCompletion completion) {
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) return;  // ticket already abandoned
+  it->second.completed++;
+  it->second.ready.push_back(std::move(completion));
+}
+
+void ThreadPoolAsyncStore::maybe_forget_locked(
+    std::unordered_map<AsyncTicket, TicketState>::iterator it) {
+  if (it->second.completed == it->second.expected &&
+      it->second.ready.empty()) {
+    tickets_.erase(it);
+  }
+}
+
+std::size_t ThreadPoolAsyncStore::poll(AsyncTicket ticket,
+                                       std::vector<AsyncCompletion>& out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) return 0;
+  const std::size_t n = it->second.ready.size();
+  for (auto& c : it->second.ready) out.push_back(std::move(c));
+  it->second.ready.clear();
+  maybe_forget_locked(it);
+  return n;
+}
+
+std::vector<AsyncCompletion> ThreadPoolAsyncStore::wait(AsyncTicket ticket) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = tickets_.find(ticket);
+  if (it == tickets_.end()) return {};
+  done_cv_.wait(lock, [&] {
+    return it->second.completed == it->second.expected;
+  });
+  std::vector<AsyncCompletion> out = std::move(it->second.ready);
+  it->second.ready.clear();
+  maybe_forget_locked(it);
+  return out;
+}
+
+}  // namespace clio::io

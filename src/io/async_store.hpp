@@ -1,0 +1,213 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "io/file_store.hpp"
+#include "io/io_stats.hpp"
+
+namespace clio::io {
+
+/// The operation classes an AsyncBackingStore accepts — the BackingStore
+/// data path, verbatim.  Metadata operations (open/size/truncate/...) stay
+/// synchronous on the BackingStore interface: they are cheap, rare, and
+/// the pool calls them from setup paths, never from the I/O hot loop.
+enum class AsyncOpKind : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kReadv = 2,
+  kWritev = 3,
+};
+
+[[nodiscard]] std::string_view async_op_name(AsyncOpKind kind);
+
+/// One submitted storage operation.  The vectored part lists are *owned*
+/// (vectors, not spans-of-spans) so an op can be copied and re-submitted
+/// verbatim — the retry decorator depends on that — while the payload
+/// buffers themselves stay caller-owned and must outlive the completion.
+///
+/// `user_data` is echoed on the completion untouched; batch submitters use
+/// it to map completions (which arrive in any order) back to their work
+/// items.
+struct AsyncOp {
+  AsyncOpKind kind = AsyncOpKind::kRead;
+  FileId file = kInvalidFile;
+  std::uint64_t offset = 0;
+  std::uint64_t user_data = 0;
+  std::span<std::byte> out{};             ///< kRead destination
+  std::span<const std::byte> data{};      ///< kWrite source
+  std::vector<std::span<std::byte>> read_parts;         ///< kReadv
+  std::vector<std::span<const std::byte>> write_parts;  ///< kWritev
+
+  [[nodiscard]] static AsyncOp make_read(FileId file, std::uint64_t offset,
+                                         std::span<std::byte> out,
+                                         std::uint64_t user_data = 0);
+  [[nodiscard]] static AsyncOp make_write(FileId file, std::uint64_t offset,
+                                          std::span<const std::byte> data,
+                                          std::uint64_t user_data = 0);
+  [[nodiscard]] static AsyncOp make_readv(
+      FileId file, std::uint64_t offset,
+      std::vector<std::span<std::byte>> parts, std::uint64_t user_data = 0);
+  [[nodiscard]] static AsyncOp make_writev(
+      FileId file, std::uint64_t offset,
+      std::vector<std::span<const std::byte>> parts,
+      std::uint64_t user_data = 0);
+
+  [[nodiscard]] bool is_write() const {
+    return kind == AsyncOpKind::kWrite || kind == AsyncOpKind::kWritev;
+  }
+  /// Total payload size of the op, summed over vectored parts.
+  [[nodiscard]] std::uint64_t payload_bytes() const;
+};
+
+/// The typed per-op result of an async submission.  Errors travel as
+/// std::exception_ptr so completions carry the exact exception taxonomy of
+/// the sync path (util::TransientIoError vs util::IoError vs
+/// util::TimeoutError) — rethrow() restores it, and decorators classify by
+/// catching, exactly like the sync retry loop does.
+struct AsyncCompletion {
+  std::uint64_t user_data = 0;
+  AsyncOpKind kind = AsyncOpKind::kRead;
+  /// Bytes transferred.  For reads: actually-read count (short at EOF, 0
+  /// past EOF — the read()/readv() contract).  For successful writes: the
+  /// full payload.  Meaningless when `error` is set (a torn read's buffer
+  /// is garbage, a torn write's persisted prefix is the error's problem).
+  std::size_t bytes = 0;
+  double ms = 0.0;  ///< submit-to-completion latency
+  std::exception_ptr error;
+
+  [[nodiscard]] bool ok() const { return error == nullptr; }
+  void rethrow() const {
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+/// Handle to one submitted batch.  Tickets are per-store, never reused,
+/// and forgotten once every completion of the batch has been delivered.
+using AsyncTicket = std::uint64_t;
+
+/// Submission/completion interface over a backing store: submit a batch of
+/// operations in one call, harvest typed per-op completions in whatever
+/// order the backend finishes them.  This is the asynchronous face of
+/// BackingStore — UringStore implements it with io_uring rings and batched
+/// submit syscalls, ThreadPoolAsyncStore wraps any synchronous store so
+/// SimFileStore, fault/retry decorators and non-Linux kernels keep working
+/// behind the identical interface.
+///
+/// Contract, for every implementation:
+///  - submit() never throws for per-op failures; those surface as
+///    completions carrying the error.  It throws util::ConfigError only
+///    for unusable batches (empty).
+///  - Completions are delivered exactly once, split freely between poll()
+///    calls and a final wait().  Order within a batch is unspecified.
+///  - wait() blocks until every not-yet-delivered completion of the ticket
+///    is available and returns them all; poll() never blocks.
+///  - A fully-delivered (or unknown) ticket is forgotten: wait() returns
+///    empty, poll() returns 0.  Tickets are not shared across stores.
+///  - Payload buffers belong to the caller and must stay alive and
+///    untouched until the op's completion has been delivered.
+///
+/// Thread-safety: submit/poll/wait may be called from any thread; waiting
+/// on the same ticket from two threads concurrently is unspecified.
+class AsyncBackingStore {
+ public:
+  virtual ~AsyncBackingStore() = default;
+
+  /// Submits the whole batch in one call — for UringStore that is one
+  /// io_uring_enter carrying every op — and returns the ticket the
+  /// completions will be harvested under.
+  virtual AsyncTicket submit(std::vector<AsyncOp> batch) = 0;
+
+  /// Appends any newly-available completions for `ticket` to `out` and
+  /// returns how many were appended.  Never blocks.
+  virtual std::size_t poll(AsyncTicket ticket,
+                           std::vector<AsyncCompletion>& out) = 0;
+
+  /// Blocks until the batch is fully complete; returns every completion
+  /// not already delivered through poll().
+  virtual std::vector<AsyncCompletion> wait(AsyncTicket ticket) = 0;
+
+  /// Mirrors submission/completion counters into an IoStats (not owned;
+  /// bind before traffic or after quiescing).
+  virtual void bind_stats(IoStats* stats) = 0;
+
+  /// Convenience: submit one batch and block for all its completions.
+  std::vector<AsyncCompletion> submit_and_wait(std::vector<AsyncOp> batch) {
+    return wait(submit(std::move(batch)));
+  }
+};
+
+/// Executes one AsyncOp synchronously against a BackingStore and packages
+/// the outcome — bytes or the caught exception — as a completion.  The
+/// shared execution body of ThreadPoolAsyncStore and of tests that need a
+/// reference result.
+[[nodiscard]] AsyncCompletion execute_sync_op(BackingStore& store,
+                                              const AsyncOp& op);
+
+/// AsyncBackingStore fallback over any synchronous BackingStore: a small
+/// worker pool drains a FIFO of submitted ops and packages each sync call's
+/// outcome as a completion.  With more than one worker, completions genuinely
+/// reorder.  Because the workers call straight through the sync interface,
+/// any decorator chain below (FaultStore, RetryingStore, VectoredStatsStore)
+/// keeps working unchanged — faults and retries land inside the worker call
+/// and surface in the completion.
+///
+/// Counts one submit "syscall" per executed op in the async counters: the
+/// fallback pays one kernel round-trip per op, which is exactly the
+/// batching deficit versus UringStore the syscalls-per-page stat exists to
+/// show.
+class ThreadPoolAsyncStore final : public AsyncBackingStore {
+ public:
+  explicit ThreadPoolAsyncStore(BackingStore& inner, std::size_t threads = 2);
+  ~ThreadPoolAsyncStore() override;
+
+  ThreadPoolAsyncStore(const ThreadPoolAsyncStore&) = delete;
+  ThreadPoolAsyncStore& operator=(const ThreadPoolAsyncStore&) = delete;
+
+  AsyncTicket submit(std::vector<AsyncOp> batch) override;
+  std::size_t poll(AsyncTicket ticket,
+                   std::vector<AsyncCompletion>& out) override;
+  std::vector<AsyncCompletion> wait(AsyncTicket ticket) override;
+  void bind_stats(IoStats* stats) override;
+
+  [[nodiscard]] BackingStore& inner() { return inner_; }
+
+ private:
+  struct TicketState {
+    std::size_t expected = 0;   ///< ops submitted under this ticket
+    std::size_t completed = 0;  ///< completions produced so far
+    std::vector<AsyncCompletion> ready;  ///< completed, not yet delivered
+  };
+  struct QueuedOp {
+    AsyncOp op;
+    AsyncTicket ticket = 0;
+  };
+
+  void worker();
+  /// Files one completion under its ticket; mutex held by caller.
+  void complete_locked(AsyncTicket ticket, AsyncCompletion completion);
+  /// Drops the ticket once fully completed and fully delivered.
+  void maybe_forget_locked(std::unordered_map<AsyncTicket,
+                                              TicketState>::iterator it);
+
+  BackingStore& inner_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< queue_ non-empty or stopping
+  std::condition_variable done_cv_;  ///< a completion landed
+  std::deque<QueuedOp> queue_;
+  std::unordered_map<AsyncTicket, TicketState> tickets_;
+  AsyncTicket next_ticket_ = 1;
+  IoStats* stats_ = nullptr;  ///< not owned; guarded by mutex_
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace clio::io

@@ -1,13 +1,19 @@
 #pragma once
 
 #include <array>
+#include <chrono>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "io/async_store.hpp"
 #include "io/file_store.hpp"
+#include "io/store_decorator.hpp"
 #include "util/rng.hpp"
 
 namespace clio::io {
@@ -97,7 +103,7 @@ struct FaultStats {
 ///
 /// Faults surface as util::IoError, the same type real store failures use —
 /// callers cannot (and must not) tell them apart.
-class FaultStore final : public BackingStore {
+class FaultStore final : public StoreDecorator {
  public:
   /// Decorates a store owned elsewhere (must outlive this).
   FaultStore(BackingStore& inner, FaultPlan plan = {});
@@ -106,10 +112,6 @@ class FaultStore final : public BackingStore {
   /// needs, since it takes its store by unique_ptr.
   FaultStore(std::unique_ptr<BackingStore> inner, FaultPlan plan = {});
 
-  FileId open(const std::string& name, bool create) override;
-  void close(FileId id) override;
-  [[nodiscard]] std::uint64_t size(FileId id) const override;
-  void truncate(FileId id, std::uint64_t new_size) override;
   std::size_t read(FileId id, std::uint64_t offset,
                    std::span<std::byte> out) override;
   void write(FileId id, std::uint64_t offset,
@@ -118,9 +120,6 @@ class FaultStore final : public BackingStore {
               std::span<const std::span<const std::byte>> parts) override;
   std::size_t readv(FileId id, std::uint64_t offset,
                     std::span<const std::span<std::byte>> parts) override;
-  [[nodiscard]] bool exists(const std::string& name) const override;
-  [[nodiscard]] FileId lookup(const std::string& name) const override;
-  void remove(const std::string& name) override;
 
   /// Master switch.  Disarmed, every op forwards verbatim (and is not
   /// counted) — harnesses disarm before their final flush + oracle check.
@@ -142,7 +141,18 @@ class FaultStore final : public BackingStore {
   /// consumption, and reseeds the RNG from the plan.
   void reset();
 
-  [[nodiscard]] BackingStore& inner() { return inner_; }
+  /// What one async op should suffer, resolved from the same plan, RNG
+  /// stream, counters and arm switch as the sync path — so one seeded plan
+  /// drives both faces of a store at once.  Consumed by AsyncFaultStore.
+  struct AsyncInjection {
+    std::uint32_t sleep_us = 0;  ///< delay the completion this much
+    bool fail_clean = false;     ///< do not forward; complete with `error`
+    bool tear = false;           ///< forward only `partial_bytes`, error anyway
+    std::size_t partial_bytes = 0;
+    std::exception_ptr error;  ///< set when fail_clean || tear
+  };
+  [[nodiscard]] AsyncInjection decide_async(FaultOp op,
+                                            std::uint64_t payload_bytes);
 
  private:
   /// What decide() resolved for one call; acted on outside the mutex.
@@ -159,8 +169,6 @@ class FaultStore final : public BackingStore {
   [[noreturn]] void throw_injected(FaultOp op, const Decision& d) const;
   double roll();  ///< uniform [0,1) from the seeded stream; mutex held
 
-  std::unique_ptr<BackingStore> owned_;  ///< null when wrapping a reference
-  BackingStore& inner_;
   mutable std::mutex mutex_;
   FaultPlan plan_;
   util::SplitMix64 rng_;
@@ -168,6 +176,72 @@ class FaultStore final : public BackingStore {
   std::array<std::uint64_t, kFaultOpCount> forced_fails_{};
   std::uint64_t bytes_written_ = 0;  ///< disk-full budget consumption
   bool armed_ = true;
+};
+
+/// AsyncBackingStore decorator that injects the same seeded fault plan into
+/// *completions*.  It shares a FaultStore's plan, RNG stream, counters and
+/// arm switch (via FaultStore::decide_async), so one plan exercises the
+/// sync and async paths of a harness with one switch — and faults land
+/// inside real completion interleavings, which is exactly where the stress
+/// harness finds bugs.
+///
+/// Decisions are taken at submit():
+///  - clean-EIO victims are never forwarded; their completion carries the
+///    injected error,
+///  - torn ops are trimmed to the injected prefix before forwarding and
+///    their completion is stamped with the injected error (the inner
+///    outcome, if also a failure, wins — it is the more real error),
+///  - latency spikes defer the completion's *delivery*: poll() holds the
+///    completion back until its ready time, wait() sleeps the remainder.
+class AsyncFaultStore final : public AsyncBackingStore {
+ public:
+  /// Neither store is owned; both must outlive this.
+  AsyncFaultStore(AsyncBackingStore& inner, FaultStore& faults);
+
+  AsyncTicket submit(std::vector<AsyncOp> batch) override;
+  std::size_t poll(AsyncTicket ticket,
+                   std::vector<AsyncCompletion>& out) override;
+  std::vector<AsyncCompletion> wait(AsyncTicket ticket) override;
+  void bind_stats(IoStats* stats) override;
+
+  [[nodiscard]] AsyncBackingStore& inner() { return inner_; }
+  [[nodiscard]] FaultStore& faults() { return faults_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Verdict for one forwarded op, keyed by its index in the inner batch
+  /// (user_data is rewritten to that index so duplicates cannot collide).
+  struct Stamp {
+    std::uint64_t user_data = 0;  ///< caller's original, restored on delivery
+    std::exception_ptr error;     ///< injected error, null = clean
+    Clock::time_point ready;      ///< earliest delivery time
+  };
+
+  struct TicketState {
+    AsyncTicket inner_ticket = 0;
+    bool has_inner = false;
+    std::size_t expected = 0;   ///< caller batch size
+    std::size_t returned = 0;   ///< completions handed back to the caller
+    std::size_t absorbed = 0;   ///< inner completions absorbed into `held`
+    std::vector<Stamp> stamps;  ///< by forwarded-op index
+    /// Completions available but not yet returned to the caller: injected
+    /// fail-cleans plus inner completions held for a latency spike.
+    std::vector<std::pair<Clock::time_point, AsyncCompletion>> held;
+  };
+
+  /// Pulls newly-available inner completions into `held`; mutex held.
+  void absorb_inner_locked(TicketState& st,
+                           std::vector<AsyncCompletion>&& inner_done);
+  /// Moves every held completion whose time has come into `out`.
+  std::size_t release_due_locked(TicketState& st, Clock::time_point now,
+                                 std::vector<AsyncCompletion>& out);
+
+  AsyncBackingStore& inner_;
+  FaultStore& faults_;
+  std::mutex mutex_;
+  std::unordered_map<AsyncTicket, TicketState> tickets_;
+  AsyncTicket next_ticket_ = 1;
 };
 
 }  // namespace clio::io

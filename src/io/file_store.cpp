@@ -39,6 +39,17 @@ namespace {
 
 void BackingStore::writev(FileId id, std::uint64_t offset,
                           std::span<const std::span<const std::byte>> parts) {
+  writev_fallback(id, offset, parts);
+}
+
+std::size_t BackingStore::readv(FileId id, std::uint64_t offset,
+                                std::span<const std::span<std::byte>> parts) {
+  return readv_fallback(id, offset, parts);
+}
+
+void BackingStore::writev_fallback(
+    FileId id, std::uint64_t offset,
+    std::span<const std::span<const std::byte>> parts) {
   // Portable fallback: stores that cannot gather natively still see the
   // parts in order, one write per part.
   for (const auto& part : parts) {
@@ -47,8 +58,9 @@ void BackingStore::writev(FileId id, std::uint64_t offset,
   }
 }
 
-std::size_t BackingStore::readv(FileId id, std::uint64_t offset,
-                                std::span<const std::span<std::byte>> parts) {
+std::size_t BackingStore::readv_fallback(
+    FileId id, std::uint64_t offset,
+    std::span<const std::span<std::byte>> parts) {
   // Portable fallback: one read per part, stopping at the first short read
   // so the caller sees exactly the EOF semantics of read().
   std::size_t total = 0;

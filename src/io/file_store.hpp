@@ -72,6 +72,19 @@ class BackingStore {
   [[nodiscard]] virtual FileId lookup(const std::string& name) const = 0;
 
   virtual void remove(const std::string& name) = 0;
+
+ protected:
+  /// The de-vectorized fallbacks behind the default readv/writev bodies,
+  /// as named non-virtual helpers so a decorator that cannot (or must not)
+  /// forward a gather natively can *say so* — `writev_fallback(...)` — and
+  /// reviewers can tell a deliberate de-vectorization from a forgotten
+  /// override.  writev_fallback issues one write() per part;
+  /// readv_fallback one read() per part, stopping at the first short read
+  /// so the caller sees exactly the EOF semantics of read().
+  void writev_fallback(FileId id, std::uint64_t offset,
+                       std::span<const std::span<const std::byte>> parts);
+  std::size_t readv_fallback(FileId id, std::uint64_t offset,
+                             std::span<const std::span<std::byte>> parts);
 };
 
 /// BackingStore over a real directory using POSIX descriptors and
@@ -109,6 +122,19 @@ class RealFileStore final : public BackingStore {
   void remove(const std::string& name) override;
 
   [[nodiscard]] const std::filesystem::path& root() const { return root_; }
+
+  /// The POSIX descriptor behind an open id — the seam UringStore needs to
+  /// build SQEs against the same descriptors the sync path uses.  Throws
+  /// util::IoError for a closed/invalid id.  The fd stays owned by this
+  /// store and is valid until close() drops the last reference.
+  [[nodiscard]] int native_handle(FileId id) const { return fd_of(id); }
+
+  /// Tells the store that bytes up to `end_offset` were written to `id`
+  /// outside its own write paths (an io_uring completion), so the cached
+  /// size stays coherent.  Cheap: a mutex-guarded max().
+  void note_external_write(FileId id, std::uint64_t end_offset) {
+    grow_cached_size(id, end_offset);
+  }
 
  private:
   struct Entry {

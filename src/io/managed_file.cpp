@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "io/store_decorator.hpp"
 #include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
@@ -12,68 +13,6 @@ using util::check;
 using util::IoError;
 using util::Stopwatch;
 
-namespace {
-
-/// BackingStore decorator that times the vectored ops into an IoStats as
-/// IoOp::kReadv / kWritev.  The buffer pool issues these on its coalesced
-/// flush and prefetch paths, so recording them here makes batching ratios
-/// (pages per backing call, bytes per call) readable straight from a
-/// ManagedFileSystem's stats table instead of only from bench counters.
-/// Scalar ops are forwarded untimed: they are already accounted at the
-/// managed level (kRead/kWrite) and double-counting would skew totals.
-class VectoredStatsStore final : public BackingStore {
- public:
-  VectoredStatsStore(BackingStore& inner, IoStats& stats)
-      : inner_(inner), stats_(stats) {}
-
-  FileId open(const std::string& name, bool create) override {
-    return inner_.open(name, create);
-  }
-  void close(FileId id) override { inner_.close(id); }
-  [[nodiscard]] std::uint64_t size(FileId id) const override {
-    return inner_.size(id);
-  }
-  void truncate(FileId id, std::uint64_t n) override {
-    inner_.truncate(id, n);
-  }
-  std::size_t read(FileId id, std::uint64_t offset,
-                   std::span<std::byte> out) override {
-    return inner_.read(id, offset, out);
-  }
-  void write(FileId id, std::uint64_t offset,
-             std::span<const std::byte> data) override {
-    inner_.write(id, offset, data);
-  }
-  std::size_t readv(FileId id, std::uint64_t offset,
-                    std::span<const std::span<std::byte>> parts) override {
-    Stopwatch watch;
-    const std::size_t got = inner_.readv(id, offset, parts);
-    stats_.record(IoOp::kReadv, got, watch.elapsed_ms());
-    return got;
-  }
-  void writev(FileId id, std::uint64_t offset,
-              std::span<const std::span<const std::byte>> parts) override {
-    Stopwatch watch;
-    inner_.writev(id, offset, parts);
-    std::uint64_t total = 0;
-    for (const auto& part : parts) total += part.size();
-    stats_.record(IoOp::kWritev, total, watch.elapsed_ms());
-  }
-  [[nodiscard]] bool exists(const std::string& name) const override {
-    return inner_.exists(name);
-  }
-  [[nodiscard]] FileId lookup(const std::string& name) const override {
-    return inner_.lookup(name);
-  }
-  void remove(const std::string& name) override { inner_.remove(name); }
-
- private:
-  BackingStore& inner_;
-  IoStats& stats_;
-};
-
-}  // namespace
-
 ManagedFileSystem::ManagedFileSystem(std::unique_ptr<BackingStore> store,
                                      ManagedFsOptions options)
     : store_(std::move(store)),
@@ -82,8 +21,19 @@ ManagedFileSystem::ManagedFileSystem(std::unique_ptr<BackingStore> store,
       prefetcher_(options.prefetch) {
   check<util::ConfigError>(store_ != nullptr,
                            "ManagedFileSystem: null backing store");
-  pool_store_ = std::make_unique<VectoredStatsStore>(*store_, stats_);
+  // One helper builds and binds the whole decorator chain: the pool talks
+  // to a VectoredStatsStore (coalescing ratios land in the op table as
+  // IoOp::kReadv / kWritev), and bind_chain walks every StoreDecorator the
+  // caller stacked below (RetryingStore, FaultStore, ...) so their
+  // resilience counters report into this filesystem's stats too.
+  pool_store_ = std::make_unique<VectoredStatsStore>(*store_);
+  StoreDecorator::bind_chain(*pool_store_, &stats_);
   pool_ = std::make_unique<BufferPool>(*pool_store_, pool_config());
+  // The pool's submission/completion path (if any) reports its async
+  // counters — submissions, completions, submit syscalls — here as well.
+  if (AsyncBackingStore* async = pool_->async_store(); async != nullptr) {
+    async->bind_stats(&stats_);
+  }
 }
 
 ManagedFileSystem::~ManagedFileSystem() = default;

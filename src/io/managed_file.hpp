@@ -28,11 +28,12 @@ struct ManagedFsOptions {
   std::size_t pool_shards = 0;        ///< lock stripes; 0 = auto (see BufferPoolConfig)
   PrefetchConfig prefetch;            ///< readahead policy
   bool prefetch_on_seek = true;       ///< paper: prefetch on read/write/seek
-  /// Run readahead on the pool's background I/O workers so sequential
-  /// reads overlap the window load with compute instead of paying for it
-  /// inline (see BufferPoolConfig::async_prefetch).
+  /// Submit readahead gathers through the pool's async store and publish
+  /// them from a completion reaper, so sequential reads overlap the window
+  /// load with compute instead of paying for it inline (see
+  /// BufferPoolConfig::async_prefetch).
   bool async_prefetch = false;
-  std::size_t prefetch_threads = 1;   ///< workers when async_prefetch is on
+  std::size_t prefetch_threads = 1;   ///< async-store workers (see pool config)
   bool writeback_on_close = true;     ///< close flushes dirty pages
   bool keep_op_records = false;       ///< retain per-op rows for tables
 };
@@ -62,6 +63,12 @@ class ManagedFileSystem {
   [[nodiscard]] const IoStats& stats() const { return stats_; }
   [[nodiscard]] BufferPool& pool() { return *pool_; }
   [[nodiscard]] BackingStore& store() { return *store_; }
+
+  /// The pool's submission/completion store (already stats-bound), or null
+  /// when the stack runs fully synchronously.
+  [[nodiscard]] AsyncBackingStore* async_store() {
+    return pool_->async_store();
+  }
   [[nodiscard]] const ManagedFsOptions& options() const { return options_; }
 
   /// Drops every cached page (flushing dirty ones first).  Benchmarks call

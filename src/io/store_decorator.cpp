@@ -1,0 +1,45 @@
+#include "io/store_decorator.hpp"
+
+#include "util/stopwatch.hpp"
+
+namespace clio::io {
+
+using util::Stopwatch;
+
+void VectoredStatsStore::bind_stats(IoStats* stats) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = stats;
+}
+
+IoStats* VectoredStatsStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t VectoredStatsStore::readv(
+    FileId id, std::uint64_t offset,
+    std::span<const std::span<std::byte>> parts) {
+  IoStats* s = stats();
+  if (s == nullptr) return inner_.readv(id, offset, parts);
+  Stopwatch watch;
+  const std::size_t got = inner_.readv(id, offset, parts);
+  s->record(IoOp::kReadv, got, watch.elapsed_ms());
+  return got;
+}
+
+void VectoredStatsStore::writev(
+    FileId id, std::uint64_t offset,
+    std::span<const std::span<const std::byte>> parts) {
+  IoStats* s = stats();
+  if (s == nullptr) {
+    inner_.writev(id, offset, parts);
+    return;
+  }
+  Stopwatch watch;
+  inner_.writev(id, offset, parts);
+  std::uint64_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  s->record(IoOp::kWritev, total, watch.elapsed_ms());
+}
+
+}  // namespace clio::io

@@ -1,0 +1,440 @@
+// Conformance suite for the AsyncBackingStore submission/completion API,
+// parameterized over both backends — ThreadPoolAsyncStore (the portable
+// fallback) and UringStore (raw io_uring; skipped when the kernel refuses
+// io_uring_setup).  Both must satisfy the identical contract:
+//
+//  - completions delivered exactly once, split freely between poll() and a
+//    final wait(), in any order; drained/unknown tickets are forgotten,
+//  - per-op failures surface as completions carrying the sync error
+//    taxonomy, never as submit() throws,
+//  - read/readv EOF semantics match the sync BackingStore contract,
+//  - the async counters make the batching observable: one coalesced
+//    16-page gather costs at most 2 submit syscalls on uring versus one
+//    syscall per op on the thread pool.
+//
+// Decorator behavior (AsyncFaultStore injection, RetryingAsyncStore
+// re-submission/breaker/deadline rules) is exercised here too, on top of
+// whichever backend the parameter picks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "io/async_store.hpp"
+#include "io/fault_store.hpp"
+#include "io/file_store.hpp"
+#include "io/io_stats.hpp"
+#include "io/retrying_store.hpp"
+#include "io/uring_store.hpp"
+#include "util/error.hpp"
+#include "util/resilience.hpp"
+#include "util/temp_dir.hpp"
+
+namespace clio::io {
+namespace {
+
+enum class Backend { kThreadPool, kUring };
+
+std::string backend_name(const ::testing::TestParamInfo<Backend>& info) {
+  return info.param == Backend::kUring ? "Uring" : "ThreadPool";
+}
+
+constexpr std::size_t kPage = 512;
+
+std::vector<std::byte> pattern_page(std::uint8_t v) {
+  return std::vector<std::byte>(kPage, std::byte{v});
+}
+
+class AsyncStoreTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == Backend::kUring && !UringStore::supported()) {
+      GTEST_SKIP() << "io_uring unavailable on this kernel/build";
+    }
+    dir_ = std::make_unique<util::TempDir>("clio-async");
+    store_ = std::make_unique<RealFileStore>(dir_->path());
+    if (GetParam() == Backend::kUring) {
+      async_ = std::make_unique<UringStore>(*store_);
+    } else {
+      // >1 worker so completions genuinely reorder.
+      async_ = std::make_unique<ThreadPoolAsyncStore>(*store_, 3);
+    }
+    file_ = store_->open("async.bin", true);
+  }
+
+  /// Seeds `pages` pages of file_ through the sync path: page p holds the
+  /// uniform byte p+1.
+  void seed_pages(std::size_t pages) {
+    for (std::size_t p = 0; p < pages; ++p) {
+      store_->write(file_, p * kPage,
+                    pattern_page(static_cast<std::uint8_t>(p + 1)));
+    }
+  }
+
+  std::unique_ptr<util::TempDir> dir_;
+  std::unique_ptr<RealFileStore> store_;
+  std::unique_ptr<AsyncBackingStore> async_;
+  FileId file_ = kInvalidFile;
+};
+
+TEST_P(AsyncStoreTest, SingleReadRoundTrip) {
+  seed_pages(1);
+  std::vector<std::byte> buf(kPage);
+  std::vector<AsyncOp> batch;
+  batch.push_back(AsyncOp::make_read(file_, 0, buf, /*user_data=*/42));
+  const auto done = async_->submit_and_wait(std::move(batch));
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].user_data, 42u);
+  EXPECT_EQ(done[0].kind, AsyncOpKind::kRead);
+  ASSERT_TRUE(done[0].ok());
+  EXPECT_EQ(done[0].bytes, kPage);
+  EXPECT_EQ(buf, pattern_page(1));
+}
+
+TEST_P(AsyncStoreTest, WriteIsVisibleToSyncPathAndSizeStaysCoherent) {
+  const auto payload = pattern_page(0xAB);
+  std::vector<AsyncOp> batch;
+  batch.push_back(AsyncOp::make_write(file_, 3 * kPage, payload, 7));
+  const auto done = async_->submit_and_wait(std::move(batch));
+  ASSERT_EQ(done.size(), 1u);
+  ASSERT_TRUE(done[0].ok());
+  EXPECT_EQ(done[0].bytes, kPage);
+  // The store's cached size must see the async write (uring reports back
+  // through note_external_write).
+  EXPECT_EQ(store_->size(file_), 4 * kPage);
+  std::vector<std::byte> buf(kPage);
+  ASSERT_EQ(store_->read(file_, 3 * kPage, buf), kPage);
+  EXPECT_EQ(buf, payload);
+}
+
+TEST_P(AsyncStoreTest, BatchCompletionsDeliverExactlyOnceAcrossPollAndWait) {
+  constexpr std::size_t kOps = 16;
+  seed_pages(kOps);
+  std::vector<std::vector<std::byte>> bufs(kOps,
+                                           std::vector<std::byte>(kPage));
+  std::vector<AsyncOp> batch;
+  for (std::size_t i = 0; i < kOps; ++i) {
+    batch.push_back(AsyncOp::make_read(file_, i * kPage, bufs[i], 100 + i));
+  }
+  const AsyncTicket ticket = async_->submit(std::move(batch));
+
+  // Harvest through a poll loop first, then collect the rest via wait():
+  // the split between the two is timing-dependent, the union must not be.
+  std::vector<AsyncCompletion> done;
+  for (int spins = 0; spins < 1000 && done.size() < kOps / 2; ++spins) {
+    async_->poll(ticket, done);
+  }
+  for (auto& c : async_->wait(ticket)) done.push_back(std::move(c));
+
+  ASSERT_EQ(done.size(), kOps);
+  std::set<std::uint64_t> seen;
+  for (const auto& c : done) {
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.bytes, kPage);
+    EXPECT_TRUE(seen.insert(c.user_data).second)
+        << "user_data " << c.user_data << " delivered twice";
+  }
+  EXPECT_EQ(*seen.begin(), 100u);
+  EXPECT_EQ(*seen.rbegin(), 100u + kOps - 1);
+  for (std::size_t i = 0; i < kOps; ++i) {
+    EXPECT_EQ(bufs[i], pattern_page(static_cast<std::uint8_t>(i + 1)))
+        << "page " << i;
+  }
+  // Fully-delivered tickets are forgotten.
+  EXPECT_TRUE(async_->wait(ticket).empty());
+  std::vector<AsyncCompletion> none;
+  EXPECT_EQ(async_->poll(ticket, none), 0u);
+}
+
+TEST_P(AsyncStoreTest, UnknownTicketIsEmptyNotAnError) {
+  EXPECT_TRUE(async_->wait(987654).empty());
+  std::vector<AsyncCompletion> out;
+  EXPECT_EQ(async_->poll(987654, out), 0u);
+}
+
+TEST_P(AsyncStoreTest, EmptyBatchIsAConfigError) {
+  EXPECT_THROW(static_cast<void>(async_->submit({})), util::ConfigError);
+}
+
+TEST_P(AsyncStoreTest, VectoredGatherScattersAcrossPartsWithEofSemantics) {
+  seed_pages(3);  // file is exactly 3 pages long
+  std::vector<std::vector<std::byte>> parts(4,
+                                            std::vector<std::byte>(kPage));
+  std::vector<std::span<std::byte>> spans;
+  for (auto& p : parts) spans.emplace_back(p);
+  std::vector<AsyncOp> batch;
+  batch.push_back(AsyncOp::make_readv(file_, 0, spans, 5));
+  const auto done = async_->submit_and_wait(std::move(batch));
+  ASSERT_EQ(done.size(), 1u);
+  ASSERT_TRUE(done[0].ok());
+  // Short at EOF: only the 3 existing pages arrive.
+  EXPECT_EQ(done[0].bytes, 3 * kPage);
+  for (std::size_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(parts[p], pattern_page(static_cast<std::uint8_t>(p + 1)));
+  }
+
+  // Entirely past EOF: 0 bytes, still a clean completion.
+  std::vector<AsyncOp> past;
+  past.push_back(AsyncOp::make_read(file_, 64 * kPage, spans[0], 6));
+  const auto eof = async_->submit_and_wait(std::move(past));
+  ASSERT_EQ(eof.size(), 1u);
+  ASSERT_TRUE(eof[0].ok());
+  EXPECT_EQ(eof[0].bytes, 0u);
+}
+
+TEST_P(AsyncStoreTest, VectoredWriteLandsContiguously) {
+  std::vector<std::vector<std::byte>> parts{pattern_page(0x11),
+                                            pattern_page(0x22),
+                                            pattern_page(0x33)};
+  std::vector<std::span<const std::byte>> spans;
+  for (const auto& p : parts) spans.emplace_back(p);
+  std::vector<AsyncOp> batch;
+  batch.push_back(AsyncOp::make_writev(file_, kPage, spans, 9));
+  const auto done = async_->submit_and_wait(std::move(batch));
+  ASSERT_EQ(done.size(), 1u);
+  ASSERT_TRUE(done[0].ok());
+  EXPECT_EQ(done[0].bytes, 3 * kPage);
+  std::vector<std::byte> buf(kPage);
+  for (std::size_t p = 0; p < 3; ++p) {
+    ASSERT_EQ(store_->read(file_, (p + 1) * kPage, buf), kPage);
+    EXPECT_EQ(buf, parts[p]) << "part " << p;
+  }
+}
+
+TEST_P(AsyncStoreTest, InvalidFileSurfacesAsCompletionErrorNotThrow) {
+  std::vector<std::byte> buf(kPage);
+  std::vector<AsyncOp> batch;
+  batch.push_back(AsyncOp::make_read(kInvalidFile, 0, buf, 1));
+  batch.push_back(AsyncOp::make_read(file_, 0, buf, 2));
+  const auto done = async_->submit_and_wait(std::move(batch));
+  ASSERT_EQ(done.size(), 2u);
+  std::size_t errors = 0;
+  for (const auto& c : done) {
+    if (c.user_data == 1) {
+      EXPECT_FALSE(c.ok());
+      EXPECT_THROW(c.rethrow(), util::IoError);
+      ++errors;
+    } else {
+      EXPECT_TRUE(c.ok());
+    }
+  }
+  EXPECT_EQ(errors, 1u);
+}
+
+TEST_P(AsyncStoreTest, CoalescedGatherBatchingIsObservableInAsyncCounters) {
+  // The acceptance assertion of the redesign: a 16-page coalesced gather
+  // submitted as one readv op costs at most 2 submit syscalls on uring
+  // (one io_uring_enter, +1 allowed for a partial-transfer re-submission),
+  // versus one syscall per executed op on the thread-pool fallback.
+  constexpr std::size_t kPages = 16;
+  seed_pages(kPages);
+  IoStats stats;
+  async_->bind_stats(&stats);
+  std::vector<std::vector<std::byte>> parts(kPages,
+                                            std::vector<std::byte>(kPage));
+  std::vector<std::span<std::byte>> spans;
+  for (auto& p : parts) spans.emplace_back(p);
+  std::vector<AsyncOp> batch;
+  batch.push_back(AsyncOp::make_readv(file_, 0, spans, 0));
+  const auto done = async_->submit_and_wait(std::move(batch));
+  ASSERT_EQ(done.size(), 1u);
+  ASSERT_TRUE(done[0].ok());
+  EXPECT_EQ(done[0].bytes, kPages * kPage);
+
+  const AsyncCounters ac = stats.async_counters();
+  EXPECT_EQ(ac.submissions, 1u);
+  EXPECT_EQ(ac.submitted_ops, 1u);
+  EXPECT_EQ(ac.completions, 1u);
+  EXPECT_EQ(ac.completion_errors, 0u);
+  EXPECT_EQ(ac.bytes_completed, kPages * kPage);
+  if (GetParam() == Backend::kUring) {
+    EXPECT_LE(ac.submit_syscalls, 2u)
+        << "a coalesced gather must not cost per-page submit syscalls";
+    EXPECT_LE(ac.syscalls_per_page(kPage), 2.0 / kPages + 1e-9);
+  } else {
+    // The fallback pays one kernel round-trip per executed op — exactly
+    // the deficit the syscalls-per-page stat exists to show.
+    EXPECT_EQ(ac.submit_syscalls, 1u);
+  }
+  async_->bind_stats(nullptr);
+}
+
+// ---------------------------------------------------------- decorators ----
+
+TEST_P(AsyncStoreTest, FaultDecoratorInjectsErrorsIntoCompletions) {
+  seed_pages(4);
+  FaultStore faults(*store_);  // default plan: no probabilistic faults
+  AsyncFaultStore faulty(*async_, faults);
+  faults.fail_next(FaultOp::kRead, 1);
+
+  std::vector<std::vector<std::byte>> bufs(4, std::vector<std::byte>(kPage));
+  std::vector<AsyncOp> batch;
+  for (std::size_t i = 0; i < 4; ++i) {
+    batch.push_back(AsyncOp::make_read(file_, i * kPage, bufs[i], i));
+  }
+  const auto done = faulty.submit_and_wait(std::move(batch));
+  ASSERT_EQ(done.size(), 4u);
+  std::size_t injected = 0;
+  for (const auto& c : done) {
+    if (!c.ok()) {
+      EXPECT_THROW(c.rethrow(), util::TransientIoError);
+      ++injected;
+    }
+  }
+  EXPECT_EQ(injected, 1u);
+  EXPECT_EQ(faults.stats().total_faults(), 1u);
+}
+
+TEST_P(AsyncStoreTest, RetryingDecoratorAbsorbsTransientCompletionFailures) {
+  seed_pages(2);
+  FaultStore faults(*store_);
+  AsyncFaultStore faulty(*async_, faults);
+  IoStats stats;
+  RetryPolicy policy;
+  policy.backoff.base_delay_us = 10;  // keep the test fast
+  policy.backoff.max_delay_us = 100;
+  RetryingAsyncStore retrying(faulty, policy);
+  retrying.bind_stats(&stats);
+
+  // The next two reads fail with clean (transient) EIOs; the re-submitted
+  // attempts go through.
+  faults.fail_next(FaultOp::kRead, 2);
+  std::vector<std::vector<std::byte>> bufs(2, std::vector<std::byte>(kPage));
+  std::vector<AsyncOp> batch;
+  batch.push_back(AsyncOp::make_read(file_, 0, bufs[0], 0));
+  batch.push_back(AsyncOp::make_read(file_, kPage, bufs[1], 1));
+  const auto done = retrying.submit_and_wait(std::move(batch));
+  ASSERT_EQ(done.size(), 2u);
+  for (const auto& c : done) {
+    ASSERT_TRUE(c.ok()) << "transient failures must be absorbed";
+    EXPECT_EQ(c.bytes, kPage);
+  }
+  EXPECT_EQ(bufs[0], pattern_page(1));
+  EXPECT_EQ(bufs[1], pattern_page(2));
+
+  const RetryStats rs = retrying.stats();
+  EXPECT_EQ(rs.retries, 2u);
+  EXPECT_EQ(rs.absorbed, 2u);
+  EXPECT_EQ(rs.exhausted, 0u);
+  EXPECT_EQ(stats.resilience().retries, 2u);
+  EXPECT_EQ(stats.resilience().absorbed_faults, 2u);
+  EXPECT_EQ(stats.async_counters().resubmissions, 2u);
+}
+
+TEST_P(AsyncStoreTest, RetryingDecoratorSurfacesExhaustedTransients) {
+  seed_pages(1);
+  FaultStore faults(*store_);
+  AsyncFaultStore faulty(*async_, faults);
+  RetryPolicy policy;
+  policy.backoff.max_retries = 2;
+  policy.backoff.base_delay_us = 10;
+  policy.backoff.max_delay_us = 50;
+  RetryingAsyncStore retrying(faulty, policy);
+
+  faults.fail_next(FaultOp::kRead, 100);  // more than the retry budget
+  std::vector<std::byte> buf(kPage);
+  std::vector<AsyncOp> batch;
+  batch.push_back(AsyncOp::make_read(file_, 0, buf, 3));
+  const auto done = retrying.submit_and_wait(std::move(batch));
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].user_data, 3u);
+  EXPECT_FALSE(done[0].ok());
+  EXPECT_THROW(done[0].rethrow(), util::TransientIoError);
+  const RetryStats rs = retrying.stats();
+  EXPECT_EQ(rs.retries, 2u);
+  EXPECT_EQ(rs.exhausted, 1u);
+}
+
+TEST_P(AsyncStoreTest, RetryingDecoratorFastFailsWhenBreakerIsOpen) {
+  seed_pages(1);
+  util::CircuitBreakerConfig bc;
+  bc.failure_threshold = 1;
+  bc.open_cooldown_ms = 60'000;  // stays open for the whole test
+  util::CircuitBreaker breaker(bc);
+  static_cast<void>(breaker.try_acquire());
+  static_cast<void>(breaker.record_failure());  // trip it open
+
+  RetryingAsyncStore retrying(*async_, RetryPolicy{}, &breaker);
+  std::vector<std::byte> buf(kPage);
+  std::vector<AsyncOp> batch;
+  batch.push_back(AsyncOp::make_read(file_, 0, buf, 8));
+  const auto done = retrying.submit_and_wait(std::move(batch));
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].user_data, 8u);
+  EXPECT_FALSE(done[0].ok());
+  EXPECT_THROW(done[0].rethrow(), util::TransientIoError);
+  EXPECT_GE(retrying.stats().fast_fails, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, AsyncStoreTest,
+                         ::testing::Values(Backend::kThreadPool,
+                                           Backend::kUring),
+                         backend_name);
+
+// ------------------------------------------------------------ uring-only ----
+
+TEST(UringStoreTest, StubThrowsConfigErrorWhenUnsupported) {
+  if (UringStore::supported()) {
+    GTEST_SKIP() << "io_uring available; the stub path is not reachable";
+  }
+  util::TempDir dir("clio-uring");
+  RealFileStore store(dir.path());
+  EXPECT_THROW(UringStore probe(store), util::ConfigError);
+}
+
+TEST(UringStoreTest, RegisteredBuffersStillRoundTrip) {
+  if (!UringStore::supported()) {
+    GTEST_SKIP() << "io_uring unavailable on this kernel/build";
+  }
+  util::TempDir dir("clio-uring");
+  RealFileStore store(dir.path());
+  UringStore uring(store);
+  const FileId file = store.open("fixed.bin", true);
+
+  // One contiguous region backing 8 pages; ops inside it may take the
+  // READ_FIXED/WRITE_FIXED path once registration succeeds.
+  std::vector<std::byte> region(8 * kPage);
+  const std::span<std::byte> spans[] = {std::span<std::byte>(region)};
+  const bool registered = uring.register_buffers(spans);
+  // Registration may be refused (locked-memory limits); correctness must
+  // not depend on it either way.
+
+  for (std::size_t p = 0; p < 8; ++p) {
+    std::memset(region.data() + p * kPage, static_cast<int>(p + 1), kPage);
+  }
+  std::vector<AsyncOp> writes;
+  for (std::size_t p = 0; p < 8; ++p) {
+    writes.push_back(AsyncOp::make_write(
+        file, p * kPage,
+        std::span<const std::byte>(region).subspan(p * kPage, kPage), p));
+  }
+  for (const auto& c : uring.submit_and_wait(std::move(writes))) {
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.bytes, kPage);
+  }
+
+  std::fill(region.begin(), region.end(), std::byte{0});
+  std::vector<AsyncOp> reads;
+  for (std::size_t p = 0; p < 8; ++p) {
+    reads.push_back(AsyncOp::make_read(
+        file, p * kPage,
+        std::span<std::byte>(region).subspan(p * kPage, kPage), p));
+  }
+  for (const auto& c : uring.submit_and_wait(std::move(reads))) {
+    ASSERT_TRUE(c.ok());
+    EXPECT_EQ(c.bytes, kPage);
+  }
+  for (std::size_t p = 0; p < 8; ++p) {
+    EXPECT_EQ(region[p * kPage], std::byte{static_cast<unsigned char>(p + 1)})
+        << "page " << p << (registered ? " (fixed path)" : " (plain path)");
+  }
+}
+
+}  // namespace
+}  // namespace clio::io

@@ -1,0 +1,173 @@
+// The uniform decorator seam: every BackingStore decorator derives from
+// StoreDecorator, which forwards all operations verbatim — including the
+// vectored data ops, so a decorator that overrides nothing never silently
+// de-vectorizes the pool's coalesced gathers — and exposes bind_stats() so
+// bind_chain() can bind one IoStats down a chain of any shape.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "io/fault_store.hpp"
+#include "io/file_store.hpp"
+#include "io/io_stats.hpp"
+#include "io/retrying_store.hpp"
+#include "io/store_decorator.hpp"
+#include "util/error.hpp"
+
+namespace clio::io {
+namespace {
+
+/// The do-nothing decorator: overrides nothing, so every forward is the
+/// base's.  If the base forgot an operation this test stops compiling or
+/// stops round-tripping.
+struct PassThrough final : StoreDecorator {
+  using StoreDecorator::StoreDecorator;
+};
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(StoreDecorator, ForwardsEveryOperationVerbatim) {
+  SimFileStore sim(2, 4096);
+  PassThrough deco(sim);
+
+  const FileId id = deco.open("a.bin", true);
+  EXPECT_EQ(deco.lookup("a.bin"), id);
+  EXPECT_TRUE(deco.exists("a.bin"));
+  EXPECT_EQ(&deco.inner(), static_cast<BackingStore*>(&sim));
+
+  const auto payload = bytes_of({1, 2, 3, 4});
+  deco.write(id, 0, payload);
+  EXPECT_EQ(deco.size(id), 4u);
+
+  std::vector<std::byte> buf(4);
+  EXPECT_EQ(deco.read(id, 0, buf), 4u);
+  EXPECT_EQ(buf, payload);
+
+  // The vectored ops forward as one gather, not per-part scalar calls.
+  std::vector<std::byte> p0(2), p1(2);
+  const std::span<std::byte> parts[] = {p0, p1};
+  EXPECT_EQ(deco.readv(id, 0, parts), 4u);
+  EXPECT_EQ(p0, bytes_of({1, 2}));
+  EXPECT_EQ(p1, bytes_of({3, 4}));
+
+  const auto w0 = bytes_of({9, 9});
+  const auto w1 = bytes_of({7, 7});
+  const std::span<const std::byte> wparts[] = {w0, w1};
+  deco.writev(id, 0, wparts);
+  EXPECT_EQ(deco.read(id, 0, buf), 4u);
+  EXPECT_EQ(buf, bytes_of({9, 9, 7, 7}));
+
+  deco.truncate(id, 2);
+  EXPECT_EQ(deco.size(id), 2u);
+  deco.close(id);
+  deco.remove("a.bin");
+  EXPECT_FALSE(deco.exists("a.bin"));
+}
+
+TEST(StoreDecorator, OwnedInnerStoreIsKeptAlive) {
+  RetryingStore retry(std::make_unique<SimFileStore>(2, 4096));
+  const FileId id = retry.open("owned.bin", true);
+  retry.write(id, 0, bytes_of({5}));
+  std::vector<std::byte> buf(1);
+  EXPECT_EQ(retry.read(id, 0, buf), 1u);
+  EXPECT_EQ(buf[0], std::byte{5});
+}
+
+TEST(StoreDecorator, NullOwnedInnerIsAConfigError) {
+  EXPECT_THROW(PassThrough deco(std::unique_ptr<BackingStore>{}),
+               util::ConfigError);
+}
+
+TEST(VectoredStatsStore, TimesOnlyTheVectoredOps) {
+  SimFileStore sim(2, 4096);
+  IoStats stats;
+  VectoredStatsStore vss(sim, &stats);
+  const FileId id = vss.open("v.bin", true);
+
+  // Scalar ops stay untimed: ManagedFile accounts those at the trace-op
+  // layer and double-counting would skew the totals.
+  vss.write(id, 0, bytes_of({1, 2, 3, 4}));
+  std::vector<std::byte> buf(4);
+  static_cast<void>(vss.read(id, 0, buf));
+  EXPECT_EQ(stats.op_snapshot(IoOp::kRead).count, 0u);
+  EXPECT_EQ(stats.op_snapshot(IoOp::kWrite).count, 0u);
+
+  std::vector<std::byte> p0(2), p1(2);
+  const std::span<std::byte> parts[] = {p0, p1};
+  EXPECT_EQ(vss.readv(id, 0, parts), 4u);
+  const auto w0 = bytes_of({1, 1});
+  const std::span<const std::byte> wparts[] = {w0};
+  vss.writev(id, 4, wparts);
+
+  EXPECT_EQ(stats.op_snapshot(IoOp::kReadv).count, 1u);
+  EXPECT_EQ(stats.op_snapshot(IoOp::kReadv).bytes, 4u);
+  EXPECT_EQ(stats.op_snapshot(IoOp::kWritev).count, 1u);
+  EXPECT_EQ(stats.op_snapshot(IoOp::kWritev).bytes, 2u);
+}
+
+TEST(VectoredStatsStore, UnboundIsFullyTransparent) {
+  SimFileStore sim(2, 4096);
+  VectoredStatsStore vss(sim);  // no stats bound
+  const FileId id = vss.open("t.bin", true);
+  const auto w0 = bytes_of({3, 3, 3});
+  const std::span<const std::byte> wparts[] = {w0};
+  vss.writev(id, 0, wparts);
+  std::vector<std::byte> buf(3);
+  EXPECT_EQ(vss.read(id, 0, buf), 3u);
+  EXPECT_EQ(buf, w0);
+}
+
+TEST(StoreDecorator, BindChainBindsEveryLayerWhateverTheShape) {
+  // RetryingStore over FaultStore over VectoredStatsStore over the
+  // terminal store — bind_chain must reach all three decorators without
+  // the caller knowing the shape.
+  SimFileStore sim(2, 4096);
+  VectoredStatsStore vss(sim);
+  FaultStore faults(vss);
+  RetryPolicy policy;
+  policy.backoff.base_delay_us = 10;
+  policy.backoff.max_delay_us = 50;
+  RetryingStore retry(faults, policy);
+
+  IoStats stats;
+  StoreDecorator::bind_chain(retry, &stats);
+
+  const FileId id = retry.open("chain.bin", true);
+  const auto w0 = bytes_of({8, 8});
+  const std::span<const std::byte> wparts[] = {w0};
+  retry.writev(id, 0, wparts);
+
+  // One transient fault on the next readv: the retry layer absorbs it and
+  // mirrors the retry into the bound stats; the vectored-stats layer times
+  // both backing attempts.
+  faults.fail_next(FaultOp::kReadv, 1);
+  std::vector<std::byte> p0(2);
+  const std::span<std::byte> parts[] = {p0};
+  EXPECT_EQ(retry.readv(id, 0, parts), 2u);
+  EXPECT_EQ(p0, w0);
+
+  EXPECT_EQ(stats.resilience().retries, 1u);
+  EXPECT_EQ(stats.resilience().absorbed_faults, 1u);
+  EXPECT_EQ(stats.op_snapshot(IoOp::kWritev).count, 1u);
+  // The faulted first attempt never reached the stats layer (FaultStore
+  // throws before forwarding), so exactly one readv was timed.
+  EXPECT_EQ(stats.op_snapshot(IoOp::kReadv).count, 1u);
+}
+
+TEST(StoreDecorator, BindChainOnATerminalStoreIsANoOp) {
+  SimFileStore sim(2, 4096);
+  IoStats stats;
+  StoreDecorator::bind_chain(sim, &stats);  // no decorator layers: nothing
+  EXPECT_EQ(stats.total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace clio::io

@@ -27,9 +27,11 @@
 //    plan's torn_granularity equals the page size, so a backing page is
 //    always uniformly one byte — the oracle reasons in single bytes.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <shared_mutex>
@@ -37,13 +39,24 @@
 #include <thread>
 #include <vector>
 
+#include "io/async_store.hpp"
 #include "io/buffer_pool.hpp"
 #include "io/fault_store.hpp"
 #include "io/file_store.hpp"
+#include "io/uring_store.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace clio::test_support {
+
+/// Which AsyncBackingStore the pool drives.  kNone keeps the sync path
+/// (the pool may still build its own ThreadPoolAsyncStore for readahead
+/// when async_prefetch is set).  kThreadPool and kUring route *every* data
+/// transfer — miss loads, eviction write-backs, coalesced flushes and
+/// prefetch gathers — through the submission/completion API, wrapped in an
+/// AsyncFaultStore so the seeded plan injects its faults into completions
+/// arriving out of order.
+enum class AsyncBackend { kNone, kThreadPool, kUring };
 
 struct StressConfig {
   std::uint64_t seed = 1;
@@ -65,6 +78,10 @@ struct StressConfig {
   /// writes, so pages are checked for uniformity + membership in the set
   /// of values ever written, never exactness.
   bool shared_file = false;
+  /// Async submission/completion backend under the pool (see AsyncBackend).
+  /// kUring requires the backing store to be a RealFileStore and the
+  /// running kernel to accept io_uring — gate with UringStore::supported().
+  AsyncBackend async_backend = AsyncBackend::kNone;
   /// Faults to inject; `seed` and `torn_granularity` are overridden by the
   /// harness (granularity must equal page_size — see file comment).
   io::FaultPlan faults{};
@@ -313,13 +330,35 @@ inline StressResult run_stress(io::BackingStore& backing,
     }
   }
 
+  // Async mode: the backend executes the I/O, the AsyncFaultStore injects
+  // the same seeded plan into its completions.  Faults are deliberately
+  // injected only at the completion layer (the backend wraps the *raw*
+  // store, not the FaultStore) so every injected error lands inside a real
+  // out-of-order completion interleaving, and FaultStats still counts them
+  // (decide_async shares the FaultStore's stream, counters and arm switch).
+  std::unique_ptr<io::AsyncBackingStore> backend;
+  std::unique_ptr<io::AsyncFaultStore> async_faults;
+  if (config.async_backend == AsyncBackend::kThreadPool) {
+    backend = std::make_unique<io::ThreadPoolAsyncStore>(
+        backing, std::max<std::size_t>(config.prefetch_threads, 2));
+  } else if (config.async_backend == AsyncBackend::kUring) {
+    auto* real = dynamic_cast<io::RealFileStore*>(&backing);
+    util::check<util::ConfigError>(
+        real != nullptr, "stress: kUring needs a RealFileStore backing");
+    backend = std::make_unique<io::UringStore>(*real);
+  }
+  if (backend) {
+    async_faults = std::make_unique<io::AsyncFaultStore>(*backend, faults);
+  }
+
   io::BufferPool pool(
-      faults, io::BufferPoolConfig{.page_size = config.page_size,
-                                   .capacity_pages = config.capacity_pages,
-                                   .shards = config.shards,
-                                   .async_prefetch = config.async_prefetch,
-                                   .prefetch_threads =
-                                       config.prefetch_threads});
+      faults,
+      io::BufferPoolConfig{.page_size = config.page_size,
+                           .capacity_pages = config.capacity_pages,
+                           .shards = config.shards,
+                           .async_prefetch = config.async_prefetch,
+                           .prefetch_threads = config.prefetch_threads},
+      async_faults.get());
   faults.arm(true);
 
   std::mutex failure_mutex;
