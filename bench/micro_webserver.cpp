@@ -21,8 +21,15 @@
 //                overhead), throughput during a transient-EIO burst
 //                (degraded mode: absorbed retries, breaker trips, 503s),
 //                and the recovery timeline once the faults stop.
+//   openloop   — an offered-load sweep: the LoadGenerator's open-loop mode
+//                sends on a fixed absolute schedule at several rates and
+//                measures latency from the *scheduled* send instant, with
+//                timed-out requests kept as censored samples — so the p99
+//                curve over offered load is honest past saturation (no
+//                coordinated omission, no survivorship bias).
 //
-// Usage: micro_webserver [all|throughput|faults|resilience]  (default: all)
+// Usage: micro_webserver [all|throughput|faults|resilience|openloop]
+//        (default: all)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -134,6 +141,52 @@ void bench_throughput(obs::BenchReport& report) {
   report.metric("base_rps", best_base);
   report.metric("keepalive_rps", best_ka);
   report.metric("speedup", best_ratio);
+}
+
+void bench_openloop(obs::BenchReport& report) {
+  util::TempDir dir("clio-microweb");
+  core::WebBenchConfig config;
+  config.workdir = dir.path() / "docroot";
+  config.vm_dispatch = false;
+  config.worker_threads = 8;
+  core::WebServerBench bench(config);
+  bench.server().set_record_samples(false);
+
+  // The sweep holds the run duration roughly constant (~1.5 s per point)
+  // so every rate sees the same CI-container weather, and arms a receive
+  // timeout so an overloaded point reports censored tail samples instead
+  // of a stall.
+  const double kDurationS = 1.5;
+  const std::size_t kConnections = 8;
+  for (const double rps : {1000.0, 4000.0, 16000.0}) {
+    net::LoadGenOptions load;
+    load.connections = kConnections;
+    load.requests_per_connection = static_cast<std::size_t>(
+        rps * kDurationS / static_cast<double>(kConnections));
+    load.keep_alive = true;
+    load.seed = 29;
+    load.files = {"small.jpg", "mid.jpg", "large.jpg"};
+    load.offered_rps = rps;
+    load.recv_timeout_ms = 1000;
+    const net::LoadReport run =
+        net::LoadGenerator(load).run(bench.server().port());
+    report.scenario("openloop_rps" + std::to_string(static_cast<int>(rps)));
+    report.metric("offered_rps", rps);
+    report.metric("requests_per_sec", run.requests_per_sec());
+    report.metric("requests_ok", static_cast<double>(run.ok));
+    report.metric("errors", static_cast<double>(run.errors));
+    report.metric("censored", static_cast<double>(run.censored));
+    report.metric("timeouts", static_cast<double>(run.failures.timeouts));
+    report.metric("p99_ms", run.quantile_ms(0.99));
+    report.distribution("latency_ns", run.latency.snapshot());
+    std::printf(
+        "openloop    offered %7.0f req/s  achieved %9.0f req/s  "
+        "(%llu ok, %llu err, %llu censored)  p50 %7.3f ms  p99 %7.3f ms\n",
+        rps, run.requests_per_sec(), static_cast<unsigned long long>(run.ok),
+        static_cast<unsigned long long>(run.errors),
+        static_cast<unsigned long long>(run.censored), run.quantile_ms(0.5),
+        run.quantile_ms(0.99));
+  }
 }
 
 void bench_faults(obs::BenchReport& report) {
@@ -348,6 +401,11 @@ int main(int argc, char** argv) {
   if (enabled("throughput")) {
     std::printf("-- throughput: connections x keep-alive --\n");
     bench_throughput(report);
+    std::printf("\n");
+  }
+  if (enabled("openloop")) {
+    std::printf("-- open loop: offered-load sweep (censored tail) --\n");
+    bench_openloop(report);
     std::printf("\n");
   }
   if (enabled("faults")) {

@@ -45,6 +45,31 @@ class Channel {
     if (!body.empty()) send_all(body.data(), body.size());
   }
 
+  /// Non-blocking receive: > 0 bytes read, 0 orderly shutdown, -1 no data
+  /// available right now.  The event loop's read path — it must never park
+  /// its thread in recv.  The default forwards to recv_some (correct for
+  /// channels whose recv never blocks); Socket issues one MSG_DONTWAIT
+  /// recv.
+  [[nodiscard]] virtual std::ptrdiff_t recv_nonblock(void* out,
+                                                     std::size_t n) {
+    return static_cast<std::ptrdiff_t>(recv_some(out, n));
+  }
+
+  /// Sends head then each part of the body in order — the zero-copy
+  /// response path hands the buffer pool's pages straight to the socket as
+  /// one gather, no intermediate body copy.  The default loops send_all;
+  /// Socket packs everything into sendmsg iovec batches.  FaultChannel
+  /// overrides this with ONE fault decision over the total payload, so a
+  /// response torn into N pages keeps per-response (not per-page) injection
+  /// rates.
+  virtual void send_gather(std::span<const std::byte> head,
+                           std::span<const std::span<const std::byte>> parts) {
+    if (!head.empty()) send_all(head.data(), head.size());
+    for (const auto part : parts) {
+      if (!part.empty()) send_all(part.data(), part.size());
+    }
+  }
+
   /// Receives exactly n bytes; returns false if the peer closed early.
   [[nodiscard]] bool recv_exact(void* out, std::size_t n) {
     auto* p = static_cast<char*>(out);

@@ -1,5 +1,6 @@
 #include "net/fault_channel.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -137,6 +138,50 @@ std::size_t FaultChannel::recv_some(void* out, std::size_t n) {
     return 0;
   }
   return inner_.recv_some(out, n);
+}
+
+std::ptrdiff_t FaultChannel::recv_nonblock(void* out, std::size_t n) {
+  const auto d = injector_.decide_recv();
+  if (d.sleep_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(d.sleep_us));
+  }
+  if (d.fail) throw IoError("FaultChannel: injected recv failure");
+  if (d.disconnect) {
+    inner_.shutdown();
+    return 0;
+  }
+  return inner_.recv_nonblock(out, n);
+}
+
+void FaultChannel::send_gather(
+    std::span<const std::byte> head,
+    std::span<const std::span<const std::byte>> parts) {
+  std::size_t total = head.size();
+  for (const auto part : parts) total += part.size();
+  const auto d = injector_.decide_send(total);
+  if (d.sleep_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(d.sleep_us));
+  }
+  if (d.fail) throw IoError("FaultChannel: injected send failure");
+  if (d.tear) {
+    // Send a keep_bytes-long prefix of the gathered stream, then break the
+    // connection — identical wire effect to send_all's tear, spread across
+    // whichever parts the prefix covers.
+    std::size_t left = d.keep_bytes;
+    auto send_prefix = [&](std::span<const std::byte> piece) {
+      const std::size_t take = std::min(left, piece.size());
+      if (take > 0) inner_.send_all(piece.data(), take);
+      left -= take;
+    };
+    send_prefix(head);
+    for (const auto part : parts) {
+      if (left == 0) break;
+      send_prefix(part);
+    }
+    inner_.shutdown();
+    throw IoError("FaultChannel: injected mid-send disconnect");
+  }
+  inner_.send_gather(head, parts);
 }
 
 }  // namespace clio::net

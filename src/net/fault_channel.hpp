@@ -121,6 +121,16 @@ class FaultChannel final : public Channel {
 
   void send_all(const void* data, std::size_t n) override;
   [[nodiscard]] std::size_t recv_some(void* out, std::size_t n) override;
+  /// Same decision table as recv_some, minus the blocking-timeout case
+  /// (would-block passes through untouched — the event loop interprets it).
+  [[nodiscard]] std::ptrdiff_t recv_nonblock(void* out,
+                                             std::size_t n) override;
+  /// ONE decision over the whole gathered payload, not one per part: the
+  /// default per-part fallback would multiply injection rates by the page
+  /// count of a response, making every large zero-copy response a
+  /// near-certain tear under plans tuned for per-response probabilities.
+  void send_gather(std::span<const std::byte> head,
+                   std::span<const std::span<const std::byte>> parts) override;
   void close() override { inner_.close(); }
   void shutdown() override { inner_.shutdown(); }
   [[nodiscard]] bool valid() const override { return inner_.valid(); }

@@ -1,0 +1,51 @@
+#include "net/hot_cache.hpp"
+
+namespace clio::net {
+
+std::shared_ptr<const std::string> HotObjectCache::lookup(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.lookups++;
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  stats_.hits++;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.body;
+}
+
+void HotObjectCache::insert(const std::string& name,
+                            std::shared_ptr<const std::string> body) {
+  if (max_entries_ == 0 || body == nullptr ||
+      body->size() > max_object_bytes_) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    it->second.body = std::move(body);
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(name);
+  entries_.emplace(name, Entry{std::move(body), lru_.begin()});
+  stats_.insertions++;
+  while (entries_.size() > max_entries_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    stats_.evictions++;
+  }
+}
+
+void HotObjectCache::invalidate_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.invalidations++;
+  entries_.clear();
+  lru_.clear();
+}
+
+HotCacheStats HotObjectCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace clio::net

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace clio::net {
+
+/// Counters for /statz and the cache-coherence tests.
+struct HotCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t invalidations = 0;  ///< invalidate_all() calls
+  std::uint64_t evictions = 0;      ///< LRU capacity evictions
+};
+
+/// Tiny LRU of fully rendered GET bodies, keyed by file name — the Zipf
+/// head of the paper's request mix concentrates most traffic on a handful
+/// of objects, and serving those straight from memory skips the open /
+/// pin / close round through the storage stack entirely.
+///
+/// Coherence contract (docs/SERVING.md): the server invalidates the whole
+/// cache on every POST and on make_cold().  POSTs only ever create fresh
+/// uniquely-named files, so a blanket invalidation is cheap insurance, not
+/// a hot-path cost.  Files mutated behind the server's back (direct
+/// ManagedFileSystem writes) are NOT detected — callers doing that must
+/// make_cold() first, same as the buffer-pool contract.
+///
+/// Bodies are shared_ptr<const string>: a hit pins the bytes for the send
+/// without copying them, and an invalidation mid-send cannot free memory a
+/// worker is still transmitting.
+class HotObjectCache {
+ public:
+  HotObjectCache(std::size_t max_entries, std::size_t max_object_bytes)
+      : max_entries_(max_entries), max_object_bytes_(max_object_bytes) {}
+
+  /// The body for `name`, or nullptr on a miss.  Refreshes LRU position.
+  [[nodiscard]] std::shared_ptr<const std::string> lookup(
+      const std::string& name);
+
+  /// Caches `body` under `name` (no-op when the body exceeds
+  /// max_object_bytes or max_entries is 0); evicts the LRU tail past
+  /// capacity.
+  void insert(const std::string& name,
+              std::shared_ptr<const std::string> body);
+
+  /// Drops every entry (POST write-path / make_cold coherence hook).
+  void invalidate_all();
+
+  [[nodiscard]] HotCacheStats stats() const;
+  [[nodiscard]] std::size_t max_object_bytes() const {
+    return max_object_bytes_;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const std::string> body;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t max_entries_;
+  std::size_t max_object_bytes_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, Entry> entries_;
+  HotCacheStats stats_;
+};
+
+}  // namespace clio::net

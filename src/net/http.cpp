@@ -64,6 +64,36 @@ ParsedHeaders parse_headers(std::string_view head, std::string_view version) {
   return parsed;
 }
 
+/// Parses METHOD SP PATH SP VERSION plus the header block out of `head`
+/// (the bytes before "\r\n\r\n").  Shared by the blocking read_request and
+/// the event loop's poll_request, so both sides reject identical inputs.
+/// Returns the request sans body; `content_length` reports how many body
+/// bytes must follow.
+HttpRequest parse_request_head(std::string_view head,
+                               std::size_t* content_length) {
+  const auto line_end = head.find("\r\n");
+  const std::string_view start_line =
+      head.substr(0, line_end == std::string_view::npos ? head.size()
+                                                        : line_end);
+  const auto sp1 = start_line.find(' ');
+  check<ParseError>(sp1 != std::string_view::npos, "http: bad start line");
+  const auto sp2 = start_line.find(' ', sp1 + 1);
+  check<ParseError>(sp2 != std::string_view::npos, "http: bad start line");
+
+  HttpRequest request;
+  request.method = std::string(start_line.substr(0, sp1));
+  request.path = std::string(start_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  check<ParseError>(!request.path.empty() && request.path.front() == '/',
+                    "http: path must start with '/'");
+  const std::string_view version = start_line.substr(sp2 + 1);
+  check<ParseError>(version.substr(0, 5) == "HTTP/",
+                    "http: bad protocol version");
+  const ParsedHeaders headers = parse_headers(head, version);
+  request.keep_alive = headers.keep_alive;
+  *content_length = headers.content_length;
+  return request;
+}
+
 }  // namespace
 
 std::string HttpRequest::file_name() const {
@@ -119,27 +149,28 @@ std::optional<HttpRequest> HttpReader::read_request() {
   }
   if (!head.has_value()) return std::nullopt;
 
-  // Start line: METHOD SP PATH SP VERSION.
-  const auto line_end = head->find("\r\n");
-  const std::string_view start_line =
-      std::string_view(*head).substr(
-          0, line_end == std::string::npos ? head->size() : line_end);
-  const auto sp1 = start_line.find(' ');
-  check<ParseError>(sp1 != std::string_view::npos, "http: bad start line");
-  const auto sp2 = start_line.find(' ', sp1 + 1);
-  check<ParseError>(sp2 != std::string_view::npos, "http: bad start line");
+  std::size_t content_length = 0;
+  HttpRequest request = parse_request_head(*head, &content_length);
+  request.body = take_body(content_length);
+  return request;
+}
 
-  HttpRequest request;
-  request.method = std::string(start_line.substr(0, sp1));
-  request.path = std::string(start_line.substr(sp1 + 1, sp2 - sp1 - 1));
-  check<ParseError>(!request.path.empty() && request.path.front() == '/',
-                    "http: path must start with '/'");
-  const std::string_view version = start_line.substr(sp2 + 1);
-  check<ParseError>(version.substr(0, 5) == "HTTP/",
-                    "http: bad protocol version");
-  const ParsedHeaders headers = parse_headers(*head, version);
-  request.keep_alive = headers.keep_alive;
-  request.body = take_body(headers.content_length);
+std::optional<HttpRequest> HttpReader::poll_request() {
+  const auto pos = buffer_.find("\r\n\r\n");
+  if (pos == std::string::npos) {
+    check<ParseError>(buffer_.size() < kMaxHeaderBytes,
+                      "http: headers too large");
+    return std::nullopt;
+  }
+  std::size_t content_length = 0;
+  HttpRequest request = parse_request_head(
+      std::string_view(buffer_.data(), pos), &content_length);
+  const std::size_t body_at = pos + 4;
+  if (buffer_.size() - body_at < content_length) {
+    return std::nullopt;  // head complete, body still arriving
+  }
+  request.body = buffer_.substr(body_at, content_length);
+  buffer_.erase(0, body_at + content_length);
   return request;
 }
 

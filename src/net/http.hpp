@@ -58,6 +58,25 @@ class HttpReader {
   /// request arrived together with the current one).
   [[nodiscard]] bool has_buffered() const { return !buffer_.empty(); }
 
+  // Incremental (push) interface — the event loop's side of the reader.
+  // The loop receives whatever the socket has, feed()s it, and poll()s for
+  // complete requests; the channel is never touched, so a complete
+  // pipelined request already in the buffer can never be timed out or
+  // blocked on by a recv (it needs no further bytes).
+
+  /// Appends raw received bytes to the spill buffer.
+  void feed(const char* data, std::size_t n) { buffer_.append(data, n); }
+
+  /// Parses one complete request out of the buffer, consuming its bytes.
+  /// Returns nullopt while the buffer holds no complete message (nothing
+  /// is consumed — a partial head or body stays until more bytes arrive).
+  /// Throws ParseError on malformed input or an oversized header block.
+  [[nodiscard]] std::optional<HttpRequest> poll_request();
+
+  /// True if bytes of an incomplete message are buffered — the peer went
+  /// quiet (or closed) mid-request rather than between requests.
+  [[nodiscard]] bool has_partial() const { return !buffer_.empty(); }
+
  private:
   [[nodiscard]] std::optional<std::string> read_head();
   [[nodiscard]] std::string take_body(std::size_t length);

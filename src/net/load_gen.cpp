@@ -27,6 +27,8 @@ LoadGenerator::LoadGenerator(LoadGenOptions options)
   util::check<util::ConfigError>(
       options_.post_fraction >= 0.0 && options_.post_fraction <= 1.0,
       "LoadGenerator: post_fraction must be in [0, 1]");
+  util::check<util::ConfigError>(options_.offered_rps >= 0.0,
+                                 "LoadGenerator: offered_rps must be >= 0");
 }
 
 LoadReport LoadGenerator::run(std::uint16_t port) const {
@@ -51,6 +53,16 @@ LoadReport LoadGenerator::run(std::uint16_t port) const {
         "\r\n\r\n");
   }
 
+  // Open-loop schedule: the run's offered rate split evenly across the
+  // connections, each sending at fixed absolute instants with a per-thread
+  // stagger so arrivals interleave instead of bunching.
+  const bool open_loop = options_.offered_rps > 0.0;
+  const auto interval =
+      open_loop ? std::chrono::nanoseconds(static_cast<std::int64_t>(
+                      1e9 * static_cast<double>(options_.connections) /
+                      options_.offered_rps))
+                : std::chrono::nanoseconds(0);
+
   auto connection_worker = [&](std::size_t c) {
     util::Rng rng(util::SplitMix64(options_.seed * 0x9e37u + c).next());
     std::optional<util::ZipfDistribution> zipf;
@@ -63,7 +75,21 @@ LoadReport LoadGenerator::run(std::uint16_t port) const {
     ready.fetch_add(1);
     while (!go.load(std::memory_order_acquire)) {
     }
+    const auto epoch =
+        std::chrono::steady_clock::now() +
+        std::chrono::nanoseconds(
+            open_loop ? interval.count() * static_cast<std::int64_t>(c) /
+                            static_cast<std::int64_t>(options_.connections)
+                      : 0);
     for (std::size_t r = 0; r < options_.requests_per_connection; ++r) {
+      auto scheduled = std::chrono::steady_clock::now();
+      if (open_loop) {
+        // Absolute schedule, never reset: a response slower than the
+        // interval makes the next sleep_until return immediately and the
+        // measured latency (from `scheduled`) absorbs the lateness.
+        scheduled = epoch + interval * r;
+        std::this_thread::sleep_until(scheduled);
+      }
       const bool is_post = rng.bernoulli(options_.post_fraction);
       HttpRequest request;
       if (is_post) {
@@ -79,6 +105,17 @@ LoadReport LoadGenerator::run(std::uint16_t port) const {
           is_post ? nullptr : &get_wires[(*zipf)(rng)];
       ++local.requests_sent;
       util::Stopwatch watch;
+      // Round-trip time as the report defines it: from the scheduled send
+      // instant in open-loop mode (generator-side queueing counts), from
+      // the actual send in closed-loop mode.
+      const auto round_trip_ns = [&]() -> std::uint64_t {
+        if (!open_loop) return static_cast<std::uint64_t>(watch.elapsed_ns());
+        const auto waited =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - scheduled)
+                .count();
+        return waited > 0 ? static_cast<std::uint64_t>(waited) : 0;
+      };
       try {
         if (!socket.valid()) {
           socket = connect_loopback(port);
@@ -96,8 +133,7 @@ LoadReport LoadGenerator::run(std::uint16_t port) const {
         const HttpResponse response = reader->read_response();
         if (response.status == 200 || response.status == 201) {
           ++local.ok;
-          local.latency.push(
-              static_cast<std::uint64_t>(watch.elapsed_ns()));
+          local.latency.push(round_trip_ns());
           if (is_post) {
             local.bytes_posted += request.body.size();
           } else {
@@ -119,6 +155,13 @@ LoadReport LoadGenerator::run(std::uint16_t port) const {
         ++local.errors;
         if (dynamic_cast<const util::TimeoutError*>(&e) != nullptr) {
           ++local.failures.timeouts;
+          // Survivorship-bias fix: a timed-out request enters the latency
+          // distribution as a censored sample at (at least) its timeout
+          // bound, instead of silently improving the tail by vanishing.
+          if (options_.recv_timeout_ms > 0) {
+            ++local.censored;
+            local.latency.push(round_trip_ns());
+          }
         } else if (dynamic_cast<const util::ConnectError*>(&e) != nullptr) {
           ++local.failures.connect_refused;
         } else if (dynamic_cast<const util::PeerClosedError*>(&e) != nullptr) {
@@ -142,6 +185,7 @@ LoadReport LoadGenerator::run(std::uint16_t port) const {
     report.reconnects += local.reconnects;
     report.bytes_received += local.bytes_received;
     report.bytes_posted += local.bytes_posted;
+    report.censored += local.censored;
     report.failures.merge(local.failures);
     report.latency.merge(local.latency);
   };
@@ -164,8 +208,9 @@ LoadReport LoadGenerator::run(std::uint16_t port) const {
 void LoadReport::render(std::ostream& os) const {
   os << "load: sent=" << requests_sent << " ok=" << ok
      << " errors=" << errors << " 503=" << rejected_503
-     << " reconnects=" << reconnects << " rps=" << requests_per_sec()
-     << " mean_ms=" << mean_ms() << " p99_ms=" << quantile_ms(0.99) << "\n";
+     << " censored=" << censored << " reconnects=" << reconnects
+     << " rps=" << requests_per_sec() << " mean_ms=" << mean_ms()
+     << " p99_ms=" << quantile_ms(0.99) << "\n";
   if (errors != 0) {
     os << "failures: timeouts=" << failures.timeouts
        << " connect_refused=" << failures.connect_refused
@@ -185,6 +230,7 @@ void LoadReport::append_json(obs::JsonWriter& w) const {
   w.kv("reconnects", reconnects);
   w.kv("bytes_received", bytes_received);
   w.kv("bytes_posted", bytes_posted);
+  w.kv("censored", censored);
   w.kv("elapsed_s", elapsed_s);
   w.kv("requests_per_sec", requests_per_sec());
   w.key("failures");

@@ -31,6 +31,15 @@ struct LoadGenOptions {
   /// drained server surfaces as a counted timeout instead of hanging the
   /// run.  The resilience soak's liveness assertions depend on this.
   int recv_timeout_ms = 0;
+  /// Open-loop arrival rate in requests/s across the whole run (0 = closed
+  /// loop, the legacy send-when-done behaviour).  Each connection sends on
+  /// a fixed absolute schedule (its share of the rate, thread-staggered)
+  /// that is never reset by slow responses — a late reply does not slow
+  /// down the offered load, it queues behind it, which is what exposes a
+  /// server past saturation.  Latency is measured from the *scheduled*
+  /// send time, so queueing delay inside the generator counts against the
+  /// server (no coordinated omission).
+  double offered_rps = 0.0;
 };
 
 /// Why failed requests failed, one counter per class — "the run had 14
@@ -69,8 +78,15 @@ struct LoadReport {
   std::uint64_t reconnects = 0;    ///< keep-alive connections re-opened
   std::uint64_t bytes_received = 0;  ///< 200 GET body bytes (served-byte oracle)
   std::uint64_t bytes_posted = 0;    ///< bytes carried by successful POSTs
+  /// Requests that timed out, recorded into `latency` as censored samples
+  /// at (at least) the timeout bound.  Dropping them — the old behaviour —
+  /// was survivorship bias: the tail quantiles of an overloaded run looked
+  /// *better* the more requests timed out.  They still count in errors and
+  /// failures.timeouts; `ok` excludes them.
+  std::uint64_t censored = 0;
   FailureBreakdown failures;         ///< errors, classified (sums to errors)
-  util::LatencyHistogram latency;    ///< ns per successful round trip
+  util::LatencyHistogram latency;    ///< ns per round trip: successes plus
+                                     ///< censored timeout samples
   double elapsed_s = 0.0;
 
   [[nodiscard]] double requests_per_sec() const {

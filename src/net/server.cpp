@@ -1,7 +1,17 @@
 #include "net/server.hpp"
 
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <memory>
 #include <optional>
+#include <queue>
 #include <sstream>
+#include <unordered_map>
 
 #include "obs/json.hpp"
 #include "util/error.hpp"
@@ -61,11 +71,61 @@ constexpr const char* kHandlerSource = R"(
 .end
 )";
 
-/// The in-request receive budget TcpListener::accept arms (SO_RCVTIMEO);
-/// handle_connection restores it after an idle wait used a tighter one.
+/// Progress budget for a connection mid-request when no idle_timeout_ms is
+/// configured: the event loop re-arms this deadline on every byte of
+/// progress, replicating the per-recv SO_RCVTIMEO the blocking design had.
 constexpr int kInRequestRecvTimeoutMs = 5000;
 
+/// How long one epoll_wait sleeps with nothing to do.  This bounds the
+/// lateness of deadline expiries and of the drain escalation; events and
+/// eventfd wakeups cut it short.
+constexpr int kLoopTickMs = 20;
+
+/// A fully rendered control response (the loop's 503/400/408 answers),
+/// suitable for try_send_nonblock.
+std::string control_response(int status, std::string_view body,
+                             std::string_view extra_headers = {}) {
+  return util::cat("HTTP/1.1 ", status, " ", reason_phrase(status),
+                   "\r\nContent-Length: ", body.size(),
+                   "\r\nContent-Type: application/octet-stream"
+                   "\r\nConnection: close\r\n",
+                   extra_headers, "\r\n", body);
+}
+
+/// Response head for the zero-copy paths, matching send_response's wire
+/// format byte for byte (clients must not be able to tell the paths apart).
+std::string response_head(int status, std::uint64_t content_length,
+                          bool keep_alive) {
+  return util::cat("HTTP/1.1 ", status, " ", reason_phrase(status),
+                   "\r\nContent-Length: ", content_length,
+                   "\r\nContent-Type: application/octet-stream"
+                   "\r\nConnection: ",
+                   keep_alive ? "keep-alive" : "close", "\r\n\r\n");
+}
+
+std::span<const std::byte> str_bytes(const std::string& s) {
+  return std::as_bytes(std::span<const char>(s.data(), s.size()));
+}
+
 }  // namespace
+
+/// Event-loop connection state.  The loop owns the map entry; while `busy`
+/// the connection is checked out to exactly one worker, and the loop will
+/// not touch anything but the fd number until the worker returns it.
+/// Heap-allocated (unique_ptr in the map) so faulted/reader's references
+/// into `socket` survive rehashes.
+struct MiniWebServer::Conn {
+  Socket socket;
+  std::optional<FaultChannel> faulted;  ///< wraps socket when faults are on
+  std::optional<HttpReader> reader;     ///< buffered parser over channel()
+  std::size_t served = 0;               ///< requests dispatched on this conn
+  bool busy = false;                    ///< checked out to a worker
+  std::uint64_t deadline_gen = 0;       ///< matches the live heap entry
+
+  Channel& channel() {
+    return faulted.has_value() ? static_cast<Channel&>(*faulted) : socket;
+  }
+};
 
 MiniWebServer::MiniWebServer(io::ManagedFileSystem& fs, ServerOptions options)
     : fs_(fs), options_(options) {
@@ -78,6 +138,14 @@ MiniWebServer::MiniWebServer(io::ManagedFileSystem& fs, ServerOptions options)
   if (options_.vm_dispatch) {
     engine_ = std::make_unique<vm::ExecutionEngine>(
         vm::assemble(kHandlerSource), options_.vm_options, &fs_);
+  }
+  // The sendfile seam: only a RealFileStore directly behind fs_ exposes the
+  // POSIX descriptors the kernel needs.  Decorated stores (retry/fault
+  // wrappers) leave this null and every response rides the pool.
+  real_store_ = dynamic_cast<io::RealFileStore*>(&fs_.store());
+  if (options_.hot_cache_entries > 0) {
+    hot_cache_ = std::make_unique<HotObjectCache>(
+        options_.hot_cache_entries, options_.hot_cache_max_object_bytes);
   }
   if (options_.metrics != nullptr) {
     metrics_ = options_.metrics;
@@ -105,6 +173,20 @@ void MiniWebServer::start() {
   if (!listener_->listening()) {
     listener_ = std::make_unique<TcpListener>(options_.port);
   }
+  draining_.store(false, std::memory_order_release);
+  loop_stop_.store(false, std::memory_order_release);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  util::check<util::IoError>(wake_fd_ >= 0, "MiniWebServer: eventfd failed");
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  util::check<util::IoError>(epoll_fd_ >= 0,
+                             "MiniWebServer: epoll_create1 failed");
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  }
+  loop_thread_ = std::thread([this] { event_loop(); });
   accept_thread_ = std::thread([this] { accept_loop(); });
   workers_.reserve(options_.worker_threads);
   for (std::size_t i = 0; i < options_.worker_threads; ++i) {
@@ -120,48 +202,54 @@ void MiniWebServer::stop() {
   // still parked in the backlog, so their clients error out instead of
   // blocking in recv against a server that will never accept them.
   listener_->close();
-  // Connections accepted but never picked up are exclusively ours now
-  // (workers stop popping once running_ is false): answer each with a
-  // clean 503 instead of silently dropping it, so their clients see a
-  // well-formed "retry elsewhere" rather than a reset mid-wait.
+  // Requests queued but never picked up are exclusively ours now (workers
+  // stop popping once running_ is false, and a queued request's connection
+  // is busy-marked so the loop will not touch it either): answer each with
+  // a clean 503 instead of silently dropping it.  The blocking sends are
+  // bounded by SO_SNDTIMEO.
   {
-    std::deque<PendingConn> backlog;
+    std::deque<PendingRequest> backlog;
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       backlog.swap(pending_);
     }
+    std::vector<ConnReturn> rets;
+    rets.reserve(backlog.size());
     for (auto& queued : backlog) {
       counters_.drained_503.fetch_add(1, std::memory_order_relaxed);
       try {
-        send_response(queued.socket, 503, "server shutting down",
+        send_response(queued.conn->channel(), 503, "server shutting down",
                       /*keep_alive=*/false, "Retry-After: 1\r\n");
       } catch (const std::exception&) {
       }
+      rets.push_back(ConnReturn{queued.conn->socket.fd(), /*rearm=*/false});
+    }
+    if (!rets.empty()) {
+      std::lock_guard<std::mutex> lock(loop_mutex_);
+      returns_.insert(returns_.end(), rets.begin(), rets.end());
     }
   }
-  {
-    // Unblock workers parked in recv on idle keep-alive connections: their
-    // read side reports orderly shutdown, in-flight responses still send.
-    std::lock_guard<std::mutex> lock(active_mutex_);
-    for (const int fd : active_fds_) shutdown_receives(fd);
-  }
-  // Graceful drain: give in-flight requests drain_deadline_ms to finish
-  // transmitting, then escalate to a full shutdown of the stragglers so
-  // the joins below cannot hang on a peer that stopped reading.
-  {
-    std::unique_lock<std::mutex> lock(active_mutex_);
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::milliseconds(options_.drain_deadline_ms);
-    if (!active_cv_.wait_until(lock, deadline,
-                               [this] { return active_fds_.empty(); })) {
-      for (const int fd : active_fds_) shutdown_connection(fd);
-    }
-  }
+  // Graceful drain: the loop sweeps every parked connection immediately,
+  // gives in-flight requests drain_deadline_ms to finish transmitting, then
+  // escalates to a full shutdown of the stragglers so the worker joins
+  // below cannot hang on a peer that stopped reading.
+  draining_.store(true, std::memory_order_release);
+  wake_loop();
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  loop_stop_.store(true, std::memory_order_release);
+  wake_loop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  if (wake_fd_ >= 0) {
+    ::close(wake_fd_);
+    wake_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
   // The run is over and the counters are quiesced: snapshot them so the
   // run's totals survive the reset a future start() performs.
   {
@@ -174,141 +262,390 @@ void MiniWebServer::accept_loop() {
   while (running_.load()) {
     Socket client = listener_->accept(/*timeout_ms=*/20);
     if (!client.valid()) continue;
-    util::Stopwatch accept_watch;  // accept return -> enqueued
+    util::Stopwatch accept_watch;  // accept return -> handed to the loop
     counters_.accepted.fetch_add(1, std::memory_order_relaxed);
     if (options_.fault_injector != nullptr &&
         options_.fault_injector->should_drop_accept()) {
       counters_.dropped_accepts.fetch_add(1, std::memory_order_relaxed);
       continue;  // client sees an immediate close
     }
-    std::unique_lock<std::mutex> lock(queue_mutex_);
-    if (pending_.size() >= options_.max_pending) {
-      lock.unlock();
-      // Backpressure: answer 503 from the accept thread rather than hang
-      // the accept loop or queue unboundedly.  Best effort — the reply is
-      // small enough to fit the socket buffer of a fresh connection.
-      counters_.rejected_503.fetch_add(1, std::memory_order_relaxed);
-      try {
-        send_response(client, 503, "server busy", /*keep_alive=*/false);
-      } catch (const std::exception&) {
-      }
-      continue;
+    {
+      std::lock_guard<std::mutex> lock(loop_mutex_);
+      inbound_.push_back(std::move(client));
     }
-    pending_.push_back(PendingConn{std::move(client),
-                                   util::Stopwatch::now_ns()});
-    lock.unlock();
-    queue_cv_.notify_one();
+    wake_loop();
     tracer_->record_stage(obs::Stage::kAccept,
                           static_cast<std::uint64_t>(
                               accept_watch.elapsed_ns()));
   }
 }
 
+void MiniWebServer::wake_loop() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  // Best effort: the eventfd counter saturating still leaves it readable.
+  [[maybe_unused]] const auto r = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void MiniWebServer::event_loop() {
+  // Everything below is loop-thread-local: connection ownership never
+  // leaves this function except through the busy-marked worker hand-off.
+  std::unordered_map<int, std::unique_ptr<Conn>> conns;
+
+  // Progress deadlines, min-heap with lazy deletion: entries are never
+  // removed, they expire against the connection's current generation.  The
+  // generation counter is loop-global so an entry for a retired fd can
+  // never match a new connection that reused the number.
+  struct DeadlineEntry {
+    std::chrono::steady_clock::time_point at;
+    int fd = -1;
+    std::uint64_t gen = 0;
+  };
+  struct DeadlineLater {
+    bool operator()(const DeadlineEntry& a, const DeadlineEntry& b) const {
+      return a.at > b.at;
+    }
+  };
+  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                      DeadlineLater>
+      deadlines;
+  std::uint64_t gen_counter = 0;
+  const auto progress_budget = std::chrono::milliseconds(
+      options_.idle_timeout_ms > 0 ? options_.idle_timeout_ms
+                                   : kInRequestRecvTimeoutMs);
+
+  const std::string busy_503 = control_response(503, "server busy");
+  const std::string bad_400 = control_response(400, "bad request");
+  const std::string timeout_408 = control_response(408, "request timeout");
+
+  auto retire = [&](int fd) {
+    const auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    conns.erase(it);  // Socket closes here
+    counters_.connections.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  auto rearm = [&](int fd) {
+    epoll_event ev{};
+    // Level-triggered oneshot: if the kernel buffer already holds bytes the
+    // worker left unread, MOD re-delivers immediately — nothing is lost.
+    ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  };
+
+  auto arm_deadline = [&](Conn& c) {
+    c.deadline_gen = ++gen_counter;
+    deadlines.push(DeadlineEntry{
+        std::chrono::steady_clock::now() + progress_budget, c.socket.fd(),
+        c.deadline_gen});
+  };
+
+  auto dispatch_request = [&](Conn& c, HttpRequest req,
+                              std::uint64_t parse_ns) {
+    const int fd = c.socket.fd();
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      if (pending_.size() >= options_.max_pending) {
+        lock.unlock();
+        // Backpressure: answer 503 without blocking the loop.  A peer that
+        // stopped reading must cost nothing — the bytes go out only as far
+        // as the socket buffer allows (which, for a connection idle enough
+        // to be rejected, is always the whole small response).
+        counters_.rejected_503.fetch_add(1, std::memory_order_relaxed);
+        try_send_nonblock(fd, busy_503);
+        retire(fd);
+        return;
+      }
+      c.busy = true;
+      c.served++;
+      counters_.requests.fetch_add(1, std::memory_order_relaxed);
+      pending_.push_back(PendingRequest{&c, std::move(req),
+                                        util::Stopwatch::now_ns(), parse_ns});
+    }
+    queue_cv_.notify_one();
+  };
+
+  auto handle_readable = [&](int fd) {
+    const auto it = conns.find(fd);
+    if (it == conns.end()) return;  // stale event for a retired fd
+    Conn& c = *it->second;
+    if (c.busy) return;  // stale event; the worker owns this connection
+    util::Stopwatch parse_watch;
+    bool closed = false;
+    std::optional<HttpRequest> request;
+    try {
+      while (true) {
+        request = c.reader->poll_request();
+        if (request.has_value()) break;
+        char buf[16384];
+        const std::ptrdiff_t r = c.channel().recv_nonblock(buf, sizeof(buf));
+        if (r < 0) break;  // drained the kernel buffer, no full request yet
+        if (r == 0) {
+          closed = true;
+          break;
+        }
+        c.reader->feed(buf, static_cast<std::size_t>(r));
+      }
+    } catch (const util::ParseError&) {
+      counters_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+      try_send_nonblock(fd, bad_400);
+      retire(fd);
+      return;
+    } catch (const std::exception&) {
+      // Connection-level failure (real or injected EIO): tear it down.
+      counters_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      retire(fd);
+      return;
+    }
+    if (request.has_value()) {
+      dispatch_request(c, std::move(*request),
+                       static_cast<std::uint64_t>(parse_watch.elapsed_ns()));
+      return;
+    }
+    if (closed) {
+      if (c.reader->has_partial()) {
+        // Peer closed mid-message: the bytes can never parse.
+        counters_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      retire(fd);
+      return;
+    }
+    // Would-block with bytes of progress (or none): re-arm for more and
+    // refresh the progress deadline — every readable event that did not
+    // complete a request restarts the budget, exactly like the per-recv
+    // SO_RCVTIMEO the blocking design armed.
+    rearm(fd);
+    arm_deadline(c);
+  };
+
+  bool drain_swept = false;
+  bool escalated = false;
+  std::chrono::steady_clock::time_point escalate_at{};
+
+  while (true) {
+    epoll_event events[256];
+    const int n = ::epoll_wait(epoll_fd_, events, 256, kLoopTickMs);
+    if (n < 0 && errno != EINTR) break;  // epoll set died; stop() cleans up
+
+    // 1. Drain the wakeup counter so the eventfd goes quiet again.
+    for (int i = 0; i < (n > 0 ? n : 0); ++i) {
+      if (events[i].data.fd == wake_fd_) {
+        std::uint64_t count = 0;
+        [[maybe_unused]] const auto r =
+            ::read(wake_fd_, &count, sizeof(count));
+      }
+    }
+
+    // 2. Returns from workers: park (re-arm) or retire each connection.
+    {
+      std::vector<ConnReturn> rets;
+      {
+        std::lock_guard<std::mutex> lock(loop_mutex_);
+        rets.swap(returns_);
+      }
+      for (const ConnReturn ret : rets) {
+        const auto it = conns.find(ret.fd);
+        if (it == conns.end()) continue;
+        Conn& c = *it->second;
+        c.busy = false;
+        if (!ret.rearm || draining_.load(std::memory_order_acquire)) {
+          retire(ret.fd);
+          continue;
+        }
+        rearm(ret.fd);
+        arm_deadline(c);
+      }
+    }
+
+    // 3. Readiness events (after returns so a conn returned and instantly
+    // readable is served this very iteration; before inbound so a stale
+    // event can never hit a fresh connection that reused the fd).
+    for (int i = 0; i < (n > 0 ? n : 0); ++i) {
+      if (events[i].data.fd == wake_fd_) continue;
+      // EPOLLHUP/EPOLLRDHUP/EPOLLERR all resolve through a read attempt:
+      // recv reports the close or the error precisely.
+      handle_readable(events[i].data.fd);
+    }
+
+    // 4. Admit freshly accepted connections.
+    {
+      std::vector<Socket> fresh;
+      {
+        std::lock_guard<std::mutex> lock(loop_mutex_);
+        fresh.swap(inbound_);
+      }
+      for (Socket& s : fresh) {
+        if (draining_.load(std::memory_order_acquire)) continue;  // closes
+        if (options_.max_connections != 0 &&
+            conns.size() >= options_.max_connections) {
+          // fd backpressure, the accept-path sibling of the queue's 503.
+          counters_.rejected_503.fetch_add(1, std::memory_order_relaxed);
+          try_send_nonblock(s.fd(), busy_503);
+          continue;  // Socket closes on scope exit
+        }
+        const int fd = s.fd();
+        auto conn = std::make_unique<Conn>();
+        conn->socket = std::move(s);
+        if (options_.fault_injector != nullptr) {
+          conn->faulted.emplace(conn->socket, *options_.fault_injector);
+        }
+        conn->reader.emplace(conn->channel());
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLRDHUP | EPOLLONESHOT;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+          counters_.io_errors.fetch_add(1, std::memory_order_relaxed);
+          continue;  // drop it; Socket closes on scope exit
+        }
+        Conn& ref = *conn;
+        conns.emplace(fd, std::move(conn));
+        arm_deadline(ref);
+      }
+    }
+
+    // 5. Expire progress deadlines (lazy deletion: only an entry whose
+    // generation still matches its parked connection is live).
+    {
+      const auto now = std::chrono::steady_clock::now();
+      while (!deadlines.empty() && deadlines.top().at <= now) {
+        const DeadlineEntry entry = deadlines.top();
+        deadlines.pop();
+        const auto it = conns.find(entry.fd);
+        if (it == conns.end()) continue;
+        Conn& c = *it->second;
+        if (c.busy || c.deadline_gen != entry.gen) continue;
+        if (c.reader->has_partial()) {
+          // The peer stalled mid-request: answer 408 and close.
+          counters_.timeouts_408.fetch_add(1, std::memory_order_relaxed);
+          try_send_nonblock(entry.fd, timeout_408);
+        }
+        // Idle keep-alive connection aging out: a non-event, closed cleanly.
+        retire(entry.fd);
+      }
+    }
+
+    // 6. Drain choreography for stop(): one immediate sweep of every parked
+    // connection, then an escalation deadline for the in-flight stragglers.
+    if (draining_.load(std::memory_order_acquire)) {
+      const auto now = std::chrono::steady_clock::now();
+      if (!drain_swept) {
+        drain_swept = true;
+        escalate_at =
+            now + std::chrono::milliseconds(options_.drain_deadline_ms);
+        std::vector<int> parked;
+        parked.reserve(conns.size());
+        for (const auto& [fd, c] : conns) {
+          if (!c->busy) parked.push_back(fd);
+        }
+        for (const int fd : parked) retire(fd);
+      } else if (!escalated && now >= escalate_at) {
+        escalated = true;
+        // Workers blocked sending to a dead-reading peer fail fast now.
+        for (const auto& [fd, c] : conns) shutdown_connection(fd);
+      }
+    }
+
+    if (loop_stop_.load(std::memory_order_acquire)) break;
+  }
+
+  // Workers are joined by the time loop_stop_ is set: every connection
+  // still here is ours to close.
+  for (const auto& [fd, c] : conns) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    counters_.connections.fetch_add(1, std::memory_order_relaxed);
+  }
+  conns.clear();
+}
+
 void MiniWebServer::worker_loop() {
   while (true) {
-    Socket socket;
+    PendingRequest pr;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] {
         return !running_.load() || !pending_.empty();
       });
-      if (!running_.load()) return;  // stop() closes whatever is queued
-      PendingConn conn = std::move(pending_.front());
+      if (!running_.load()) return;  // stop() 503s whatever is queued
+      pr = std::move(pending_.front());
       pending_.pop_front();
-      lock.unlock();
-      const std::int64_t waited =
-          util::Stopwatch::now_ns() - conn.enqueued_ns;
-      tracer_->record_stage(obs::Stage::kQueueWait,
-                            waited > 0 ? static_cast<std::uint64_t>(waited)
-                                       : 0);
-      socket = std::move(conn.socket);
     }
-    handle_connection(std::move(socket));
+    const std::int64_t waited = util::Stopwatch::now_ns() - pr.enqueued_ns;
+    tracer_->record_stage(obs::Stage::kQueueWait,
+                          waited > 0 ? static_cast<std::uint64_t>(waited)
+                                     : 0);
+    Conn& conn = *pr.conn;
+    bool retire = false;
+    process_request(conn, std::move(pr.request), pr.parse_ns, retire);
+    {
+      std::lock_guard<std::mutex> lock(loop_mutex_);
+      returns_.push_back(ConnReturn{conn.socket.fd(), !retire});
+    }
+    wake_loop();
   }
 }
 
-void MiniWebServer::handle_connection(Socket socket) {
-  const int fd = socket.fd();
-  {
-    std::lock_guard<std::mutex> lock(active_mutex_);
-    active_fds_.insert(fd);
-  }
-  // Close the stop() race: if stop() swept the active set before this fd
-  // was registered, its receives must still be shut down — either stop()
-  // sees the fd under the lock above, or we see running_ == false here.
-  if (!running_.load()) shutdown_receives(fd);
-  Channel* channel = &socket;
-  std::optional<FaultChannel> faulted;
-  if (options_.fault_injector != nullptr) {
-    faulted.emplace(socket, *options_.fault_injector);
-    channel = &*faulted;
-  }
-  HttpReader reader(*channel);
-  std::size_t served = 0;
-  try {
-    bool keep = true;
-    while (keep) {
-      // A connection waiting for its next message is idle: give it the
-      // (typically tighter) idle budget, and restore the in-request one
-      // once a request actually arrived.
-      if (options_.idle_timeout_ms > 0) {
-        set_recv_timeout(fd, options_.idle_timeout_ms);
-      }
-      util::Stopwatch parse_watch;
-      auto request = reader.read_request();
-      if (!request.has_value()) break;  // clean close / idle timeout
-      if (options_.idle_timeout_ms > 0) {
-        set_recv_timeout(fd, kInRequestRecvTimeoutMs);
-      }
-      counters_.requests.fetch_add(1, std::memory_order_relaxed);
-      ++served;
-      keep = options_.keep_alive && request->keep_alive && running_.load();
-      if (options_.max_requests_per_connection != 0 &&
-          served >= options_.max_requests_per_connection) {
-        keep = false;
-      }
+void MiniWebServer::process_request(Conn& conn, HttpRequest request,
+                                    std::uint64_t parse_ns, bool& retire) {
+  Channel& channel = conn.channel();
+  std::optional<HttpRequest> current = std::move(request);
+  while (current.has_value()) {
+    bool keep =
+        options_.keep_alive && current->keep_alive && running_.load();
+    if (options_.max_requests_per_connection != 0 &&
+        conn.served >= options_.max_requests_per_connection) {
+      keep = false;
+    }
+    try {
       // The request exists: open its trace.  Parse happened before the
       // trace could (the bytes define the request), so its duration is
-      // recorded directly; note it includes waiting for the first byte —
-      // on a keep-alive connection that is the peer's think time.
+      // recorded directly; on the first request of a loop hand-off it is
+      // the loop's non-blocking parse, on inline-drained pipelined
+      // requests it is the poll below.
       obs::TraceScope trace(*tracer_);
-      tracer_->record_stage(obs::Stage::kParse,
-                            static_cast<std::uint64_t>(
-                                parse_watch.elapsed_ns()));
+      tracer_->record_stage(obs::Stage::kParse, parse_ns);
       obs::SpanScope handler_span(obs::Stage::kHandler);
-      dispatch(*channel, *request, keep);
-    }
-  } catch (const util::TimeoutError&) {
-    // The peer stalled mid-request (SO_RCVTIMEO expired with bytes of a
-    // message already read): answer 408 and close — the worker is free
-    // again, not wedged behind a dribbling client.
-    counters_.timeouts_408.fetch_add(1, std::memory_order_relaxed);
-    try {
-      send_response(*channel, 408, "request timeout", /*keep_alive=*/false);
+      dispatch(channel, *current, keep, &conn);
     } catch (const std::exception&) {
+      // Connection-level failure (real or injected EIO): tear the
+      // connection down; the request mix soak counts these against the
+      // injector stats.
+      counters_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      retire = true;
+      return;
     }
-  } catch (const util::ParseError&) {
-    counters_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+    if (!keep) {
+      retire = true;
+      return;
+    }
+    // Inline-drain: a pipelined request already complete in the reader's
+    // buffer needs no socket I/O, so serve it here instead of bouncing the
+    // connection through the loop (whose idle deadline must never apply to
+    // bytes that have already arrived — the old design's 408 bug).
+    util::Stopwatch parse_watch;
+    std::optional<HttpRequest> next;
     try {
-      send_response(*channel, 400, "bad request", /*keep_alive=*/false);
-    } catch (const std::exception&) {
+      next = conn.reader->poll_request();
+    } catch (const util::ParseError&) {
+      counters_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+      try {
+        send_response(channel, 400, "bad request", /*keep_alive=*/false);
+      } catch (const std::exception&) {
+      }
+      retire = true;
+      return;
     }
-  } catch (const std::exception&) {
-    // Connection-level failure (real or injected EIO): tear the connection
-    // down; the request mix soak counts these against the injector stats.
-    counters_.io_errors.fetch_add(1, std::memory_order_relaxed);
+    if (!next.has_value()) return;  // loop re-arms and waits for bytes
+    counters_.requests.fetch_add(1, std::memory_order_relaxed);
+    conn.served++;
+    parse_ns = static_cast<std::uint64_t>(parse_watch.elapsed_ns());
+    current = std::move(next);
   }
-  counters_.connections.fetch_add(1, std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(active_mutex_);
-    active_fds_.erase(fd);
-  }
-  active_cv_.notify_all();  // stop()'s drain waits on the active set
-  // `socket` closes on scope exit, after the fd left the active set.
 }
 
 void MiniWebServer::dispatch(Channel& channel, const HttpRequest& request,
-                             bool keep) {
+                             bool keep, Conn* conn) {
   // Arm the per-request budget as this thread's ambient deadline: every
   // storage call below it — pool miss loads, RetryingStore backoff sleeps —
   // honors it without signature plumbing.
@@ -343,7 +680,7 @@ void MiniWebServer::dispatch(Channel& channel, const HttpRequest& request,
       return;
     }
     if (request.method == "GET") {
-      do_get(channel, request, keep);
+      do_get(channel, request, keep, conn);
     } else if (request.method == "POST") {
       do_post(channel, request, keep);
     } else {
@@ -407,6 +744,9 @@ void write_server_stats_json(obs::JsonWriter& w, const ServerStats& s) {
   w.kv("timeouts_408", s.timeouts_408);
   w.kv("degraded_503", s.degraded_503);
   w.kv("drained_503", s.drained_503);
+  w.kv("gather_responses", s.gather_responses);
+  w.kv("sendfile_responses", s.sendfile_responses);
+  w.kv("cache_responses", s.cache_responses);
   w.end_object();
 }
 
@@ -447,6 +787,20 @@ std::string MiniWebServer::render_statz() const {
     w.kv("gather_read_calls", ps.gather_read_calls);
     w.kv("gather_read_pages", ps.gather_read_pages);
     w.end_object();
+  }
+
+  w.key("hot_cache");
+  if (hot_cache_ != nullptr) {
+    const HotCacheStats hs = hot_cache_->stats();
+    w.begin_object();
+    w.kv("lookups", hs.lookups);
+    w.kv("hits", hs.hits);
+    w.kv("insertions", hs.insertions);
+    w.kv("invalidations", hs.invalidations);
+    w.kv("evictions", hs.evictions);
+    w.end_object();
+  } else {
+    w.null();
   }
 
   w.key("breaker");
@@ -565,6 +919,22 @@ void MiniWebServer::register_metrics() {
   counter("clio_server_timeouts_408_total", counters_.timeouts_408);
   counter("clio_server_degraded_503_total", counters_.degraded_503);
   counter("clio_server_drained_503_total", counters_.drained_503);
+  counter("clio_server_gather_responses_total", counters_.gather_responses);
+  counter("clio_server_sendfile_responses_total",
+          counters_.sendfile_responses);
+  counter("clio_server_cache_responses_total", counters_.cache_responses);
+
+  if (hot_cache_ != nullptr) {
+    HotObjectCache* cache = hot_cache_.get();
+    reg("clio_server_hot_cache_lookups_total", obs::MetricKind::kCounter,
+        [cache] { return static_cast<double>(cache->stats().lookups); });
+    reg("clio_server_hot_cache_hits_total", obs::MetricKind::kCounter,
+        [cache] { return static_cast<double>(cache->stats().hits); });
+    reg("clio_server_hot_cache_invalidations_total",
+        obs::MetricKind::kCounter, [cache] {
+          return static_cast<double>(cache->stats().invalidations);
+        });
+  }
 
   io::BufferPool& pool = fs_.pool();
   reg("clio_pool_resident_pages", obs::MetricKind::kGauge,
@@ -683,7 +1053,7 @@ std::string MiniWebServer::read_file_vm(const std::string& name) {
 }
 
 void MiniWebServer::do_get(Channel& channel, const HttpRequest& request,
-                           bool keep) {
+                           bool keep, Conn* conn) {
   RequestSample sample;
   sample.is_get = true;
   util::Stopwatch total;
@@ -692,22 +1062,105 @@ void MiniWebServer::do_get(Channel& channel, const HttpRequest& request,
     send_response(channel, 404, "no such file", keep);
     return;
   }
-  // Timed portion, as in the paper: open the stream, read the data,
+
+  // Fast path: the Zipf head straight from memory, no storage round at
+  // all.  vm_dispatch bypasses the cache — its point is to *pay* the
+  // managed-execution cost.
+  if (!options_.vm_dispatch && hot_cache_ != nullptr) {
+    if (const auto body = hot_cache_->lookup(name)) {
+      sample.bytes = body->size();
+      sample.total_ms = total.elapsed_ms();
+      record(sample);
+      {
+        obs::SpanScope send_span(obs::Stage::kSend);
+        send_response(channel, 200, *body, keep);
+      }
+      counters_.cache_responses.fetch_add(1, std::memory_order_relaxed);
+      counters_.responses_ok.fetch_add(1, std::memory_order_relaxed);
+      counters_.get_body_bytes_sent.fetch_add(body->size(),
+                                              std::memory_order_relaxed);
+      return;
+    }
+  }
+
+  // Timed portion, as in the paper: open the stream, get at the data,
   // close the stream.  Storage failures convert to responses here — the
   // connection is healthy, the store is not — so only socket-level errors
-  // escape to the connection teardown path.
-  std::string content;
+  // escape to the connection teardown path.  Which bytes actually ride the
+  // response is decided here too, in preference order: sendfile (kernel
+  // zero-copy, big files on a raw socket over a RealFileStore), pool-page
+  // gather (pins sent straight via sendmsg), legacy read-into-string
+  // (vm_dispatch, oversized gathers, cache fills).
+  enum class SendPath { kBuffered, kGather, kSendfile };
+  SendPath path = SendPath::kBuffered;
+  std::shared_ptr<const std::string> body;  // buffered path (+ cache fill)
+  bool cache_fill = false;
+  std::vector<io::BufferPool::PageGuard> guards;     // gather path pins
+  std::vector<std::span<const std::byte>> parts;     // gather path views
+  io::ManagedFile file;  // stays open across a sendfile send
+  int file_fd = -1;
+  std::uint64_t body_bytes = 0;
   try {
     obs::SpanScope storage_span(obs::Stage::kStorageOp);
     util::Stopwatch file_watch;
     if (options_.vm_dispatch) {
-      content = read_file_vm(name);
+      body = std::make_shared<const std::string>(read_file_vm(name));
+      body_bytes = body->size();
     } else {
-      auto file = fs_.open(name, io::OpenMode::kRead);
-      content.resize(static_cast<std::size_t>(file.size()));
-      file.read_exact(std::as_writable_bytes(
-          std::span<char>(content.data(), content.size())));
-      file.close();
+      file = fs_.open(name, io::OpenMode::kRead);
+      const std::uint64_t size = file.size();
+      body_bytes = size;
+      io::BufferPool& pool = fs_.pool();
+      // sendfile bypasses a FaultChannel entirely, so a faulted connection
+      // never qualifies: the injector must see every byte.
+      const int raw_fd =
+          (conn != nullptr && !conn->faulted.has_value()) ? conn->socket.fd()
+                                                          : -1;
+      const bool cacheable =
+          hot_cache_ != nullptr && size <= hot_cache_->max_object_bytes();
+      // Page-gather sizing: never let one response pin more than its fair
+      // share of the pool, or concurrent workers could deadlock it.
+      const std::size_t page_size = pool.page_size();
+      const std::size_t page_count =
+          static_cast<std::size_t>((size + page_size - 1) / page_size);
+      const std::size_t gather_cap = std::min<std::size_t>(
+          64, std::max<std::size_t>(
+                  1, pool.capacity_pages() / (2 * options_.worker_threads)));
+      if (!cacheable && raw_fd >= 0 && real_store_ != nullptr &&
+          sendfile_ok_.load(std::memory_order_relaxed) &&
+          options_.sendfile_min_bytes > 0 &&
+          size >= options_.sendfile_min_bytes) {
+        // The kernel reads the backing file directly: dirty pool pages
+        // must land first or the response would be stale.
+        pool.flush_file(file.id());
+        file_fd = real_store_->native_handle(file.id());
+        path = SendPath::kSendfile;
+      } else if (!cacheable && options_.zero_copy && size > 0 &&
+                 page_count <= gather_cap) {
+        // One coalesced readv warms the window, then every pin hits.
+        const io::FileId id = file.id();
+        pool.prefetch_range(id, 0, page_count);
+        guards.reserve(page_count);
+        parts.reserve(page_count);
+        std::uint64_t remaining = size;
+        for (std::size_t p = 0; p < page_count; ++p) {
+          guards.push_back(pool.pin(id, p));
+          const auto take = static_cast<std::size_t>(
+              std::min<std::uint64_t>(remaining, page_size));
+          parts.push_back(std::span<const std::byte>(guards.back().data())
+                              .subspan(0, take));
+          remaining -= take;
+        }
+        file.close();
+        path = SendPath::kGather;
+      } else {
+        std::string content(static_cast<std::size_t>(size), '\0');
+        file.read_exact(std::as_writable_bytes(
+            std::span<char>(content.data(), content.size())));
+        file.close();
+        body = std::make_shared<const std::string>(std::move(content));
+        cache_fill = cacheable;
+      }
     }
     sample.file_ms = file_watch.elapsed_ms();
   } catch (const util::TransientIoError&) {
@@ -721,19 +1174,55 @@ void MiniWebServer::do_get(Channel& channel, const HttpRequest& request,
     send_response(channel, 500, "storage error", keep);
     return;
   }
-  sample.bytes = content.size();
+  sample.bytes = body_bytes;
   sample.total_ms = total.elapsed_ms();
   // Record before transmitting so samples appear in request order even if
   // this worker is preempted mid-send.
   record(sample);
   {
     obs::SpanScope send_span(obs::Stage::kSend);
-    send_response(channel, 200, content, keep);
+    switch (path) {
+      case SendPath::kBuffered:
+        send_response(channel, 200, *body, keep);
+        break;
+      case SendPath::kGather: {
+        const std::string head = response_head(200, body_bytes, keep);
+        channel.send_gather(str_bytes(head), parts);
+        counters_.gather_responses.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case SendPath::kSendfile: {
+        const std::string head = response_head(200, body_bytes, keep);
+        channel.send_all(head.data(), head.size());
+        if (sendfile_all(conn->socket.fd(), file_fd, 0,
+                         static_cast<std::size_t>(body_bytes))) {
+          counters_.sendfile_responses.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        } else {
+          // This kernel/fs pairing refuses sendfile outright (no byte
+          // moved): remember that, and stream the body the buffered way —
+          // the head is already on the wire.  A storage failure now tears
+          // the connection (the response cannot be untorn), hence IoError.
+          sendfile_ok_.store(false, std::memory_order_relaxed);
+          std::string content(static_cast<std::size_t>(body_bytes), '\0');
+          try {
+            file.read_exact(std::as_writable_bytes(
+                std::span<char>(content.data(), content.size())));
+          } catch (const std::exception&) {
+            throw util::IoError("MiniWebServer: sendfile fallback read failed");
+          }
+          channel.send_all(content.data(), content.size());
+        }
+        break;
+      }
+    }
   }
+  guards.clear();  // release the pins before any cache bookkeeping
+  if (cache_fill) hot_cache_->insert(name, body);
   // Served-byte accounting happens only after the whole response left:
   // a torn send must not count.
   counters_.responses_ok.fetch_add(1, std::memory_order_relaxed);
-  counters_.get_body_bytes_sent.fetch_add(content.size(),
+  counters_.get_body_bytes_sent.fetch_add(body_bytes,
                                           std::memory_order_relaxed);
 }
 
@@ -742,6 +1231,10 @@ void MiniWebServer::do_post(Channel& channel, const HttpRequest& request,
   RequestSample sample;
   sample.is_get = false;
   util::Stopwatch total;
+  // Write-path cache coherence: POSTs only ever create fresh files, but a
+  // blanket invalidation is cheap insurance that the response cache can
+  // never serve bytes the store has since superseded (docs/SERVING.md).
+  if (hot_cache_ != nullptr) hot_cache_->invalidate_all();
   // "The data is written to a new file created by using a random number
   // generator" — a unique counter-derived name keeps writers disjoint.
   const std::uint64_t id =
@@ -823,6 +1316,9 @@ ServerStats MiniWebServer::stats() const {
   s.timeouts_408 = counters_.timeouts_408.load();
   s.degraded_503 = counters_.degraded_503.load();
   s.drained_503 = counters_.drained_503.load();
+  s.gather_responses = counters_.gather_responses.load();
+  s.sendfile_responses = counters_.sendfile_responses.load();
+  s.cache_responses = counters_.cache_responses.load();
   return s;
 }
 
@@ -841,6 +1337,9 @@ void MiniWebServer::reset_stats() {
   counters_.timeouts_408.store(0, std::memory_order_relaxed);
   counters_.degraded_503.store(0, std::memory_order_relaxed);
   counters_.drained_503.store(0, std::memory_order_relaxed);
+  counters_.gather_responses.store(0, std::memory_order_relaxed);
+  counters_.sendfile_responses.store(0, std::memory_order_relaxed);
+  counters_.cache_responses.store(0, std::memory_order_relaxed);
   clear_samples();
 }
 
@@ -851,6 +1350,9 @@ ServerStats MiniWebServer::last_run_stats() const {
 
 void MiniWebServer::make_cold() {
   if (engine_ != nullptr) engine_->flush_jit_cache();
+  // The response cache fronts the pool: a cold pool with a warm response
+  // cache would defeat the whole point of the reset.
+  if (hot_cache_ != nullptr) hot_cache_->invalidate_all();
   fs_.drop_caches();
 }
 

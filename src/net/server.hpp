@@ -5,11 +5,12 @@
 #include <deque>
 #include <mutex>
 #include <thread>
-#include <unordered_set>
 #include <vector>
 
+#include "io/file_store.hpp"
 #include "io/managed_file.hpp"
 #include "net/fault_channel.hpp"
+#include "net/hot_cache.hpp"
 #include "net/http.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -49,6 +50,9 @@ struct ServerStats {
   std::uint64_t timeouts_408 = 0;     ///< peers stalling mid-request (408)
   std::uint64_t degraded_503 = 0;     ///< storage-unavailable 503 responses
   std::uint64_t drained_503 = 0;      ///< queued backlog 503'd during stop()
+  std::uint64_t gather_responses = 0;    ///< 200s sent page-gather zero-copy
+  std::uint64_t sendfile_responses = 0;  ///< 200s sent via sendfile(2)
+  std::uint64_t cache_responses = 0;     ///< 200s served from the hot cache
 };
 
 struct ServerOptions {
@@ -102,15 +106,41 @@ struct ServerOptions {
   /// Seed for deterministic trace IDs (obs::RequestTracer): a fixed seed
   /// yields a fixed ID sequence, so traces are reproducible run-to-run.
   std::uint64_t trace_seed = 0x7ace5eedULL;
+  /// Zero-copy GET responses: pin the file's buffer-pool pages and gather
+  /// them straight into the socket (sendmsg iovecs) instead of copying the
+  /// body into a per-request string first.  Off, every GET takes the
+  /// legacy read-into-string path (the paper's model).
+  bool zero_copy = true;
+  /// Files at least this large whose backing store is a RealFileStore are
+  /// sent with sendfile(2) — kernel-side zero-copy, no page pins held for
+  /// the duration of the send.  0 disables sendfile (page gathers still
+  /// apply).  Responses on a fault-injected channel never sendfile: the
+  /// injector must see every byte.
+  std::size_t sendfile_min_bytes = 256 * 1024;
+  /// Hot-object response cache entries (0 = off).  The Zipf head of the
+  /// request mix is served from memory without touching storage; every
+  /// POST invalidates the whole cache (see docs/SERVING.md).
+  std::size_t hot_cache_entries = 0;
+  /// Largest body the hot cache will retain.
+  std::size_t hot_cache_max_object_bytes = 128 * 1024;
+  /// Cap on connections the event loop will own at once (0 = unlimited).
+  /// At the cap, fresh connections get a best-effort 503 and close — fd
+  /// backpressure, mirroring the request queue's.
+  std::size_t max_connections = 0;
 };
 
-/// The paper's §4 web-server micro benchmark, grown into a fixed-pool
-/// concurrent server: the main thread accepts connections into a bounded
-/// queue, `worker_threads` workers drain it, and each connection serves
-/// many requests via HTTP/1.1 keep-alive.  GET reads the requested file
-/// from the managed file system and returns it; POST writes the body to a
-/// new file named by a counter-derived random number ("hence, no
-/// synchronization is required for write operations").
+/// The paper's §4 web-server micro benchmark, grown into a readiness-
+/// driven server: an epoll event loop owns every connection fd, parses
+/// requests off ready sockets without blocking, and hands each *request*
+/// (not each connection) to a fixed worker pool through a bounded queue —
+/// so an idle keep-alive connection costs one fd, never a thread, and
+/// concurrency is bounded by fds instead of worker_threads (the C10K
+/// step; see docs/SERVING.md for the loop's state machine).  GET reads
+/// the requested file from the managed file system and returns it —
+/// zero-copy where possible (pool-page gathers, sendfile, hot-object
+/// cache); POST writes the body to a new file named by a counter-derived
+/// random number ("hence, no synchronization is required for write
+/// operations").
 class MiniWebServer {
  public:
   MiniWebServer(io::ManagedFileSystem& fs, ServerOptions options = {});
@@ -119,13 +149,13 @@ class MiniWebServer {
   MiniWebServer(const MiniWebServer&) = delete;
   MiniWebServer& operator=(const MiniWebServer&) = delete;
 
-  /// Starts the accept loop and the worker pool.  Idempotent.
+  /// Starts the accept thread, the epoll event loop and the worker pool.
+  /// Idempotent.
   void start();
 
   /// Graceful drain, then stop.  Stops accepting, answers the queued
-  /// backlog with a clean 503 (instead of silently dropping it), unblocks
-  /// workers parked on idle keep-alive connections (their receives are
-  /// shut down; in-flight responses still transmit), waits up to
+  /// request backlog with a clean 503 (instead of silently dropping it),
+  /// closes parked idle keep-alive connections, waits up to
   /// drain_deadline_ms for in-flight requests to finish — escalating to a
   /// full connection shutdown on stragglers — and joins everything.
   /// Idempotent.
@@ -172,11 +202,32 @@ class MiniWebServer {
     return engine_.get();
   }
 
+  /// Hot-object cache counters (all zero when the cache is off).
+  [[nodiscard]] HotCacheStats hot_cache_stats() const {
+    return hot_cache_ != nullptr ? hot_cache_->stats() : HotCacheStats{};
+  }
+
  private:
+  /// Event-loop connection state (defined in server.cpp): socket, optional
+  /// fault decorator, buffered reader, served-request count.  Owned by the
+  /// loop; lent to exactly one worker at a time while `busy`.
+  struct Conn;
+
   void accept_loop();
+  void event_loop();
   void worker_loop();
-  void handle_connection(Socket socket);
-  void dispatch(Channel& channel, const HttpRequest& request, bool keep);
+  /// Serves `request` on a checked-out connection, then inline-drains any
+  /// complete pipelined requests already buffered in its reader (they need
+  /// no socket I/O, so bouncing them through the loop would only add
+  /// latency — and the old design's arm/disarm bug 408'd them).  Sets
+  /// `retire` when the connection must close instead of re-arming.
+  void process_request(Conn& conn, HttpRequest request,
+                       std::uint64_t parse_ns, bool& retire);
+  /// Wakes the event loop (eventfd write); safe from any thread while the
+  /// loop is alive.
+  void wake_loop();
+  void dispatch(Channel& channel, const HttpRequest& request, bool keep,
+                Conn* conn);
   void do_healthz(Channel& channel, bool keep);
   void do_metrics(Channel& channel, bool keep);
   void do_statz(Channel& channel, bool keep);
@@ -187,7 +238,8 @@ class MiniWebServer {
   /// "Retry-After: N\r\n" derived from the breaker's remaining cooldown
   /// (empty when no breaker is armed).
   [[nodiscard]] std::string retry_after_header() const;
-  void do_get(Channel& channel, const HttpRequest& request, bool keep);
+  void do_get(Channel& channel, const HttpRequest& request, bool keep,
+              Conn* conn);
   void do_post(Channel& channel, const HttpRequest& request, bool keep);
   std::string read_file_vm(const std::string& name);
   void record(RequestSample sample);
@@ -197,27 +249,47 @@ class MiniWebServer {
   std::unique_ptr<TcpListener> listener_;
   std::unique_ptr<vm::ExecutionEngine> engine_;
   std::thread accept_thread_;
+  std::thread loop_thread_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   std::atomic<bool> record_samples_{true};
   std::atomic<std::uint64_t> post_counter_{0};
 
-  // Accept-to-worker hand-off.  Each entry carries its enqueue timestamp
-  // so the worker that pops it can record the queue-wait stage span.
-  struct PendingConn {
-    Socket socket;
+  // Loop-to-worker hand-off: one entry per parsed request.  Each carries
+  // its enqueue timestamp so the worker that pops it can record the
+  // queue-wait stage span, and the parse duration the loop measured.
+  struct PendingRequest {
+    Conn* conn = nullptr;
+    HttpRequest request;
     std::int64_t enqueued_ns = 0;
+    std::uint64_t parse_ns = 0;
   };
-  std::deque<PendingConn> pending_;
+  std::deque<PendingRequest> pending_;
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
 
-  // Descriptors of connections currently inside a worker, so stop() can
-  // shut their receives down and unblock idle keep-alive reads.  Workers
-  // signal active_cv_ as they retire fds; stop()'s drain waits on it.
-  std::unordered_set<int> active_fds_;
-  std::mutex active_mutex_;
-  std::condition_variable active_cv_;
+  // Cross-thread mailboxes into the event loop, guarded by loop_mutex_ and
+  // signalled through wake_fd_: freshly accepted sockets in, finished
+  // connections back (rearm = park for the next request, else retire).
+  struct ConnReturn {
+    int fd = -1;
+    bool rearm = false;
+  };
+  std::mutex loop_mutex_;
+  std::vector<Socket> inbound_;
+  std::vector<ConnReturn> returns_;
+  int wake_fd_ = -1;   ///< eventfd; owned, lives from start() to stop()
+  int epoll_fd_ = -1;  ///< epoll set; owned, lives from start() to stop()
+  std::atomic<bool> draining_{false};   ///< stop(): close parked conns
+  std::atomic<bool> loop_stop_{false};  ///< stop(): exit the loop
+
+  // The zero-copy seams, resolved once at construction: the raw store
+  // behind fs_ when it is a RealFileStore (sendfile source), and whether
+  // sendfile works on this kernel/fs pairing (flips off after the first
+  // EINVAL/ENOSYS and stays off).
+  io::RealFileStore* real_store_ = nullptr;
+  std::atomic<bool> sendfile_ok_{true};
+  std::unique_ptr<HotObjectCache> hot_cache_;
 
   std::vector<RequestSample> samples_;
   mutable std::mutex samples_mutex_;
@@ -237,6 +309,9 @@ class MiniWebServer {
     std::atomic<std::uint64_t> timeouts_408{0};
     std::atomic<std::uint64_t> degraded_503{0};
     std::atomic<std::uint64_t> drained_503{0};
+    std::atomic<std::uint64_t> gather_responses{0};
+    std::atomic<std::uint64_t> sendfile_responses{0};
+    std::atomic<std::uint64_t> cache_responses{0};
   };
   Counters counters_;
 

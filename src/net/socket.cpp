@@ -1,9 +1,11 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <limits.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/sendfile.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/uio.h>
@@ -11,6 +13,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <vector>
 
 #include "util/error.hpp"
 
@@ -84,6 +87,58 @@ void Socket::send_parts(std::span<const std::byte> head,
   }
 }
 
+void Socket::send_gather(std::span<const std::byte> head,
+                         std::span<const std::span<const std::byte>> parts) {
+  check<IoError>(valid(), "Socket: send on closed socket");
+  std::vector<iovec> iov;
+  iov.reserve(parts.size() + 1);
+  if (!head.empty()) {
+    iov.push_back({const_cast<std::byte*>(head.data()), head.size()});
+  }
+  for (const auto part : parts) {
+    if (!part.empty()) {
+      iov.push_back({const_cast<std::byte*>(part.data()), part.size()});
+    }
+  }
+  // Kernels cap one sendmsg at IOV_MAX iovecs; batch and advance across
+  // partial sends by trimming the front of the array.
+  std::size_t at = 0;
+  while (at < iov.size()) {
+    const std::size_t batch =
+        std::min<std::size_t>(iov.size() - at, IOV_MAX);
+    msghdr msg{};
+    msg.msg_iov = iov.data() + at;
+    msg.msg_iovlen = batch;
+    const ssize_t r = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (r < 0 && errno == EINTR) continue;
+    check<IoError>(r > 0, std::string("Socket: sendmsg failed: ") +
+                              std::strerror(errno));
+    std::size_t left = static_cast<std::size_t>(r);
+    while (left > 0 && at < iov.size()) {
+      if (left >= iov[at].iov_len) {
+        left -= iov[at].iov_len;
+        ++at;
+      } else {
+        iov[at].iov_base = static_cast<char*>(iov[at].iov_base) + left;
+        iov[at].iov_len -= left;
+        left = 0;
+      }
+    }
+  }
+}
+
+std::ptrdiff_t Socket::recv_nonblock(void* out, std::size_t n) {
+  check<IoError>(valid(), "Socket: recv on closed socket");
+  while (true) {
+    const ssize_t r = ::recv(fd_, out, n, MSG_DONTWAIT);
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return -1;
+    check<IoError>(r >= 0, std::string("Socket: recv failed: ") +
+                               std::strerror(errno));
+    return static_cast<std::ptrdiff_t>(r);
+  }
+}
+
 std::size_t Socket::recv_some(void* out, std::size_t n) {
   check<IoError>(valid(), "Socket: recv on closed socket");
   while (true) {
@@ -116,6 +171,41 @@ void set_recv_timeout(int fd, int timeout_ms) {
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
+bool try_send_nonblock(int fd, std::string_view data) {
+  if (fd < 0) return false;
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t r = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) return false;  // would block or dead peer: give up
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool sendfile_all(int socket_fd, int file_fd, std::uint64_t offset,
+                  std::size_t count) {
+  off_t off = static_cast<off_t>(offset);
+  std::size_t left = count;
+  while (left > 0) {
+    const ssize_t r = ::sendfile(socket_fd, file_fd, &off, left);
+    if (r < 0 && errno == EINTR) continue;
+    if (r < 0 && (errno == EINVAL || errno == ENOSYS) && left == count) {
+      return false;  // this pairing can't sendfile; nothing sent, fall back
+    }
+    if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_SNDTIMEO expired on the blocking socket: the peer stopped
+      // reading mid-response — same IoError a timed-out send_all throws.
+      throw IoError("Socket: sendfile timed out");
+    }
+    check<IoError>(r > 0, std::string("Socket: sendfile failed: ") +
+                              std::strerror(errno));
+    left -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
 TcpListener::TcpListener(std::uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   check<IoError>(fd >= 0, "TcpListener: socket() failed");
@@ -131,7 +221,10 @@ TcpListener::TcpListener(std::uint16_t port) {
                         sizeof(addr)) == 0,
                  std::string("TcpListener: bind failed: ") +
                      std::strerror(errno));
-  check<IoError>(::listen(fd, 128) == 0, "TcpListener: listen failed");
+  // A deep backlog: the 10k mostly-idle soak opens thousands of
+  // connections back-to-back, faster than the 20 ms accept poll can be
+  // unlucky — the kernel clamps this to net.core.somaxconn anyway.
+  check<IoError>(::listen(fd, 1024) == 0, "TcpListener: listen failed");
 
   socklen_t len = sizeof(addr);
   check<IoError>(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr),

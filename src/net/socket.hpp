@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "net/channel.hpp"
 
@@ -28,10 +29,19 @@ class Socket final : public Channel {
   void send_all(const void* data, std::size_t n) override;
   /// Receives up to n bytes; returns 0 at orderly shutdown.
   [[nodiscard]] std::size_t recv_some(void* out, std::size_t n) override;
+  /// One recv(MSG_DONTWAIT): > 0 bytes, 0 orderly shutdown, -1 would
+  /// block.  Works on a blocking descriptor — the event loop never arms
+  /// O_NONBLOCK, so in-flight blocking sends keep their SO_SNDTIMEO bound.
+  [[nodiscard]] std::ptrdiff_t recv_nonblock(void* out,
+                                             std::size_t n) override;
   /// Gathers head + body into one writev(2) instead of copying them into
   /// a contiguous buffer first.
   void send_parts(std::span<const std::byte> head,
                   std::span<const std::byte> body) override;
+  /// Gathers head + N body parts (e.g. pinned buffer-pool pages) into
+  /// sendmsg(2) iovec batches — the zero-copy response path.
+  void send_gather(std::span<const std::byte> head,
+                   std::span<const std::span<const std::byte>> parts) override;
 
  private:
   int fd_ = -1;
@@ -53,6 +63,23 @@ void shutdown_connection(int fd);
 /// The server uses this to give idle keep-alive connections a tighter
 /// budget than the in-request read timeout.
 void set_recv_timeout(int fd, int timeout_ms);
+
+/// Best-effort bounded send on a descriptor owned elsewhere: every byte
+/// goes out MSG_DONTWAIT, and the first would-block or error abandons the
+/// attempt (returns false).  The event loop's control responses (the
+/// queue-full 503, 400, 408) use this — a peer that stopped reading must
+/// cost the loop nothing, and a fresh or idle connection's socket buffer
+/// always has room for a small response.
+bool try_send_nonblock(int fd, std::string_view data);
+
+/// Transmits `count` bytes of file_fd starting at `offset` to socket_fd via
+/// sendfile(2) — the kernel-side zero-copy response path.  Returns false if
+/// sendfile is unusable for this pairing (EINVAL/ENOSYS before any byte
+/// moved), so the caller can fall back; throws util::IoError on a
+/// connection error or on failure after partial progress (the response is
+/// torn either way).
+bool sendfile_all(int socket_fd, int file_fd, std::uint64_t offset,
+                  std::size_t count);
 
 /// Loopback TCP listener.  Binding port 0 picks an ephemeral port,
 /// retrievable via port() — tests and benches never collide.

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "io/file_store.hpp"
 #include "net/server.hpp"
@@ -109,6 +113,67 @@ TEST_F(LoadGenTest, WithoutKeepAliveEveryRequestReconnects) {
   server.stop();
   EXPECT_EQ(report.ok, 20u);
   EXPECT_EQ(server.stats().accepted, 20u);  // one connection per request
+}
+
+TEST_F(LoadGenTest, TimedOutRequestsAreCensoredNotDropped) {
+  // A server that accepts and then never answers: every request must time
+  // out, and each timeout must land in the latency histogram as a censored
+  // sample at (at least) the timeout bound instead of silently vanishing
+  // from the tail (survivorship bias).
+  TcpListener listener(0);
+  std::atomic<bool> stop{false};
+  std::thread sink([&] {
+    std::vector<Socket> held;
+    while (!stop.load()) {
+      try {
+        Socket s = listener.accept(50);
+        if (s.valid()) held.push_back(std::move(s));
+      } catch (const std::exception&) {
+        break;  // listener closed under us
+      }
+    }
+  });
+
+  LoadGenOptions options;
+  options.connections = 2;
+  options.requests_per_connection = 2;
+  options.keep_alive = false;
+  options.files = {"a.bin"};
+  options.recv_timeout_ms = 200;
+  const LoadReport report = LoadGenerator(options).run(listener.port());
+  stop.store(true);
+  sink.join();
+
+  EXPECT_EQ(report.ok, 0u);
+  EXPECT_EQ(report.errors, 4u);
+  EXPECT_EQ(report.failures.timeouts, 4u);
+  EXPECT_EQ(report.censored, 4u);
+  // The censored samples ARE in the distribution, at >= the timeout bound.
+  EXPECT_EQ(report.latency.count(), 4u);
+  EXPECT_GE(report.quantile_ms(0.5), 200.0 * 0.9);
+}
+
+TEST_F(LoadGenTest, OpenLoopModePacesTheOfferedRate) {
+  MiniWebServer server(fs_);
+  server.start();
+  LoadGenOptions options;
+  options.connections = 2;
+  options.requests_per_connection = 10;
+  options.keep_alive = true;
+  options.files = {"a.bin"};
+  // 100 req/s across 2 connections: each sends every 20 ms, so the fixed
+  // schedule alone stretches the run to ~180 ms even though the server
+  // answers in microseconds.
+  options.offered_rps = 100.0;
+  const LoadReport report = LoadGenerator(options).run(server.port());
+  server.stop();
+
+  EXPECT_EQ(report.ok, 20u);
+  EXPECT_EQ(report.errors, 0u);
+  EXPECT_GE(report.elapsed_s, 0.15);
+  // Against an unloaded server the scheduled sends are never late, so the
+  // measured-from-schedule latency stays far below the pacing interval.
+  EXPECT_LT(report.quantile_ms(0.5), 20.0);
 }
 
 TEST(FailureBreakdown, TotalsAndMerges) {

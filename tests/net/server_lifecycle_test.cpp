@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <optional>
 #include <thread>
 
+#include "io/fault_store.hpp"
 #include "io/file_store.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
@@ -130,78 +132,153 @@ TEST_F(ServerLifecycleTest, MakeColdRacesLiveRequests) {
   EXPECT_EQ(wrong.load(), 0u);
 }
 
+/// Rig for queue choreography: a FaultStore between the real store and the
+/// managed stack whose latency injection can park the single worker inside
+/// a storage op for a known duration.  doc.bin is served warm (pool-only,
+/// no injected latency); slow.bin stays cold so its first GET pays the
+/// injected backing-store stall.
+struct SlowStoreRig {
+  SlowStoreRig() {
+    auto real = std::make_unique<io::RealFileStore>(dir.path());
+    auto faulty = std::make_unique<io::FaultStore>(std::move(real));
+    fault = faulty.get();
+    fs.emplace(std::move(faulty), io::ManagedFsOptions{});
+    for (const char* name : {"doc.bin", "slow.bin"}) {
+      auto file = fs->open(name, io::OpenMode::kTruncate);
+      std::string content(8192, '\0');
+      for (std::size_t i = 0; i < content.size(); ++i) {
+        content[i] = static_cast<char>('a' + (i * 13) % 26);
+      }
+      file.write(std::as_bytes(
+          std::span<const char>(content.data(), content.size())));
+      file.close();
+    }
+    // The writes above left both files' pages resident: drop them so
+    // slow.bin is genuinely cold when the stall plan arms.
+    fs->drop_caches();
+  }
+
+  /// Blocks until the server's worker has opened one more file than
+  /// `opens_before` — the proof that it popped a request off the queue and
+  /// is now inside do_get (about to stall on the cold read).
+  void wait_for_open(std::uint64_t opens_before) {
+    for (int i = 0; i < 5000 &&
+                    fs->stats().op_snapshot(io::IoOp::kOpen).count <=
+                        opens_before;
+         ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GT(fs->stats().op_snapshot(io::IoOp::kOpen).count, opens_before);
+  }
+
+  util::TempDir dir;
+  io::FaultStore* fault = nullptr;
+  std::optional<io::ManagedFileSystem> fs;
+};
+
+/// Every backing data op sleeps this long once the stall plan is armed:
+/// long enough that the queue choreography around it (a few loopback
+/// round-trips) can never outrun the stalled worker, short enough to keep
+/// the test quick.
+constexpr std::uint32_t kStallUs = 1'500'000;
+
 TEST_F(ServerLifecycleTest, QueueFullBackpressureReturns503) {
+  SlowStoreRig rig;
   ServerOptions options;
   options.worker_threads = 1;
   options.max_pending = 1;
-  MiniWebServer server(fs_, options);
+  MiniWebServer server(*rig.fs, options);
   server.start();
 
-  // Occupy the only worker deterministically: complete one keep-alive
-  // request (so the worker provably owns this connection), then go silent —
-  // the worker is now parked in recv for request #2.
+  // Warm doc.bin into the pool, then arm the stall: serving doc.bin again
+  // never touches the backing store, serving cold slow.bin stalls on it.
+  {
+    HttpClient warm(server.port());
+    ASSERT_EQ(warm.get("/doc.bin").status, 200);
+  }
+  io::FaultPlan plan;
+  plan.latency_prob = 1.0;
+  plan.latency_us = kStallUs;
+  rig.fault->set_plan(plan);
+
+  // Occupy the only worker deterministically: the cold GET is popped off
+  // the queue (leaving it empty again) and stalls in the storage op.
+  const auto opens =
+      rig.fs->stats().op_snapshot(io::IoOp::kOpen).count;
   Socket busy = connect_loopback(server.port());
   HttpReader busy_reader(busy);
-  const std::string first = "GET /doc.bin HTTP/1.1\r\n\r\n";
-  busy.send_all(first.data(), first.size());
-  ASSERT_EQ(busy_reader.read_response().status, 200);
+  const std::string slow = "GET /slow.bin HTTP/1.1\r\n\r\n";
+  busy.send_all(slow.data(), slow.size());
+  rig.wait_for_open(opens);
 
-  // Fill the single queue slot with a second pending connection.  The
-  // accept loop is one thread, so by the time it accepts a later
-  // connection this one is already queued.
+  // Fill the single queue slot with a second request.
   Socket queued = connect_loopback(server.port());
   const std::string q = "GET /doc.bin HTTP/1.1\r\nConnection: close\r\n\r\n";
   queued.send_all(q.data(), q.size());
-  for (int i = 0; i < 2000 && server.stats().accepted < 2; ++i) {
+  for (int i = 0; i < 2000 && server.stats().requests < 2; ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+  ASSERT_GE(server.stats().requests, 2u);
 
-  // The third connection must be rejected promptly with 503, not parked.
+  // A third request must be rejected promptly with 503, not parked — and
+  // the rejection must not block the event loop (it goes out best-effort
+  // non-blocking).
   Socket rejected = connect_loopback(server.port());
+  rejected.send_all(q.data(), q.size());
   const auto response = read_response(rejected);
   EXPECT_EQ(response.status, 503);
   EXPECT_FALSE(response.keep_alive);
   EXPECT_GE(server.stats().rejected_503, 1u);
 
-  // Release the stalled worker; the queued request is then served.
-  const std::string second = "GET /doc.bin HTTP/1.1\r\nConnection: close\r\n\r\n";
-  busy.send_all(second.data(), second.size());
+  // The stall elapses: the in-flight request completes, then the queued
+  // one is served.
   EXPECT_EQ(busy_reader.read_response().status, 200);
   EXPECT_EQ(read_response(queued).status, 200);
   server.stop();
 }
 
 TEST_F(ServerLifecycleTest, StopAnswersQueuedBacklogWith503) {
-  // A connection sitting in the pending queue when stop() begins used to
-  // be silently dropped — the fd was closed without a byte ever sent.
-  // The drain must answer it with an explicit 503 instead.
+  // A request sitting in the pending queue when stop() begins used to be
+  // silently dropped — the fd was closed without a byte ever sent.  The
+  // drain must answer it with an explicit 503 instead.
+  SlowStoreRig rig;
   ServerOptions options;
   options.worker_threads = 1;
   options.max_pending = 4;
-  MiniWebServer server(fs_, options);
+  MiniWebServer server(*rig.fs, options);
   server.start();
 
-  // Park the only worker: one completed keep-alive request proves the
-  // worker owns this connection, then the client goes silent.
-  Socket busy = connect_loopback(server.port());
-  HttpReader busy_reader(busy);
-  const std::string first = "GET /doc.bin HTTP/1.1\r\n\r\n";
-  busy.send_all(first.data(), first.size());
-  ASSERT_EQ(busy_reader.read_response().status, 200);
+  {
+    HttpClient warm(server.port());
+    ASSERT_EQ(warm.get("/doc.bin").status, 200);
+  }
+  io::FaultPlan plan;
+  plan.latency_prob = 1.0;
+  plan.latency_us = kStallUs;
+  rig.fault->set_plan(plan);
 
-  // Two further connections land in the queue behind the parked worker.
+  // Park the only worker inside the cold GET's storage stall.
+  const auto opens =
+      rig.fs->stats().op_snapshot(io::IoOp::kOpen).count;
+  Socket busy = connect_loopback(server.port());
+  const std::string slow = "GET /slow.bin HTTP/1.1\r\n\r\n";
+  busy.send_all(slow.data(), slow.size());
+  rig.wait_for_open(opens);
+
+  // Two further requests land in the queue behind the stalled worker.
   Socket queued_a = connect_loopback(server.port());
   Socket queued_b = connect_loopback(server.port());
   const std::string q = "GET /doc.bin HTTP/1.1\r\nConnection: close\r\n\r\n";
   queued_a.send_all(q.data(), q.size());
   queued_b.send_all(q.data(), q.size());
-  for (int i = 0; i < 2000 && server.stats().accepted < 3; ++i) {
+  for (int i = 0; i < 2000 && server.stats().requests < 3; ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
+  ASSERT_GE(server.stats().requests, 3u);
 
   server.stop();
 
-  // Every queued connection got a complete, well-formed rejection.
+  // Every queued request got a complete, well-formed rejection.
   for (Socket* queued : {&queued_a, &queued_b}) {
     const auto response = read_response(*queued);
     EXPECT_EQ(response.status, 503);

@@ -315,6 +315,13 @@ TEST_F(ServerTest, MakeColdResetsCaches) {
   HttpClient client(server.port());
   static_cast<void>(client.get("/large.jpg"));
   wait_for_samples(server, 1);
+  // Samples are recorded before the send, so the worker may still hold the
+  // gather path's page pins here — and pinned pages survive make_cold(),
+  // which would leave the "cold" GET warm.  responses_ok increments only
+  // after the pins are released; sync on it.
+  for (int i = 0; i < 1000 && server.stats().responses_ok < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   server.make_cold();
   const auto before_cold = fs_.pool().stats();
   static_cast<void>(client.get("/large.jpg"));  // cold again

@@ -21,7 +21,12 @@
 //   CLIO_STRESS_OPS   — requests per client thread (default 250)
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -44,6 +49,16 @@ std::vector<std::uint64_t> seeds_under_test() {
     return {std::strtoull(env, nullptr, 10)};
   }
   return {21, 22, 23};
+}
+
+/// Open fds in this process right now — the soak's leak oracle.
+std::size_t count_open_fds() {
+  std::size_t n = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    ++n;
+  }
+  return n;
 }
 
 std::uint64_t requests_per_client() {
@@ -230,6 +245,10 @@ TEST(WebStress, SeededRequestMixUnderNetFaults) {
     options.worker_threads = 4;
     options.max_pending = 16;
     options.fault_injector = &injector;
+    // The hot cache rides the storm too: a stale or torn cached body would
+    // fail the byte-exact oracle, and the 25% POST mix exercises the
+    // invalidate-on-write contract continuously.
+    options.hot_cache_entries = 4;
     MiniWebServer server(fs, options);
     server.start();
 
@@ -266,6 +285,184 @@ TEST(WebStress, SeededRequestMixUnderNetFaults) {
 
     expect_clean(result, server.stats(), injector.stats(), seed);
   }
+}
+
+TEST(WebStress, MostlyIdleConnectionSoak) {
+  // The C10K soak: thousands of keep-alive connections, nearly all parked
+  // idle, over a handful of workers — the workload the event loop exists
+  // for — under the seeded net fault plan, with the served-byte oracle,
+  // a drain-deadline check on stop() and fd-leak accounting at the end.
+  //
+  //   CLIO_SOAK_CONNS  — target connection count (default 2000; CI's
+  //                      stress-soak job raises ulimit -n and asks for
+  //                      10000, the TSan job scales down to 500)
+  struct rlimit nofile {};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &nofile), 0);
+  if (nofile.rlim_cur < nofile.rlim_max) {
+    nofile.rlim_cur = nofile.rlim_max;  // best effort; cap re-checked below
+    (void)setrlimit(RLIMIT_NOFILE, &nofile);
+    ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &nofile), 0);
+  }
+  std::size_t target = 2000;
+  if (const char* env = std::getenv("CLIO_SOAK_CONNS")) {
+    target = std::strtoull(env, nullptr, 10);
+  }
+  // Each connection costs two fds (client + server end); keep headroom for
+  // the suite's own files, the pool and the listener/epoll/eventfd set.
+  const std::size_t conns = std::min<std::size_t>(
+      target,
+      (static_cast<std::size_t>(nofile.rlim_cur) - 512) / 2);
+  const std::uint64_t seed = seeds_under_test().front();
+
+  const std::size_t fds_before = count_open_fds();
+  util::TempDir dir("clio-webstress");
+  io::ManagedFileSystem fs(std::make_unique<io::RealFileStore>(dir.path()),
+                           io::ManagedFsOptions{});
+  std::string content(8192, '\0');
+  for (std::size_t b = 0; b < content.size(); ++b) {
+    content[b] = static_cast<char>('a' + (b * 31) % 26);
+  }
+  {
+    auto file = fs.open("doc.bin", io::OpenMode::kTruncate);
+    file.write(std::as_bytes(
+        std::span<const char>(content.data(), content.size())));
+    file.close();
+  }
+
+  NetFaultInjector injector(storm_plan(seed));
+  ServerOptions options;
+  options.worker_threads = 8;
+  options.max_pending = 64;
+  options.fault_injector = &injector;
+  options.hot_cache_entries = 4;
+  options.drain_deadline_ms = 2000;
+  MiniWebServer server(fs, options);
+  server.start();
+
+  // Phase 1: park the herd.  Every connection does one GET (byte-checked)
+  // and then goes silent.  Injected faults fail individual setups; those
+  // connections are simply not parked.
+  std::mutex mutex;
+  std::vector<Socket> parked;
+  std::uint64_t client_get_bytes = 0;
+  std::uint64_t setup_errors = 0;
+  const std::string wire =
+      "GET /doc.bin HTTP/1.1\r\nConnection: keep-alive\r\n\r\n";
+  {
+    const std::size_t spinners = 8;
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < spinners; ++t) {
+      threads.emplace_back([&, t] {
+        std::vector<Socket> local;
+        std::uint64_t local_bytes = 0;
+        std::uint64_t local_errors = 0;
+        for (std::size_t i = t; i < conns; i += spinners) {
+          try {
+            Socket s = connect_loopback(server.port());
+            set_recv_timeout(s.fd(), 10000);
+            s.send_all(wire.data(), wire.size());
+            const auto response = read_response(s);
+            if (response.status == 200 && response.body == content &&
+                response.keep_alive) {
+              local_bytes += response.body.size();
+              local.push_back(std::move(s));
+            } else if (response.status == 200) {
+              ++local_errors;  // torn body would fail the oracle below
+            } else {
+              ++local_errors;
+            }
+          } catch (const std::exception&) {
+            ++local_errors;  // injected accept drop / recv fault
+          }
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        client_get_bytes += local_bytes;
+        setup_errors += local_errors;
+        for (auto& s : local) parked.push_back(std::move(s));
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  // The storm must not have eaten the herd: the point is mostly-idle mass.
+  ASSERT_GT(parked.size(), conns / 2)
+      << "seed " << seed << ": only " << parked.size() << " of " << conns
+      << " connections survived setup";
+
+  // Phase 2: a small active mix keeps the workers busy while the herd
+  // sits parked — proving idle connections cost fds, not throughput.
+  {
+    std::vector<std::thread> actives;
+    std::atomic<std::uint64_t> active_bytes{0};
+    for (int c = 0; c < 4; ++c) {
+      actives.emplace_back([&, c] {
+        HttpClient client(server.port(), /*keep_alive=*/true);
+        std::uint64_t local = 0;
+        for (int r = 0; r < 100; ++r) {
+          try {
+            const auto response = client.get("/doc.bin");
+            if (response.status == 200) {
+              EXPECT_EQ(response.body, content)
+                  << "seed " << seed << " active client " << c;
+              local += response.body.size();
+            }
+          } catch (const std::exception&) {
+          }
+        }
+        active_bytes.fetch_add(local);
+      });
+    }
+    for (auto& t : actives) t.join();
+    client_get_bytes += active_bytes.load();
+  }
+
+  // Phase 3: poke a sample of the parked herd — a parked connection is
+  // alive, not merely unclosed.  Faults can still kill individual pokes.
+  std::uint64_t poked_ok = 0;
+  for (std::size_t i = 0; i < parked.size(); i += 64) {
+    try {
+      parked[i].send_all(wire.data(), wire.size());
+      const auto response = read_response(parked[i]);
+      if (response.status == 200) {
+        EXPECT_EQ(response.body, content) << "seed " << seed << " poke " << i;
+        client_get_bytes += response.body.size();
+        ++poked_ok;
+      }
+    } catch (const std::exception&) {
+    }
+  }
+  EXPECT_GT(poked_ok, 0u) << "seed " << seed;
+
+  // Clean drain exchange, then stop() with the drain-deadline stopwatch:
+  // closing thousands of parked fds must not stretch the shutdown.
+  injector.arm(false);
+  {
+    HttpClient fresh(server.port());
+    const auto response = fresh.get("/doc.bin");
+    EXPECT_EQ(response.status, 200) << "seed " << seed;
+    EXPECT_EQ(response.body, content) << "seed " << seed;
+    if (response.status == 200) client_get_bytes += response.body.size();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  server.stop();
+  const auto stop_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  EXPECT_LT(stop_ms, options.drain_deadline_ms + 5000)
+      << "seed " << seed << ": stop() took " << stop_ms
+      << " ms against a " << options.drain_deadline_ms << " ms drain deadline";
+
+  // Served-byte oracle across all phases, storm included.
+  EXPECT_EQ(client_get_bytes, server.stats().get_body_bytes_sent)
+      << "seed " << seed << " (reproduce with CLIO_STRESS_SEED=" << seed
+      << ", CLIO_SOAK_CONNS=" << conns << ")";
+  EXPECT_GT(injector.stats().total_faults(), 0u) << "seed " << seed;
+
+  // Fd accounting: with the client ends gone and the server stopped, the
+  // process is back to its pre-test baseline (listener, epoll set,
+  // eventfd and every one of the thousands of connection fds released).
+  parked.clear();
+  EXPECT_LE(count_open_fds(), fds_before + 16)
+      << "seed " << seed << ": fd leak across the soak";
 }
 
 TEST(WebStress, BackpressureUnderStormNeverWedgesTheServer) {
