@@ -1,0 +1,73 @@
+#include "apps/dmine/candidate_count.hpp"
+
+#include "util/error.hpp"
+
+namespace clio::apps::dmine {
+
+using util::check;
+using util::ConfigError;
+
+std::vector<std::byte> encode_fixed_records(
+    const std::vector<std::vector<std::uint8_t>>& baskets) {
+  std::vector<std::byte> out(baskets.size() * kFixedRecordBytes);
+  for (std::size_t b = 0; b < baskets.size(); ++b) {
+    const auto& basket = baskets[b];
+    check<ConfigError>(basket.size() <= kMaxFixedItems,
+                       "encode_fixed_records: basket too large");
+    std::byte* rec = out.data() + b * kFixedRecordBytes;
+    rec[0] = static_cast<std::byte>(basket.size());
+    for (std::size_t i = 0; i < basket.size(); ++i) {
+      rec[1 + i] = static_cast<std::byte>(basket[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<std::byte> pack_candidates(
+    const std::vector<std::vector<std::uint8_t>>& candidates,
+    std::size_t k) {
+  check<ConfigError>(k > 0, "pack_candidates: k must be > 0");
+  std::vector<std::byte> out(candidates.size() * k);
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    check<ConfigError>(candidates[c].size() == k,
+                       "pack_candidates: candidate arity mismatch");
+    for (std::size_t i = 0; i < k; ++i) {
+      out[c * k + i] = static_cast<std::byte>(candidates[c][i]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t count_support(std::span<const std::byte> records,
+                            std::span<const std::byte> candidates,
+                            std::size_t k) {
+  check<ConfigError>(k > 0, "count_support: k must be > 0");
+  check<ConfigError>(records.size() % kFixedRecordBytes == 0,
+                     "count_support: partial record");
+  check<ConfigError>(candidates.size() % k == 0,
+                     "count_support: partial candidate");
+  const std::size_t num_candidates = candidates.size() / k;
+  std::uint64_t total = 0;
+  for (std::size_t off = 0; off < records.size(); off += kFixedRecordBytes) {
+    const std::byte* rec = records.data() + off;
+    const auto n = std::to_integer<std::size_t>(rec[0]);
+    for (std::size_t c = 0; c < num_candidates; ++c) {
+      const std::byte* cand = candidates.data() + c * k;
+      bool all = true;
+      for (std::size_t i = 0; i < k && all; ++i) {
+        bool found = false;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (rec[1 + j] == cand[i]) {
+            found = true;
+            break;
+          }
+        }
+        all = found;
+      }
+      if (all) ++total;
+    }
+  }
+  return total;
+}
+
+}  // namespace clio::apps::dmine

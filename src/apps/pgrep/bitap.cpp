@@ -1,5 +1,6 @@
 #include "apps/pgrep/bitap.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/error.hpp"
@@ -62,6 +63,39 @@ std::vector<std::size_t> Bitap::find(std::string_view text) const {
 
 bool Bitap::contains(std::string_view text) const {
   return !scan<true>(text).empty();
+}
+
+BitapStreamScanner::BitapStreamScanner(const Bitap& matcher)
+    : matcher_(&matcher), r_(matcher.max_errors() + 1, 0) {}
+
+std::uint64_t BitapStreamScanner::feed(std::string_view chunk) {
+  // Same Wu-Manber recurrence as Bitap::scan, but R survives between calls
+  // instead of restarting at zero per text.
+  const unsigned k = matcher_->max_errors();
+  const std::uint64_t accept = matcher_->accept_bit();
+  std::uint64_t found = 0;
+  for (const char ch : chunk) {
+    const std::uint64_t mask =
+        matcher_->char_mask(static_cast<unsigned char>(ch));
+    std::uint64_t prev_old = r_[0];
+    r_[0] = ((r_[0] << 1) | 1ULL) & mask;
+    std::uint64_t prev_new = r_[0];
+    for (unsigned d = 1; d <= k; ++d) {
+      const std::uint64_t old_rd = r_[d];
+      r_[d] = (((r_[d] << 1) | 1ULL) & mask) | prev_old | (prev_old << 1) |
+              (prev_new << 1) | ((1ULL << d) - 1);
+      prev_old = old_rd;
+      prev_new = r_[d];
+    }
+    if (r_[k] & accept) ++found;
+  }
+  matches_ += found;
+  return found;
+}
+
+void BitapStreamScanner::reset() {
+  std::fill(r_.begin(), r_.end(), 0);
+  matches_ = 0;
 }
 
 }  // namespace clio::apps::pgrep

@@ -32,6 +32,13 @@ class Bitap {
   [[nodiscard]] const std::string& pattern() const { return pattern_; }
   [[nodiscard]] unsigned max_errors() const { return max_errors_; }
 
+  /// The shift-and automaton tables, exposed for incremental scanners and
+  /// for ports of the kernel (the VM bitap module builds the same tables).
+  [[nodiscard]] std::uint64_t char_mask(unsigned char c) const {
+    return char_masks_[c];
+  }
+  [[nodiscard]] std::uint64_t accept_bit() const { return accept_bit_; }
+
  private:
   template <bool kEarlyOut>
   std::vector<std::size_t> scan(std::string_view text) const;
@@ -40,6 +47,31 @@ class Bitap {
   unsigned max_errors_;
   std::uint64_t char_masks_[256];
   std::uint64_t accept_bit_;
+};
+
+/// Incremental counterpart of Bitap::find for chunked streams: the match
+/// automaton state (the R vector) carries across feed() calls, so a pattern
+/// straddling two read chunks is still found.  This is the native core of
+/// the managed-vs-native pgrep benchmark axis — the VM bitap kernel and
+/// this scanner consume the same file through the same ManagedFileSystem
+/// and must report the same match count.
+class BitapStreamScanner {
+ public:
+  explicit BitapStreamScanner(const Bitap& matcher);
+
+  /// Consumes one chunk; returns the number of matches ending inside it.
+  std::uint64_t feed(std::string_view chunk);
+
+  /// Total matches across every chunk fed since construction/reset().
+  [[nodiscard]] std::uint64_t matches() const { return matches_; }
+
+  /// Rewinds the automaton to the start-of-text state.
+  void reset();
+
+ private:
+  const Bitap* matcher_;
+  std::vector<std::uint64_t> r_;
+  std::uint64_t matches_ = 0;
 };
 
 }  // namespace clio::apps::pgrep

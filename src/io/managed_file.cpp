@@ -191,7 +191,7 @@ void ManagedFile::read_exact(std::span<std::byte> out) {
                  "ManagedFile: short read from '" + name_ + "'");
 }
 
-void ManagedFile::write(std::span<const std::byte> data) {
+std::size_t ManagedFile::write(std::span<const std::byte> data) {
   check<IoError>(fs_ != nullptr, "ManagedFile: write on closed file");
   Stopwatch watch;
   const std::size_t page_size = fs_->pool_->page_size();
@@ -212,6 +212,7 @@ void ManagedFile::write(std::span<const std::byte> data) {
   position_ += total;
   const double ms = watch.elapsed_ms();
   fs_->stats_.record(IoOp::kWrite, total, ms);
+  return total;
 }
 
 void ManagedFile::seek(std::uint64_t pos) {

@@ -115,8 +115,12 @@ class ManagedFile {
   void read_exact(std::span<std::byte> out);
 
   /// Writes all bytes at the current position, extending the file.  Timed
-  /// as a Write.
-  void write(std::span<const std::byte> data);
+  /// as a Write.  Returns the count actually accepted into the stream —
+  /// callers that report bytes written (e.g. the VM's file_write syscall)
+  /// must echo this, not the requested count.  A failure mid-write (a
+  /// faulting page load under a partial-page write) throws instead, with
+  /// the position unchanged past the accepted prefix.
+  std::size_t write(std::span<const std::byte> data);
 
   /// Moves the stream position (absolute, from the beginning — the paper's
   /// replay semantics).  Touches the target page when prefetch_on_seek is

@@ -161,8 +161,8 @@ class RetryingAsyncStore final : public AsyncBackingStore {
     bool settled = false;
     bool retried = false;
     bool awaiting_resubmit = false;
-    Clock::time_point next_attempt;  ///< earliest re-submission time
-    AsyncCompletion result;
+    Clock::time_point next_attempt{};  ///< earliest re-submission time
+    AsyncCompletion result{};
     bool delivered = false;
   };
 

@@ -26,6 +26,8 @@ constexpr std::array<SysInfo, static_cast<std::size_t>(
         {"str_len", 1},
         {"rand_seed", 1},
         {"rand_next", 1},
+        {"buf_new", 1},
+        {"buf_len", 1},
     }};
 
 }  // namespace

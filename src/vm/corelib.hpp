@@ -16,14 +16,19 @@ enum class SysCall : std::uint16_t {
   kClockNs = 1,    ///< () -> i64          : monotonic nanoseconds
   kFileOpen = 2,   ///< (name str, mode) -> handle
   kFileClose = 3,  ///< (handle) -> 0
-  kFileRead = 4,   ///< (handle, array, count) -> bytes read; one byte per
-                   ///< element, stored as i64
-  kFileWrite = 5,  ///< (handle, array, count) -> bytes written
+  kFileRead = 4,   ///< (handle, array|buffer, count) -> bytes read.  With a
+                   ///< byte buffer, bytes land in the buffer's contiguous
+                   ///< storage directly (the managed I/O fast path); with a
+                   ///< Value array each byte is boxed as an i64 element.
+  kFileWrite = 5,  ///< (handle, array|buffer, count) -> bytes written (the
+                   ///< count the stream actually accepted, not the request)
   kFileSeek = 6,   ///< (handle, pos) -> 0
   kFileSize = 7,   ///< (handle) -> i64
   kStrLen = 8,     ///< (str) -> i64
   kRandSeed = 9,   ///< (seed) -> 0        : reseed the engine RNG
   kRandNext = 10,  ///< (bound) -> u64 in [0, bound)
+  kBufNew = 11,    ///< (len) -> new zero-filled byte buffer object
+  kBufLen = 12,    ///< (buffer) -> i64
   kSysCallCount_,
 };
 

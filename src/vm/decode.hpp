@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/module.hpp"
+#include "vm/opcodes.hpp"
+
+namespace clio::vm {
+
+/// One linearly-decoded instruction before branch resolution: the opcode,
+/// the byte offset it was decoded at, and its raw operand bits (for
+/// kLdcF64 the operand holds the f64 bit pattern).
+struct RawInsn {
+  Op op = Op::kNop;
+  std::uint32_t offset = 0;
+  std::uint64_t operand = 0;
+};
+
+/// The single boundary contract shared by the verifier and the JIT: one
+/// decode pass over a method body, producing the instruction list and the
+/// byte-offset -> instruction-index map.  Both consumers resolve branch
+/// targets through branch_target() below, so an offset the decode pass did
+/// not mark as a boundary (mid-instruction, or one past the end of the
+/// code) fails the same typed way everywhere — it can never escape one
+/// layer as a raw std::out_of_range while passing the other.
+struct DecodedStream {
+  std::vector<RawInsn> insns;
+  std::unordered_map<std::uint32_t, std::size_t> boundary_to_index;
+};
+
+/// Decodes `method` linearly.  Throws util::VerifyError on an unknown
+/// opcode or a truncated operand.
+[[nodiscard]] DecodedStream decode_stream(const MethodDef& method);
+
+/// Resolves a branch byte offset to an instruction index; throws
+/// util::VerifyError naming the method when the offset is not an
+/// instruction boundary.
+[[nodiscard]] std::size_t branch_target(const DecodedStream& stream,
+                                        std::uint64_t offset,
+                                        const MethodDef& method);
+
+}  // namespace clio::vm

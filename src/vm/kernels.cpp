@@ -1,0 +1,256 @@
+#include "vm/kernels.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace clio::vm::kernels {
+
+// args: 0 name, 1 masks (i64 array[256]), 2 accept, 3 chunk_bytes
+// locals: 0 handle, 1 buf, 2 r, 3 count, 4 got, 5 i
+const char* const kBitapSource = R"(
+.method bitap_file 4 6
+  ldarg 0
+  ldc 0
+  syscall file_open
+  stloc 0
+  ldarg 3
+  syscall buf_new
+  stloc 1
+  ldc 0
+  stloc 2
+  ldc 0
+  stloc 3
+read_loop:
+  ldloc 0
+  ldloc 1
+  ldarg 3
+  syscall file_read
+  stloc 4
+  ldloc 4
+  brfalse done
+  ldc 0
+  stloc 5
+scan:
+  ldloc 5
+  ldloc 4
+  cmpge
+  brtrue read_loop
+  ; r = ((r << 1) | 1) & masks[buf[i]]
+  ldloc 2
+  ldc 1
+  shl
+  ldc 1
+  or
+  ldarg 1
+  ldloc 1
+  ldloc 5
+  ldelem
+  ldelem
+  and
+  stloc 2
+  ; count += (r & accept) != 0
+  ldloc 2
+  ldarg 2
+  and
+  brfalse next
+  ldloc 3
+  ldc 1
+  add
+  stloc 3
+next:
+  ldloc 5
+  ldc 1
+  add
+  stloc 5
+  br scan
+done:
+  ldloc 0
+  syscall file_close
+  pop
+  ldloc 3
+  ret
+.end
+)";
+
+// args: 0 name, 1 candidates buffer, 2 k, 3 chunk_bytes
+// locals: 0 handle, 1 buf, 2 got, 3 total, 4 rec, 5 numc,
+//         6 n, 7 c, 8 i, 9 j, 10 item, 11 found
+const char* const kDmineSource = R"(
+.method dmine_count 4 12
+  ldarg 1
+  syscall buf_len
+  ldarg 2
+  div
+  stloc 5
+  ldarg 0
+  ldc 0
+  syscall file_open
+  stloc 0
+  ldarg 3
+  syscall buf_new
+  stloc 1
+  ldc 0
+  stloc 3
+read_loop:
+  ldloc 0
+  ldloc 1
+  ldarg 3
+  syscall file_read
+  stloc 2
+  ldloc 2
+  brfalse done
+  ldc 0
+  stloc 4
+rec_loop:
+  ldloc 4
+  ldloc 2
+  cmpge
+  brtrue read_loop
+  ; n = buf[rec] (item count of this basket)
+  ldloc 1
+  ldloc 4
+  ldelem
+  stloc 6
+  ldc 0
+  stloc 7
+cand_loop:
+  ldloc 7
+  ldloc 5
+  cmpge
+  brtrue rec_next
+  ldc 0
+  stloc 8
+item_loop:
+  ldloc 8
+  ldarg 2
+  cmpge
+  brtrue cand_hit
+  ; item = candidates[c * k + i]
+  ldarg 1
+  ldloc 7
+  ldarg 2
+  mul
+  ldloc 8
+  add
+  ldelem
+  stloc 10
+  ; linear-scan the basket's n item bytes for it
+  ldc 0
+  stloc 11
+  ldc 0
+  stloc 9
+scan_loop:
+  ldloc 9
+  ldloc 6
+  cmpge
+  brtrue scan_done
+  ldloc 1
+  ldloc 4
+  ldc 1
+  add
+  ldloc 9
+  add
+  ldelem
+  ldloc 10
+  cmpeq
+  brfalse scan_next
+  ldc 1
+  stloc 11
+  br scan_done
+scan_next:
+  ldloc 9
+  ldc 1
+  add
+  stloc 9
+  br scan_loop
+scan_done:
+  ldloc 11
+  brfalse cand_next
+  ldloc 8
+  ldc 1
+  add
+  stloc 8
+  br item_loop
+cand_hit:
+  ldloc 3
+  ldc 1
+  add
+  stloc 3
+cand_next:
+  ldloc 7
+  ldc 1
+  add
+  stloc 7
+  br cand_loop
+rec_next:
+  ldloc 4
+  ldc 16
+  add
+  stloc 4
+  br rec_loop
+done:
+  ldloc 0
+  syscall file_close
+  pop
+  ldloc 3
+  ret
+.end
+)";
+
+// args: 0 n; locals: 0 i, 1 acc
+const char* const kSpinSource = R"(
+.method spin_sum 1 2
+  ldc 0
+  stloc 0
+  ldc 0
+  stloc 1
+loop:
+  ldloc 0
+  ldarg 0
+  cmpge
+  brtrue done
+  ldloc 1
+  ldloc 0
+  add
+  stloc 1
+  ldloc 0
+  ldc 1
+  add
+  stloc 0
+  br loop
+done:
+  ldloc 1
+  ret
+.end
+)";
+
+Value bitap_masks(std::string_view pattern) {
+  util::check<util::ConfigError>(!pattern.empty() && pattern.size() <= 63,
+                                 "bitap_masks: pattern must be 1..63 bytes");
+  std::vector<Value> masks(256, Value::from_int(0));
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const auto c = static_cast<unsigned char>(pattern[i]);
+    masks[c] = Value::from_int(masks[c].as_int() |
+                               static_cast<std::int64_t>(1ULL << i));
+  }
+  return Value::from_obj(std::make_shared<Obj>(std::move(masks)));
+}
+
+Value bitap_accept(std::string_view pattern) {
+  util::check<util::ConfigError>(!pattern.empty() && pattern.size() <= 63,
+                                 "bitap_accept: pattern must be 1..63 bytes");
+  return Value::from_int(
+      static_cast<std::int64_t>(1ULL << (pattern.size() - 1)));
+}
+
+Value make_buffer(std::span<const std::byte> bytes) {
+  return Value::from_obj(std::make_shared<Obj>(
+      std::vector<std::byte>(bytes.begin(), bytes.end())));
+}
+
+Value make_string(std::string s) {
+  return Value::from_obj(std::make_shared<Obj>(std::move(s)));
+}
+
+}  // namespace clio::vm::kernels

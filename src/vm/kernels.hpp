@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "vm/module.hpp"
+
+namespace clio::vm::kernels {
+
+/// VM assembly ports of the two paper workloads' inner loops, so the
+/// benchmark can time the SAME kernel twice — once as managed bytecode on
+/// the ExecutionEngine, once as native C++ — over the SAME
+/// ManagedFileSystem.  That difference is the paper's headline axis:
+/// managed-runtime overhead on I/O-intensive computing.
+///
+/// `kBitapSource` defines method `bitap_file(name, masks, accept, chunk)`:
+/// exact (k = 0) shift-and matching à la Pgrep.  `name` is the file to scan,
+/// `masks` a 256-entry i64 array (see bitap_masks), `accept` the accept bit
+/// (1 << (pattern_len - 1)), `chunk` the read-buffer size.  Returns the
+/// number of match end positions.  The automaton register survives across
+/// chunk reads, so matches straddling chunk boundaries count.
+extern const char* const kBitapSource;
+
+/// `kDmineSource` defines method `dmine_count(name, candidates, k, chunk)`:
+/// Apriori candidate counting à la Dmine over the fixed 16-byte basket
+/// records of apps/dmine/candidate_count.hpp.  `candidates` is a byte
+/// buffer of num_candidates * k item ids, `chunk` must be a multiple of 16.
+/// Returns total support summed over all candidates.
+extern const char* const kDmineSource;
+
+/// `kSpinSource` defines method `spin_sum(n)`: a tight arithmetic loop
+/// (about six instructions per iteration) returning sum(0..n-1), used to
+/// measure raw interpreter dispatch throughput.
+extern const char* const kSpinSource;
+
+/// Builds the `masks` argument for bitap_file: a 256-entry i64 array where
+/// masks[c] has bit i set iff pattern[i] == c (the exact shift-and table).
+[[nodiscard]] Value bitap_masks(std::string_view pattern);
+
+/// The matching accept bit: 1 << (pattern.size() - 1).
+[[nodiscard]] Value bitap_accept(std::string_view pattern);
+
+/// Wraps bytes / a string into VM object Values for passing as arguments.
+[[nodiscard]] Value make_buffer(std::span<const std::byte> bytes);
+[[nodiscard]] Value make_string(std::string s);
+
+}  // namespace clio::vm::kernels

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -54,14 +55,25 @@ class Value {
   ObjPtr obj_;
 };
 
-/// Heap object: a managed string or a managed array of values.
+/// Heap object: a managed string, a managed array of values, or a managed
+/// byte buffer.  The buffer kind is the I/O workhorse: file syscalls move
+/// bytes between a ManagedFile and the buffer's contiguous storage
+/// directly, with no per-byte Value boxing (the array path exists for
+/// generality and the managed-overhead ablation, not the hot path).
 class Obj {
  public:
   explicit Obj(std::string s) : data_(std::move(s)) {}
   explicit Obj(std::vector<Value> a) : data_(std::move(a)) {}
+  explicit Obj(std::vector<std::byte> b) : data_(std::move(b)) {}
 
   [[nodiscard]] bool is_string() const {
     return std::holds_alternative<std::string>(data_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<std::vector<Value>>(data_);
+  }
+  [[nodiscard]] bool is_buffer() const {
+    return std::holds_alternative<std::vector<std::byte>>(data_);
   }
   [[nodiscard]] std::string& str() { return std::get<std::string>(data_); }
   [[nodiscard]] const std::string& str() const {
@@ -73,9 +85,15 @@ class Obj {
   [[nodiscard]] const std::vector<Value>& arr() const {
     return std::get<std::vector<Value>>(data_);
   }
+  [[nodiscard]] std::vector<std::byte>& bytes() {
+    return std::get<std::vector<std::byte>>(data_);
+  }
+  [[nodiscard]] const std::vector<std::byte>& bytes() const {
+    return std::get<std::vector<std::byte>>(data_);
+  }
 
  private:
-  std::variant<std::string, std::vector<Value>> data_;
+  std::variant<std::string, std::vector<Value>, std::vector<std::byte>> data_;
 };
 
 /// Method metadata + raw bytecode, ECMA-335 MethodDef in miniature.

@@ -59,6 +59,13 @@ class ExecutionEngine {
   Value dispatch_syscall(SysCall id, std::span<const Value> args);
 
  private:
+  /// Validates a handle value and returns the open stream behind it.
+  io::ManagedFile& checked_handle(std::int64_t h, const char* op);
+
+  /// The file-syscall bodies, separated so dispatch_syscall can wrap the
+  /// whole family in one IoError -> ExecutionError boundary.
+  Value file_syscall(SysCall id, std::span<const Value> args);
+
   Module module_;
   io::ManagedFileSystem* fs_;
   std::unique_ptr<Jit> jit_;

@@ -1,79 +1,28 @@
 #include "vm/verifier.hpp"
 
-#include <cstring>
 #include <deque>
-#include <unordered_map>
 
 #include "util/error.hpp"
 #include "util/log.hpp"
 #include "vm/corelib.hpp"
+#include "vm/decode.hpp"
 
 namespace clio::vm {
-namespace {
 
 using util::cat;
 using util::check;
 using util::VerifyError;
-
-std::uint16_t read_u16(const std::vector<std::uint8_t>& code,
-                       std::size_t at) {
-  return static_cast<std::uint16_t>(code[at] |
-                                    (static_cast<std::uint16_t>(code[at + 1])
-                                     << 8));
-}
-
-std::uint32_t read_u32(const std::vector<std::uint8_t>& code,
-                       std::size_t at) {
-  std::uint32_t v = 0;
-  for (int i = 3; i >= 0; --i) {
-    v = (v << 8) | code[at + static_cast<std::size_t>(i)];
-  }
-  return v;
-}
-
-}  // namespace
 
 std::uint32_t verify_method(const Module& module, const MethodDef& method) {
   const auto& code = method.code;
   check<VerifyError>(!code.empty(),
                      "verify: empty body in '" + method.name + "'");
 
-  // Pass 1: decode linearly, recording instruction boundaries and operands.
-  std::unordered_map<std::uint32_t, std::size_t> boundary_to_index;
-  struct Insn {
-    Op op;
-    std::uint32_t offset;
-    std::uint64_t operand;
-  };
-  std::vector<Insn> insns;
-  std::size_t at = 0;
-  while (at < code.size()) {
-    const auto op = static_cast<Op>(code[at]);
-    check<VerifyError>(code[at] < static_cast<std::uint8_t>(Op::kOpCount_),
-                       cat("verify: bad opcode at offset ", at, " in '",
-                           method.name, "'"));
-    const std::size_t size = encoded_size(op);
-    check<VerifyError>(at + size <= code.size(),
-                       cat("verify: truncated operand at offset ", at,
-                           " in '", method.name, "'"));
-    std::uint64_t operand = 0;
-    switch (op_info(op).operand) {
-      case OperandKind::kNone:
-        break;
-      case OperandKind::kImm64:
-        std::memcpy(&operand, code.data() + at + 1, 8);
-        break;
-      case OperandKind::kU16:
-        operand = read_u16(code, at + 1);
-        break;
-      case OperandKind::kU32:
-        operand = read_u32(code, at + 1);
-        break;
-    }
-    boundary_to_index.emplace(static_cast<std::uint32_t>(at), insns.size());
-    insns.push_back(Insn{op, static_cast<std::uint32_t>(at), operand});
-    at += size;
-  }
+  // Pass 1: linear decode — instruction boundaries and operands come from
+  // the same decode_stream() the JIT compiles from, so the two layers can
+  // never disagree on what counts as a branch target.
+  const DecodedStream stream = decode_stream(method);
+  const auto& insns = stream.insns;
 
   // Pass 2: operand validity.
   for (const auto& insn : insns) {
@@ -109,11 +58,8 @@ std::uint32_t verify_method(const Module& module, const MethodDef& method) {
       case Op::kBr:
       case Op::kBrTrue:
       case Op::kBrFalse:
-        check<VerifyError>(
-            boundary_to_index.contains(
-                static_cast<std::uint32_t>(insn.operand)),
-            cat("verify: branch to non-boundary offset ", insn.operand,
-                " in '", method.name, "'"));
+        // Throws the typed boundary error when the target is wild.
+        (void)branch_target(stream, insn.operand, method);
         break;
       default:
         break;
@@ -143,7 +89,7 @@ std::uint32_t verify_method(const Module& module, const MethodDef& method) {
   while (!worklist.empty()) {
     const std::size_t idx = worklist.front();
     worklist.pop_front();
-    const Insn& insn = insns[idx];
+    const RawInsn& insn = insns[idx];
     int depth = depth_at[idx];
 
     int pops = op_info(insn.op).pops;
@@ -166,13 +112,11 @@ std::uint32_t verify_method(const Module& module, const MethodDef& method) {
         saw_ret = true;
         continue;  // no fallthrough
       case Op::kBr:
-        flow_to(boundary_to_index.at(static_cast<std::uint32_t>(insn.operand)),
-                depth);
+        flow_to(branch_target(stream, insn.operand, method), depth);
         continue;
       case Op::kBrTrue:
       case Op::kBrFalse:
-        flow_to(boundary_to_index.at(static_cast<std::uint32_t>(insn.operand)),
-                depth);
+        flow_to(branch_target(stream, insn.operand, method), depth);
         break;
       default:
         break;

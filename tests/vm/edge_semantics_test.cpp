@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/error.hpp"
+#include "vm/assembler.hpp"
+#include "vm/runtime.hpp"
+
+namespace clio::vm {
+namespace {
+
+using util::ExecutionError;
+
+const char* const kArithSource = R"(
+.method div_ab 2 0
+  ldarg 0
+  ldarg 1
+  div
+  ret
+.end
+
+.method rem_ab 2 0
+  ldarg 0
+  ldarg 1
+  rem
+  ret
+.end
+
+.method f2i 1 0
+  ldarg 0
+  convf2i
+  ret
+.end
+
+.method i2f_roundtrip 1 0
+  ldarg 0
+  convi2f
+  convf2i
+  ret
+.end
+
+.method recurse 1 0
+  ldarg 0
+  brfalse base
+  ldarg 0
+  ldc 1
+  sub
+  call recurse
+  ret
+base:
+  ldc 0
+  ret
+.end
+)";
+
+ExecutionEngine make_engine(std::size_t max_depth = 256) {
+  EngineOptions options;
+  options.jit.compile_ns_per_byte = 0;
+  options.max_call_depth = max_depth;
+  return ExecutionEngine(assemble(kArithSource), options);
+}
+
+TEST(EdgeSemanticsTest, DivisionAndRemainderByZeroTrap) {
+  auto engine = make_engine();
+  EXPECT_EQ(engine.call("div_ab", {Value::from_int(7), Value::from_int(2)})
+                .as_int(),
+            3);
+  EXPECT_THROW(
+      engine.call("div_ab", {Value::from_int(7), Value::from_int(0)}),
+      ExecutionError);
+  EXPECT_THROW(
+      engine.call("rem_ab", {Value::from_int(7), Value::from_int(0)}),
+      ExecutionError);
+}
+
+TEST(EdgeSemanticsTest, Int64MinDividedByMinusOneTraps) {
+  // INT64_MIN / -1 overflows i64 (and is UB in C++); managed semantics
+  // trap, mirroring ECMA-335 System.OverflowException.
+  auto engine = make_engine();
+  const auto min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_THROW(
+      engine.call("div_ab", {Value::from_int(min), Value::from_int(-1)}),
+      ExecutionError);
+  EXPECT_THROW(
+      engine.call("rem_ab", {Value::from_int(min), Value::from_int(-1)}),
+      ExecutionError);
+  // One step inside the range is fine.
+  EXPECT_EQ(engine.call("div_ab", {Value::from_int(min + 1),
+                                   Value::from_int(-1)})
+                .as_int(),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(EdgeSemanticsTest, FloatToIntConversionCorners) {
+  auto engine = make_engine();
+  const auto conv = [&](double f) {
+    return engine.call("f2i", {Value::from_float(f)}).as_int();
+  };
+  EXPECT_EQ(conv(1.5), 2);  // llround: to nearest
+  EXPECT_EQ(conv(-2.5), -3);
+  // -2^63 is exactly representable and in range...
+  EXPECT_EQ(conv(-9223372036854775808.0),
+            std::numeric_limits<std::int64_t>::min());
+  // ...but +2^63 is the first value OUT of range (INT64_MAX is not a
+  // double), as are infinities and NaN.
+  EXPECT_THROW(conv(9223372036854775808.0), ExecutionError);
+  EXPECT_THROW(conv(std::numeric_limits<double>::infinity()),
+               ExecutionError);
+  EXPECT_THROW(conv(-std::numeric_limits<double>::infinity()),
+               ExecutionError);
+  EXPECT_THROW(conv(std::numeric_limits<double>::quiet_NaN()),
+               ExecutionError);
+}
+
+TEST(EdgeSemanticsTest, IntFloatRoundTripIsLossyPastDoublePrecision) {
+  auto engine = make_engine();
+  const auto rt = [&](std::int64_t v) {
+    return engine.call("i2f_roundtrip", {Value::from_int(v)}).as_int();
+  };
+  EXPECT_EQ(rt(0), 0);
+  EXPECT_EQ(rt(-12345), -12345);
+  // 2^53 round-trips exactly; 2^53 + 1 is not a double and lands on a
+  // neighbour — managed conv does not pretend otherwise.
+  const std::int64_t exact = 1LL << 53;
+  EXPECT_EQ(rt(exact), exact);
+  EXPECT_NE(rt(exact + 1), exact + 1);
+}
+
+TEST(EdgeSemanticsTest, CallDepthOverflowsAtExactBoundary) {
+  // recurse(n) occupies n + 1 frames.  With max_call_depth = 8, 8 frames
+  // (n = 7) must succeed and 9 frames (n = 8) must trap — the off-by-one
+  // either way is a real engine bug.
+  auto engine = make_engine(/*max_depth=*/8);
+  EXPECT_EQ(engine.call("recurse", {Value::from_int(7)}).as_int(), 0);
+  EXPECT_THROW(engine.call("recurse", {Value::from_int(8)}),
+               ExecutionError);
+  // The failed call must not corrupt the engine: the boundary case still
+  // works afterwards.
+  EXPECT_EQ(engine.call("recurse", {Value::from_int(7)}).as_int(), 0);
+}
+
+}  // namespace
+}  // namespace clio::vm

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "io/fault_store.hpp"
+#include "io/file_store.hpp"
+#include "util/error.hpp"
+#include "util/temp_dir.hpp"
+#include "vm/assembler.hpp"
+#include "vm/kernels.hpp"
+#include "vm/runtime.hpp"
+
+namespace clio::vm {
+namespace {
+
+using util::ExecutionError;
+
+// open(name, read) + read one chunk into a fresh buffer, return bytes read
+// WITHOUT closing (the handle stays live in the engine across calls).
+const char* const kFaultProbeSource = R"(
+.method read_chunk 2 2
+  ldarg 0
+  ldc 0
+  syscall file_open
+  stloc 0
+  ldarg 1
+  syscall buf_new
+  stloc 1
+  ldloc 0
+  ldloc 1
+  ldarg 1
+  syscall file_read
+  ret
+.end
+
+.method write_chunk 2 2
+  ldarg 0
+  ldc 1
+  syscall file_open
+  stloc 0
+  ldloc 0
+  ldarg 1
+  ldarg 1
+  syscall buf_len
+  syscall file_write
+  ret
+.end
+
+.method close_handle 1 0
+  ldarg 0
+  syscall file_close
+  ret
+.end
+)";
+
+class RuntimeFaultTest : public ::testing::Test {
+ protected:
+  RuntimeFaultTest() {
+    auto real = std::make_unique<io::RealFileStore>(dir_.path());
+    auto faulty = std::make_unique<io::FaultStore>(std::move(real));
+    fault_store_ = faulty.get();
+    fault_store_->arm(false);
+    fs_ = std::make_unique<io::ManagedFileSystem>(std::move(faulty),
+                                                  io::ManagedFsOptions{});
+  }
+
+  ExecutionEngine make_engine() {
+    EngineOptions options;
+    options.jit.compile_ns_per_byte = 0;
+    return ExecutionEngine(assemble(kFaultProbeSource), options,
+                           fs_.get());
+  }
+
+  void seed_file(const std::string& name, std::size_t bytes) {
+    std::vector<std::byte> data(bytes);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      data[i] = static_cast<std::byte>(i & 0xff);
+    }
+    auto file = fs_->open(name, io::OpenMode::kTruncate);
+    file.write(data);
+    file.close();
+  }
+
+  util::TempDir dir_;
+  io::FaultStore* fault_store_ = nullptr;
+  std::unique_ptr<io::ManagedFileSystem> fs_;
+};
+
+TEST_F(RuntimeFaultTest, BackingReadFaultSurfacesAsTypedExecutionError) {
+  seed_file("victim.bin", 16 * 1024);
+  fs_->drop_caches();  // force the VM read to touch the faulting store
+  io::FaultPlan plan;
+  plan.seed = 0x5eed;
+  plan.fail_prob[static_cast<std::size_t>(io::FaultOp::kRead)] = 1.0;
+  plan.fail_prob[static_cast<std::size_t>(io::FaultOp::kReadv)] = 1.0;
+  fault_store_->set_plan(plan);
+  fault_store_->arm(true);
+
+  auto engine = make_engine();
+  try {
+    engine.call("read_chunk", {kernels::make_string("victim.bin"),
+                               Value::from_int(4096)});
+    FAIL() << "faulted read must not succeed with a cold cache";
+  } catch (const ExecutionError& e) {
+    // The managed boundary contract: a storage EIO reaches bytecode as a
+    // typed ExecutionError naming the syscall — never a raw IoError, and
+    // never std::terminate.
+    EXPECT_NE(std::string(e.what()).find("file_read"), std::string::npos)
+        << e.what();
+  }
+  fault_store_->arm(false);
+}
+
+TEST_F(RuntimeFaultTest, SeededFaultStormNeverEscapesTheTypedContract) {
+  seed_file("storm.bin", 64 * 1024);
+  io::FaultPlan plan;
+  plan.seed = 0xfeed;
+  plan.fail_prob[static_cast<std::size_t>(io::FaultOp::kRead)] = 0.4;
+  plan.fail_prob[static_cast<std::size_t>(io::FaultOp::kReadv)] = 0.4;
+  plan.short_read_prob = 0.2;
+  fault_store_->set_plan(plan);
+
+  auto engine = make_engine();
+  int ok = 0;
+  int faulted = 0;
+  for (int i = 0; i < 60; ++i) {
+    fs_->drop_caches();
+    fault_store_->arm(true);
+    try {
+      const auto got =
+          engine.call("read_chunk", {kernels::make_string("storm.bin"),
+                                     Value::from_int(4096)})
+              .as_int();
+      EXPECT_EQ(got, 4096);
+      ++ok;
+    } catch (const ExecutionError&) {
+      ++faulted;  // the ONLY acceptable failure type
+    }
+    fault_store_->arm(false);
+  }
+  // With p(fault) = 0.4 per backing read over 60 seeded trials, both
+  // outcomes occur; all-of-one-kind means the injection or the wrapping
+  // broke.
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(faulted, 0);
+}
+
+TEST_F(RuntimeFaultTest, FileWriteReportsTheCountTheStreamAccepted) {
+  auto engine = make_engine();
+  const std::vector<std::byte> payload(10000, std::byte{0xab});
+  const auto wrote =
+      engine
+          .call("write_chunk", {kernels::make_string("out.bin"),
+                                kernels::make_buffer(payload)})
+          .as_int();
+  // The syscall echoes ManagedFile::write's accepted count, not its own
+  // request argument.
+  EXPECT_EQ(wrote, 10000);
+  engine.call("close_handle", {Value::from_int(0)});
+  auto file = fs_->open("out.bin", io::OpenMode::kRead);
+  EXPECT_EQ(file.size(), 10000u);
+  file.close();
+}
+
+TEST_F(RuntimeFaultTest, TornWriteAtFlushSurfacesThroughFileClose) {
+  io::FaultPlan plan;
+  plan.seed = 0xbad;
+  plan.torn_write_prob = 1.0;
+  fault_store_->set_plan(plan);
+
+  auto engine = make_engine();
+  const std::vector<std::byte> payload(12 * 1024, std::byte{0x77});
+  // The write itself lands in the buffer pool and reports full acceptance…
+  const auto wrote =
+      engine
+          .call("write_chunk", {kernels::make_string("torn.bin"),
+                                kernels::make_buffer(payload)})
+          .as_int();
+  EXPECT_EQ(wrote, 12 * 1024);
+  // …but close() flushes through the faulting store: the torn write must
+  // surface as a typed ExecutionError naming file_close, not crash, not
+  // silently drop bytes.
+  fault_store_->arm(true);
+  try {
+    engine.call("close_handle", {Value::from_int(0)});
+    FAIL() << "torn flush must surface";
+  } catch (const ExecutionError& e) {
+    EXPECT_NE(std::string(e.what()).find("file_close"), std::string::npos)
+        << e.what();
+  }
+  fault_store_->arm(false);
+}
+
+}  // namespace
+}  // namespace clio::vm
